@@ -1,0 +1,195 @@
+//! Hypercube-like minimum spanning tree for broadcast (paper §3, §6.4).
+//!
+//! "The communication module implements the broadcast primitive in terms
+//! of point-to-point communication, using a hypercube-like minimum
+//! spanning tree communication structure."
+//!
+//! The tree is a **binomial tree** over node ranks relabeled so any node
+//! can be the root: with `p` participants and root `r`, node `id`'s
+//! *relative rank* is `(id - r) mod p`. A node of relative rank `j`
+//! forwards to relative ranks `j + 2^k` for each `2^k` below `j`'s lowest
+//! set bit (all of `2^0..` when `j == 0`). The resulting tree spans all
+//! `p` ranks with depth `ceil(log2 p)` and each node sending at most
+//! `log2 p` messages — the classic hypercube broadcast schedule.
+//!
+//! The functions here are pure schedule computations; the kernel turns
+//! them into actual sends. Keeping them pure makes the spanning property
+//! directly property-testable.
+
+use crate::packet::NodeId;
+
+/// Relative rank of `id` in a broadcast rooted at `root` over `p` nodes.
+#[inline]
+pub fn relative_rank(id: NodeId, root: NodeId, p: usize) -> usize {
+    debug_assert!(p > 0);
+    (id as usize + p - root as usize % p) % p
+}
+
+/// Absolute node id of the participant with relative rank `rank`.
+#[inline]
+pub fn absolute_id(rank: usize, root: NodeId, p: usize) -> NodeId {
+    ((rank + root as usize) % p) as NodeId
+}
+
+/// Children (as **relative ranks**) of relative rank `j` in the binomial
+/// broadcast tree over `p` participants.
+///
+/// Rank 0 (the root) has children `1, 2, 4, 8, …`; a non-root rank `j`
+/// covers the sub-range below its lowest set bit.
+pub fn children_ranks(j: usize, p: usize) -> Vec<usize> {
+    debug_assert!(j < p, "rank out of range");
+    let limit = if j == 0 {
+        // Root: fan out over every power of two below p.
+        p.next_power_of_two()
+    } else {
+        // Non-root: only powers below the lowest set bit of j.
+        j & j.wrapping_neg()
+    };
+    let mut kids = Vec::new();
+    let mut step = 1usize;
+    while step < limit {
+        let child = j + step;
+        if child < p {
+            kids.push(child);
+        }
+        step <<= 1;
+    }
+    kids
+}
+
+/// Children (as **absolute node ids**) of node `id` in a broadcast rooted
+/// at `root` over the first `p` nodes of the partition.
+pub fn children(id: NodeId, root: NodeId, p: usize) -> Vec<NodeId> {
+    children_ranks(relative_rank(id, root, p), p)
+        .into_iter()
+        .map(|r| absolute_id(r, root, p))
+        .collect()
+}
+
+/// Depth of the broadcast tree: the number of hops from the root to the
+/// farthest leaf.
+///
+/// A rank `j` sits `popcount(j)` hops from the root (each hop clears one
+/// set bit), so the depth is the maximum popcount over ranks `0..p` —
+/// which is at most `ceil(log2 p)`.
+pub fn depth(p: usize) -> usize {
+    debug_assert!(p > 0);
+    if p == 1 {
+        return 0;
+    }
+    let bits = (usize::BITS - (p - 1).leading_zeros()) as usize;
+    // Candidates for the max popcount below p: p-1 itself, or the
+    // all-ones value one bit shorter (2^(bits-1) - 1 < p).
+    ((p - 1).count_ones() as usize).max(bits - 1)
+}
+
+/// Number of point-to-point sends in the whole tree: `p - 1` (minimum
+/// possible for a broadcast, hence "minimum spanning tree").
+pub fn total_sends(p: usize) -> usize {
+    p.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    /// Simulate the schedule and return (reached set, max hop depth).
+    fn run_tree(root: NodeId, p: usize) -> (Vec<bool>, usize) {
+        let mut reached = vec![false; p];
+        let mut max_depth = 0;
+        let mut frontier = VecDeque::new();
+        frontier.push_back((root, 0usize));
+        reached[root as usize] = true;
+        while let Some((node, d)) = frontier.pop_front() {
+            max_depth = max_depth.max(d);
+            for c in children(node, root, p) {
+                assert!(
+                    !reached[c as usize],
+                    "node {c} reached twice (p={p}, root={root})"
+                );
+                reached[c as usize] = true;
+                frontier.push_back((c, d + 1));
+            }
+        }
+        (reached, max_depth)
+    }
+
+    #[test]
+    fn spans_all_nodes_exactly_once_all_sizes() {
+        for p in 1..=64 {
+            let (reached, _) = run_tree(0, p);
+            assert!(reached.iter().all(|&r| r), "p={p} not fully spanned");
+        }
+    }
+
+    #[test]
+    fn spans_from_any_root() {
+        for p in [1usize, 2, 3, 5, 8, 13, 16, 31, 32] {
+            for root in 0..p {
+                let (reached, _) = run_tree(root as NodeId, p);
+                assert!(reached.iter().all(|&r| r), "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        for p in [1usize, 2, 3, 4, 7, 8, 9, 16, 33, 64, 100, 128] {
+            let (_, d) = run_tree(0, p);
+            assert_eq!(d, depth(p), "measured depth mismatch at p={p}");
+            if p > 1 {
+                assert!(d <= (p as f64).log2().ceil() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn root_children_are_powers_of_two() {
+        assert_eq!(children_ranks(0, 16), vec![1, 2, 4, 8]);
+        assert_eq!(children_ranks(0, 10), vec![1, 2, 4, 8]);
+        assert_eq!(children_ranks(0, 1), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn nonroot_children_respect_low_bit() {
+        // rank 4 (0b100) covers ranks 5 (0b101) and 6 (0b110).
+        assert_eq!(children_ranks(4, 8), vec![5, 6]);
+        // rank 6 (0b110) covers rank 7 only.
+        assert_eq!(children_ranks(6, 8), vec![7]);
+        // odd ranks are leaves.
+        for j in (1..32).step_by(2) {
+            assert!(children_ranks(j, 32).is_empty(), "rank {j} should be a leaf");
+        }
+    }
+
+    #[test]
+    fn fanout_bounded_by_log() {
+        for p in [2usize, 16, 64, 128] {
+            let log = (p as f64).log2().ceil() as usize;
+            for j in 0..p {
+                let fan = children_ranks(j, p).len();
+                assert!(fan <= log, "fanout {fan} at rank {j}, p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_sends_is_p_minus_one() {
+        for p in [1usize, 2, 3, 9, 16, 100] {
+            let sends: usize = (0..p).map(|j| children_ranks(j, p).len()).sum();
+            assert_eq!(sends, total_sends(p));
+        }
+    }
+
+    #[test]
+    fn relabeling_roundtrip() {
+        let p = 12;
+        for root in 0..p as NodeId {
+            for id in 0..p as NodeId {
+                let r = relative_rank(id, root, p);
+                assert_eq!(absolute_id(r, root, p), id);
+            }
+        }
+    }
+}

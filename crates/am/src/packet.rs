@@ -1,0 +1,128 @@
+//! Wire-level packet types for the active-message layer.
+//!
+//! CMAM (the CM-5 active-message layer the paper builds on) distinguishes
+//! *small* active messages — a handler plus a few words, injected directly
+//! into the network with no receiver-side buffering — from *bulk* data
+//! transfers, which require a three-phase protocol precisely because
+//! active messages are unbuffered (paper §6.5). We keep that distinction:
+//! the AM layer is generic over the kernel's payload type `P`, but wraps
+//! it in an [`AmEnvelope`] that makes the small/bulk split and the
+//! three-phase protocol explicit.
+
+use core::fmt;
+
+/// Identifier of a node (processing element) in the partition.
+///
+/// The CM-5 scales to 16 K processors; `u16` covers that exactly.
+pub type NodeId = u16;
+
+/// Maximum payload size (bytes) that may travel as a *small* active
+/// message. Larger payloads must use the three-phase bulk protocol.
+///
+/// CMAM small messages carry a handler word plus four argument words; we
+/// allow a somewhat larger eager limit (one cache line of arguments) since
+/// our envelope also carries kernel headers, but the principle — bulk data
+/// cannot be eagerly injected — is preserved and enforced.
+pub const MAX_SMALL_BYTES: usize = 64;
+
+/// A transfer tag correlating the three phases of one bulk transfer.
+pub type BulkTag = u64;
+
+/// The envelope every network packet travels in.
+///
+/// `P` is the kernel-level payload (actor messages, creation requests,
+/// FIR messages, …). The AM layer does not interpret `P`; it only needs
+/// its wire size to run the cost model and to police the small/bulk split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmEnvelope<P> {
+    /// A small active message: delivered directly to the destination
+    /// node's handler loop.
+    Small(P),
+    /// Phase 1 of a bulk transfer: the sender announces `bytes` of data
+    /// identified by `tag` and waits for an ack (paper §6.5).
+    BulkRequest {
+        /// Correlation tag chosen by the sender.
+        tag: BulkTag,
+        /// Size of the data to follow.
+        bytes: usize,
+    },
+    /// Phase 2: the receiver's node manager grants the transfer. Flow
+    /// control lives here — only one grant is outstanding per receiver.
+    BulkAck {
+        /// Correlation tag from the matching request.
+        tag: BulkTag,
+    },
+    /// Phase 3: the actual data.
+    BulkData {
+        /// Correlation tag from the matching request.
+        tag: BulkTag,
+        /// The kernel payload being transferred.
+        body: P,
+        /// Wire size of `body` (recorded at request time so the cost
+        /// model charges the same size in both phases).
+        bytes: usize,
+    },
+}
+
+impl<P> AmEnvelope<P> {
+    /// Approximate wire size of this envelope, given the payload's size.
+    ///
+    /// Control packets (request/ack) are a fixed small size; data packets
+    /// are header + body.
+    pub fn wire_bytes(&self, payload_bytes: impl Fn(&P) -> usize) -> usize {
+        const HEADER: usize = 16; // dst/handler/len words, as on CMAM
+        match self {
+            AmEnvelope::Small(p) => HEADER + payload_bytes(p),
+            AmEnvelope::BulkRequest { .. } | AmEnvelope::BulkAck { .. } => HEADER,
+            AmEnvelope::BulkData { bytes, .. } => HEADER + bytes,
+        }
+    }
+}
+
+/// A packet in flight: source, destination, and envelope.
+#[derive(Clone)]
+pub struct Packet<P> {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// The envelope.
+    pub body: AmEnvelope<P>,
+}
+
+impl<P: fmt::Debug> fmt::Debug for Packet<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Packet[{} -> {}: {:?}]", self.src, self.dst, self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_accounts_for_header() {
+        let small: AmEnvelope<Vec<u8>> = AmEnvelope::Small(vec![0u8; 10]);
+        assert_eq!(small.wire_bytes(|p| p.len()), 26);
+        let req: AmEnvelope<Vec<u8>> = AmEnvelope::BulkRequest { tag: 1, bytes: 4096 };
+        assert_eq!(req.wire_bytes(|p| p.len()), 16);
+        let ack: AmEnvelope<Vec<u8>> = AmEnvelope::BulkAck { tag: 1 };
+        assert_eq!(ack.wire_bytes(|p| p.len()), 16);
+        let data: AmEnvelope<Vec<u8>> = AmEnvelope::BulkData {
+            tag: 1,
+            body: vec![0u8; 4096],
+            bytes: 4096,
+        };
+        assert_eq!(data.wire_bytes(|p| p.len()), 16 + 4096);
+    }
+
+    #[test]
+    fn packet_debug_is_readable() {
+        let p = Packet {
+            src: 1,
+            dst: 2,
+            body: AmEnvelope::Small(7u32),
+        };
+        assert_eq!(format!("{p:?}"), "Packet[1 -> 2: Small(7)]");
+    }
+}

@@ -1,0 +1,321 @@
+//! The simulated network: packet delivery through the discrete-event queue.
+//!
+//! This is the benchmark substrate standing in for the CM-5's fat-tree.
+//! The model is deliberately simple and deterministic:
+//!
+//! * each packet pays a fixed **wire latency** plus a **per-byte** cost
+//!   (bandwidth term), calibrated against CMAM measurements;
+//! * each ordered node pair `(src, dst)` is a FIFO *link*: a packet may
+//!   not arrive before an earlier packet on the same link (CMAM/fat-tree
+//!   routes preserve per-pair ordering for our purposes, and the kernel's
+//!   protocols rely on it the same way the paper's implementation does);
+//! * each source serializes injection: the network interface can inject
+//!   one packet at a time, so back-to-back sends queue at the NI. This is
+//!   what makes the *no-flow-control* Cholesky ablation congest, as the
+//!   paper observed (§6.5).
+//!
+//! Contention inside the fabric is **not** modeled beyond these two
+//! serialization points; the paper's claims we reproduce do not depend on
+//! fabric hot-spots.
+
+use crate::packet::{AmEnvelope, NodeId, Packet};
+use hal_des::{EventQueue, StatSet, VirtualDuration, VirtualTime};
+use std::collections::HashMap;
+
+/// Timing parameters of the simulated interconnect.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkModel {
+    /// One-way wire latency for any packet (time of flight + routing).
+    pub latency: VirtualDuration,
+    /// Transmission time per payload byte (1/bandwidth).
+    pub per_byte: VirtualDuration,
+    /// Time the sending NI is busy injecting a packet (serializes
+    /// back-to-back sends from one node).
+    pub inject_overhead: VirtualDuration,
+    /// Virtual-time depth of buffering the fabric tolerates toward one
+    /// receiver before back-pressure stalls senders (wormhole routing
+    /// has almost no elasticity; the CM-5 NI buffers a few packets).
+    /// When a receiver's ejection backlog exceeds this window, further
+    /// injections toward it block the *sender's* NI until the backlog
+    /// drains — the "packet back-up in the network" of §6.5.
+    pub backpressure_window: VirtualDuration,
+}
+
+impl LinkModel {
+    /// CM-5 / CMAM-calibrated defaults.
+    ///
+    /// CMAM reports ~1.6 µs send overhead, a few µs one-way latency for a
+    /// small message, and ~10 MB/s effective per-link bandwidth for bulk
+    /// transfers (≈ 100 ns/byte). The paper's own remote-creation numbers
+    /// (5.83 µs apparent vs 20.83 µs actual, §5) bound the one-way
+    /// request latency at a few microseconds.
+    pub fn cm5() -> Self {
+        LinkModel {
+            latency: VirtualDuration::from_nanos(3_000),
+            per_byte: VirtualDuration::from_nanos(100),
+            inject_overhead: VirtualDuration::from_nanos(600),
+            // ~4 KB of in-fabric elasticity toward one receiver.
+            backpressure_window: VirtualDuration::from_nanos(400_000),
+        }
+    }
+
+    /// A network-of-workstations cluster (§9's future direction): the
+    /// fast-interconnect NOW of Anderson/Culler/Patterson — ATM-class
+    /// links with ~20x the CM-5's latency and a third of its per-link
+    /// bandwidth, and far more elasticity (switched network with real
+    /// buffers rather than a wormhole fabric).
+    pub fn now_cluster() -> Self {
+        LinkModel {
+            latency: VirtualDuration::from_nanos(60_000),
+            per_byte: VirtualDuration::from_nanos(300),
+            inject_overhead: VirtualDuration::from_nanos(5_000),
+            backpressure_window: VirtualDuration::from_millis(4),
+        }
+    }
+
+    /// An idealized zero-cost network (unit tests of protocol logic).
+    pub fn instant() -> Self {
+        LinkModel {
+            latency: VirtualDuration::ZERO,
+            per_byte: VirtualDuration::ZERO,
+            inject_overhead: VirtualDuration::ZERO,
+            backpressure_window: VirtualDuration::from_millis(1_000_000),
+        }
+    }
+}
+
+/// The simulated network: an event queue of in-flight packets plus the
+/// link-model bookkeeping that imposes FIFO and injection serialization.
+///
+/// Injections may arrive **out of virtual-time order**: a node executing
+/// a long actor method injects its sends at the method's completion
+/// time, while interrupting node-manager handlers (§3's "steals the
+/// processor") inject at packet-arrival times that can be earlier. Each
+/// resource therefore remembers the virtual time of the injection that
+/// set it, and only constrains injections that are *not before* it — an
+/// earlier-time injection sees the resource as idle (which it truly was
+/// at that moment).
+pub struct SimNetwork<P> {
+    queue: EventQueue<Packet<P>>,
+    model: LinkModel,
+    /// Per-(src, dst) link: (inject time that set it, last scheduled
+    /// arrival) — enforces FIFO forward in time.
+    link_last: HashMap<(NodeId, NodeId), (VirtualTime, VirtualTime)>,
+    /// Per-source NI: (inject time that set it, time the NI frees up).
+    ni_free: Vec<(VirtualTime, VirtualTime)>,
+    /// Per-destination ejection port: (inject time that set it, time the
+    /// port frees up). A hot receiver queues arrivals and, past the
+    /// back-pressure window, stalls senders.
+    eject_busy: Vec<(VirtualTime, VirtualTime)>,
+    stats: StatSet,
+}
+
+impl<P> SimNetwork<P> {
+    /// A network connecting `nodes` nodes under `model`.
+    pub fn new(nodes: usize, model: LinkModel) -> Self {
+        SimNetwork {
+            queue: EventQueue::with_capacity(1024),
+            model,
+            link_last: HashMap::new(),
+            ni_free: vec![(VirtualTime::ZERO, VirtualTime::ZERO); nodes],
+            eject_busy: vec![(VirtualTime::ZERO, VirtualTime::ZERO); nodes],
+            stats: StatSet::new(),
+        }
+    }
+
+    /// Number of nodes attached.
+    pub fn nodes(&self) -> usize {
+        self.ni_free.len()
+    }
+
+    /// The link model in force.
+    pub fn model(&self) -> LinkModel {
+        self.model
+    }
+
+    /// Inject a packet at virtual time `now`. Returns the time the sender's
+    /// NI becomes free again (callers may charge that to the node clock).
+    ///
+    /// `wire_bytes` is the envelope's size on the wire; callers compute it
+    /// via [`AmEnvelope::wire_bytes`] so the cost model sees serialized
+    /// sizes, not in-memory ones.
+    pub fn inject(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        body: AmEnvelope<P>,
+        wire_bytes: usize,
+    ) -> VirtualTime {
+        assert!(
+            (src as usize) < self.ni_free.len() && (dst as usize) < self.ni_free.len(),
+            "inject: node id out of range"
+        );
+        let xmit = self.model.per_byte.scaled(wire_bytes as u64);
+
+        // NI injection serialization: a send cannot begin until the
+        // previous one from this node has left the NI — unless this
+        // injection is *earlier in virtual time* than the one that set
+        // the state (an interrupt handler's send), in which case the NI
+        // really was idle at `now`.
+        let (ni_set_at, ni_busy) = self.ni_free[src as usize];
+        let in_order = now >= ni_set_at;
+        let begin = if in_order { now.max(ni_busy) } else { now };
+        let mut ni_free = begin + self.model.inject_overhead + xmit;
+
+        // Earliest possible arrival given wire latency…
+        let mut arrival = ni_free + self.model.latency;
+        // …but never before an earlier packet on the same (src,dst)
+        // link (FIFO, applied forward in time)…
+        if let Some(&(l_set, l_arr)) = self.link_last.get(&(src, dst)) {
+            if now >= l_set {
+                arrival = arrival.max(l_arr);
+            }
+        }
+        // …and never before the receiver's ejection port frees up: a hot
+        // receiver queues arrivals.
+        let (e_set, e_busy) = self.eject_busy[dst as usize];
+        if now >= e_set {
+            arrival = arrival.max(e_busy);
+        }
+        // The ejection port is then busy draining this packet.
+        let eject_done = arrival + self.model.per_byte.scaled(wire_bytes as u64);
+
+        // Wormhole back-pressure: if the receiver's backlog exceeds the
+        // elasticity window, the sender's NI blocks until it drains
+        // (§6.5's "packet back-up in the network" reaching the sender).
+        let backlog_release = VirtualTime::from_nanos(
+            eject_done
+                .as_nanos()
+                .saturating_sub(self.model.backpressure_window.as_nanos()),
+        );
+        if backlog_release > ni_free {
+            self.stats.bump("net.backpressure_stalls");
+            ni_free = backlog_release;
+        }
+
+        // Commit resource state, never backward in virtual time.
+        if now >= ni_set_at {
+            self.ni_free[src as usize] = (now, ni_free);
+        }
+        let link = self.link_last.entry((src, dst)).or_insert((now, arrival));
+        if now >= link.0 {
+            *link = (now, arrival.max(link.1));
+        }
+        if now >= e_set {
+            self.eject_busy[dst as usize] = (now, eject_done.max(e_busy));
+        }
+
+        self.stats.bump("net.packets");
+        self.stats.add("net.bytes", wire_bytes as u64);
+        self.queue.push(arrival, Packet { src, dst, body });
+        ni_free
+    }
+
+    /// Remove and return the next packet to arrive anywhere, if any.
+    pub fn pop(&mut self) -> Option<(VirtualTime, Packet<P>)> {
+        self.queue.pop()
+    }
+
+    /// Arrival time of the next pending packet.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.queue.peek_time()
+    }
+
+    /// Number of packets in flight.
+    pub fn in_flight(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Network statistics (packet/byte counters).
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(v: u32) -> AmEnvelope<u32> {
+        AmEnvelope::Small(v)
+    }
+
+    #[test]
+    fn delivery_pays_latency_and_bandwidth() {
+        let model = LinkModel {
+            latency: VirtualDuration::from_nanos(1_000),
+            per_byte: VirtualDuration::from_nanos(10),
+            inject_overhead: VirtualDuration::from_nanos(100),
+            backpressure_window: VirtualDuration::from_millis(1_000),
+        };
+        let mut net = SimNetwork::new(2, model);
+        net.inject(VirtualTime::ZERO, 0, 1, small(7), 20);
+        let (t, p) = net.pop().unwrap();
+        // inject 100 + 20*10 bytes = 300 NI time, + 1000 latency
+        assert_eq!(t.as_nanos(), 100 + 200 + 1_000);
+        assert_eq!(p.dst, 1);
+        assert_eq!(p.body, small(7));
+    }
+
+    #[test]
+    fn per_link_fifo_holds_even_with_size_inversion() {
+        // A huge packet followed by a tiny one on the same link: the tiny
+        // one must not overtake.
+        let model = LinkModel {
+            latency: VirtualDuration::from_nanos(1_000),
+            per_byte: VirtualDuration::from_nanos(100),
+            inject_overhead: VirtualDuration::ZERO,
+            backpressure_window: VirtualDuration::from_millis(1_000),
+        };
+        let mut net = SimNetwork::new(2, model);
+        net.inject(VirtualTime::ZERO, 0, 1, small(1), 10_000);
+        net.inject(VirtualTime::ZERO, 0, 1, small(2), 1);
+        let (t1, p1) = net.pop().unwrap();
+        let (t2, p2) = net.pop().unwrap();
+        assert_eq!(p1.body, small(1));
+        assert_eq!(p2.body, small(2));
+        assert!(t1 <= t2, "FIFO violated: {t1:?} > {t2:?}");
+    }
+
+    #[test]
+    fn injection_serializes_at_the_source() {
+        let model = LinkModel {
+            latency: VirtualDuration::ZERO,
+            per_byte: VirtualDuration::from_nanos(10),
+            inject_overhead: VirtualDuration::ZERO,
+            backpressure_window: VirtualDuration::from_millis(1_000),
+        };
+        let mut net = SimNetwork::new(3, model);
+        // Two sends to *different* destinations still queue at the NI.
+        let free1 = net.inject(VirtualTime::ZERO, 0, 1, small(1), 100);
+        let free2 = net.inject(VirtualTime::ZERO, 0, 2, small(2), 100);
+        assert_eq!(free1.as_nanos(), 1_000);
+        assert_eq!(free2.as_nanos(), 2_000);
+    }
+
+    #[test]
+    fn different_sources_do_not_interfere() {
+        let mut net = SimNetwork::new(3, LinkModel::cm5());
+        let f0 = net.inject(VirtualTime::ZERO, 0, 2, small(1), 8);
+        let f1 = net.inject(VirtualTime::ZERO, 1, 2, small(2), 8);
+        assert_eq!(f0, f1, "independent NIs should be symmetric");
+    }
+
+    #[test]
+    fn stats_count_packets_and_bytes() {
+        let mut net = SimNetwork::new(2, LinkModel::instant());
+        net.inject(VirtualTime::ZERO, 0, 1, small(1), 30);
+        net.inject(VirtualTime::ZERO, 1, 0, small(2), 12);
+        assert_eq!(net.stats().get("net.packets"), 2);
+        assert_eq!(net.stats().get("net.bytes"), 42);
+        assert_eq!(net.in_flight(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn inject_checks_node_ids() {
+        let mut net = SimNetwork::new(2, LinkModel::instant());
+        net.inject(VirtualTime::ZERO, 0, 5, small(1), 1);
+    }
+}

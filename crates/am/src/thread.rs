@@ -1,0 +1,200 @@
+//! The threaded network: one OS thread per node, real message passing.
+//!
+//! This substrate exercises the same kernel code as [`crate::sim`] but
+//! with genuine concurrency: each simulated node is an OS thread and
+//! packets travel over crossbeam channels. It is used by the examples and
+//! by integration tests that check the runtime is actually `Send`-correct
+//! and free of shared-memory shortcuts between "nodes" — faithful to the
+//! paper's distributed-memory setting, where nodes communicate only
+//! through the network interface.
+
+use crate::packet::{AmEnvelope, NodeId, Packet};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters for the threaded network.
+#[derive(Default, Debug)]
+pub struct ThreadNetStats {
+    /// Packets sent across all nodes.
+    pub packets: AtomicU64,
+    /// Envelope payload bytes sent across all nodes.
+    pub bytes: AtomicU64,
+}
+
+/// One node's attachment point to the threaded network.
+///
+/// Owns the node's receive queue and senders to every peer. Endpoints are
+/// created together by [`thread_network`] and then moved into their node
+/// threads.
+pub struct ThreadEndpoint<P> {
+    me: NodeId,
+    rx: Receiver<Packet<P>>,
+    peers: Vec<Sender<Packet<P>>>,
+    stats: Arc<ThreadNetStats>,
+}
+
+impl<P: Send + 'static> ThreadEndpoint<P> {
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.me
+    }
+
+    /// Number of nodes in the partition.
+    pub fn nodes(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Send an envelope to `dst`. `wire_bytes` feeds the byte counter
+    /// (mirrors [`crate::sim::SimNetwork::inject`]'s signature).
+    ///
+    /// Sending to self is allowed — the packet loops back through the
+    /// receive queue, exactly as a self-addressed active message would.
+    pub fn send(&self, dst: NodeId, body: AmEnvelope<P>, wire_bytes: usize) {
+        self.stats.packets.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes.fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        let pkt = Packet {
+            src: self.me,
+            dst,
+            body,
+        };
+        // Unbounded channel: send only fails if the receiver hung up,
+        // which in our machines means the partition is shutting down.
+        let _ = self.peers[dst as usize].send(pkt);
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Packet<P>> {
+        match self.rx.try_recv() {
+            Ok(p) => Some(p),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive; `None` when every sender (including our own
+    /// loopback) has been dropped.
+    pub fn recv(&self) -> Option<Packet<P>> {
+        self.rx.recv().ok()
+    }
+
+    /// Blocking receive with a wall-clock timeout.
+    pub fn recv_timeout(&self, dur: std::time::Duration) -> Option<Packet<P>> {
+        self.rx.recv_timeout(dur).ok()
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> &Arc<ThreadNetStats> {
+        &self.stats
+    }
+}
+
+/// Build a fully connected threaded network of `nodes` nodes.
+///
+/// Returns one endpoint per node; move each into its node thread.
+pub fn thread_network<P: Send + 'static>(nodes: usize) -> Vec<ThreadEndpoint<P>> {
+    assert!(nodes > 0 && nodes <= u16::MAX as usize + 1, "node count out of range");
+    let stats = Arc::new(ThreadNetStats::default());
+    let mut txs = Vec::with_capacity(nodes);
+    let mut rxs = Vec::with_capacity(nodes);
+    for _ in 0..nodes {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    rxs.into_iter()
+        .enumerate()
+        .map(|(i, rx)| ThreadEndpoint {
+            me: i as NodeId,
+            rx,
+            peers: txs.clone(),
+            stats: Arc::clone(&stats),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut eps = thread_network::<u32>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, AmEnvelope::Small(42), 4);
+        let pkt = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(pkt.src, 0);
+        assert_eq!(pkt.body, AmEnvelope::Small(42));
+    }
+
+    #[test]
+    fn loopback_to_self_works() {
+        let eps = thread_network::<u32>(1);
+        eps[0].send(0, AmEnvelope::Small(9), 4);
+        let pkt = eps[0].try_recv().unwrap();
+        assert_eq!(pkt.src, 0);
+        assert_eq!(pkt.dst, 0);
+    }
+
+    #[test]
+    fn per_link_order_is_fifo() {
+        let mut eps = thread_network::<u32>(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..100 {
+            a.send(1, AmEnvelope::Small(i), 4);
+        }
+        for i in 0..100 {
+            let pkt = b.recv_timeout(Duration::from_secs(1)).unwrap();
+            assert_eq!(pkt.body, AmEnvelope::Small(i));
+        }
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let mut eps = thread_network::<u64>(4);
+        let handles: Vec<_> = eps
+            .drain(..)
+            .map(|ep| {
+                std::thread::spawn(move || {
+                    let me = ep.node();
+                    // Everyone sends one message to every other node…
+                    for dst in 0..ep.nodes() as NodeId {
+                        if dst != me {
+                            ep.send(dst, AmEnvelope::Small(me as u64), 8);
+                        }
+                    }
+                    // …and receives nodes-1 messages.
+                    let mut got = 0;
+                    while got < ep.nodes() - 1 {
+                        if ep.recv_timeout(Duration::from_secs(5)).is_some() {
+                            got += 1;
+                        } else {
+                            panic!("timed out");
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 3);
+        }
+    }
+
+    #[test]
+    fn stats_shared_across_endpoints() {
+        let eps = thread_network::<u32>(3);
+        eps[0].send(1, AmEnvelope::Small(1), 10);
+        eps[2].send(1, AmEnvelope::Small(2), 5);
+        assert_eq!(eps[1].stats().packets.load(Ordering::Relaxed), 2);
+        assert_eq!(eps[1].stats().bytes.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn try_recv_empty_is_none() {
+        let eps = thread_network::<u32>(2);
+        assert!(eps[0].try_recv().is_none());
+    }
+}

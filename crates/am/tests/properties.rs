@@ -1,0 +1,147 @@
+//! Property tests for the active-message layer: flow-control safety and
+//! liveness, bulk-transfer exactly-once, and simulated-network causal
+//! ordering.
+
+use hal_am::{AmEnvelope, BulkSender, FlowControl, LinkModel, SimNetwork};
+use hal_des::VirtualTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// Flow control: at most one grant active; every request eventually
+    /// granted exactly once; grants issue in FIFO order.
+    #[test]
+    fn flow_control_safety_and_liveness(
+        schedule in prop::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let mut fc = FlowControl::new();
+        let mut next_tag = 0u64;
+        let mut granted_order = Vec::new();
+        let mut requested_order = Vec::new();
+        let mut active: Option<hal_am::Grant> = None;
+
+        for do_request in schedule {
+            if do_request || active.is_none() {
+                next_tag += 1;
+                requested_order.push(next_tag);
+                if let Some(g) = fc.on_request((next_tag % 5) as u16, next_tag) {
+                    prop_assert!(active.is_none(), "second active grant");
+                    granted_order.push(g.tag);
+                    active = Some(g);
+                }
+            } else if let Some(g) = active.take() {
+                if let Some(next) = fc.on_data_complete(g.to, g.tag) {
+                    granted_order.push(next.tag);
+                    active = Some(next);
+                }
+            }
+        }
+        // Drain.
+        while let Some(g) = active.take() {
+            if let Some(next) = fc.on_data_complete(g.to, g.tag) {
+                granted_order.push(next.tag);
+                active = Some(next);
+            }
+        }
+        prop_assert_eq!(&granted_order, &requested_order, "FIFO grants, exactly once");
+        prop_assert_eq!(fc.granted_total(), requested_order.len() as u64);
+        prop_assert_eq!(fc.queued(), 0);
+    }
+
+    /// Bulk sender: every begun transfer is released exactly once with
+    /// its own payload, regardless of ack order.
+    #[test]
+    fn bulk_transfers_release_their_own_payload(
+        payloads in prop::collection::vec(any::<u32>(), 1..60),
+    ) {
+        let mut tx = BulkSender::new(3);
+        let mut tags = Vec::new();
+        for (i, &p) in payloads.iter().enumerate() {
+            let (tag, env) = tx.begin((i % 7) as u16, p, 4);
+            let is_req = matches!(env, AmEnvelope::BulkRequest { .. });
+            prop_assert!(is_req, "expected a BulkRequest envelope");
+            tags.push((tag, p, (i % 7) as u16));
+        }
+        // Ack in reverse order (worst case for any accidental FIFO
+        // assumption in the sender).
+        for &(tag, p, dst) in tags.iter().rev() {
+            let (d, env, _) = tx.on_ack(tag);
+            prop_assert_eq!(d, dst);
+            match env {
+                AmEnvelope::BulkData { body, .. } => prop_assert_eq!(body, p),
+                other => {
+                    let msg = format!("expected data, got {other:?}");
+                    prop_assert!(false, "{}", msg);
+                }
+            }
+        }
+        prop_assert_eq!(tx.in_progress(), 0);
+    }
+
+    /// SimNetwork: for monotone (in-virtual-time-order) injections, each
+    /// (src,dst) link is FIFO and arrival never precedes injection.
+    #[test]
+    fn sim_network_monotone_injections_are_causal(
+        sends in prop::collection::vec((0u8..4, 0u8..4, 0u64..500, 0usize..200), 1..120),
+    ) {
+        let mut net = SimNetwork::new(4, LinkModel::cm5());
+        let mut now = 0u64;
+        for (seq, (src, dst, dt, bytes)) in sends.into_iter().enumerate() {
+            now += dt;
+            net.inject(
+                VirtualTime::from_nanos(now),
+                src as u16,
+                dst as u16,
+                AmEnvelope::Small((seq as u64, now)),
+                bytes,
+            );
+        }
+        // Drain and check per-link order + causality.
+        let mut last_per_link = std::collections::HashMap::new();
+        let mut arrivals = Vec::new();
+        while let Some((t, pkt)) = net.pop() {
+            arrivals.push((t, pkt.src, pkt.dst, pkt.body));
+        }
+        // Arrivals pop in global time order by construction of the queue;
+        // verify per-link monotone sequence numbers and causality.
+        for (t, src, dst, body) in arrivals {
+            let AmEnvelope::Small((s, injected_at)) = body else { unreachable!() };
+            prop_assert!(t.as_nanos() >= injected_at, "arrived before injection");
+            if let Some(prev) = last_per_link.insert((src, dst), s) {
+                prop_assert!(prev < s, "link ({src},{dst}) reordered {prev} after {s}");
+            }
+        }
+    }
+}
+
+/// Deterministic (non-proptest) regression: out-of-order injections (an
+/// interrupt handler's earlier-timestamped send) must not be delayed by
+/// state that later-timestamped injections established first.
+#[test]
+fn out_of_order_injection_is_not_serialized_behind_the_future() {
+    let mut net = SimNetwork::new(2, LinkModel::cm5());
+    // A long step injects far in the virtual future...
+    net.inject(
+        VirtualTime::from_nanos(9_000_000),
+        0,
+        1,
+        AmEnvelope::Small("future"),
+        50_000,
+    );
+    // ...then an interrupt handler injects at an earlier virtual time.
+    net.inject(
+        VirtualTime::from_nanos(20_000),
+        0,
+        1,
+        AmEnvelope::Small("interrupt"),
+        16,
+    );
+    let (t1, p1) = net.pop().unwrap();
+    assert_eq!(p1.body, AmEnvelope::Small("interrupt"));
+    assert!(
+        t1.as_nanos() < 100_000,
+        "interrupt packet delayed to {t1:?}"
+    );
+    let (t2, p2) = net.pop().unwrap();
+    assert_eq!(p2.body, AmEnvelope::Small("future"));
+    assert!(t2.as_nanos() >= 9_000_000);
+}

@@ -1,0 +1,149 @@
+//! Dense matrix kernels — the per-node compute of Table 5 and the
+//! sequential baselines it is judged against.
+//!
+//! The paper's systolic matmul used a hand-written assembly block kernel
+//! (von Eicken's, also used by Split-C); our stand-in is a tight `ikj`
+//! loop, which any modern compiler vectorizes well. Matrices are
+//! row-major `Vec<f64>`.
+
+/// Naive ijk triple loop (reference semantics; slow).
+pub fn matmul_naive(a: &[f64], b: &[f64], c: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// `C += A * B` with the cache-friendly ikj order — the workhorse block
+/// kernel used inside the systolic algorithm.
+pub fn matmul_ikj_acc(a: &[f64], b: &[f64], c: &mut [f64], n: usize) {
+    assert_eq!(a.len(), n * n);
+    assert_eq!(b.len(), n * n);
+    assert_eq!(c.len(), n * n);
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            let brow = &b[k * n..k * n + n];
+            let crow = &mut c[i * n..i * n + n];
+            for j in 0..n {
+                crow[j] += aik * brow[j];
+            }
+        }
+    }
+}
+
+/// Blocked (tiled) `C = A * B` for large n.
+pub fn matmul_blocked(a: &[f64], b: &[f64], c: &mut [f64], n: usize, block: usize) {
+    assert!(block >= 1);
+    c.fill(0.0);
+    let nb = n.div_ceil(block);
+    for bi in 0..nb {
+        for bk in 0..nb {
+            for bj in 0..nb {
+                let (i0, i1) = (bi * block, ((bi + 1) * block).min(n));
+                let (k0, k1) = (bk * block, ((bk + 1) * block).min(n));
+                let (j0, j1) = (bj * block, ((bj + 1) * block).min(n));
+                for i in i0..i1 {
+                    for k in k0..k1 {
+                        let aik = a[i * n + k];
+                        for j in j0..j1 {
+                            c[i * n + j] += aik * b[k * n + j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// FLOP count of an n×n matmul (2·n³: one multiply + one add per term).
+pub fn matmul_flops(n: usize) -> u64 {
+    2 * (n as u64).pow(3)
+}
+
+/// Deterministic pseudo-random matrix (values in [-1, 1)).
+pub fn random_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    (0..n * n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Max absolute elementwise difference.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ikj_matches_naive() {
+        let n = 17;
+        let a = random_matrix(n, 1);
+        let b = random_matrix(n, 2);
+        let mut c1 = vec![0.0; n * n];
+        let mut c2 = vec![0.0; n * n];
+        matmul_naive(&a, &b, &mut c1, n);
+        matmul_ikj_acc(&a, &b, &mut c2, n);
+        assert!(max_abs_diff(&c1, &c2) < 1e-12);
+    }
+
+    #[test]
+    fn blocked_matches_naive_including_ragged_edges() {
+        let n = 23; // not a multiple of the block size
+        let a = random_matrix(n, 3);
+        let b = random_matrix(n, 4);
+        let mut c1 = vec![0.0; n * n];
+        let mut c2 = vec![0.0; n * n];
+        matmul_naive(&a, &b, &mut c1, n);
+        matmul_blocked(&a, &b, &mut c2, n, 8);
+        assert!(max_abs_diff(&c1, &c2) < 1e-12);
+    }
+
+    #[test]
+    fn ikj_accumulates() {
+        let n = 4;
+        let a = random_matrix(n, 5);
+        let b = random_matrix(n, 6);
+        let mut c = vec![1.0; n * n];
+        let mut expect = vec![0.0; n * n];
+        matmul_naive(&a, &b, &mut expect, n);
+        for e in &mut expect {
+            *e += 1.0;
+        }
+        matmul_ikj_acc(&a, &b, &mut c, n);
+        assert!(max_abs_diff(&c, &expect) < 1e-12);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(matmul_flops(1024), 2 * 1024u64.pow(3));
+    }
+
+    #[test]
+    fn random_matrix_is_deterministic_and_bounded() {
+        let a = random_matrix(8, 42);
+        let b = random_matrix(8, 42);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&x| (-1.0..1.0).contains(&x)));
+        assert_ne!(a, random_matrix(8, 43));
+    }
+}

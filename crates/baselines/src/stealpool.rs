@@ -1,0 +1,214 @@
+//! A Chase–Lev work-stealing fork-join pool — the Cilk stand-in of
+//! Table 4.
+//!
+//! The paper compares its actor runtime against Cilk (73.16 s for
+//! fib(33) on one SPARC node). We reproduce that comparison point with a
+//! minimal multithreaded work-stealing runtime of the same algorithmic
+//! class: per-worker deques (crossbeam-deque), random stealing, and a
+//! global injector.
+
+use crossbeam::deque::{Injector, Stealer, Worker};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unit of work. Tasks may spawn more tasks through the [`Spawner`].
+pub type Task = Box<dyn FnOnce(&Spawner) + Send>;
+
+/// Handle tasks use to spawn subtasks.
+pub struct Spawner {
+    injector: Arc<Injector<Task>>,
+    outstanding: Arc<AtomicUsize>,
+}
+
+impl Spawner {
+    /// Enqueue a subtask.
+    pub fn spawn(&self, task: Task) {
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        self.injector.push(task);
+    }
+}
+
+/// A fixed-size work-stealing pool. All workers run until the task count
+/// drains to zero, then exit.
+pub struct StealPool {
+    workers: usize,
+}
+
+impl StealPool {
+    /// Pool with `workers` OS threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers >= 1);
+        StealPool { workers }
+    }
+
+    /// Run `root` (plus everything it transitively spawns) to
+    /// completion.
+    pub fn run(&self, root: Task) {
+        let injector = Arc::new(Injector::<Task>::new());
+        let outstanding = Arc::new(AtomicUsize::new(1));
+        injector.push(root);
+
+        let locals: Vec<Worker<Task>> = (0..self.workers).map(|_| Worker::new_lifo()).collect();
+        let stealers: Arc<Vec<Stealer<Task>>> =
+            Arc::new(locals.iter().map(|w| w.stealer()).collect());
+
+        std::thread::scope(|scope| {
+            for (i, local) in locals.into_iter().enumerate() {
+                let injector = Arc::clone(&injector);
+                let stealers = Arc::clone(&stealers);
+                let outstanding = Arc::clone(&outstanding);
+                scope.spawn(move || {
+                    let spawner = Spawner {
+                        injector: Arc::clone(&injector),
+                        outstanding: Arc::clone(&outstanding),
+                    };
+                    let mut rng_state = 0x9E37_79B9u64.wrapping_add(i as u64);
+                    loop {
+                        // Local LIFO first (cache-friendly, Cilk-style),
+                        // then the injector, then random victims.
+                        let task = local.pop().or_else(|| {
+                            std::iter::repeat_with(|| {
+                                injector.steal_batch_and_pop(&local).or_else(|| {
+                                    // xorshift victim choice
+                                    rng_state ^= rng_state << 13;
+                                    rng_state ^= rng_state >> 7;
+                                    rng_state ^= rng_state << 17;
+                                    let v = (rng_state as usize) % stealers.len();
+                                    stealers[v].steal()
+                                })
+                            })
+                            .find(|s| !s.is_retry())
+                            .and_then(|s| s.success())
+                        });
+                        match task {
+                            Some(t) => {
+                                t(&spawner);
+                                outstanding.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            None => {
+                                if outstanding.load(Ordering::SeqCst) == 0 {
+                                    return;
+                                }
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Fork-join Fibonacci on the pool: one task per call-tree node above
+/// the cutoff, results combined through atomic join nodes — the Cilk
+/// program of Table 4.
+pub fn parallel_fib(n: u64, workers: usize, sequential_cutoff: u64) -> u64 {
+    struct JoinNode {
+        remaining: AtomicUsize,
+        slots: [AtomicU64; 2],
+        parent: Option<(Arc<JoinNode>, usize)>,
+        root_out: Option<Arc<AtomicU64>>,
+    }
+
+    fn complete(node: &Arc<JoinNode>, value: u64, slot: usize) {
+        node.slots[slot].store(value, Ordering::SeqCst);
+        if node.remaining.fetch_sub(1, Ordering::SeqCst) == 1 {
+            let sum =
+                node.slots[0].load(Ordering::SeqCst) + node.slots[1].load(Ordering::SeqCst);
+            match (&node.parent, &node.root_out) {
+                (Some((p, s)), _) => complete(p, sum, *s),
+                (None, Some(out)) => out.store(sum, Ordering::SeqCst),
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn task(
+        n: u64,
+        cutoff: u64,
+        parent: Arc<JoinNode>,
+        slot: usize,
+        spawner: &Spawner,
+    ) {
+        if n < 2 || n <= cutoff {
+            complete(&parent, crate::fib_seq::fib(n), slot);
+        } else {
+            let join = Arc::new(JoinNode {
+                remaining: AtomicUsize::new(2),
+                slots: [AtomicU64::new(0), AtomicU64::new(0)],
+                parent: Some((parent, slot)),
+                root_out: None,
+            });
+            let j1 = Arc::clone(&join);
+            let j2 = join;
+            let c = cutoff;
+            spawner.spawn(Box::new(move |s| task(n - 1, c, j1, 0, s)));
+            spawner.spawn(Box::new(move |s| task(n - 2, c, j2, 1, s)));
+        }
+    }
+
+    if n < 2 {
+        return n;
+    }
+    let out = Arc::new(AtomicU64::new(u64::MAX));
+    let root = Arc::new(JoinNode {
+        remaining: AtomicUsize::new(2),
+        slots: [AtomicU64::new(0), AtomicU64::new(0)],
+        parent: None,
+        root_out: Some(Arc::clone(&out)),
+    });
+    let pool = StealPool::new(workers);
+    let r1 = Arc::clone(&root);
+    let r2 = root;
+    let c = sequential_cutoff;
+    pool.run(Box::new(move |s| {
+        let rb = Arc::clone(&r2);
+        s.spawn(Box::new(move |s2| task(n - 2, c, rb, 1, s2)));
+        task(n - 1, c, r1, 0, s);
+    }));
+    out.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fib_seq::fib_iter;
+
+    #[test]
+    fn pool_runs_a_single_task() {
+        let out = Arc::new(AtomicU64::new(0));
+        let o = Arc::clone(&out);
+        StealPool::new(2).run(Box::new(move |_| {
+            o.store(42, Ordering::SeqCst);
+        }));
+        assert_eq!(out.load(Ordering::SeqCst), 42);
+    }
+
+    #[test]
+    fn pool_drains_spawned_tasks() {
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        StealPool::new(3).run(Box::new(move |s| {
+            for _ in 0..100 {
+                let c2 = Arc::clone(&c);
+                s.spawn(Box::new(move |_| {
+                    c2.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        }));
+        assert_eq!(count.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn parallel_fib_matches_sequential() {
+        for n in [0u64, 1, 2, 5, 10, 18] {
+            assert_eq!(parallel_fib(n, 2, 4), fib_iter(n), "fib({n})");
+        }
+    }
+
+    #[test]
+    fn parallel_fib_fine_grained() {
+        // Cutoff 0: one task per tree node, max scheduler stress.
+        assert_eq!(parallel_fib(12, 4, 0), fib_iter(12));
+    }
+}

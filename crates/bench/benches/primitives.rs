@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks: real host-nanosecond costs of the
+//! runtime primitives (complementing the simulated-µs Table 2).
+//!
+//! These answer "how expensive are the data-structure operations the
+//! kernel performs per primitive on a modern machine" — name-server
+//! resolution (fast path vs hash), join-continuation fill, descriptor
+//! allocation, broadcast-tree computation, event-queue churn, and the
+//! end-to-end local send / fast-path dispatch through a live machine.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hal::prelude::*;
+use hal_am::bcast;
+use hal_des::{EventQueue, VirtualTime};
+use hal_kernel::name_server::NameServer;
+use hal_kernel::{ActorId, AddrKey, DescriptorId, SimMachine};
+use std::hint::black_box;
+
+struct Sink;
+impl Behavior for Sink {
+    fn dispatch(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {}
+}
+
+fn bench_name_server(c: &mut Criterion) {
+    let mut g = c.benchmark_group("name_server");
+    g.bench_function("resolve_birthplace_fast_path", |b| {
+        let mut ns = NameServer::new(0);
+        let d = ns.alloc_local(ActorId(0), 0);
+        let key = AddrKey {
+            birthplace: 0,
+            index: d,
+        };
+        b.iter(|| black_box(ns.resolve(black_box(key))));
+    });
+    g.bench_function("resolve_foreign_hash_lookup", |b| {
+        let mut ns = NameServer::new(0);
+        // Populate with a realistic number of foreign entries.
+        for i in 0..10_000u32 {
+            let d = ns.alloc_remote((i % 16 + 1) as u16, None, 0);
+            ns.bind(
+                AddrKey {
+                    birthplace: (i % 16 + 1) as u16,
+                    index: DescriptorId(i),
+                },
+                d,
+            );
+        }
+        let key = AddrKey {
+            birthplace: 5,
+            index: DescriptorId(4_444),
+        };
+        b.iter(|| black_box(ns.resolve(black_box(key))));
+    });
+    g.finish();
+}
+
+fn bench_machine_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("send_paths");
+    g.bench_function("local_send_generic_enqueue_dispatch", |b| {
+        let mut m = SimMachine::new(MachineConfig::new(1), Program::new().build());
+        let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink)));
+        b.iter(|| {
+            m.with_ctx(0, |ctx| ctx.send(sink, 0, vec![]));
+            m.run();
+        });
+    });
+    g.bench_function("local_send_fast_path_inline", |b| {
+        let mut m = SimMachine::new(MachineConfig::new(1), Program::new().build());
+        let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink)));
+        b.iter(|| {
+            m.with_ctx(0, |ctx| black_box(ctx.send_fast(sink, 0, vec![])));
+        });
+    });
+    g.bench_function("remote_send_one_hop", |b| {
+        let mut m = SimMachine::new(MachineConfig::new(2), Program::new().build());
+        let sink = m.with_ctx(1, |ctx| ctx.create_local(Box::new(Sink)));
+        b.iter(|| {
+            m.with_ctx(0, |ctx| ctx.send(sink, 0, vec![]));
+            m.run();
+        });
+    });
+    g.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    c.bench_function("join_create_fill_fire", |b| {
+        let mut m = SimMachine::new(MachineConfig::new(1), Program::new().build());
+        b.iter(|| {
+            m.with_ctx(0, |ctx| {
+                let jc = ctx.create_join(2, vec![], Box::new(|_, v| {
+                    black_box(v);
+                }));
+                ctx.reply_to(ctx.cont_slot(jc, 0), Value::Int(1));
+                ctx.reply_to(ctx.cont_slot(jc, 1), Value::Int(2));
+            });
+        });
+    });
+}
+
+fn bench_bcast_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bcast_tree");
+    for p in [16usize, 256, 4096] {
+        g.bench_function(format!("children_all_nodes_p{p}"), |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for id in 0..p as u16 {
+                    total += bcast::children(id, 3 % p as u16, p).len();
+                }
+                black_box(total)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..1_000u64 {
+                    q.push(VirtualTime::from_nanos(i * 37 % 1000), i);
+                }
+                let mut acc = 0;
+                while let Some((_, v)) = q.pop() {
+                    acc += v;
+                }
+                black_box(acc)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_creation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("creation");
+    g.bench_function("local_create", |b| {
+        let mut m = SimMachine::new(MachineConfig::new(1), Program::new().build());
+        b.iter(|| {
+            m.with_ctx(0, |ctx| black_box(ctx.create_local(Box::new(Sink))));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_name_server,
+    bench_machine_paths,
+    bench_join,
+    bench_bcast_schedule,
+    bench_event_queue,
+    bench_creation
+);
+criterion_main!(benches);

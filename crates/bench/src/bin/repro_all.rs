@@ -1,0 +1,44 @@
+//! Run every reproduction harness in sequence — the one-command
+//! regeneration of the paper's evaluation plus the extension
+//! experiments. Each harness also exists as its own binary; this driver
+//! just invokes their entry logic via `cargo run` so the committed
+//! `results/` files can be refreshed in one go:
+//!
+//! ```bash
+//! cargo run --release -p hal-bench --bin repro_all
+//! ```
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table1_cholesky",
+    "table2_primitives",
+    "table3_invocation",
+    "table4_fib",
+    "table5_matmul",
+    "fig3_delivery",
+    "ablations",
+    "irregular_uts",
+    "now_cluster",
+    "timeline_cholesky",
+];
+
+fn main() {
+    std::fs::create_dir_all("results").expect("create results/");
+    for bin in BINS {
+        eprintln!("== running {bin} ==");
+        let out = Command::new(env!("CARGO"))
+            .args(["run", "--release", "-p", "hal-bench", "--bin", bin])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let path = format!("results/{bin}.txt");
+        std::fs::write(&path, &out.stdout).expect("write results file");
+        eprintln!("   -> {path} ({} bytes)", out.stdout.len());
+    }
+    eprintln!("all harnesses completed; see results/");
+}

@@ -1,0 +1,131 @@
+//! Table 3 reproduction: comparable method-invocation costs.
+//!
+//! The paper compares "the sum of the time for locality check and the
+//! time for function invocation" against ABCL/onAP1000 and Concert (all
+//! minimum values). We cannot rerun those systems; the honest analog is
+//! the *invocation-cost ladder* inside this runtime — the same three
+//! mechanisms whose relative costs justify compiler-controlled static
+//! dispatch (§6.3):
+//!
+//! 1. generic message send (locality check + enqueue + dispatch +
+//!    method invocation),
+//! 2. compiler fast path (locality check + inline static dispatch on the
+//!    sender's stack),
+//! 3. a plain function call (the floor).
+//!
+//! Reported in simulated CM-5 µs *and* measured host nanoseconds.
+
+use hal::prelude::*;
+use hal_bench::{banner, header, row, us};
+use hal_workloads::synth::{self, SynthMsg};
+use std::time::Instant;
+
+struct Sink {
+    hits: u64,
+}
+impl Behavior for Sink {
+    fn dispatch(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {
+        self.hits += 1;
+    }
+}
+
+fn main() {
+    banner(
+        "Table 3: comparable method-invocation costs",
+        "generic send vs compiler fast path (locality check + static dispatch) vs plain call.\n\
+         Simulated us use the CM-5 cost model; host ns are measured on this machine.",
+    );
+
+    let cost = CostModel::cm5();
+    // Simulated costs of each rung (what the machine charges end to end
+    // for one local invocation).
+    let generic_us = (cost.locality_check.as_nanos()
+        + cost.local_send.as_nanos()
+        + cost.constraint_check.as_nanos() * 2
+        + cost.dispatch.as_nanos()
+        + cost.method_invoke.as_nanos()) as f64;
+    let fast_us = (cost.locality_check.as_nanos()
+        + cost.local_send_fast.as_nanos()
+        + cost.method_invoke.as_nanos()) as f64;
+    let call_us = cost.method_invoke.as_nanos() as f64;
+
+    // Host-measured: run the actual kernel paths many times.
+    let mut program = Program::new();
+    let _probe = synth::register(&mut program);
+    let registry = program.build();
+    let iters = 200_000u64;
+
+    // Generic path: enqueue + step.
+    let mut m = SimMachine::new(MachineConfig::new(1), registry.clone());
+    let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink { hits: 0 })));
+    let t0 = Instant::now();
+    for chunk in 0..(iters / 1000) {
+        m.with_ctx(0, |ctx| {
+            for i in 0..1000 {
+                let (sel, args) = SynthMsg::Echo {
+                    v: (chunk * 1000 + i) as i64,
+                }
+                .encode();
+                ctx.send(sink, sel, args);
+            }
+        });
+        m.run();
+    }
+    let generic_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+
+    // Fast path: inline dispatch.
+    let mut m = SimMachine::new(MachineConfig::new(1), registry.clone());
+    let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink { hits: 0 })));
+    let t0 = Instant::now();
+    m.with_ctx(0, |ctx| {
+        for i in 0..iters {
+            let (sel, args) = SynthMsg::Echo { v: i as i64 }.encode();
+            ctx.send_fast(sink, sel, args);
+        }
+    });
+    let fast_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let fast_taken = m.report().stats.get("fast.inline");
+
+    // Plain call floor: the same behavior invoked directly.
+    let mut direct = Sink { hits: 0 };
+    let mut m2 = SimMachine::new(MachineConfig::new(1), registry);
+    let t0 = Instant::now();
+    m2.with_ctx(0, |ctx| {
+        for i in 0..iters {
+            let (sel, args) = SynthMsg::Echo { v: i as i64 }.encode();
+            direct.dispatch(ctx, Msg::new(sel, args));
+        }
+    });
+    let call_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    assert_eq!(direct.hits, iters);
+
+    let widths = [44usize, 14, 14];
+    header(&["mechanism", "sim (us)", "host (ns)"], &widths);
+    row(
+        &[
+            "generic local send (queue + dispatch)".into(),
+            us(generic_us),
+            format!("{generic_ns:.0}"),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "fast path: locality check + static dispatch".into(),
+            us(fast_us),
+            format!("{fast_ns:.0}"),
+        ],
+        &widths,
+    );
+    row(
+        &["plain function call".into(), us(call_us), format!("{call_ns:.0}")],
+        &widths,
+    );
+    println!(
+        "\nfast path taken inline {fast_taken} / {iters} times.\n\
+         shape: on the CM-5 scale the ladder is ~13x (generic) / ~5x (fast)\n\
+         over a plain call, motivating \u{a7}6.3's compiler-controlled static\n\
+         dispatch; on a modern host the in-process queue is already cheap and\n\
+         the remaining gap over a raw call is marshalling + scheduling."
+    );
+}

@@ -1,0 +1,51 @@
+//! Visualizing *why* local synchronization wins: per-node utilization
+//! timelines for the Table 1 Cholesky variants.
+//!
+//! BP (pipelined, local sync) keeps every node busy — iteration i+1's
+//! cmods overlap iteration i's tail. Seq (global sync) shows the
+//! staircase of idle nodes waiting for each iteration's barrier.
+
+use hal::prelude::*;
+use hal_bench::banner;
+use hal_kernel::timeline::render_ascii;
+use hal_workloads::cholesky::{self, CholeskyConfig, Variant};
+
+fn show(variant: Variant) {
+    let p = 8;
+    let cfg = CholeskyConfig {
+        n: 64,
+        variant,
+        per_flop_ns: 140,
+        seed: 77,
+    };
+    let mut program = Program::new();
+    let id = cholesky::register(&mut program);
+    let mut m = SimMachine::new(
+        MachineConfig::new(p).with_seed(9).with_timeline(),
+        program.build(),
+    );
+    m.with_ctx(0, |ctx| cholesky::bootstrap(ctx, id, cfg, false));
+    let report = m.run();
+    println!(
+        "-- {variant:?}: {} --",
+        report.makespan
+    );
+    print!("{}", render_ascii(m.timeline(), p, report.makespan, 72));
+    let utils = m.timeline().utilization(p, report.makespan);
+    let mean = utils.iter().sum::<f64>() / p as f64;
+    println!("mean utilization {:.1}%\n", mean * 100.0);
+}
+
+fn main() {
+    banner(
+        "Timelines: Cholesky n=64 on 8 nodes ('#' busy, '+' partial, '.' idle)",
+        "the overlap argument behind Table 1, made visible",
+    );
+    show(Variant::BP);
+    show(Variant::Bcast);
+    show(Variant::Seq);
+    println!(
+        "shape: the pipelined variant fills the chart; the globally\n\
+         synchronized ones leave idle stripes between iterations."
+    );
+}

@@ -1,0 +1,262 @@
+//! Virtual time for the discrete-event multicomputer simulation.
+//!
+//! The paper reports runtime-primitive costs in microseconds on 33 MHz
+//! SPARC nodes (Table 2). We keep virtual time in **integer nanoseconds**
+//! so that cost-model arithmetic is exact and the simulation is
+//! deterministic across hosts (no floating-point accumulation).
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, measured in nanoseconds since simulation start.
+///
+/// `VirtualTime` is a totally ordered, copyable scalar. All simulation
+/// events are stamped with one; ties are broken by a monotone sequence
+/// number inside [`crate::event::EventQueue`], never by wall clock.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(u64);
+
+/// A span of virtual time (also integer nanoseconds).
+///
+/// Separate from [`VirtualTime`] so that the type system distinguishes
+/// *instants* from *durations*: you can add a `VirtualDuration` to a
+/// `VirtualTime` but not two instants together.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualDuration(u64);
+
+impl VirtualTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        VirtualTime(ns)
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds (truncating), the paper's reporting unit.
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Fractional seconds, for table output.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Fractional microseconds, for table output.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// The duration from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self` — that always indicates a
+    /// causality bug in the simulation, so we fail loudly.
+    #[inline]
+    pub fn since(self, earlier: VirtualTime) -> VirtualDuration {
+        VirtualDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("VirtualTime::since: `earlier` is in the future"),
+        )
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl VirtualDuration {
+    /// A zero-length span.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        VirtualDuration(ns)
+    }
+
+    /// Construct from whole microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        VirtualDuration(us * 1_000)
+    }
+
+    /// Construct from whole milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtualDuration(ms * 1_000_000)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Scale by an integer factor (e.g. per-byte network cost × length).
+    #[inline]
+    pub const fn scaled(self, factor: u64) -> VirtualDuration {
+        VirtualDuration(self.0 * factor)
+    }
+
+    /// Saturating addition of two spans.
+    #[inline]
+    pub const fn saturating_add(self, other: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_add(other.0))
+    }
+}
+
+impl Add<VirtualDuration> for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn add(self, rhs: VirtualDuration) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+    #[inline]
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtualDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = VirtualDuration;
+    #[inline]
+    fn sub(self, rhs: VirtualTime) -> VirtualDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}ns", self.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+impl fmt::Debug for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}us", self.as_micros_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration_advances_time() {
+        let t = VirtualTime::from_nanos(100);
+        let t2 = t + VirtualDuration::from_nanos(50);
+        assert_eq!(t2.as_nanos(), 150);
+    }
+
+    #[test]
+    fn since_measures_elapsed() {
+        let a = VirtualTime::from_nanos(1_000);
+        let b = VirtualTime::from_nanos(4_500);
+        assert_eq!(b.since(a).as_nanos(), 3_500);
+        assert_eq!((b - a).as_nanos(), 3_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the future")]
+    fn since_panics_on_causality_violation() {
+        let a = VirtualTime::from_nanos(10);
+        let b = VirtualTime::from_nanos(5);
+        let _ = b.since(a);
+    }
+
+    #[test]
+    fn micros_conversions_are_exact() {
+        let d = VirtualDuration::from_micros(5);
+        assert_eq!(d.as_nanos(), 5_000);
+        let t = VirtualTime::from_nanos(20_830); // paper: 20.83 us actual remote creation
+        assert_eq!(t.as_micros(), 20);
+        assert!((t.as_micros_f64() - 20.83).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let per_byte = VirtualDuration::from_nanos(8);
+        assert_eq!(per_byte.scaled(1024).as_nanos(), 8 * 1024);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        let a = VirtualTime::from_nanos(10);
+        let b = VirtualTime::from_nanos(20);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn display_formats_microseconds() {
+        let t = VirtualTime::from_nanos(5_830);
+        assert_eq!(format!("{t}"), "5.830us");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(VirtualTime::from_nanos(1) < VirtualTime::from_nanos(2));
+        assert!(VirtualDuration::from_nanos(1) < VirtualDuration::from_micros(1));
+    }
+}

@@ -1,0 +1,180 @@
+//! Time-ordered event queue with deterministic tie-breaking.
+//!
+//! The entire multicomputer simulation is driven from one of these queues:
+//! network packet arrivals, node wake-ups, and timer expirations are all
+//! events. Determinism is essential — the benchmark harness reruns the
+//! same seed and must observe bit-identical virtual times — so ties at the
+//! same timestamp are broken by insertion order (a monotone sequence
+//! number), never by heap internals.
+
+use crate::clock::VirtualTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event queue ordered by `(VirtualTime, insertion sequence)`.
+///
+/// `E` is the caller's event payload; the queue imposes no trait bounds on
+/// it beyond what `BinaryHeap` needs internally (payloads never compare).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    popped: u64,
+}
+
+struct Entry<E> {
+    time: VirtualTime,
+    seq: u64,
+    payload: E,
+}
+
+// Manual impls: order entries by (time, seq) ascending; the payload is
+// deliberately excluded so `E` needs no Ord bound. `BinaryHeap` is a
+// max-heap, so comparisons are reversed.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// An empty queue with pre-allocated capacity for `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `payload` to fire at `time`.
+    ///
+    /// Events pushed with equal times pop in push order (FIFO), which makes
+    /// per-link network FIFO ordering fall out naturally.
+    #[inline]
+    pub fn push(&mut self, time: VirtualTime, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, payload });
+    }
+
+    /// Remove and return the earliest event, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.payload))
+    }
+
+    /// Timestamp of the earliest pending event without removing it.
+    #[inline]
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events ever scheduled (diagnostics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.seq
+    }
+
+    /// Total number of events ever dispatched (diagnostics).
+    pub fn dispatched_total(&self) -> u64 {
+        self.popped
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualTime as T;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(T::from_nanos(30), "c");
+        q.push(T::from_nanos(10), "a");
+        q.push(T::from_nanos(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(T::from_nanos(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_times_and_ties() {
+        let mut q = EventQueue::new();
+        q.push(T::from_nanos(2), "t2-first");
+        q.push(T::from_nanos(1), "t1");
+        q.push(T::from_nanos(2), "t2-second");
+        assert_eq!(q.pop().unwrap().1, "t1");
+        assert_eq!(q.pop().unwrap().1, "t2-first");
+        assert_eq!(q.pop().unwrap().1, "t2-second");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(T::from_nanos(7), ());
+        q.push(T::from_nanos(3), ());
+        assert_eq!(q.peek_time(), Some(T::from_nanos(3)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn counters_track_throughput() {
+        let mut q = EventQueue::new();
+        q.push(T::ZERO, ());
+        q.push(T::ZERO, ());
+        let _ = q.pop();
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.dispatched_total(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Small deterministic RNGs for the simulation.
+//!
+//! The simulator must be bit-reproducible for a fixed seed, independent of
+//! the `rand` crate's version or platform, so the engine carries its own
+//! tiny generators: SplitMix64 (for seeding / stream splitting) and PCG32
+//! (for per-node streams such as the random-polling load balancer of
+//! paper §7.2). Both are well-known public-domain algorithms.
+
+/// SplitMix64 — used to expand one user seed into many well-distributed
+/// sub-seeds (one per node, per subsystem).
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// PCG32 (XSH-RR 64/32) — fast, small-state generator for simulation
+/// decision streams.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+impl Pcg32 {
+    /// Create a generator from a seed and a stream id. Distinct stream ids
+    /// give statistically independent sequences for the same seed.
+    pub fn new(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        let _ = rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        let _ = rng.next_u32();
+        rng
+    }
+
+    /// Next 32-bit value.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64-bit value (two 32-bit draws).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform value in `0..bound` via Lemire's multiply-shift rejection.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    #[inline]
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "Pcg32::next_below: bound must be positive");
+        // Lemire's nearly-divisionless method.
+        let mut m = (self.next_u32() as u64) * (bound as u64);
+        let mut lo = m as u32;
+        if lo < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while lo < threshold {
+                m = (self.next_u32() as u64) * (bound as u64);
+                lo = m as u32;
+            }
+        }
+        (m >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform choice of one element index from `0..len`, or `None` if the
+    /// range is empty. Convenience for victim selection.
+    #[inline]
+    pub fn choose_index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some(self.next_below(len as u32) as usize)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_differs_by_seed() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn pcg_is_deterministic_per_stream() {
+        let mut a = Pcg32::new(7, 3);
+        let mut b = Pcg32::new(7, 3);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+        let mut c = Pcg32::new(7, 4);
+        let first_a = Pcg32::new(7, 3).next_u32();
+        assert_ne!(first_a, c.next_u32());
+    }
+
+    #[test]
+    fn next_below_stays_in_bounds_and_covers() {
+        let mut rng = Pcg32::new(123, 0);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = rng.next_below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = Pcg32::new(99, 1);
+        for _ in 0..1_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn choose_index_handles_empty() {
+        let mut rng = Pcg32::new(5, 5);
+        assert_eq!(rng.choose_index(0), None);
+        assert_eq!(rng.choose_index(1), Some(0));
+        assert!(rng.choose_index(10).unwrap() < 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        Pcg32::new(0, 0).next_below(0);
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = Pcg32::new(2024, 0);
+        let n = 100_000;
+        let buckets = 10u32;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[rng.next_below(buckets) as usize] += 1;
+        }
+        let expect = n / buckets;
+        for &c in &counts {
+            assert!(
+                (c as i64 - expect as i64).abs() < (expect as i64) / 10,
+                "bucket count {c} too far from {expect}"
+            );
+        }
+    }
+}

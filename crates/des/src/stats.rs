@@ -1,0 +1,200 @@
+//! Lightweight counters and histograms for simulation diagnostics.
+//!
+//! Every experiment in the paper's evaluation is ultimately a table of
+//! times plus derived quantities (MFLOPS, actor counts). The kernels and
+//! the network layer record raw facts — messages sent, FIR hops, bulk
+//! grants, actors created — into a `StatSet`, which the bench harnesses
+//! read back. Counters are plain `u64`s keyed by static names: the
+//! recording path is a `HashMap` bump, cheap enough for hot paths in a
+//! simulator.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named set of counters and log2-bucketed histograms.
+#[derive(Default, Clone)]
+pub struct StatSet {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl StatSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (creating it at zero first).
+    #[inline]
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Increment counter `name` by one.
+    #[inline]
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Read counter `name` (0 if never touched).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record `value` into histogram `name`.
+    #[inline]
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().observe(value);
+    }
+
+    /// Read back a histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order (stable output for goldens).
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Merge another set into this one (counters add, histograms merge).
+    pub fn merge(&mut self, other: &StatSet) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k).or_default().merge(h);
+        }
+    }
+}
+
+impl fmt::Debug for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_map();
+        for (k, v) in &self.counters {
+            d.entry(k, v);
+        }
+        d.finish()
+    }
+}
+
+/// A histogram with power-of-two buckets: bucket `i` counts values `v`
+/// with `2^(i-1) <= v < 2^i` (bucket 0 counts zeros and ones).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        let idx = 64 - value.leading_zeros() as usize; // 0 for v==0, 1 for v==1, ...
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        if value > self.max {
+            self.max = value;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merge another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = StatSet::new();
+        s.bump("msgs");
+        s.add("msgs", 4);
+        assert_eq!(s.get("msgs"), 5);
+        assert_eq!(s.get("never"), 0);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_everything() {
+        let mut a = StatSet::new();
+        a.add("x", 2);
+        a.observe("h", 8);
+        let mut b = StatSet::new();
+        b.add("x", 3);
+        b.add("y", 1);
+        b.observe("h", 16);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 24);
+    }
+
+    #[test]
+    fn counter_iteration_is_sorted() {
+        let mut s = StatSet::new();
+        s.bump("zeta");
+        s.bump("alpha");
+        let names: Vec<_> = s.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the discrete-event engine: the total order of the
+//! event queue, RNG stream independence, histogram/merge algebra.
+
+use hal_des::{EventQueue, Histogram, Pcg32, SplitMix64, StatSet, VirtualTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// Pops come out sorted by time; ties preserve insertion order.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1000, 0..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(VirtualTime::from_nanos(t), i);
+        }
+        let mut last: Option<(VirtualTime, usize)> = None;
+        let mut seen = vec![false; times.len()];
+        while let Some((t, idx)) = q.pop() {
+            prop_assert_eq!(t.as_nanos(), times[idx]);
+            prop_assert!(!seen[idx], "event {idx} popped twice");
+            seen[idx] = true;
+            if let Some((lt, lidx)) = last {
+                prop_assert!(lt <= t, "time order violated");
+                if lt == t {
+                    prop_assert!(lidx < idx, "FIFO tie-break violated");
+                }
+            }
+            last = Some((t, idx));
+        }
+        prop_assert!(seen.iter().all(|&s| s), "every event popped");
+    }
+
+    /// Interleaved push/pop never loses or duplicates events.
+    #[test]
+    fn event_queue_interleaved(ops in prop::collection::vec((any::<bool>(), 0u64..100), 0..200)) {
+        let mut q = EventQueue::new();
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for (push, t) in ops {
+            if push {
+                q.push(VirtualTime::from_nanos(t), ());
+                pushed += 1;
+            } else if q.pop().is_some() {
+                popped += 1;
+            }
+        }
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        prop_assert_eq!(pushed, popped);
+        prop_assert_eq!(q.scheduled_total(), pushed);
+        prop_assert_eq!(q.dispatched_total(), popped);
+    }
+
+    /// SplitMix64 streams from distinct seeds diverge quickly.
+    #[test]
+    fn splitmix_seeds_diverge(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        let mut ra = SplitMix64::new(a);
+        let mut rb = SplitMix64::new(b);
+        let same = (0..8).filter(|_| ra.next_u64() == rb.next_u64()).count();
+        prop_assert!(same <= 1, "streams collide suspiciously often");
+    }
+
+    /// PCG bounded draws stay in range for arbitrary bounds.
+    #[test]
+    fn pcg_bounded(seed in any::<u64>(), stream in any::<u64>(), bound in 1u32..u32::MAX) {
+        let mut rng = Pcg32::new(seed, stream);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Histogram merge equals observing the union of samples.
+    #[test]
+    fn histogram_merge_is_union(
+        xs in prop::collection::vec(any::<u32>(), 0..100),
+        ys in prop::collection::vec(any::<u32>(), 0..100),
+    ) {
+        let mut hx = Histogram::default();
+        let mut hy = Histogram::default();
+        let mut hu = Histogram::default();
+        for &x in &xs {
+            hx.observe(x as u64);
+            hu.observe(x as u64);
+        }
+        for &y in &ys {
+            hy.observe(y as u64);
+            hu.observe(y as u64);
+        }
+        hx.merge(&hy);
+        prop_assert_eq!(hx.count(), hu.count());
+        prop_assert_eq!(hx.sum(), hu.sum());
+        prop_assert_eq!(hx.max(), hu.max());
+    }
+
+    /// StatSet merge is additive on counters.
+    #[test]
+    fn statset_merge_additive(
+        a in prop::collection::vec(0usize..4, 0..50),
+        b in prop::collection::vec(0usize..4, 0..50),
+    ) {
+        const NAMES: [&str; 4] = ["w", "x", "y", "z"];
+        let mut sa = StatSet::new();
+        let mut sb = StatSet::new();
+        for &i in &a {
+            sa.bump(NAMES[i]);
+        }
+        for &i in &b {
+            sb.bump(NAMES[i]);
+        }
+        sa.merge(&sb);
+        for (i, name) in NAMES.iter().enumerate() {
+            let expect = a.iter().filter(|&&x| x == i).count() as u64
+                + b.iter().filter(|&&x| x == i).count() as u64;
+            prop_assert_eq!(sa.get(name), expect);
+        }
+    }
+}

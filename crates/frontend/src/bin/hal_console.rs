@@ -1,0 +1,41 @@
+//! `hal-console` — the interactive front-end of Fig. 1.
+//!
+//! ```text
+//! $ cargo run --release -p hal-frontend --bin hal-console
+//! hal> nodes 16
+//! hal> lb on
+//! hal> run fib n=24 grain=8 & uts seed=7
+//! ...
+//! hal> quit
+//! ```
+
+use hal_frontend::Console;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let mut console = Console::new();
+    println!("HAL front-end console — `help` for commands, `quit` to exit.");
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("hal> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {
+                let reply = console.execute(&line);
+                if !reply.is_empty() {
+                    println!("{reply}");
+                }
+                if console.finished() {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Call/return sugar: the join-continuation builder (§6.2).
+//!
+//! "The HAL compiler transforms a request send to an asynchronous send
+//! and separates out its continuation through dependence analysis.
+//! Message sends which have no dependence among them are grouped together
+//! to share the same continuation."
+//!
+//! [`JoinBuilder`] is the hand-written form of that transformation:
+//! collect the independent request sends, state the continuation, and the
+//! builder wires the reply slots.
+
+use crate::value::IntoValue;
+use hal_kernel::kernel::Ctx;
+use hal_kernel::{ContRef, GroupId, MailAddr, Selector, Value};
+
+/// One pending request to be issued under a shared join continuation.
+enum Call {
+    /// To an ordinary mail address.
+    Addr(MailAddr, Selector, Vec<Value>),
+    /// To a group member.
+    Member(GroupId, u32, Selector, Vec<Value>),
+}
+
+/// Builder for a group of `request` sends sharing one continuation.
+///
+/// ```ignore
+/// JoinBuilder::new()
+///     .call(left,  FIB, vec![Value::Int(n - 1)])
+///     .call(right, FIB, vec![Value::Int(n - 2)])
+///     .known(Value::Addr(customer))
+///     .then(ctx, |ctx, vals| { /* vals[0], vals[1] are the replies,
+///                                 vals[2] the known value */ });
+/// ```
+#[derive(Default)]
+pub struct JoinBuilder {
+    calls: Vec<Call>,
+    known: Vec<Value>,
+}
+
+impl JoinBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a request whose reply fills the next slot.
+    pub fn call(mut self, to: MailAddr, selector: Selector, args: Vec<Value>) -> Self {
+        self.calls.push(Call::Addr(to, selector, args));
+        self
+    }
+
+    /// Add a request to a group member whose reply fills the next slot.
+    pub fn call_member(
+        mut self,
+        group: GroupId,
+        index: u32,
+        selector: Selector,
+        args: Vec<Value>,
+    ) -> Self {
+        self.calls.push(Call::Member(group, index, selector, args));
+        self
+    }
+
+    /// Attach a value already known at continuation-creation time
+    /// (Fig. 4's pre-filled argument slots). Known values occupy the
+    /// slots *after* all replies, in the order added.
+    pub fn known(mut self, v: impl IntoValue) -> Self {
+        self.known.push(v.into_value());
+        self
+    }
+
+    /// Issue every request and register the continuation. `f` receives
+    /// the slot values: replies first (in call order), then known values.
+    ///
+    /// # Panics
+    /// Panics if no calls were added — a join with nothing to wait for
+    /// should be ordinary straight-line code.
+    pub fn then(
+        self,
+        ctx: &mut Ctx<'_>,
+        f: impl FnOnce(&mut Ctx<'_>, Vec<Value>) + Send + 'static,
+    ) {
+        let n_calls = self.calls.len();
+        assert!(n_calls > 0, "JoinBuilder::then with no calls");
+        let arity = n_calls + self.known.len();
+        assert!(arity <= u16::MAX as usize, "join arity overflow");
+        let prefilled = self
+            .known
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| ((n_calls + i) as u16, v))
+            .collect();
+        let jc = ctx.create_join(arity as u16, prefilled, Box::new(f));
+        for (i, call) in self.calls.into_iter().enumerate() {
+            let cont = ctx.cont_slot(jc, i as u16);
+            match call {
+                Call::Addr(to, sel, args) => ctx.request(to, sel, args, cont),
+                Call::Member(g, idx, sel, args) => ctx.request_member(g, idx, sel, args, cont),
+            }
+        }
+    }
+}
+
+/// Convenience: a single request whose reply runs `f` — the simplest
+/// call/return shape.
+pub fn call_then(
+    ctx: &mut Ctx<'_>,
+    to: MailAddr,
+    selector: Selector,
+    args: Vec<Value>,
+    f: impl FnOnce(&mut Ctx<'_>, Value) + Send + 'static,
+) {
+    JoinBuilder::new()
+        .call(to, selector, args)
+        .then(ctx, move |ctx, mut vals| {
+            let v = vals.pop().expect("one slot");
+            f(ctx, v);
+        });
+}
+
+/// Reply shorthand used by server behaviors: answer the customer of the
+/// current message if there is one (no-op otherwise).
+pub fn maybe_reply(ctx: &mut Ctx<'_>, value: Value) {
+    if let Some(cont) = ctx.customer() {
+        ctx.reply_to(cont, value);
+    }
+}
+
+/// A stored continuation reference plus helpers — lets a server park a
+/// customer and answer later (e.g. after its own sub-requests resolve).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SavedCustomer(pub ContRef);
+
+impl SavedCustomer {
+    /// Capture the current message's customer.
+    ///
+    /// # Panics
+    /// Panics if there is none — servers that promise replies must be
+    /// called with `request`.
+    pub fn take(ctx: &Ctx<'_>) -> Self {
+        SavedCustomer(ctx.customer().expect("message carried no customer"))
+    }
+
+    /// Answer the saved customer.
+    pub fn reply(self, ctx: &mut Ctx<'_>, value: Value) {
+        ctx.reply_to(self.0, value);
+    }
+}

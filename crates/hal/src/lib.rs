@@ -1,0 +1,69 @@
+//! # hal — the language-layer facade over the HAL runtime kernel
+//!
+//! HAL (Houck & Agha) is the actor language whose runtime Kim & Agha's
+//! SC '95 paper describes. The language itself compiled to C; here the
+//! typed Rust API plays the compiler's role:
+//!
+//! * [`messages!`] generates marshalling between typed message enums and
+//!   the untyped wire (the compiler's type-inference-driven marshalling);
+//! * [`callret::JoinBuilder`] is the `request`/`reply` transformation —
+//!   independent sends grouped under one join continuation (§6.2);
+//! * [`program::Program`] assembles behavior factories into the loadable
+//!   image every node shares;
+//! * `Ctx::send_fast` (re-exported from the kernel) is the
+//!   compiler-controlled static dispatch fast path (§6.3) — call it when
+//!   the receiver's type and location are statically plausible, exactly
+//!   as the HAL compiler emitted it when type inference succeeded.
+//!
+//! ```
+//! use hal::prelude::*;
+//!
+//! struct Greeter;
+//! impl Behavior for Greeter {
+//!     fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+//!         ctx.reply(Value::Int(msg.args[0].as_int() * 2));
+//!     }
+//! }
+//!
+//! let program = Program::new();
+//! let report = sim_run(MachineConfig::new(2), program, |ctx| {
+//!     let g = ctx.create_local(Box::new(Greeter));
+//!     call_then(ctx, g, 0, vec![Value::Int(21)], |ctx, v| {
+//!         ctx.report("answer", v);
+//!         ctx.stop();
+//!     });
+//! });
+//! assert_eq!(report.value("answer"), Some(&Value::Int(42)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod callret;
+pub mod collectives;
+pub mod messages;
+pub mod program;
+pub mod sync;
+pub mod value;
+
+pub use callret::{call_then, maybe_reply, JoinBuilder, SavedCustomer};
+pub use program::{sim_run, thread_run, Program};
+
+// Re-export the kernel surface the facade builds on, so workloads need
+// only one `use hal::prelude::*`.
+pub use hal_kernel::{
+    Behavior, BehaviorId, ContRef, CostModel, GroupId, JcId, MachineConfig, MailAddr, Mapping,
+    Msg, OptFlags, Selector, SimMachine, SimReport, ThreadReport, Value,
+};
+
+/// Everything a workload module typically needs.
+pub mod prelude {
+    pub use crate::callret::{call_then, maybe_reply, JoinBuilder, SavedCustomer};
+    pub use crate::program::{sim_run, thread_run, Program};
+    pub use crate::sync::{BoundedCounter, Gates};
+    pub use crate::value::{FromValue, IntoValue};
+    pub use hal_kernel::kernel::Ctx;
+    pub use hal_kernel::{
+        Behavior, BehaviorId, ContRef, CostModel, GroupId, MachineConfig, MailAddr, Mapping, Msg,
+        Selector, SimMachine, SimReport, Value,
+    };
+}

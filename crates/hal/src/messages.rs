@@ -1,0 +1,172 @@
+//! The `messages!` macro: typed message enums over the untyped wire.
+//!
+//! HAL programs are untyped but *statically type-checked*: the compiler
+//! infers types and emits marshalling code. In Rust the natural analog is
+//! an enum per protocol whose variants map to selectors, with generated
+//! encode/decode — that is what [`crate::messages!`] expands to.
+
+/// Define a typed message enum with per-variant selectors.
+///
+/// ```
+/// use hal::messages;
+/// use hal_kernel::MailAddr;
+///
+/// messages! {
+///     /// The fib protocol.
+///     pub enum FibMsg {
+///         /// Compute fib(n) and reply to the customer.
+///         Compute { n: i64 } = 0,
+///         /// A subresult.
+///         Sub { v: i64 } = 1,
+///     }
+/// }
+///
+/// let (sel, args) = FibMsg::Compute { n: 30 }.encode();
+/// assert_eq!(sel, 0);
+/// let msg = hal_kernel::Msg::new(sel, args);
+/// match FibMsg::decode(&msg) {
+///     FibMsg::Compute { n } => assert_eq!(n, 30),
+///     _ => unreachable!(),
+/// }
+/// ```
+#[macro_export]
+macro_rules! messages {
+    (
+        $(#[$m:meta])*
+        $v:vis enum $name:ident {
+            $(
+                $(#[$vm:meta])*
+                $variant:ident { $( $f:ident : $t:ty ),* $(,)? } = $sel:expr
+            ),* $(,)?
+        }
+    ) => {
+        $(#[$m])*
+        #[derive(Debug, Clone, PartialEq)]
+        #[allow(missing_docs)] // variant fields mirror the protocol args
+        $v enum $name {
+            $(
+                $(#[$vm])*
+                $variant { $( $f : $t ),* }
+            ),*
+        }
+
+        impl $name {
+            /// The wire selector of this message.
+            #[allow(unused_variables)]
+            pub fn selector(&self) -> $crate::Selector {
+                match self {
+                    $( Self::$variant { .. } => $sel ),*
+                }
+            }
+
+            /// Marshal into `(selector, args)` for the kernel send path.
+            #[allow(clippy::vec_init_then_push)]
+            pub fn encode(self) -> ($crate::Selector, ::std::vec::Vec<$crate::Value>) {
+                match self {
+                    $(
+                        Self::$variant { $( $f ),* } => {
+                            #[allow(unused_mut)]
+                            let mut args = ::std::vec::Vec::new();
+                            $( args.push($crate::value::IntoValue::into_value($f)); )*
+                            ($sel, args)
+                        }
+                    ),*
+                }
+            }
+
+            /// Unmarshal from a received message.
+            ///
+            /// # Panics
+            /// Panics on unknown selectors or arity/type mismatches —
+            /// marshalling bugs must not be silent.
+            pub fn decode(msg: &$crate::Msg) -> Self {
+                match msg.selector {
+                    $(
+                        $sel => {
+                            #[allow(unused_mut, unused_variables)]
+                            let mut it = msg.args.iter().cloned();
+                            Self::$variant {
+                                $(
+                                    $f: <$t as $crate::value::FromValue>::from_value(
+                                        it.next().unwrap_or_else(|| panic!(
+                                            "arity mismatch decoding {}::{}",
+                                            stringify!($name), stringify!($variant)
+                                        ))
+                                    )
+                                ),*
+                            }
+                        }
+                    ),*
+                    other => panic!(
+                        "unknown selector {other} for {}",
+                        stringify!($name)
+                    ),
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use bytes::Bytes;
+    use hal_kernel::{DescriptorId, MailAddr, Msg};
+
+    messages! {
+        /// Test protocol.
+        pub enum TestMsg {
+            /// Empty variant.
+            Ping {} = 0,
+            /// Mixed fields.
+            Work { n: i64, who: MailAddr, scale: f64 } = 1,
+            /// Bulk payload.
+            Blob { data: Bytes } = 2,
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let who = MailAddr::ordinary(2, DescriptorId(7));
+        let m = TestMsg::Work {
+            n: 5,
+            who,
+            scale: 0.5,
+        };
+        let (sel, args) = m.clone().encode();
+        assert_eq!(sel, 1);
+        let wire = Msg::new(sel, args);
+        assert_eq!(TestMsg::decode(&wire), m);
+    }
+
+    #[test]
+    fn empty_variant() {
+        let (sel, args) = TestMsg::Ping {}.encode();
+        assert_eq!(sel, 0);
+        assert!(args.is_empty());
+        assert_eq!(TestMsg::decode(&Msg::new(0, vec![])), TestMsg::Ping {});
+    }
+
+    #[test]
+    fn selector_reported_without_encoding() {
+        assert_eq!(TestMsg::Ping {}.selector(), 0);
+        assert_eq!(
+            TestMsg::Blob {
+                data: Bytes::new()
+            }
+            .selector(),
+            2
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown selector")]
+    fn unknown_selector_panics() {
+        TestMsg::decode(&Msg::new(99, vec![]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        TestMsg::decode(&Msg::new(1, vec![]));
+    }
+}

@@ -1,0 +1,185 @@
+//! Helpers for local synchronization constraints (§6.1).
+//!
+//! HAL expresses synchronization as *disabling conditions* — per-object
+//! predicates that make a method temporarily unprocessable; the kernel
+//! parks disabled messages in the actor's pending queue and retries
+//! after every method execution. The natural Rust form is the
+//! [`hal_kernel::Behavior::enabled`] hook; this module provides small
+//! reusable pieces for writing it.
+
+use hal_kernel::Selector;
+
+/// A selector-indexed enable/disable bitmask (selectors 0..64) —
+/// the common "this method is closed until further notice" pattern.
+///
+/// ```
+/// use hal::sync::Gates;
+/// let mut g = Gates::all_enabled();
+/// g.disable(3);
+/// assert!(!g.is_enabled(3));
+/// assert!(g.is_enabled(2));
+/// g.enable(3);
+/// assert!(g.is_enabled(3));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Gates {
+    disabled: u64,
+}
+
+impl Gates {
+    /// Everything enabled.
+    pub fn all_enabled() -> Self {
+        Gates { disabled: 0 }
+    }
+
+    /// Everything disabled (open selectors one by one).
+    pub fn all_disabled() -> Self {
+        Gates { disabled: u64::MAX }
+    }
+
+    /// Disable a selector.
+    ///
+    /// # Panics
+    /// Panics for selectors ≥ 64 (use a custom `enabled` impl there).
+    pub fn disable(&mut self, selector: Selector) {
+        assert!(selector < 64, "Gates covers selectors 0..64");
+        self.disabled |= 1 << selector;
+    }
+
+    /// Enable a selector.
+    pub fn enable(&mut self, selector: Selector) {
+        assert!(selector < 64, "Gates covers selectors 0..64");
+        self.disabled &= !(1 << selector);
+    }
+
+    /// Is the selector currently enabled?
+    pub fn is_enabled(&self, selector: Selector) -> bool {
+        selector >= 64 || self.disabled & (1 << selector) == 0
+    }
+}
+
+impl Default for Gates {
+    fn default() -> Self {
+        Gates::all_enabled()
+    }
+}
+
+/// A bounded-buffer style counter constraint: `put` disabled at
+/// capacity, `get` disabled at zero — the canonical synchronization-
+/// constraint example from the actor literature.
+///
+/// ```
+/// use hal::sync::BoundedCounter;
+/// let mut b = BoundedCounter::new(2);
+/// assert!(b.may_put() && !b.may_get());
+/// b.put();
+/// b.put();
+/// assert!(!b.may_put() && b.may_get());
+/// b.get();
+/// assert!(b.may_put());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct BoundedCounter {
+    count: usize,
+    capacity: usize,
+}
+
+impl BoundedCounter {
+    /// Empty counter with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        BoundedCounter { count: 0, capacity }
+    }
+
+    /// May a producer proceed?
+    pub fn may_put(&self) -> bool {
+        self.count < self.capacity
+    }
+
+    /// May a consumer proceed?
+    pub fn may_get(&self) -> bool {
+        self.count > 0
+    }
+
+    /// Record a put.
+    ///
+    /// # Panics
+    /// Panics when full — callers must gate on `may_put` via `enabled`,
+    /// so reaching here disabled is a constraint bug worth a loud stop.
+    pub fn put(&mut self) {
+        assert!(self.may_put(), "put while full");
+        self.count += 1;
+    }
+
+    /// Record a get.
+    pub fn get(&mut self) {
+        assert!(self.may_get(), "get while empty");
+        self.count -= 1;
+    }
+
+    /// Current fill level.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gates_toggle_independently() {
+        let mut g = Gates::all_enabled();
+        g.disable(0);
+        g.disable(5);
+        assert!(!g.is_enabled(0));
+        assert!(g.is_enabled(1));
+        assert!(!g.is_enabled(5));
+        g.enable(0);
+        assert!(g.is_enabled(0));
+        assert!(!g.is_enabled(5));
+    }
+
+    #[test]
+    fn gates_all_disabled_opens_one_by_one() {
+        let mut g = Gates::all_disabled();
+        assert!(!g.is_enabled(7));
+        g.enable(7);
+        assert!(g.is_enabled(7));
+        assert!(!g.is_enabled(8));
+    }
+
+    #[test]
+    fn high_selectors_default_enabled() {
+        let g = Gates::all_disabled();
+        assert!(g.is_enabled(64), "out-of-range selectors are not gated");
+    }
+
+    #[test]
+    #[should_panic(expected = "0..64")]
+    fn gates_reject_out_of_range_disable() {
+        Gates::all_enabled().disable(64);
+    }
+
+    #[test]
+    fn bounded_counter_lifecycle() {
+        let mut b = BoundedCounter::new(1);
+        assert!(b.is_empty());
+        b.put();
+        assert_eq!(b.len(), 1);
+        assert!(!b.may_put());
+        b.get();
+        assert!(b.is_empty() && b.may_put());
+    }
+
+    #[test]
+    #[should_panic(expected = "while empty")]
+    fn bounded_counter_underflow_is_loud() {
+        BoundedCounter::new(1).get();
+    }
+}

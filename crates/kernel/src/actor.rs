@@ -1,0 +1,317 @@
+//! Actors: the behavior trait, per-actor state, and the actor slab.
+//!
+//! An actor (§2.1) responds to a message by sending messages, creating
+//! actors, and becoming a new behavior. "Communication between actors is
+//! buffered: incoming messages are queued until the actor is ready to
+//! process them." Per §6.1, HAL additionally supports *local
+//! synchronization constraints* as disabling conditions: a message whose
+//! method is currently disabled goes to the actor's **pending queue** and
+//! is retried after each method execution.
+
+use crate::addr::{ActorId, AddrKey, GroupId, Selector};
+use crate::message::{Msg, Value};
+use std::collections::VecDeque;
+
+/// A behavior — the paper's "behavior template" (class) instantiated with
+/// acquaintance state. Implemented by user/workload code; invoked by the
+/// kernel's dispatcher.
+pub trait Behavior: Send {
+    /// Process one message. The kernel guarantees `enabled` returned true
+    /// for this selector immediately before the call.
+    fn dispatch(&mut self, ctx: &mut crate::kernel::Ctx<'_>, msg: Msg);
+
+    /// Local synchronization constraint (§6.1): return `false` to disable
+    /// a method in the current state; the message waits in the pending
+    /// queue. Default: everything enabled.
+    fn enabled(&self, _selector: Selector, _args: &[Value]) -> bool {
+        true
+    }
+
+    /// Debug name for traces.
+    fn name(&self) -> &'static str {
+        "behavior"
+    }
+
+    /// The mail addresses this behavior's state currently holds — the
+    /// tracing information the HAL compiler generated for garbage
+    /// collection. Behaviors that hold addresses (or group ids regarded
+    /// as reachable member sets) MUST override this for distributed GC
+    /// to be sound; the default declares "no acquaintances".
+    fn acquaintances(&self) -> Vec<crate::addr::MailAddr> {
+        Vec::new()
+    }
+}
+
+/// Execution state of one actor slot in the slab.
+pub(crate) enum Slot {
+    /// No actor here (freed / migrated away).
+    Vacant,
+    /// Actor present with its full record.
+    Ready(ActorRecord),
+    /// The actor's behavior is currently executing on some stack (the
+    /// record has been checked out); messages sent to it in the meantime
+    /// accumulate here and are merged back afterwards.
+    Running {
+        /// Messages that arrived mid-execution.
+        inbox: VecDeque<Msg>,
+    },
+}
+
+/// The per-actor record: behavior plus queues and identity.
+pub struct ActorRecord {
+    /// The actor's current behavior.
+    pub behavior: Box<dyn Behavior>,
+    /// The actor's primary (ordinary) mail address. Set by the kernel at
+    /// install time, once the locality descriptor exists.
+    pub addr: crate::addr::MailAddr,
+    /// Buffered incoming messages (the actor-model mail queue).
+    pub mailq: VecDeque<Msg>,
+    /// Messages whose method was disabled when dispatched (§6.1).
+    pub pendq: VecDeque<Msg>,
+    /// True while the actor sits in the dispatcher's ready queue.
+    pub scheduled: bool,
+    /// Every mail-address key naming this actor (ordinary address and,
+    /// for remotely created actors, the alias). Migration re-registers
+    /// all of them at the destination.
+    pub keys: Vec<AddrKey>,
+    /// Group membership, if created by `grpnew`.
+    pub group: Option<(GroupId, u32)>,
+    /// Migration hop count — the location epoch (see
+    /// [`crate::descriptor::LocalityDescriptor::epoch`]).
+    pub hops: u32,
+}
+
+impl ActorRecord {
+    /// Fresh record around a behavior. The address is a sentinel until
+    /// the kernel installs the actor and mints its real one.
+    pub fn new(behavior: Box<dyn Behavior>) -> Self {
+        ActorRecord {
+            behavior,
+            addr: crate::addr::MailAddr::ordinary(u16::MAX, crate::addr::DescriptorId(u32::MAX)),
+            mailq: VecDeque::new(),
+            pendq: VecDeque::new(),
+            scheduled: false,
+            keys: Vec::new(),
+            group: None,
+            hops: 0,
+        }
+    }
+
+    /// Total messages waiting (mail + pending).
+    pub fn queued(&self) -> usize {
+        self.mailq.len() + self.pendq.len()
+    }
+}
+
+/// The per-node actor heap: slots with index reuse.
+#[derive(Default)]
+pub(crate) struct ActorSlab {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+    created_total: u64,
+}
+
+impl ActorSlab {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a record, returning its id.
+    pub fn insert(&mut self, rec: ActorRecord) -> ActorId {
+        self.live += 1;
+        self.created_total += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Slot::Ready(rec);
+            ActorId(idx)
+        } else {
+            self.slots.push(Slot::Ready(rec));
+            ActorId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Check out a record for execution, leaving a `Running` stub that
+    /// accumulates concurrent sends-to-self.
+    pub fn checkout(&mut self, id: ActorId) -> Option<ActorRecord> {
+        let slot = &mut self.slots[id.0 as usize];
+        match std::mem::replace(
+            slot,
+            Slot::Running {
+                inbox: VecDeque::new(),
+            },
+        ) {
+            Slot::Ready(rec) => Some(rec),
+            other => {
+                // Put whatever was there back; checkout failed.
+                *slot = other;
+                None
+            }
+        }
+    }
+
+    /// Return a checked-out record, merging any messages that arrived
+    /// while it was running onto the back of its mail queue.
+    pub fn checkin(&mut self, id: ActorId, mut rec: ActorRecord) {
+        let slot = &mut self.slots[id.0 as usize];
+        match std::mem::replace(slot, Slot::Vacant) {
+            Slot::Running { mut inbox } => {
+                rec.mailq.append(&mut inbox);
+                *slot = Slot::Ready(rec);
+            }
+            _ => panic!("checkin without matching checkout"),
+        }
+    }
+
+    /// Remove an actor entirely (migration out). The record must not be
+    /// checked out.
+    pub fn remove(&mut self, id: ActorId) -> ActorRecord {
+        let slot = &mut self.slots[id.0 as usize];
+        match std::mem::replace(slot, Slot::Vacant) {
+            Slot::Ready(rec) => {
+                self.free.push(id.0);
+                self.live -= 1;
+                rec
+            }
+            _ => panic!("remove of vacant or running actor"),
+        }
+    }
+
+    /// Deliver a message to an actor in whatever state it is in.
+    /// Returns `true` if the actor was idle-and-ready (the caller should
+    /// schedule it), `false` otherwise.
+    pub fn enqueue(&mut self, id: ActorId, msg: Msg) -> bool {
+        match &mut self.slots[id.0 as usize] {
+            Slot::Ready(rec) => {
+                rec.mailq.push_back(msg);
+                if rec.scheduled {
+                    false
+                } else {
+                    rec.scheduled = true;
+                    true
+                }
+            }
+            Slot::Running { inbox } => {
+                inbox.push_back(msg);
+                false // the executor reschedules on checkin if needed
+            }
+            Slot::Vacant => panic!("message to vacant actor slot"),
+        }
+    }
+
+    /// Shared access to a ready record (constraint checks, diagnostics).
+    pub fn get(&self, id: ActorId) -> Option<&ActorRecord> {
+        match &self.slots[id.0 as usize] {
+            Slot::Ready(rec) => Some(rec),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to a ready record.
+    pub fn get_mut(&mut self, id: ActorId) -> Option<&mut ActorRecord> {
+        match &mut self.slots[id.0 as usize] {
+            Slot::Ready(rec) => Some(rec),
+            _ => None,
+        }
+    }
+
+    /// Live actor count.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Ids of all live (Ready) actors. Used by the garbage collector's
+    /// root scan and sweep; the machine guarantees no actor is checked
+    /// out (Running) while a collection runs.
+    pub fn live_ids(&self) -> Vec<ActorId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Ready(_) => Some(ActorId(i as u32)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total actors ever created on this node.
+    pub fn created_total(&self) -> u64 {
+        self.created_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Behavior for Nop {
+        fn dispatch(&mut self, _ctx: &mut crate::kernel::Ctx<'_>, _msg: Msg) {}
+    }
+
+    fn msg(sel: Selector) -> Msg {
+        Msg::new(sel, vec![])
+    }
+
+    #[test]
+    fn insert_and_enqueue_schedules_once() {
+        let mut slab = ActorSlab::new();
+        let id = slab.insert(ActorRecord::new(Box::new(Nop)));
+        assert!(slab.enqueue(id, msg(1)), "first enqueue schedules");
+        assert!(!slab.enqueue(id, msg(2)), "second enqueue does not");
+        assert_eq!(slab.get(id).unwrap().mailq.len(), 2);
+    }
+
+    #[test]
+    fn checkout_checkin_merges_inbox() {
+        let mut slab = ActorSlab::new();
+        let id = slab.insert(ActorRecord::new(Box::new(Nop)));
+        slab.enqueue(id, msg(1));
+        let mut rec = slab.checkout(id).unwrap();
+        assert_eq!(rec.mailq.pop_front().unwrap().selector, 1);
+        // Message arrives while running.
+        assert!(!slab.enqueue(id, msg(2)));
+        slab.checkin(id, rec);
+        assert_eq!(slab.get(id).unwrap().mailq.front().unwrap().selector, 2);
+    }
+
+    #[test]
+    fn double_checkout_fails() {
+        let mut slab = ActorSlab::new();
+        let id = slab.insert(ActorRecord::new(Box::new(Nop)));
+        let rec = slab.checkout(id).unwrap();
+        assert!(slab.checkout(id).is_none());
+        slab.checkin(id, rec);
+        assert!(slab.checkout(id).is_some());
+    }
+
+    #[test]
+    fn remove_frees_slot_for_reuse() {
+        let mut slab = ActorSlab::new();
+        let a = slab.insert(ActorRecord::new(Box::new(Nop)));
+        let _b = slab.insert(ActorRecord::new(Box::new(Nop)));
+        slab.remove(a);
+        assert_eq!(slab.len(), 1);
+        let c = slab.insert(ActorRecord::new(Box::new(Nop)));
+        assert_eq!(c, a, "slot reused");
+        assert_eq!(slab.created_total(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "vacant actor slot")]
+    fn enqueue_to_vacant_panics() {
+        let mut slab = ActorSlab::new();
+        let a = slab.insert(ActorRecord::new(Box::new(Nop)));
+        slab.remove(a);
+        slab.enqueue(a, msg(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "without matching checkout")]
+    fn checkin_without_checkout_panics() {
+        let mut slab = ActorSlab::new();
+        let a = slab.insert(ActorRecord::new(Box::new(Nop)));
+        let rec = ActorRecord::new(Box::new(Nop));
+        let _ = a;
+        slab.checkin(a, rec);
+    }
+}

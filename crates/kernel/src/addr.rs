@@ -1,0 +1,282 @@
+//! Mail addresses, aliases, and the identifiers used across the kernel.
+//!
+//! Paper §4.1: "A mail address is implemented as a pair of real addresses
+//! `(birthplace, address)`, where *birthplace* represents the node on
+//! which the actor is created and *address* represents the memory address
+//! of a locality descriptor."
+//!
+//! Paper §5 (aliases): "Aliases have the same structure as ordinary mail
+//! addresses. However, *birthplace* represents not the node where the
+//! actor was created, but the node where the creation request was issued.
+//! The node address where the actor is created is also encoded in
+//! *birthplace* along with type information."
+//!
+//! We replace the raw memory address with a [`DescriptorId`] — an index
+//! into the birthplace node's descriptor arena. This keeps the defining
+//! property (on the birthplace node the address resolves with **no hash
+//! lookup**, just an array index) while staying memory-safe.
+
+use hal_am::NodeId;
+use core::fmt;
+
+/// Index of a locality descriptor within one node's descriptor arena.
+///
+/// The memory-safe analog of the paper's "memory address of a locality
+/// descriptor": resolving it on its owning node is a bounds-checked array
+/// index, not a table search.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DescriptorId(pub u32);
+
+/// Identifies a behavior template ("class") in the [`crate::registry::BehaviorRegistry`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BehaviorId(pub u32);
+
+/// Method selector — which method of a behavior a message invokes.
+pub type Selector = u32;
+
+/// Index of an actor record in its hosting node's actor slab. Never
+/// leaves the node (actors are referred to globally by mail address).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ActorId(pub u32);
+
+/// Index of a join continuation in its node's continuation slab.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct JcId(pub u32);
+
+/// How group members are distributed over the partition.
+///
+/// Table 1's BP and CP Cholesky variants "are identical except that the
+/// former uses block mapping and the latter uses cyclic mapping" — the
+/// mapping is a property of the group, chosen at `grpnew` time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Mapping {
+    /// Contiguous runs of members per node (member `i` on node
+    /// `i·p/count`).
+    #[default]
+    Block,
+    /// Round-robin (member `i` on node `i mod p`).
+    Cyclic,
+}
+
+/// Globally unique group identifier returned by `grpnew` (§2.2).
+///
+/// Encodes `(creator node, per-node counter, mapping, member count)` in
+/// one word. Carrying the member count and mapping inside the id lets
+/// *any* node compute a member's home node deterministically without
+/// communication — the group analog of the locality check using "only
+/// locally available information".
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u64);
+
+impl GroupId {
+    /// Compose from the creating node, its group counter, the member
+    /// count, and the distribution mapping.
+    pub fn new(creator: NodeId, counter: u16, count: u32, mapping: Mapping) -> Self {
+        let m = match mapping {
+            Mapping::Block => 0u64,
+            Mapping::Cyclic => 1u64,
+        };
+        GroupId(
+            ((creator as u64) << 48)
+                | (((counter & 0x7FFF) as u64) << 33)
+                | (m << 32)
+                | count as u64,
+        )
+    }
+
+    /// The node that issued the `grpnew`.
+    pub fn creator(self) -> NodeId {
+        (self.0 >> 48) as NodeId
+    }
+
+    /// Number of members in the group.
+    pub fn count(self) -> u32 {
+        (self.0 & 0xFFFF_FFFF) as u32
+    }
+
+    /// The distribution mapping.
+    pub fn mapping(self) -> Mapping {
+        if (self.0 >> 32) & 1 == 0 {
+            Mapping::Block
+        } else {
+            Mapping::Cyclic
+        }
+    }
+}
+
+/// The identity part of a mail address: `(birthplace, descriptor index)`.
+///
+/// This pair is what name tables are keyed by. An actor created remotely
+/// has **two** keys naming it — its alias (minted on the requesting node)
+/// and its ordinary mail address (minted on the creating node); both
+/// resolve to the same actor (§5: "An actor's alias can be used
+/// interchangeably with its mail addresses").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AddrKey {
+    /// Node whose descriptor arena `index` points into. For an alias this
+    /// is the node that *requested* the creation, not the creating node.
+    pub birthplace: NodeId,
+    /// Descriptor index on `birthplace`.
+    pub index: DescriptorId,
+}
+
+/// Routing metadata carried inside a mail address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AddrMeta {
+    /// An ordinary mail address: `birthplace` is where the actor was
+    /// created; messages with no better information go there.
+    Ordinary,
+    /// An alias (§5): the actor was actually created on `created_on`,
+    /// with behavior `behavior` — "the encoded information may be used in
+    /// subsequent message sends": a message sent through an unknown alias
+    /// is forwarded to `created_on` directly, assuming no migration.
+    Alias {
+        /// The node on which the creation request materialized the actor.
+        created_on: NodeId,
+        /// Behavior template, encoded as the paper encodes type info.
+        behavior: BehaviorId,
+    },
+}
+
+/// A complete mail address: identity key plus routing metadata.
+///
+/// Copyable and cheap — mail addresses are first-class values that travel
+/// inside messages ("mail addresses may also be communicated in a
+/// message, allowing for a dynamic communication topology").
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MailAddr {
+    /// Identity: the name-table key.
+    pub key: AddrKey,
+    /// Routing hint: ordinary vs alias encoding.
+    pub meta: AddrMeta,
+}
+
+impl MailAddr {
+    /// An ordinary address born on `node` with descriptor `index`.
+    pub fn ordinary(node: NodeId, index: DescriptorId) -> Self {
+        MailAddr {
+            key: AddrKey {
+                birthplace: node,
+                index,
+            },
+            meta: AddrMeta::Ordinary,
+        }
+    }
+
+    /// An alias minted on `requester` for an actor being created on
+    /// `created_on` with behavior `behavior`.
+    pub fn alias(
+        requester: NodeId,
+        index: DescriptorId,
+        created_on: NodeId,
+        behavior: BehaviorId,
+    ) -> Self {
+        MailAddr {
+            key: AddrKey {
+                birthplace: requester,
+                index,
+            },
+            meta: AddrMeta::Alias {
+                created_on,
+                behavior,
+            },
+        }
+    }
+
+    /// Where a message should head when the local name table knows
+    /// nothing: the creation node (alias encoding) or the birthplace.
+    pub fn default_route(&self) -> NodeId {
+        match self.meta {
+            AddrMeta::Ordinary => self.key.birthplace,
+            AddrMeta::Alias { created_on, .. } => created_on,
+        }
+    }
+
+    /// True if this address is an alias.
+    pub fn is_alias(&self) -> bool {
+        matches!(self.meta, AddrMeta::Alias { .. })
+    }
+}
+
+impl fmt::Debug for DescriptorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Debug for AddrKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{:?}", self.birthplace, self.index)
+    }
+}
+
+impl fmt::Debug for MailAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.meta {
+            AddrMeta::Ordinary => write!(f, "@{:?}", self.key),
+            AddrMeta::Alias { created_on, .. } => {
+                write!(f, "@{:?}~alias(on {})", self.key, created_on)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}.{}", self.creator(), self.0 & 0xFFFF_FFFF)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordinary_routes_to_birthplace() {
+        let a = MailAddr::ordinary(3, DescriptorId(7));
+        assert_eq!(a.default_route(), 3);
+        assert!(!a.is_alias());
+        assert_eq!(a.key.birthplace, 3);
+    }
+
+    #[test]
+    fn alias_routes_to_creation_node() {
+        // Requested on node 1, created on node 5.
+        let a = MailAddr::alias(1, DescriptorId(0), 5, BehaviorId(9));
+        assert_eq!(a.key.birthplace, 1, "alias birthplace is the requester");
+        assert_eq!(a.default_route(), 5, "unknown alias forwards to creation node");
+        assert!(a.is_alias());
+    }
+
+    #[test]
+    fn alias_and_ordinary_are_distinct_keys() {
+        // The same actor reachable through both: the keys differ, which is
+        // exactly why both get registered in the creating node's table.
+        let alias = MailAddr::alias(1, DescriptorId(0), 5, BehaviorId(9));
+        let ordinary = MailAddr::ordinary(5, DescriptorId(0));
+        assert_ne!(alias.key, ordinary.key);
+    }
+
+    #[test]
+    fn group_id_roundtrip() {
+        let g = GroupId::new(12, 34, 1_000_000, Mapping::Block);
+        assert_eq!(g.creator(), 12);
+        assert_eq!(g.count(), 1_000_000);
+        assert_eq!(g.mapping(), Mapping::Block);
+        let c = GroupId::new(12, 34, 1_000_000, Mapping::Cyclic);
+        assert_eq!(c.mapping(), Mapping::Cyclic);
+        assert_ne!(g, c);
+        let b = Mapping::Block;
+        assert_ne!(GroupId::new(12, 34, 16, b), GroupId::new(12, 35, 16, b));
+        assert_ne!(GroupId::new(12, 34, 16, b), GroupId::new(13, 34, 16, b));
+        assert_ne!(GroupId::new(12, 34, 16, b), GroupId::new(12, 34, 17, b));
+    }
+
+    #[test]
+    fn debug_formats() {
+        let a = MailAddr::ordinary(2, DescriptorId(5));
+        assert_eq!(format!("{a:?}"), "@2:d5");
+        let al = MailAddr::alias(1, DescriptorId(0), 5, BehaviorId(9));
+        assert_eq!(format!("{al:?}"), "@1:d0~alias(on 5)");
+    }
+}

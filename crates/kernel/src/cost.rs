@@ -1,0 +1,167 @@
+//! CM-5-calibrated cost model for runtime primitives.
+//!
+//! In simulation mode every kernel primitive charges its execution time to
+//! the node's virtual clock from this table. The values are calibrated so
+//! the composite paths reproduce the paper's measurements (Table 2):
+//!
+//! * remote creation appears to take **5.83 µs** at the requester (alias
+//!   allocation + request injection) while the actual creation completes
+//!   in **20.83 µs** (requester overhead + one-way network + remote
+//!   creation work);
+//! * a locality check for a locally created actor completes **within
+//!   1 µs** using only local information;
+//! * CMAM-like messaging overheads (≈1.6 µs send, ≈1.7 µs receive).
+//!
+//! A 33 MHz SPARC executes roughly one instruction per 30 ns, so these
+//! magnitudes correspond to a few dozen to a few hundred instructions per
+//! primitive — consistent with the paper's description of "carefully
+//! designed and optimized" primitives.
+
+use hal_des::VirtualDuration;
+
+/// Per-primitive virtual-time costs charged by the kernel.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// Allocate + initialize a local actor (behavior init, descriptor,
+    /// name-table registration).
+    pub local_creation: VirtualDuration,
+    /// Requester-side cost of a remote creation: alias allocation plus
+    /// composing the creation request. Together with
+    /// [`CostModel::net_send_overhead`] this makes the paper's 5.83 µs
+    /// apparent cost at the requester.
+    pub remote_creation_request: VirtualDuration,
+    /// Creation work performed by the remote node manager (so that
+    /// request + network + this ≈ the paper's 20.83 µs actual latency).
+    pub remote_creation_work: VirtualDuration,
+    /// Locality check when the answer is derivable locally (paper: <1 µs).
+    pub locality_check: VirtualDuration,
+    /// Hash lookup in the local name table (non-birthplace addresses).
+    pub name_lookup: VirtualDuration,
+    /// Generic local message send: envelope build + mailbox enqueue +
+    /// schedule.
+    pub local_send: VirtualDuration,
+    /// Compiler fast path: locality check + static dispatch entry
+    /// (excludes the method body itself).
+    pub local_send_fast: VirtualDuration,
+    /// Sender-side CPU overhead of injecting a network packet (CMAM send).
+    pub net_send_overhead: VirtualDuration,
+    /// Receiver-side CPU overhead of running a packet handler (CMAM recv).
+    pub net_recv_overhead: VirtualDuration,
+    /// Dispatcher step: take next actor/task from the ready queue.
+    pub dispatch: VirtualDuration,
+    /// Method invocation entry/exit (excluding user compute).
+    pub method_invoke: VirtualDuration,
+    /// Synchronization-constraint evaluation per message (§6.1).
+    pub constraint_check: VirtualDuration,
+    /// Fill one join-continuation slot (§6.2).
+    pub join_fill: VirtualDuration,
+    /// Fire a completed join continuation (excluding its body).
+    pub join_fire: VirtualDuration,
+    /// Node-manager handling of one FIR hop (§4.3).
+    pub fir_handle: VirtualDuration,
+    /// Pack or unpack an actor for migration (fixed part).
+    pub migrate_fixed: VirtualDuration,
+    /// Handle a load-balance poll (victim side).
+    pub steal_handle: VirtualDuration,
+    /// Idle-node delay between load-balance polls (§7.2 random polling).
+    pub steal_poll_interval: VirtualDuration,
+    /// Extra stall a *blocking* remote creation pays when aliases are
+    /// disabled (the §5 ablation): the wait for the new actor's mail
+    /// address to travel back — the 20.83 µs actual creation minus the
+    /// 5.83 µs the requester pays anyway, plus the reply's one-way trip.
+    pub remote_creation_rtt_stall: VirtualDuration,
+}
+
+impl CostModel {
+    /// The CM-5 calibration used by every paper-table benchmark.
+    pub fn cm5() -> Self {
+        CostModel {
+            local_creation: VirtualDuration::from_nanos(4_000),
+            remote_creation_request: VirtualDuration::from_nanos(4_230),
+            remote_creation_work: VirtualDuration::from_nanos(5_700),
+            locality_check: VirtualDuration::from_nanos(800),
+            name_lookup: VirtualDuration::from_nanos(1_200),
+            local_send: VirtualDuration::from_nanos(3_000),
+            local_send_fast: VirtualDuration::from_nanos(1_000),
+            net_send_overhead: VirtualDuration::from_nanos(1_600),
+            net_recv_overhead: VirtualDuration::from_nanos(1_700),
+            dispatch: VirtualDuration::from_nanos(1_500),
+            method_invoke: VirtualDuration::from_nanos(500),
+            constraint_check: VirtualDuration::from_nanos(300),
+            join_fill: VirtualDuration::from_nanos(300),
+            join_fire: VirtualDuration::from_nanos(1_000),
+            fir_handle: VirtualDuration::from_nanos(2_000),
+            migrate_fixed: VirtualDuration::from_nanos(10_000),
+            steal_handle: VirtualDuration::from_nanos(2_000),
+            steal_poll_interval: VirtualDuration::from_nanos(10_000),
+            remote_creation_rtt_stall: VirtualDuration::from_nanos(20_000),
+        }
+    }
+
+    /// All-zero costs: protocol-logic tests that only care about event
+    /// ordering, not timing.
+    pub fn zero() -> Self {
+        let z = VirtualDuration::ZERO;
+        CostModel {
+            local_creation: z,
+            remote_creation_request: z,
+            remote_creation_work: z,
+            locality_check: z,
+            name_lookup: z,
+            local_send: z,
+            local_send_fast: z,
+            net_send_overhead: z,
+            net_recv_overhead: z,
+            dispatch: z,
+            method_invoke: z,
+            constraint_check: z,
+            join_fill: z,
+            join_fire: z,
+            fir_handle: z,
+            migrate_fixed: z,
+            steal_handle: z,
+            // Keep a nonzero poll interval even in the zero model: idle
+            // nodes repoll in a loop, and a zero interval would freeze
+            // virtual time (a livelock in the event queue).
+            steal_poll_interval: VirtualDuration::from_nanos(1_000),
+            remote_creation_rtt_stall: z,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm5_reproduces_paper_remote_creation_split() {
+        let c = CostModel::cm5();
+        // Paper §5: apparent cost at the requester is 5.83 us — alias
+        // allocation + request composition + packet injection.
+        assert_eq!(
+            c.remote_creation_request.as_nanos() + c.net_send_overhead.as_nanos(),
+            5_830
+        );
+        // The 20.83 us *actual* end-to-end latency is asserted against
+        // the running machine in the kernel integration tests.
+    }
+
+    #[test]
+    fn locality_check_is_submicrosecond() {
+        let c = CostModel::cm5();
+        assert!(c.locality_check.as_nanos() < 1_000);
+    }
+
+    #[test]
+    fn fast_path_beats_generic_send() {
+        let c = CostModel::cm5();
+        assert!(c.local_send_fast < c.local_send);
+    }
+
+    #[test]
+    fn zero_model_keeps_poll_interval_positive() {
+        let c = CostModel::zero();
+        assert!(c.steal_poll_interval.as_nanos() > 0);
+        assert_eq!(c.local_send.as_nanos(), 0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Locality descriptors and their per-node arena (§4.1).
+//!
+//! "An actor's locality descriptor contains information about the actor's
+//! current locality. Specifically, if the actor is local, it has a
+//! reference to the actor. On the other hand, if the actor is remote, it
+//! contains the remote node address as well as the memory address of the
+//! actor's locality descriptor on the remote node."
+//!
+//! Descriptors are the indirection that buys location transparency: mail
+//! addresses never change, descriptors do. The arena replaces raw heap
+//! addresses with stable indices ([`DescriptorId`]) — same O(1) access,
+//! memory-safe.
+
+use crate::addr::{ActorId, DescriptorId};
+use hal_am::NodeId;
+
+/// What a node currently believes about an actor's location.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Locality {
+    /// The actor lives on this node: a direct reference.
+    Local(ActorId),
+    /// Best guess (§4.2): the actor is on `node`; if we have exchanged
+    /// messages, `remote_index` caches the descriptor index on that node
+    /// so delivery there skips the name table.
+    Remote {
+        /// Believed current (or next-hop) node.
+        node: NodeId,
+        /// Cached descriptor index on `node`, if known.
+        remote_index: Option<DescriptorId>,
+    },
+}
+
+/// One locality descriptor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocalityDescriptor {
+    /// Current locality belief.
+    pub locality: Locality,
+    /// Epoch of this belief: the actor's migration hop count at the time
+    /// the information was generated. Location gossip (NameInfo /
+    /// FirFound) carries an epoch, and a node never lets older gossip
+    /// overwrite newer knowledge — this makes forward chains strictly
+    /// epoch-increasing, so FIR chases are acyclic and terminate even
+    /// under arbitrarily reordered gossip.
+    pub epoch: u32,
+}
+
+/// A per-node arena of locality descriptors with index reuse.
+///
+/// Indices are stable for the descriptor's lifetime; freed slots go on a
+/// free list (the paper notes descriptor reclamation ties into their
+/// distributed GC work — we expose `free` but the kernel only reclaims on
+/// actor destruction).
+#[derive(Default, Debug)]
+pub struct DescriptorArena {
+    slots: Vec<Option<LocalityDescriptor>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl DescriptorArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a descriptor, returning its stable id.
+    pub fn alloc(&mut self, d: LocalityDescriptor) -> DescriptorId {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(d);
+            DescriptorId(idx)
+        } else {
+            self.slots.push(Some(d));
+            DescriptorId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Read a descriptor.
+    ///
+    /// # Panics
+    /// Panics on a dangling id — descriptors referenced by live mail
+    /// addresses must exist; a miss is a kernel bug, not a user error.
+    pub fn get(&self, id: DescriptorId) -> &LocalityDescriptor {
+        self.slots[id.0 as usize]
+            .as_ref()
+            .expect("dangling DescriptorId")
+    }
+
+    /// Mutable access to a descriptor.
+    pub fn get_mut(&mut self, id: DescriptorId) -> &mut LocalityDescriptor {
+        self.slots[id.0 as usize]
+            .as_mut()
+            .expect("dangling DescriptorId")
+    }
+
+    /// Check liveness without panicking (diagnostics).
+    pub fn contains(&self, id: DescriptorId) -> bool {
+        self.slots
+            .get(id.0 as usize)
+            .map(|s| s.is_some())
+            .unwrap_or(false)
+    }
+
+    /// Release a descriptor for reuse.
+    pub fn free(&mut self, id: DescriptorId) {
+        let slot = &mut self.slots[id.0 as usize];
+        assert!(slot.is_some(), "double free of DescriptorId");
+        *slot = None;
+        self.free.push(id.0);
+        self.live -= 1;
+    }
+
+    /// Number of live descriptors.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no descriptors are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local(a: u32) -> LocalityDescriptor {
+        LocalityDescriptor {
+            locality: Locality::Local(ActorId(a)),
+            epoch: 0,
+        }
+    }
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let mut arena = DescriptorArena::new();
+        let id = arena.alloc(local(7));
+        assert_eq!(arena.get(id).locality, Locality::Local(ActorId(7)));
+        assert_eq!(arena.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_reused() {
+        let mut arena = DescriptorArena::new();
+        let a = arena.alloc(local(1));
+        let b = arena.alloc(local(2));
+        assert_eq!(a, DescriptorId(0));
+        assert_eq!(b, DescriptorId(1));
+        arena.free(a);
+        let c = arena.alloc(local(3));
+        assert_eq!(c, DescriptorId(0), "freed slot is reused");
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut arena = DescriptorArena::new();
+        let id = arena.alloc(local(1));
+        arena.get_mut(id).locality = Locality::Remote {
+            node: 4,
+            remote_index: Some(DescriptorId(9)),
+        };
+        assert_eq!(
+            arena.get(id).locality,
+            Locality::Remote {
+                node: 4,
+                remote_index: Some(DescriptorId(9))
+            }
+        );
+    }
+
+    #[test]
+    fn contains_reports_liveness() {
+        let mut arena = DescriptorArena::new();
+        let id = arena.alloc(local(1));
+        assert!(arena.contains(id));
+        arena.free(id);
+        assert!(!arena.contains(id));
+        assert!(!arena.contains(DescriptorId(99)));
+    }
+
+    #[test]
+    #[should_panic(expected = "dangling")]
+    fn dangling_get_panics() {
+        let mut arena = DescriptorArena::new();
+        let id = arena.alloc(local(1));
+        arena.free(id);
+        let _ = arena.get(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut arena = DescriptorArena::new();
+        let id = arena.alloc(local(1));
+        arena.free(id);
+        arena.free(id);
+    }
+}

@@ -1,0 +1,253 @@
+//! Join continuations (§6.2, Fig. 4).
+//!
+//! "A join continuation has four components, namely *counter*, *function*,
+//! *creator* and a set of *argument slots*; counter contains the number of
+//! empty slots to be filled with subsequent replies. As soon as one slot
+//! is filled, it is decremented by one. When it becomes zero the function
+//! pointed by function is invoked with the continuation as its argument."
+//!
+//! The HAL compiler turns `request` sends into asynchronous sends whose
+//! replies target a join continuation; sends with no mutual dependence
+//! share one continuation. Continuations are deterministic — they fire
+//! exactly once and never receive further messages — which is why they
+//! can live outside the actor heap in a slab with aggressive reuse.
+
+use crate::addr::{ActorId, JcId};
+use crate::message::Value;
+
+/// The function a continuation runs when all slots are filled. The boxed
+/// closure is the Rust analog of the paper's `function` pointer plus the
+/// pre-filled known slots (captured state).
+pub type JoinFn = Box<dyn FnOnce(&mut crate::kernel::Ctx<'_>, Vec<Value>) + Send>;
+
+/// One join continuation (Fig. 4).
+struct JoinContinuation {
+    /// Empty slots remaining.
+    counter: u16,
+    /// Argument slots; `None` marks a slot awaiting a reply.
+    slots: Vec<Option<Value>>,
+    /// The continuation body.
+    func: JoinFn,
+    /// The actor that created the continuation, "used to notify the
+    /// actor of the completion of continuation if necessary".
+    creator: Option<ActorId>,
+}
+
+/// Everything needed to run a fired continuation.
+pub struct FiredJoin {
+    /// The continuation body to invoke.
+    pub func: JoinFn,
+    /// The fully filled argument slots, in slot order.
+    pub values: Vec<Value>,
+    /// The creating actor, if completion notification is wanted.
+    pub creator: Option<ActorId>,
+}
+
+/// Per-node slab of pending join continuations.
+#[derive(Default)]
+pub struct JoinTable {
+    slots: Vec<Option<JoinContinuation>>,
+    free: Vec<u32>,
+    created_total: u64,
+    fired_total: u64,
+}
+
+impl JoinTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a continuation with `arity` slots, of which `prefilled`
+    /// (slot index, value) pairs are already known at creation time.
+    ///
+    /// # Panics
+    /// Panics if a prefilled index is out of range, duplicated, or if
+    /// *all* slots are prefilled (the compiler never emits a join with
+    /// nothing to wait for — it would have inlined the continuation).
+    pub fn create(
+        &mut self,
+        arity: u16,
+        prefilled: Vec<(u16, Value)>,
+        func: JoinFn,
+        creator: Option<ActorId>,
+    ) -> JcId {
+        let mut slots: Vec<Option<Value>> = vec![None; arity as usize];
+        for (i, v) in prefilled {
+            let slot = &mut slots[i as usize];
+            assert!(slot.is_none(), "duplicate prefilled join slot {i}");
+            *slot = Some(v);
+        }
+        let empty = slots.iter().filter(|s| s.is_none()).count() as u16;
+        assert!(empty > 0, "join continuation with no empty slots");
+        let jc = JoinContinuation {
+            counter: empty,
+            slots,
+            func,
+            creator,
+        };
+        self.created_total += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(jc);
+            JcId(idx)
+        } else {
+            self.slots.push(Some(jc));
+            JcId((self.slots.len() - 1) as u32)
+        }
+    }
+
+    /// Fill `slot` of continuation `id` with a reply value. When the
+    /// counter reaches zero the continuation is removed and returned for
+    /// firing.
+    ///
+    /// # Panics
+    /// Panics on unknown ids, already-filled slots, or out-of-range slots
+    /// — every such case is a protocol violation (a reply delivered twice
+    /// or to the wrong place), which must not be silent.
+    pub fn fill(&mut self, id: JcId, slot: u16, value: Value) -> Option<FiredJoin> {
+        let jc = self.slots[id.0 as usize]
+            .as_mut()
+            .expect("reply to unknown join continuation");
+        let cell = &mut jc.slots[slot as usize];
+        assert!(cell.is_none(), "join slot {slot} filled twice");
+        *cell = Some(value);
+        jc.counter -= 1;
+        if jc.counter == 0 {
+            let jc = self.slots[id.0 as usize].take().unwrap();
+            self.free.push(id.0);
+            self.fired_total += 1;
+            Some(FiredJoin {
+                func: jc.func,
+                values: jc.slots.into_iter().map(|s| s.unwrap()).collect(),
+                creator: jc.creator,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Continuations currently waiting.
+    pub fn pending(&self) -> usize {
+        (self.created_total - self.fired_total) as usize
+    }
+
+    /// Total continuations ever created.
+    pub fn created_total(&self) -> u64 {
+        self.created_total
+    }
+
+    /// Total continuations fired.
+    pub fn fired_total(&self) -> u64 {
+        self.fired_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nop() -> JoinFn {
+        Box::new(|_, _| {})
+    }
+
+    #[test]
+    fn fires_when_last_slot_fills() {
+        let mut t = JoinTable::new();
+        let id = t.create(2, vec![], nop(), None);
+        assert!(t.fill(id, 0, Value::Int(1)).is_none());
+        let fired = t.fill(id, 1, Value::Int(2)).expect("should fire");
+        assert_eq!(fired.values, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(t.pending(), 0);
+        assert_eq!(t.fired_total(), 1);
+    }
+
+    #[test]
+    fn prefilled_slots_count_toward_completion() {
+        let mut t = JoinTable::new();
+        // Fig. 4's example: some slots known at creation, others awaiting
+        // replies.
+        let id = t.create(
+            4,
+            vec![(0, Value::Int(10)), (2, Value::Int(30))],
+            nop(),
+            Some(ActorId(5)),
+        );
+        assert!(t.fill(id, 1, Value::Int(20)).is_none());
+        let fired = t.fill(id, 3, Value::Int(40)).unwrap();
+        assert_eq!(
+            fired.values,
+            vec![
+                Value::Int(10),
+                Value::Int(20),
+                Value::Int(30),
+                Value::Int(40)
+            ]
+        );
+        assert_eq!(fired.creator, Some(ActorId(5)));
+    }
+
+    #[test]
+    fn ids_are_reused_after_firing() {
+        let mut t = JoinTable::new();
+        let a = t.create(1, vec![], nop(), None);
+        t.fill(a, 0, Value::Unit);
+        let b = t.create(1, vec![], nop(), None);
+        assert_eq!(a, b, "slab reuses fired slots");
+        assert_eq!(t.created_total(), 2);
+    }
+
+    #[test]
+    fn out_of_order_fills() {
+        let mut t = JoinTable::new();
+        let id = t.create(3, vec![], nop(), None);
+        assert!(t.fill(id, 2, Value::Int(3)).is_none());
+        assert!(t.fill(id, 0, Value::Int(1)).is_none());
+        let fired = t.fill(id, 1, Value::Int(2)).unwrap();
+        assert_eq!(
+            fired.values,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "filled twice")]
+    fn double_fill_panics() {
+        let mut t = JoinTable::new();
+        let id = t.create(2, vec![], nop(), None);
+        t.fill(id, 0, Value::Int(1));
+        t.fill(id, 0, Value::Int(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown join continuation")]
+    fn fill_after_fire_panics() {
+        let mut t = JoinTable::new();
+        let id = t.create(1, vec![], nop(), None);
+        t.fill(id, 0, Value::Unit);
+        t.fill(id, 0, Value::Unit);
+    }
+
+    #[test]
+    #[should_panic(expected = "no empty slots")]
+    fn fully_prefilled_join_rejected() {
+        let mut t = JoinTable::new();
+        t.create(1, vec![(0, Value::Unit)], nop(), None);
+    }
+
+    #[test]
+    fn closure_state_travels_with_the_join() {
+        let mut t = JoinTable::new();
+        let captured = 99i64;
+        let func: JoinFn = Box::new(move |_, vals| {
+            // The captured state plays the role of pre-known slot values.
+            assert_eq!(captured, 99);
+            assert_eq!(vals.len(), 1);
+        });
+        let id = t.create(1, vec![], func, None);
+        let fired = t.fill(id, 0, Value::Int(1)).unwrap();
+        // We cannot invoke without a kernel Ctx here; just ensure the
+        // closure and values made it out intact.
+        assert_eq!(fired.values, vec![Value::Int(1)]);
+        drop(fired);
+    }
+}

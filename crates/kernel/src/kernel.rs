@@ -1,0 +1,2023 @@
+//! The per-node runtime kernel (§3, Fig. 2).
+//!
+//! "The kernel serves as a passive substrate on which individual actors
+//! execute. Because each actor executes kernel functions as part of its
+//! own computation, both actor methods and kernel functions may be
+//! executed on the same stack assigned to the actor, eliminating the need
+//! for context switching between the actor and the kernel."
+//!
+//! [`Kernel`] owns one node's name server, actor heap, dispatcher, join
+//! table, FIR table, group table, balancer, and bulk/flow state, and is
+//! driven from outside by a *machine* (simulated or threaded) that feeds
+//! it packets and step requests. All outbound traffic goes through the
+//! [`NetOut`] abstraction so the identical kernel code runs on both
+//! substrates.
+//!
+//! [`Ctx`] is the actor interface of Fig. 2 — the surface "exported to
+//! the compiler". Behaviors receive a `Ctx` in every dispatch and use it
+//! to send, create, become, broadcast, request/reply, and migrate.
+
+use crate::actor::{ActorRecord, ActorSlab, Behavior};
+use crate::addr::{ActorId, AddrKey, BehaviorId, DescriptorId, GroupId, JcId, MailAddr, Mapping, Selector};
+use crate::balance::Balancer;
+use crate::cost::CostModel;
+use crate::descriptor::Locality;
+use crate::dispatch::Dispatcher;
+use crate::fir::FirTable;
+use crate::gc::{CoordState, GcState, MarkBatches};
+use crate::group::{home_node, members_on, GroupTable};
+use crate::join::{JoinFn, JoinTable};
+use crate::message::{ContRef, Msg, Target, Value};
+use crate::name_server::{NameServer, Resolution};
+use crate::registry::BehaviorRegistry;
+use crate::wire::{ActorImage, KMsg};
+use hal_am::{bcast, AmEnvelope, BulkSender, FlowControl, NodeId, Packet, MAX_SMALL_BYTES};
+use hal_des::{StatSet, VirtualDuration, VirtualTime};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Outbound network interface the kernel writes to. Implemented by the
+/// simulated network and by thread-mode endpoints.
+pub trait NetOut {
+    /// Inject an envelope from `src` to `dst` at virtual time `now`.
+    fn inject(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        env: AmEnvelope<KMsg>,
+        wire_bytes: usize,
+    );
+}
+
+impl NetOut for hal_am::SimNetwork<KMsg> {
+    fn inject(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        env: AmEnvelope<KMsg>,
+        wire_bytes: usize,
+    ) {
+        hal_am::SimNetwork::inject(self, now, src, dst, env, wire_bytes);
+    }
+}
+
+impl NetOut for hal_am::ThreadEndpoint<KMsg> {
+    fn inject(
+        &mut self,
+        _now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        env: AmEnvelope<KMsg>,
+        wire_bytes: usize,
+    ) {
+        debug_assert_eq!(src, self.node());
+        self.send(dst, env, wire_bytes);
+    }
+}
+
+/// Ablation switches for the paper's individual design choices. All
+/// default to the paper's design; each `false` selects the alternative
+/// the paper argues against, so benches can measure what every choice
+/// buys.
+#[derive(Clone, Copy, Debug)]
+pub struct OptFlags {
+    /// §5: alias-based latency hiding for remote creation. When off,
+    /// the requester *blocks* for the full creation round trip (the
+    /// stock-hardware alternative the paper rejects; split-phase would
+    /// need cheap context switches the CM-5 lacked).
+    pub aliases: bool,
+    /// §4.1: receivers reply with their descriptor index so senders
+    /// cache it and later deliveries skip the receiver's name table.
+    /// When off, every delivery pays the receiving-side hash lookup and
+    /// no NameInfo gossip flows.
+    pub name_caching: bool,
+    /// §6.4: collective scheduling of broadcasts — all local members of
+    /// a group are delivered consecutively under one dispatch charge.
+    /// When off, each member delivery pays a full dispatch.
+    pub collective_bcast: bool,
+    /// §4.3: locate migrated actors with small FIR messages, buffering
+    /// the originals. When off, the node manager forwards the *entire
+    /// message* along the forward chain — the alternative the paper
+    /// rejects because it multiplies bulk traffic.
+    pub fir_chase: bool,
+}
+
+impl Default for OptFlags {
+    fn default() -> Self {
+        OptFlags {
+            aliases: true,
+            name_caching: true,
+            collective_bcast: true,
+            fir_chase: true,
+        }
+    }
+}
+
+/// Static configuration of one kernel.
+#[derive(Clone)]
+pub struct KernelConfig {
+    /// This node's id.
+    pub me: NodeId,
+    /// Partition size.
+    pub nodes: usize,
+    /// Virtual-time cost model.
+    pub cost: CostModel,
+    /// Receiver-initiated random-polling load balancing (§7.2).
+    pub load_balancing: bool,
+    /// Three-phase bulk flow control (§6.5). Disabling it is the Table 1
+    /// ablation: bulk data is injected eagerly.
+    pub flow_control: bool,
+    /// Messages an actor may process per scheduling quantum.
+    pub quantum: usize,
+    /// Depth bound for compiler-controlled stack-based scheduling (§6.3).
+    pub max_stack_depth: u32,
+    /// Machine seed (per-node RNG streams derive from it).
+    pub seed: u64,
+    /// Ablation switches (paper design by default).
+    pub opt: OptFlags,
+}
+
+impl KernelConfig {
+    /// Reasonable defaults for `nodes` nodes.
+    pub fn new(me: NodeId, nodes: usize) -> Self {
+        KernelConfig {
+            me,
+            nodes,
+            cost: CostModel::cm5(),
+            load_balancing: false,
+            flow_control: true,
+            quantum: 16,
+            max_stack_depth: 64,
+            seed: 0x5EED,
+            opt: OptFlags::default(),
+        }
+    }
+}
+
+/// The per-node kernel.
+pub struct Kernel {
+    cfg: KernelConfig,
+    /// Virtual clock: all primitive costs accumulate here.
+    pub clock: VirtualTime,
+    names: NameServer,
+    actors: ActorSlab,
+    joins: JoinTable,
+    firs: FirTable,
+    groups: GroupTable,
+    dispatcher: Dispatcher,
+    /// Load-balancer policy state (public: the machine consults it for
+    /// idle-node poll scheduling).
+    pub balancer: Balancer,
+    registry: Arc<BehaviorRegistry>,
+    bulk_tx: BulkSender<KMsg>,
+    flow: FlowControl,
+    /// Self-addressed kernel messages (never touch the network).
+    loopback: VecDeque<KMsg>,
+    /// Messages for keys this node knows nothing about yet (e.g. alias
+    /// traffic racing the creation request).
+    unknown_buffer: HashMap<AddrKey, Vec<Msg>>,
+    /// (sender, key) pairs already sent a NameInfo cache reply — a
+    /// sender bursting messages before our first reply lands must not
+    /// trigger one reply per message.
+    advised: std::collections::HashSet<(NodeId, AddrKey)>,
+    /// Garbage-collection state (§9 future work).
+    pub(crate) gc: GcState,
+    /// Coordinator of the in-flight collection.
+    gc_coordinator: NodeId,
+    /// Coordinator-side accumulator of live counts during sweep.
+    gc_live_total: u64,
+    /// Depth of inline (stack-based) dispatch currently active.
+    stack_depth: u32,
+    /// Set by `Ctx::stop` or an incoming Halt.
+    pub stopped: bool,
+    /// Counters; the machine merges these into its report.
+    pub stats: StatSet,
+    /// Values posted by actors via `Ctx::report` (harness results).
+    pub reports: Vec<(String, Value)>,
+}
+
+impl Kernel {
+    /// Build a kernel over a shared behavior registry.
+    pub fn new(cfg: KernelConfig, registry: Arc<BehaviorRegistry>) -> Self {
+        let balancer = Balancer::new(cfg.load_balancing, cfg.seed, cfg.me);
+        Kernel {
+            names: NameServer::new(cfg.me),
+            actors: ActorSlab::new(),
+            joins: JoinTable::new(),
+            firs: FirTable::new(),
+            groups: GroupTable::new(),
+            dispatcher: Dispatcher::new(),
+            balancer,
+            registry,
+            bulk_tx: BulkSender::new(cfg.me),
+            flow: FlowControl::new(),
+            loopback: VecDeque::new(),
+            unknown_buffer: HashMap::new(),
+            advised: std::collections::HashSet::new(),
+            gc: GcState::default(),
+            gc_coordinator: 0,
+            gc_live_total: 0,
+            stack_depth: 0,
+            stopped: false,
+            clock: VirtualTime::ZERO,
+            stats: StatSet::new(),
+            reports: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.cfg.me
+    }
+
+    /// Partition size.
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    /// The kernel's configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.cfg
+    }
+
+    /// Advance the virtual clock by a primitive's cost.
+    #[inline]
+    fn charge(&mut self, d: VirtualDuration) {
+        self.clock += d;
+    }
+
+    /// Does this node have runnable work (ready actors or self-addressed
+    /// kernel messages)?
+    pub fn has_work(&self) -> bool {
+        !self.dispatcher.is_empty() || !self.loopback.is_empty()
+    }
+
+    /// Number of ready actors (machine-level idle/steal decisions).
+    pub fn ready_len(&self) -> usize {
+        self.dispatcher.len()
+    }
+
+    /// Live actors on this node.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Total actors ever created on this node.
+    pub fn actors_created(&self) -> u64 {
+        self.actors.created_total()
+    }
+
+    /// Read-only access to the name server (tests, diagnostics).
+    pub fn name_server(&self) -> &NameServer {
+        &self.names
+    }
+
+    /// Read-only access to the FIR table (tests, diagnostics).
+    pub fn fir_table(&self) -> &FirTable {
+        &self.firs
+    }
+
+    // ------------------------------------------------------------------
+    // Outbound path
+    // ------------------------------------------------------------------
+
+    /// Send a kernel message to `dst`, choosing the small or bulk path by
+    /// wire size (§6.5). Local destinations loop back without touching
+    /// the network.
+    fn net_send(&mut self, net: &mut dyn NetOut, dst: NodeId, kmsg: KMsg) {
+        if dst == self.cfg.me {
+            self.loopback.push_back(kmsg);
+            return;
+        }
+        self.charge(self.cfg.cost.net_send_overhead);
+        let wire = kmsg.wire_bytes();
+        self.stats.bump("net.sends");
+        if wire <= MAX_SMALL_BYTES {
+            net.inject(self.clock, self.cfg.me, dst, AmEnvelope::Small(kmsg), wire + 16);
+        } else if self.cfg.flow_control {
+            // Three-phase protocol: announce, park the payload, wait for
+            // the grant.
+            let (_tag, req) = self.bulk_tx.begin(dst, kmsg, wire);
+            self.stats.bump("net.bulk_requests");
+            net.inject(self.clock, self.cfg.me, dst, req, 16);
+        } else {
+            // Ablation: eager injection of bulk data (no grant). The
+            // receiver will not run flow control either (same config
+            // machine-wide).
+            let env = AmEnvelope::BulkData {
+                tag: 0,
+                body: kmsg,
+                bytes: wire,
+            };
+            self.stats.bump("net.bulk_eager");
+            net.inject(self.clock, self.cfg.me, dst, env, wire + 16);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inbound path
+    // ------------------------------------------------------------------
+
+    /// Handle one arriving packet. The machine sets `self.clock` to at
+    /// least the arrival time before calling. Node-manager work executes
+    /// immediately on the current stack (the paper's "steals the
+    /// processor").
+    pub fn handle_packet(&mut self, net: &mut dyn NetOut, pkt: Packet<KMsg>) {
+        debug_assert_eq!(pkt.dst, self.cfg.me);
+        self.charge(self.cfg.cost.net_recv_overhead);
+        self.stats.bump("net.recvs");
+        match pkt.body {
+            AmEnvelope::Small(k) => self.handle_kmsg(net, pkt.src, k),
+            AmEnvelope::BulkRequest { tag, bytes: _ } => {
+                if let Some(grant) = self.flow.on_request(pkt.src, tag) {
+                    self.net_send_ctl(net, grant.to, AmEnvelope::BulkAck { tag: grant.tag });
+                }
+            }
+            AmEnvelope::BulkAck { tag } => {
+                let (dst, data, bytes) = self.bulk_tx.on_ack(tag);
+                self.charge(self.cfg.cost.net_send_overhead);
+                net.inject(self.clock, self.cfg.me, dst, data, bytes + 16);
+            }
+            AmEnvelope::BulkData { tag, body, bytes } => {
+                if self.cfg.flow_control {
+                    // Granted transfer: the receiver pre-posted a buffer
+                    // when it issued the ack, so reception is a single
+                    // copy out of the network interface.
+                    self.charge(VirtualDuration::from_nanos(bytes as u64 * 10));
+                    self.handle_kmsg(net, pkt.src, body);
+                    if let Some(next) = self.flow.on_data_complete(pkt.src, tag) {
+                        self.net_send_ctl(net, next.to, AmEnvelope::BulkAck { tag: next.tag });
+                    }
+                } else {
+                    // Ablation (§6.5): unexpected bulk data. Active
+                    // messages are unbuffered, so data arriving without a
+                    // grant must be bounce-buffered — allocation plus an
+                    // extra copy while the NI drains into memory. This is
+                    // the receiver-side cost the three-phase protocol
+                    // exists to avoid.
+                    self.stats.bump("net.bulk_unexpected");
+                    self.charge(VirtualDuration::from_nanos(5_000 + bytes as u64 * 30));
+                    self.handle_kmsg(net, pkt.src, body);
+                }
+            }
+        }
+        self.drain_loopback(net);
+    }
+
+    /// Send a protocol control envelope (acks) — small, fixed size.
+    fn net_send_ctl(&mut self, net: &mut dyn NetOut, dst: NodeId, env: AmEnvelope<KMsg>) {
+        self.charge(self.cfg.cost.net_send_overhead);
+        net.inject(self.clock, self.cfg.me, dst, env, 16);
+    }
+
+    /// Process self-addressed kernel messages until none remain.
+    fn drain_loopback(&mut self, net: &mut dyn NetOut) {
+        while let Some(k) = self.loopback.pop_front() {
+            let me = self.cfg.me;
+            self.handle_kmsg(net, me, k);
+        }
+    }
+
+    /// Node-manager message handling (§3): deliveries, creations, FIRs,
+    /// replies, migrations, steals, group traffic.
+    fn handle_kmsg(&mut self, net: &mut dyn NetOut, src: NodeId, k: KMsg) {
+        match k {
+            KMsg::Deliver { target, msg } => self.handle_deliver(net, src, target, msg),
+            KMsg::NameInfo { key, node, index, epoch } => {
+                self.repair_descriptor(key, node, index, epoch)
+            }
+            KMsg::Create {
+                alias,
+                behavior,
+                init,
+                requester,
+            } => self.handle_create(net, alias, behavior, init, requester),
+            KMsg::Fir { key } => self.handle_fir(net, src, key),
+            KMsg::FirFound { key, node, index, epoch } => {
+                self.handle_fir_found(net, key, node, index, epoch)
+            }
+            KMsg::Reply { jc, slot, value } => self.fill_join(net, jc, slot, value),
+            KMsg::MigrateArrive { image, from, stolen } => {
+                self.handle_migrate_arrive(net, image, from, stolen)
+            }
+            KMsg::StealRequest { thief } => self.handle_steal_request(net, thief),
+            KMsg::StealNone => {
+                let now = self.clock;
+                self.balancer.poll_failed(now, self.cfg.cost.steal_poll_interval);
+            }
+            KMsg::GrpCreate {
+                group,
+                behavior,
+                init,
+                root,
+            } => self.handle_grp_create(net, group, behavior, init, root),
+            KMsg::GrpBcast { group, msg, root } => self.handle_grp_bcast(net, group, msg, root),
+            KMsg::GcBegin { coordinator, root } => self.handle_gc_begin(net, coordinator, root),
+            KMsg::GcRoundGo { root } => self.handle_gc_round(net, root),
+            KMsg::GcMark { keys } => self.gc.incoming.extend(keys),
+            KMsg::GcRoundDone { activity } => self.handle_gc_round_done(net, activity),
+            KMsg::GcSweepCmd { root } => self.handle_gc_sweep(net, root),
+            KMsg::GcSwept { freed, live } => self.handle_gc_swept(net, freed, live),
+            KMsg::Halt => self.stopped = true,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Message delivery (Fig. 3)
+    // ------------------------------------------------------------------
+
+    /// Send `msg` to mail address `to` from this node (the generic send
+    /// of Fig. 3, sender side).
+    fn send_to_addr(&mut self, net: &mut dyn NetOut, to: MailAddr, msg: Msg) {
+        self.charge(self.cfg.cost.locality_check);
+        match self.names.resolve(to.key) {
+            Resolution::Local(aid) => {
+                self.charge(self.cfg.cost.local_send);
+                self.stats.bump("msgs.local");
+                self.enqueue_local(aid, msg);
+            }
+            Resolution::Remote { node, remote_index } => {
+                if self.firs.is_pending(to.key) {
+                    // We already know our guess is stale; park with the
+                    // FIR instead of bouncing off the old node again.
+                    self.firs.buffer(to.key, msg);
+                    self.stats.bump("fir.buffered_at_send");
+                    return;
+                }
+                self.stats.bump("msgs.remote");
+                let dst_desc = if self.cfg.opt.name_caching {
+                    remote_index
+                } else {
+                    None
+                };
+                self.net_send(
+                    net,
+                    node,
+                    KMsg::Deliver {
+                        target: Target::Addr {
+                            key: to.key,
+                            dst_desc,
+                            route_hint: to.default_route(),
+                        },
+                        msg,
+                    },
+                );
+            }
+            Resolution::Unknown => {
+                // First contact: allocate a best-guess descriptor toward
+                // the default route and send there (§4.1).
+                assert!(
+                    to.key.birthplace != self.cfg.me,
+                    "dangling local mail address {:?}",
+                    to
+                );
+                let route = to.default_route();
+                let d = self.names.alloc_remote(route, None, 0);
+                self.names.bind(to.key, d);
+                self.stats.bump("msgs.remote");
+                self.stats.bump("name.first_contact");
+                self.net_send(
+                    net,
+                    route,
+                    KMsg::Deliver {
+                        target: Target::Addr {
+                            key: to.key,
+                            dst_desc: None,
+                            route_hint: route,
+                        },
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Receiver side of the generic send (Fig. 3): the node manager
+    /// locates the actor or starts an FIR chase.
+    fn handle_deliver(&mut self, net: &mut dyn NetOut, src: NodeId, target: Target, msg: Msg) {
+        match target {
+            Target::Addr {
+                key,
+                dst_desc,
+                route_hint,
+            } => {
+                // Cached-descriptor fast path: no name-table lookup.
+                if let Some(d) = dst_desc {
+                    if self.names.descriptor_live(d) {
+                        match self.names.descriptor(d).locality {
+                            Locality::Local(aid) => {
+                                self.stats.bump("deliver.cached_hit");
+                                self.enqueue_local(aid, msg);
+                                return;
+                            }
+                            Locality::Remote { node, remote_index } => {
+                                // Migrated away since the sender cached us.
+                                self.stats.bump("deliver.cached_stale");
+                                self.forward_or_chase(net, key, msg, node, remote_index);
+                                return;
+                            }
+                        }
+                    }
+                }
+                self.charge(self.cfg.cost.name_lookup);
+                match self.names.resolve(key) {
+                    Resolution::Local(aid) => {
+                        // Reply with our descriptor index so the sender
+                        // skips our name table next time (§4.1).
+                        if self.cfg.opt.name_caching
+                            && dst_desc.is_none()
+                            && src != self.cfg.me
+                            && self.advised.insert((src, key))
+                        {
+                            let d = self.names.descriptor_for(key).expect("just resolved");
+                            let epoch = self.actor_epoch(aid);
+                            self.net_send(
+                                net,
+                                src,
+                                KMsg::NameInfo {
+                                    key,
+                                    node: self.cfg.me,
+                                    index: d,
+                                    epoch,
+                                },
+                            );
+                        }
+                        self.enqueue_local(aid, msg);
+                    }
+                    Resolution::Remote { node, remote_index } => {
+                        self.stats.bump("deliver.migrated");
+                        self.forward_or_chase(net, key, msg, node, remote_index);
+                    }
+                    Resolution::Unknown => {
+                        // Alias traffic racing the creation request, or a
+                        // chase overtaking a migration: park until the
+                        // key becomes known.
+                        assert!(
+                            key.birthplace != self.cfg.me || route_hint != self.cfg.me,
+                            "undeliverable message to dangling key {key:?}"
+                        );
+                        self.stats.bump("deliver.unknown_parked");
+                        self.unknown_buffer.entry(key).or_default().push(msg);
+                    }
+                }
+            }
+            Target::Member { group, index } => self.deliver_member(net, group, index, msg),
+        }
+    }
+
+    /// A message arrived here for an actor that has moved on. If our
+    /// information is *confirmed* (we hold the descriptor index on the
+    /// believed node — i.e. that node itself told us the actor arrived),
+    /// the location is known and the message is forwarded directly
+    /// (§4.3: "once the location is known, the original message is sent
+    /// directly to the node where the receiver resides"). Confirmed
+    /// pointers are strictly epoch-increasing, so forwarding is acyclic.
+    /// Unconfirmed history pointers trigger the FIR chase instead.
+    fn forward_or_chase(
+        &mut self,
+        net: &mut dyn NetOut,
+        key: AddrKey,
+        msg: Msg,
+        node: NodeId,
+        remote_index: Option<DescriptorId>,
+    ) {
+        if std::env::var("HAL_FIR_TRACE").is_ok() {
+            eprintln!("[{}] node {} forward_or_chase key={key:?} to={node} confirmed={}", self.clock, self.cfg.me, remote_index.is_some());
+        }
+        if !self.cfg.opt.fir_chase {
+            // Ablation: forward the entire message along the chain (§4.3's
+            // rejected alternative — bulk payloads traverse every hop).
+            self.stats.bump("deliver.forwarded_whole");
+            self.net_send(
+                net,
+                node,
+                KMsg::Deliver {
+                    target: Target::Addr {
+                        key,
+                        dst_desc: remote_index,
+                        route_hint: node,
+                    },
+                    msg,
+                },
+            );
+            return;
+        }
+        if self.firs.is_pending(key) {
+            // A chase is already running; join it.
+            self.stats.bump("fir.suppressed");
+            self.firs.buffer(key, msg);
+            return;
+        }
+        match remote_index {
+            Some(idx) => {
+                self.stats.bump("deliver.forwarded");
+                self.net_send(
+                    net,
+                    node,
+                    KMsg::Deliver {
+                        target: Target::Addr {
+                            key,
+                            dst_desc: Some(idx),
+                            route_hint: node,
+                        },
+                        msg,
+                    },
+                );
+            }
+            None => self.fir_chase(net, key, msg, node),
+        }
+    }
+
+    /// Park `msg` and (unless one is already outstanding) send an FIR
+    /// toward `next_hop` (§4.3: "instead of forwarding the entire message
+    /// the node manager sends a special forwarding information request").
+    fn fir_chase(&mut self, net: &mut dyn NetOut, key: AddrKey, msg: Msg, next_hop: NodeId) {
+        if std::env::var("HAL_FIR_TRACE").is_ok() {
+            eprintln!("[{}] node {} fir_chase key={key:?} next={next_hop}", self.clock, self.cfg.me);
+        }
+        self.charge(self.cfg.cost.fir_handle);
+        if self.firs.need_location(key) {
+            self.stats.bump("fir.sent");
+            self.net_send(net, next_hop, KMsg::Fir { key });
+        } else {
+            self.stats.bump("fir.suppressed");
+        }
+        self.firs.buffer(key, msg);
+    }
+
+    /// An FIR arrived from `src` looking for `key`.
+    fn handle_fir(&mut self, net: &mut dyn NetOut, src: NodeId, key: AddrKey) {
+        if std::env::var("HAL_FIR_TRACE").is_ok() {
+            eprintln!("[{}] node {} handle_fir key={key:?} from={src} resolve={:?}", self.clock, self.cfg.me, self.names.resolve(key));
+        }
+        self.charge(self.cfg.cost.fir_handle);
+        self.stats.bump("fir.handled");
+        match self.names.resolve(key) {
+            Resolution::Local(aid) => {
+                let d = self.names.descriptor_for(key).expect("just resolved");
+                let epoch = self.actor_epoch(aid);
+                self.net_send(
+                    net,
+                    src,
+                    KMsg::FirFound {
+                        key,
+                        node: self.cfg.me,
+                        index: d,
+                        epoch,
+                    },
+                );
+            }
+            Resolution::Remote { node, .. } => {
+                if self.firs.is_pending(key) {
+                    self.firs.add_asker(key, src);
+                } else {
+                    self.firs.need_location(key);
+                    self.firs.add_asker(key, src);
+                    self.net_send(net, node, KMsg::Fir { key });
+                }
+            }
+            Resolution::Unknown => {
+                // We know nothing (e.g. the actor is migrating toward us
+                // and the FIR overtook the bulk transfer). Park the
+                // question: if the actor arrives here, install completes
+                // the FIR; otherwise fall back to the birthplace chain.
+                assert!(
+                    key.birthplace != self.cfg.me,
+                    "FIR for dangling local key {key:?}"
+                );
+                if self.firs.is_pending(key) {
+                    self.firs.add_asker(key, src);
+                } else {
+                    self.firs.need_location(key);
+                    self.firs.add_asker(key, src);
+                    self.net_send(net, key.birthplace, KMsg::Fir { key });
+                }
+            }
+        }
+    }
+
+    /// The FIR reply: repair our table, release parked messages, and
+    /// propagate back along the chain.
+    fn handle_fir_found(
+        &mut self,
+        net: &mut dyn NetOut,
+        key: AddrKey,
+        node: NodeId,
+        index: DescriptorId,
+        epoch: u32,
+    ) {
+        if std::env::var("HAL_FIR_TRACE").is_ok() {
+            eprintln!("[{}] node {} fir_found key={key:?} at={node} epoch={epoch}", self.clock, self.cfg.me);
+        }
+        self.charge(self.cfg.cost.fir_handle);
+        self.stats.bump("fir.found");
+        self.repair_descriptor(key, node, index, epoch);
+        if let Some(pending) = self.firs.complete(key) {
+            for asker in pending.askers {
+                self.net_send(net, asker, KMsg::FirFound { key, node, index, epoch });
+            }
+            for msg in pending.buffered {
+                // "Once the location is known, the original message is
+                // sent directly to the node where the receiver resides."
+                self.stats.bump("fir.flushed");
+                self.net_send(
+                    net,
+                    node,
+                    KMsg::Deliver {
+                        target: Target::Addr {
+                            key,
+                            dst_desc: Some(index),
+                            route_hint: node,
+                        },
+                        msg,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The location epoch of a local actor (its migration hop count).
+    fn actor_epoch(&self, aid: ActorId) -> u32 {
+        self.actors.get(aid).map(|r| r.hops).unwrap_or(0)
+    }
+
+    /// Location gossip: update our descriptor for `key` unless we hold
+    /// newer information. Local knowledge is authoritative, and gossip
+    /// from an older epoch never overwrites a newer belief — this keeps
+    /// forward chains strictly epoch-increasing, so FIR chases terminate
+    /// even under arbitrarily reordered gossip.
+    fn repair_descriptor(&mut self, key: AddrKey, node: NodeId, index: DescriptorId, epoch: u32) {
+        match self.names.descriptor_for(key) {
+            Some(d) => {
+                let desc = self.names.descriptor_mut(d);
+                match desc.locality {
+                    Locality::Local(_) => { /* authoritative; ignore gossip */ }
+                    Locality::Remote { .. } => {
+                        if epoch >= desc.epoch {
+                            desc.locality = Locality::Remote {
+                                node,
+                                remote_index: Some(index),
+                            };
+                            desc.epoch = epoch;
+                        }
+                    }
+                }
+            }
+            None => {
+                let d = self.names.alloc_remote(node, Some(index), epoch);
+                self.names.bind(key, d);
+            }
+        }
+    }
+
+    /// Enqueue a message for a local actor, scheduling it if idle.
+    fn enqueue_local(&mut self, aid: ActorId, msg: Msg) {
+        self.charge(self.cfg.cost.constraint_check);
+        if self.actors.enqueue(aid, msg) {
+            self.dispatcher.push(aid);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Creation (§5)
+    // ------------------------------------------------------------------
+
+    /// Install a behavior as a new local actor; returns its id and
+    /// ordinary mail address.
+    fn install_actor(&mut self, behavior: Box<dyn Behavior>) -> (ActorId, MailAddr) {
+        let aid = self.actors.insert(ActorRecord::new(behavior));
+        let d = self.names.alloc_local(aid, 0);
+        let addr = MailAddr::ordinary(self.cfg.me, d);
+        let rec = self.actors.get_mut(aid).expect("just inserted");
+        rec.addr = addr;
+        rec.keys.push(addr.key);
+        self.stats.bump("actors.created");
+        (aid, addr)
+    }
+
+    /// Local creation: the `new` primitive when the target is this node.
+    fn create_local(&mut self, behavior: Box<dyn Behavior>) -> MailAddr {
+        self.charge(self.cfg.cost.local_creation);
+        let (_aid, addr) = self.install_actor(behavior);
+        addr
+    }
+
+    /// Remote creation with alias-based latency hiding (§5): mint the
+    /// alias, fire off the request, and return immediately.
+    fn create_remote(
+        &mut self,
+        net: &mut dyn NetOut,
+        node: NodeId,
+        behavior: BehaviorId,
+        init: Vec<Value>,
+    ) -> MailAddr {
+        debug_assert_ne!(node, self.cfg.me);
+        self.charge(self.cfg.cost.remote_creation_request);
+        if !self.cfg.opt.aliases {
+            // Ablation: no aliases means the creating actor must wait
+            // for the new actor's real mail address to come back — a
+            // full round trip of stall on top of the request cost (§5's
+            // rejected alternative on stock hardware).
+            self.charge(self.cfg.cost.remote_creation_rtt_stall);
+            self.stats.bump("actors.remote_blocking");
+        }
+        self.stats.bump("actors.remote_requests");
+        let d = self.names.alloc_remote(node, None, 0);
+        let alias = MailAddr::alias(self.cfg.me, d, node, behavior);
+        self.net_send(
+            net,
+            node,
+            KMsg::Create {
+                alias: alias.key,
+                behavior,
+                init,
+                requester: self.cfg.me,
+            },
+        );
+        alias
+    }
+
+    /// Remote side of a creation request.
+    fn handle_create(
+        &mut self,
+        net: &mut dyn NetOut,
+        alias: AddrKey,
+        behavior: BehaviorId,
+        init: Vec<Value>,
+        requester: NodeId,
+    ) {
+        self.charge(self.cfg.cost.remote_creation_work);
+        let b = self.registry.create(behavior, &init);
+        let (aid, addr) = self.install_actor(b);
+        // Register the alias alongside the ordinary address ("registers
+        // the actor in its local name table with the received alias").
+        let d = addr.key.index;
+        self.names.bind(alias, d);
+        self.actors
+            .get_mut(aid)
+            .expect("just installed")
+            .keys
+            .push(alias);
+        self.flush_unknown(alias, aid);
+        self.flush_unknown(addr.key, aid);
+        self.complete_local_fir(net, alias, d, 0);
+        self.complete_local_fir(net, addr.key, d, 0);
+        // Cache our descriptor index back at the requester ("as
+        // background processing").
+        // Observe the moment the actor exists — the paper's "actual
+        // creation" latency (20.83 us end to end).
+        self.stats.observe("create.remote_actual_ns", self.clock.as_nanos());
+        self.net_send(
+            net,
+            requester,
+            KMsg::NameInfo {
+                key: alias,
+                node: self.cfg.me,
+                index: d,
+                epoch: 0,
+            },
+        );
+        self.stats.bump("actors.remote_created");
+    }
+
+    /// Deliver any messages parked for a previously unknown key.
+    fn flush_unknown(&mut self, key: AddrKey, aid: ActorId) {
+        if let Some(msgs) = self.unknown_buffer.remove(&key) {
+            for msg in msgs {
+                self.enqueue_local(aid, msg);
+            }
+        }
+    }
+
+    /// If this node was chasing `key` with an FIR, the chase ends here:
+    /// the actor just became local. Answer askers, deliver parked mail.
+    fn complete_local_fir(
+        &mut self,
+        net: &mut dyn NetOut,
+        key: AddrKey,
+        index: DescriptorId,
+        epoch: u32,
+    ) {
+        if let Some(pending) = self.firs.complete(key) {
+            let me = self.cfg.me;
+            for asker in pending.askers {
+                self.net_send(net, asker, KMsg::FirFound { key, node: me, index, epoch });
+            }
+            if !pending.buffered.is_empty() {
+                if let Resolution::Local(aid) = self.names.resolve(key) {
+                    for msg in pending.buffered {
+                        self.enqueue_local(aid, msg);
+                    }
+                } else {
+                    unreachable!("complete_local_fir on non-local key");
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Join continuations (§6.2)
+    // ------------------------------------------------------------------
+
+    /// Fill a join slot; fire the continuation if complete.
+    fn fill_join(&mut self, net: &mut dyn NetOut, jc: JcId, slot: u16, value: Value) {
+        self.charge(self.cfg.cost.join_fill);
+        if let Some(fired) = self.joins.fill(jc, slot, value) {
+            self.charge(self.cfg.cost.join_fire);
+            self.stats.bump("joins.fired");
+            let mut ctx = Ctx {
+                k: self,
+                net,
+                ident: Ident::Continuation,
+                customer: None,
+                become_to: None,
+                migrate_to: None,
+            };
+            (fired.func)(&mut ctx, fired.values);
+            debug_assert!(ctx.become_to.is_none(), "continuations cannot become");
+            debug_assert!(ctx.migrate_to.is_none(), "continuations cannot migrate");
+        }
+    }
+
+    /// Route a reply to a continuation reference.
+    fn send_reply(&mut self, net: &mut dyn NetOut, cont: ContRef, value: Value) {
+        match cont {
+            ContRef::Join { node, jc, slot } => {
+                if node == self.cfg.me {
+                    self.fill_join(net, jc, slot, value);
+                } else {
+                    self.stats.bump("replies.remote");
+                    self.net_send(net, node, KMsg::Reply { jc, slot, value });
+                }
+            }
+            ContRef::Actor { addr, selector } => {
+                self.send_to_addr(net, addr, Msg::new(selector, vec![value]));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Migration + load balancing
+    // ------------------------------------------------------------------
+
+    /// Ship actor `aid` to `dst`. The actor must be checked in and not
+    /// scheduled (callers arrange this). `stolen` marks steal-reply
+    /// migrations so the thief can clear its poll state.
+    fn migrate_out(&mut self, net: &mut dyn NetOut, aid: ActorId, dst: NodeId, stolen: bool) {
+        self.charge(self.cfg.cost.migrate_fixed);
+        let rec = self.actors.remove(aid);
+        // Every local descriptor for the actor becomes a forward pointer
+        // — the migration history of §4.3 — stamped with the epoch the
+        // actor will have after this hop.
+        let next_epoch = rec.hops + 1;
+        for &key in &rec.keys {
+            if let Some(d) = self.names.descriptor_for(key) {
+                let desc = self.names.descriptor_mut(d);
+                desc.locality = Locality::Remote {
+                    node: dst,
+                    remote_index: None,
+                };
+                desc.epoch = next_epoch;
+            }
+        }
+        self.stats.bump("migrations.out");
+        let image = ActorImage {
+            behavior: rec.behavior,
+            mailq: rec.mailq.into(),
+            pendq: rec.pendq.into(),
+            keys: rec.keys,
+            group: rec.group,
+            hops: next_epoch,
+        };
+        self.net_send(
+            net,
+            dst,
+            KMsg::MigrateArrive {
+                image,
+                from: self.cfg.me,
+                stolen,
+            },
+        );
+    }
+
+    /// An actor arrives (migration or steal).
+    fn handle_migrate_arrive(
+        &mut self,
+        net: &mut dyn NetOut,
+        image: ActorImage,
+        from: NodeId,
+        stolen: bool,
+    ) {
+        self.charge(self.cfg.cost.migrate_fixed);
+        self.stats.bump("migrations.in");
+        if stolen {
+            self.balancer.poll_succeeded();
+        }
+        let primary = image.keys[0];
+        let epoch = image.hops;
+        let aid = self.actors.insert(ActorRecord {
+            behavior: image.behavior,
+            addr: MailAddr::ordinary(primary.birthplace, primary.index),
+            mailq: image.mailq.into(),
+            pendq: image.pendq.into(),
+            scheduled: false,
+            keys: image.keys,
+            group: image.group,
+            hops: epoch,
+        });
+        self.stats.bump("actors.created"); // arrival installs a record
+        let keys = self.actors.get(aid).expect("just inserted").keys.clone();
+        // Keys born here resolve through the arena fast path: their
+        // original descriptor must become Local *in place* (allocating a
+        // fresh one would leave an orphan that other nodes could cache
+        // and later resolve to a recycled actor slot). Foreign keys bind
+        // to one shared fresh descriptor.
+        let mut shared: Option<DescriptorId> = None;
+        for key in &keys {
+            if key.birthplace == self.cfg.me && self.names.descriptor_live(key.index) {
+                let desc = self.names.descriptor_mut(key.index);
+                desc.locality = Locality::Local(aid);
+                desc.epoch = epoch;
+            } else {
+                let d = *shared.get_or_insert_with(|| self.names.alloc_local(aid, epoch));
+                self.names.bind(*key, d);
+            }
+        }
+        for key in &keys {
+            self.flush_unknown(*key, aid);
+            let idx = self
+                .names
+                .descriptor_for(*key)
+                .expect("key just registered");
+            self.complete_local_fir(net, *key, idx, epoch);
+        }
+        // Cache the new location at the birthplace and the old node
+        // (§4.3 "cached in its birthplace node as well as in the old
+        // node").
+        let me = self.cfg.me;
+        let primary_key = keys[0];
+        let primary_desc = self
+            .names
+            .descriptor_for(primary_key)
+            .expect("primary key just registered");
+        if primary_key.birthplace != me {
+            self.net_send(
+                net,
+                primary_key.birthplace,
+                KMsg::NameInfo {
+                    key: primary_key,
+                    node: me,
+                    index: primary_desc,
+                    epoch,
+                },
+            );
+        }
+        if from != me && from != primary_key.birthplace {
+            self.net_send(
+                net,
+                from,
+                KMsg::NameInfo {
+                    key: primary_key,
+                    node: me,
+                    index: primary_desc,
+                    epoch,
+                },
+            );
+        }
+        // Schedule if it carried work.
+        let rec = self.actors.get_mut(aid).expect("just inserted");
+        if !rec.mailq.is_empty() || !rec.pendq.is_empty() {
+            rec.scheduled = true;
+            self.dispatcher.push(aid);
+        }
+    }
+
+    /// Idle-node action: send a steal request to a random victim (§7.2).
+    /// The machine calls this when the node is idle and `may_poll`.
+    pub fn send_steal_poll(&mut self, net: &mut dyn NetOut) {
+        debug_assert!(self.balancer.may_poll(self.clock));
+        let victim = self.balancer.start_poll(self.cfg.me, self.cfg.nodes);
+        self.stats.bump("steal.polls");
+        self.net_send(net, victim, KMsg::StealRequest { thief: self.cfg.me });
+    }
+
+    /// Victim side of a steal: donate up to half the ready queue
+    /// (Kumar/Grama/Rao work splitting) or decline. Work is taken from
+    /// the tail — the coldest, largest-subtree end. Group members are
+    /// stealable too: their home-node entry keeps a mail address, and
+    /// descriptors forward.
+    fn handle_steal_request(&mut self, net: &mut dyn NetOut, thief: NodeId) {
+        self.charge(self.cfg.cost.steal_handle);
+        let batch = self.dispatcher.steal_half(16);
+        if batch.is_empty() {
+            self.stats.bump("steal.denied");
+            self.net_send(net, thief, KMsg::StealNone);
+            return;
+        }
+        for aid in batch {
+            if let Some(rec) = self.actors.get_mut(aid) {
+                rec.scheduled = false;
+                self.stats.bump("steal.granted");
+                self.migrate_out(net, aid, thief, true);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Groups (§2.2, §6.4)
+    // ------------------------------------------------------------------
+
+    /// `grpnew`: mint the group, create local members, fan out along the
+    /// spanning tree. Returns the id immediately.
+    fn grpnew(
+        &mut self,
+        net: &mut dyn NetOut,
+        behavior: BehaviorId,
+        count: u32,
+        init: Vec<Value>,
+        mapping: Mapping,
+    ) -> GroupId {
+        let group = self.groups.mint(self.cfg.me, count, mapping);
+        let me = self.cfg.me;
+        self.handle_grp_create(net, group, behavior, init, me);
+        group
+    }
+
+    fn handle_grp_create(
+        &mut self,
+        net: &mut dyn NetOut,
+        group: GroupId,
+        behavior: BehaviorId,
+        init: Vec<Value>,
+        root: NodeId,
+    ) {
+        // Relay down the tree first so subtree creation overlaps ours.
+        for child in bcast::children(self.cfg.me, root, self.cfg.nodes) {
+            self.net_send(
+                net,
+                child,
+                KMsg::GrpCreate {
+                    group,
+                    behavior,
+                    init: init.clone(),
+                    root,
+                },
+            );
+        }
+        let count = group.count();
+        let mut members = Vec::new();
+        for idx in members_on(self.cfg.me, count, self.cfg.nodes, group.mapping()) {
+            self.charge(self.cfg.cost.local_creation);
+            let mut args = init.clone();
+            args.push(Value::Group(group));
+            args.push(Value::Int(idx as i64));
+            args.push(Value::Int(count as i64));
+            let b = self.registry.create(behavior, &args);
+            let (aid, addr) = self.install_actor(b);
+            self.actors.get_mut(aid).expect("just installed").group = Some((group, idx));
+            members.push((idx, addr));
+        }
+        self.stats.add("groups.members_created", members.len() as u64);
+        let (parked_member, parked_bcast) = self.groups.install(group, members);
+        for (idx, msg) in parked_member {
+            self.deliver_member(net, group, idx, msg);
+        }
+        for msg in parked_bcast {
+            self.deliver_bcast_local(net, group, msg);
+        }
+    }
+
+    /// Route a message to group member `index` (home-node resolution).
+    fn deliver_member(&mut self, net: &mut dyn NetOut, group: GroupId, index: u32, msg: Msg) {
+        let home = home_node(index, group.count(), self.cfg.nodes, group.mapping());
+        if home == self.cfg.me {
+            if let Some(addr) = self.groups.member(group, index) {
+                self.send_to_addr(net, addr, msg);
+            } else if self.groups.known(group) {
+                panic!("group {group:?} installed without member {index}");
+            } else {
+                self.groups.park_member(group, index, msg);
+            }
+        } else {
+            self.net_send(
+                net,
+                home,
+                KMsg::Deliver {
+                    target: Target::Member { group, index },
+                    msg,
+                },
+            );
+        }
+    }
+
+    /// Broadcast to a group from this node.
+    fn broadcast(&mut self, net: &mut dyn NetOut, group: GroupId, msg: Msg) {
+        let me = self.cfg.me;
+        self.stats.bump("bcast.initiated");
+        self.handle_grp_bcast(net, group, msg, me);
+    }
+
+    fn handle_grp_bcast(&mut self, net: &mut dyn NetOut, group: GroupId, msg: Msg, root: NodeId) {
+        for child in bcast::children(self.cfg.me, root, self.cfg.nodes) {
+            self.net_send(
+                net,
+                child,
+                KMsg::GrpBcast {
+                    group,
+                    msg: msg.clone(),
+                    root,
+                },
+            );
+        }
+        if self.groups.known(group) {
+            self.deliver_bcast_local(net, group, msg);
+        } else {
+            self.groups.park_bcast(group, msg);
+        }
+    }
+
+    /// Collective scheduling (§6.4): deliver a broadcast to every local
+    /// member consecutively — one dispatch charge for the whole quantum
+    /// rather than one per message.
+    fn deliver_bcast_local(&mut self, net: &mut dyn NetOut, group: GroupId, msg: Msg) {
+        let members = self.groups.local_members(group);
+        if members.is_empty() {
+            return;
+        }
+        if self.cfg.opt.collective_bcast {
+            // One dispatch for the whole local quantum (§6.4).
+            self.charge(self.cfg.cost.dispatch);
+        }
+        self.stats.add("bcast.local_deliveries", members.len() as u64);
+        for (_idx, addr) in members {
+            if !self.cfg.opt.collective_bcast {
+                // Ablation: every member delivery is its own scheduling
+                // event.
+                self.charge(self.cfg.cost.dispatch);
+                self.charge(self.cfg.cost.local_send);
+            }
+            // Members homed here are usually still local; if one migrated
+            // the normal descriptor path forwards it.
+            self.charge(self.cfg.cost.constraint_check);
+            let m = msg.clone();
+            match self.names.resolve(addr.key) {
+                Resolution::Local(aid) => {
+                    if self.actors.enqueue(aid, m) {
+                        self.dispatcher.push(aid);
+                    }
+                }
+                _ => self.send_to_addr(net, addr, m),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection (§9 future work)
+    // ------------------------------------------------------------------
+
+    /// Coordinator entry point: start a distributed collection from this
+    /// node. The machine calls this at a quiescent point.
+    pub fn start_gc(&mut self, net: &mut dyn NetOut) {
+        assert!(
+            self.joins.pending() == 0,
+            "GC requires quiescence without pending join continuations"
+        );
+        self.gc.coord = Some(CoordState {
+            awaiting: self.cfg.nodes,
+            round_activity: 0,
+            rounds: 0,
+            freed: 0,
+        });
+        let me = self.cfg.me;
+        // Deliver to ourselves through the loopback so the coordinator
+        // node follows the identical code path as everyone else.
+        self.loopback.push_back(KMsg::GcBegin {
+            coordinator: me,
+            root: me,
+        });
+        self.drain_loopback(net);
+    }
+
+    /// Where a traced mail address should be marked: locally now, or at
+    /// the believed owner. Returns the number of *new* local marks.
+    fn gc_trace_addr(&mut self, addr: MailAddr, work: &mut Vec<ActorId>, out: &mut MarkBatches) -> u64 {
+        match self.names.resolve(addr.key) {
+            Resolution::Local(aid) => {
+                if self.gc.mark(aid) {
+                    work.push(aid);
+                    1
+                } else {
+                    0
+                }
+            }
+            Resolution::Remote { node, .. } => {
+                out.push(node, addr.key);
+                0
+            }
+            Resolution::Unknown => {
+                out.push(addr.default_route(), addr.key);
+                0
+            }
+        }
+    }
+
+    /// Trace from the current worklist to a local fixpoint; batch remote
+    /// references. Returns new local marks.
+    fn gc_trace(&mut self, mut work: Vec<ActorId>, out: &mut MarkBatches) -> u64 {
+        let mut new_marks = 0;
+        while let Some(aid) = work.pop() {
+            let refs = match self.actors.get(aid) {
+                Some(rec) => rec.behavior.acquaintances(),
+                None => continue,
+            };
+            for addr in refs {
+                new_marks += self.gc_trace_addr(addr, &mut work, out);
+            }
+        }
+        new_marks
+    }
+
+    /// Local roots: pinned actors, actors with queued work, and group
+    /// members (externally reachable by `(group, index)`).
+    fn gc_roots(&mut self) -> Vec<ActorId> {
+        let mut roots: Vec<ActorId> = Vec::new();
+        for aid in self.actors.live_ids() {
+            let rec = self.actors.get(aid).expect("live id");
+            let is_root = self.gc.pinned.contains(&aid)
+                || rec.scheduled
+                || !rec.mailq.is_empty()
+                || !rec.pendq.is_empty()
+                || rec.group.is_some();
+            if is_root {
+                roots.push(aid);
+            }
+        }
+        roots
+    }
+
+    fn gc_flush_batches(&mut self, net: &mut dyn NetOut, out: MarkBatches) -> u64 {
+        let mut forwarded = 0;
+        for (node, keys) in out.drain() {
+            forwarded += keys.len() as u64;
+            self.net_send(net, node, KMsg::GcMark { keys });
+        }
+        forwarded
+    }
+
+    fn handle_gc_begin(&mut self, net: &mut dyn NetOut, coordinator: NodeId, root: NodeId) {
+        for child in bcast::children(self.cfg.me, root, self.cfg.nodes) {
+            self.net_send(net, child, KMsg::GcBegin { coordinator, root });
+        }
+        assert!(
+            self.joins.pending() == 0,
+            "GC requires quiescence without pending join continuations"
+        );
+        let was_active = self.gc.active;
+        let coord = self.gc.coord.take();
+        self.gc.begin();
+        self.gc.coord = coord;
+        debug_assert!(!was_active, "nested collection");
+        self.gc_coordinator = coordinator;
+        let roots: Vec<ActorId> = self.gc_roots();
+        let mut newly = Vec::new();
+        for aid in roots {
+            if self.gc.mark(aid) {
+                newly.push(aid);
+            }
+        }
+        let mut out = MarkBatches::default();
+        let mut activity = newly.len() as u64;
+        activity += self.gc_trace(newly, &mut out);
+        activity += self.gc_flush_batches(net, out);
+        self.net_send(net, coordinator, KMsg::GcRoundDone { activity });
+    }
+
+    fn handle_gc_round(&mut self, net: &mut dyn NetOut, root: NodeId) {
+        for child in bcast::children(self.cfg.me, root, self.cfg.nodes) {
+            self.net_send(net, child, KMsg::GcRoundGo { root });
+        }
+        let incoming = std::mem::take(&mut self.gc.incoming);
+        let mut out = MarkBatches::default();
+        let mut work = Vec::new();
+        let mut activity = 0u64;
+        for key in incoming {
+            match self.names.resolve(key) {
+                Resolution::Local(aid) => {
+                    if self.gc.mark(aid) {
+                        work.push(aid);
+                        activity += 1;
+                    }
+                }
+                Resolution::Remote { node, .. } => {
+                    out.push(node, key);
+                }
+                Resolution::Unknown => {
+                    // At the birthplace an unknown key means the actor is
+                    // already gone; elsewhere, ask the birthplace.
+                    if key.birthplace != self.cfg.me {
+                        out.push(key.birthplace, key);
+                    }
+                }
+            }
+        }
+        activity += self.gc_trace(work, &mut out);
+        activity += self.gc_flush_batches(net, out);
+        let coordinator = self.gc_coordinator;
+        self.net_send(net, coordinator, KMsg::GcRoundDone { activity });
+    }
+
+    fn handle_gc_round_done(&mut self, _net: &mut dyn NetOut, activity: u64) {
+        let me = self.cfg.me;
+        let nodes = self.cfg.nodes;
+        let coord = self.gc.coord.as_mut().expect("round report at non-coordinator");
+        coord.awaiting -= 1;
+        coord.round_activity += activity;
+        if coord.awaiting > 0 {
+            return;
+        }
+        if coord.round_activity > 0 {
+            coord.awaiting = nodes;
+            coord.round_activity = 0;
+            coord.rounds += 1;
+            self.loopback.push_back(KMsg::GcRoundGo { root: me });
+        } else {
+            coord.awaiting = nodes;
+            self.loopback.push_back(KMsg::GcSweepCmd { root: me });
+        }
+    }
+
+    fn handle_gc_sweep(&mut self, net: &mut dyn NetOut, root: NodeId) {
+        for child in bcast::children(self.cfg.me, root, self.cfg.nodes) {
+            self.net_send(net, child, KMsg::GcSweepCmd { root });
+        }
+        let mut freed = 0u64;
+        for aid in self.actors.live_ids() {
+            if self.gc.marked.contains(&aid) {
+                continue;
+            }
+            let rec = self.actors.remove(aid);
+            for key in &rec.keys {
+                if key.birthplace == self.cfg.me {
+                    if self.names.descriptor_live(key.index) {
+                        self.names.free_descriptor(key.index);
+                    }
+                } else if let Some(d) = self.names.unbind(*key) {
+                    if self.names.descriptor_live(d) {
+                        self.names.free_descriptor(d);
+                    }
+                }
+            }
+            freed += 1;
+        }
+        self.stats.add("gc.freed", freed);
+        self.gc.active = false;
+        let live = self.actors.len() as u64;
+        let coordinator = self.gc_coordinator;
+        self.net_send(net, coordinator, KMsg::GcSwept { freed, live });
+    }
+
+    fn handle_gc_swept(&mut self, _net: &mut dyn NetOut, freed: u64, live: u64) {
+        let coord = self.gc.coord.as_mut().expect("sweep report at non-coordinator");
+        coord.awaiting -= 1;
+        coord.freed += freed;
+        self.gc_live_total += live;
+        if coord.awaiting == 0 {
+            let rounds = coord.rounds;
+            let freed = coord.freed;
+            let live = self.gc_live_total;
+            self.gc_live_total = 0;
+            self.reports.push(("gc_freed".into(), Value::Int(freed as i64)));
+            self.reports.push(("gc_rounds".into(), Value::Int(rounds as i64)));
+            self.reports.push(("gc_live".into(), Value::Int(live as i64)));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduling (§6.3)
+    // ------------------------------------------------------------------
+
+    /// Bootstrap: create an actor on this node before the machine runs
+    /// (the front-end loading a program) and optionally hand it an
+    /// initial message.
+    pub fn bootstrap(&mut self, behavior: Box<dyn Behavior>, initial: Option<Msg>) -> MailAddr {
+        let (aid, addr) = self.install_actor(behavior);
+        if let Some(msg) = initial {
+            self.enqueue_local(aid, msg);
+        }
+        addr
+    }
+
+    /// Run one scheduling step: drain loopback work, then execute one
+    /// ready actor for up to a quantum of messages. Returns `true` if any
+    /// work was done.
+    pub fn step(&mut self, net: &mut dyn NetOut) -> bool {
+        if !self.loopback.is_empty() {
+            self.drain_loopback(net);
+            return true;
+        }
+        let Some(aid) = self.dispatcher.pop() else {
+            return false;
+        };
+        self.charge(self.cfg.cost.dispatch);
+        self.run_actor(net, aid);
+        self.drain_loopback(net);
+        true
+    }
+
+    /// Execute up to `quantum` enabled messages on actor `aid`, with
+    /// pending-queue rescans after each method (§6.1).
+    fn run_actor(&mut self, net: &mut dyn NetOut, aid: ActorId) {
+        let Some(mut rec) = self.actors.checkout(aid) else {
+            // Stolen or migrated between scheduling and execution.
+            return;
+        };
+        rec.scheduled = false;
+        let mut processed = 0usize;
+        let mut migrate_req: Option<NodeId> = None;
+
+        loop {
+            if processed >= self.cfg.quantum || migrate_req.is_some() {
+                break;
+            }
+            let Some(msg) = rec.mailq.pop_front() else {
+                break;
+            };
+            self.charge(self.cfg.cost.constraint_check);
+            if rec.behavior.enabled(msg.selector, &msg.args) {
+                processed += 1;
+                let mreq = self.execute_message(net, aid, &mut rec, msg);
+                if mreq.is_some() {
+                    migrate_req = mreq;
+                }
+                // Pending rescan: "Whenever an actor completes its method
+                // execution, it examines whether or not it has pending
+                // messages" — dispatch newly enabled ones immediately.
+                if migrate_req.is_none() {
+                    let m2 = self.rescan_pending(net, aid, &mut rec);
+                    if m2.is_some() {
+                        migrate_req = m2;
+                    }
+                }
+            } else {
+                self.stats.bump("sync.deferred");
+                rec.pendq.push_back(msg);
+            }
+        }
+        // A migration-free actor with nothing processed but a nonempty
+        // pendq still deserves one rescan (e.g. scheduled by arrival of
+        // state-changing messages that all went to pendq — nothing to do,
+        // but harmless and keeps semantics uniform).
+        if processed == 0 && migrate_req.is_none() && !rec.pendq.is_empty() {
+            let m2 = self.rescan_pending(net, aid, &mut rec);
+            if m2.is_some() {
+                migrate_req = m2;
+            }
+        }
+
+        let more = !rec.mailq.is_empty();
+        self.actors.checkin(aid, rec);
+        if let Some(dst) = migrate_req {
+            if dst == self.cfg.me {
+                // Degenerate migration to self: just reschedule.
+                if let Some(r) = self.actors.get_mut(aid) {
+                    if (!r.mailq.is_empty() || !r.pendq.is_empty()) && !r.scheduled {
+                        r.scheduled = true;
+                        self.dispatcher.push(aid);
+                    }
+                }
+            } else {
+                self.migrate_out(net, aid, dst, false);
+            }
+            return;
+        }
+        // checkin may have merged new arrivals; reschedule if needed.
+        let rec = self.actors.get_mut(aid).expect("just checked in");
+        if (more || !rec.mailq.is_empty()) && !rec.scheduled {
+            rec.scheduled = true;
+            self.dispatcher.push(aid);
+        }
+    }
+
+    /// Dispatch every currently enabled pending message, repeatedly,
+    /// until none is enabled. Returns a migration request if one arose.
+    fn rescan_pending(
+        &mut self,
+        net: &mut dyn NetOut,
+        aid: ActorId,
+        rec: &mut ActorRecord,
+    ) -> Option<NodeId> {
+        loop {
+            let mut fired = false;
+            let mut i = 0;
+            while i < rec.pendq.len() {
+                self.charge(self.cfg.cost.constraint_check);
+                let enabled = {
+                    let m = &rec.pendq[i];
+                    rec.behavior.enabled(m.selector, &m.args)
+                };
+                if enabled {
+                    let msg = rec.pendq.remove(i).expect("index in range");
+                    self.stats.bump("sync.resumed");
+                    fired = true;
+                    let mreq = self.execute_message(net, aid, rec, msg);
+                    if mreq.is_some() {
+                        return mreq;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            if !fired {
+                return None;
+            }
+        }
+    }
+
+    /// Invoke one method on a checked-out actor record. Returns the
+    /// migration destination if the method requested one.
+    fn execute_message(
+        &mut self,
+        net: &mut dyn NetOut,
+        aid: ActorId,
+        rec: &mut ActorRecord,
+        msg: Msg,
+    ) -> Option<NodeId> {
+        self.charge(self.cfg.cost.method_invoke);
+        self.stats.bump("msgs.processed");
+        let mut ctx = Ctx {
+            ident: Ident::Actor {
+                aid,
+                addr: rec.addr,
+            },
+            customer: msg.customer,
+            become_to: None,
+            migrate_to: None,
+            k: self,
+            net,
+        };
+        rec.behavior.dispatch(&mut ctx, msg);
+        let become_to = ctx.become_to.take();
+        let migrate_to = ctx.migrate_to.take();
+        if let Some(b) = become_to {
+            rec.behavior = b;
+        }
+        migrate_to
+    }
+
+    /// Compiler fast path (§6.3): locality check + inline static dispatch
+    /// on the current stack, when the receiver is local, enabled, idle,
+    /// and the depth bound permits. Falls back to the generic send.
+    /// Returns `true` if the fast path was taken.
+    fn send_fast(&mut self, net: &mut dyn NetOut, to: MailAddr, msg: Msg) -> bool {
+        self.charge(self.cfg.cost.locality_check);
+        if self.stack_depth >= self.cfg.max_stack_depth {
+            self.stats.bump("fast.depth_fallback");
+            self.send_after_check(net, to, msg);
+            return false;
+        }
+        match self.names.resolve(to.key) {
+            Resolution::Local(aid) => {
+                // The runtime "additionally checks if the recipient actor
+                // is in a state in which it is enabled to process the
+                // message" — and that it has no queued messages (queue
+                // jumping would break the actor's arrival order).
+                let ok = match self.actors.get(aid) {
+                    Some(rec) => {
+                        rec.mailq.is_empty()
+                            && rec.pendq.is_empty()
+                            && rec.behavior.enabled(msg.selector, &msg.args)
+                    }
+                    None => false, // running: fall back to queueing
+                };
+                if !ok {
+                    self.charge(self.cfg.cost.local_send);
+                    self.stats.bump("fast.state_fallback");
+                    self.enqueue_local(aid, msg);
+                    return false;
+                }
+                self.charge(self.cfg.cost.local_send_fast);
+                self.stats.bump("fast.inline");
+                let mut rec = self.actors.checkout(aid).expect("checked above");
+                self.stack_depth += 1;
+                let mreq = self.execute_message(net, aid, &mut rec, msg);
+                let m2 = if mreq.is_none() {
+                    self.rescan_pending(net, aid, &mut rec)
+                } else {
+                    mreq
+                };
+                self.stack_depth -= 1;
+                let has_more = !rec.mailq.is_empty();
+                self.actors.checkin(aid, rec);
+                if let Some(dst) = m2 {
+                    if dst != self.cfg.me {
+                        self.migrate_out(net, aid, dst, false);
+                        return true;
+                    }
+                }
+                if has_more {
+                    let rec = self.actors.get_mut(aid).expect("just checked in");
+                    if !rec.scheduled {
+                        rec.scheduled = true;
+                        self.dispatcher.push(aid);
+                    }
+                }
+                true
+            }
+            _ => {
+                self.send_after_check(net, to, msg);
+                false
+            }
+        }
+    }
+
+    /// The generic send minus the locality check (already charged).
+    fn send_after_check(&mut self, net: &mut dyn NetOut, to: MailAddr, msg: Msg) {
+        // send_to_addr re-checks; refund the duplicate check so fast-path
+        // fallbacks are not double-charged.
+        match self.names.resolve(to.key) {
+            Resolution::Local(aid) => {
+                self.charge(self.cfg.cost.local_send);
+                self.stats.bump("msgs.local");
+                self.enqueue_local(aid, msg);
+            }
+            _ => self.send_to_addr(net, to, msg),
+        }
+    }
+}
+
+/// Who is currently executing.
+enum Ident {
+    /// An actor method.
+    Actor {
+        /// Its slab id.
+        aid: ActorId,
+        /// Its primary address.
+        addr: MailAddr,
+    },
+    /// A join continuation body.
+    Continuation,
+    /// Machine bootstrap code.
+    System,
+}
+
+/// The actor interface (Fig. 2's top layer): everything a behavior can
+/// ask of the kernel during a method execution.
+pub struct Ctx<'a> {
+    k: &'a mut Kernel,
+    net: &'a mut dyn NetOut,
+    ident: Ident,
+    customer: Option<ContRef>,
+    become_to: Option<Box<dyn Behavior>>,
+    migrate_to: Option<NodeId>,
+}
+
+impl<'a> Ctx<'a> {
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.k.cfg.me
+    }
+
+    /// Partition size.
+    pub fn nodes(&self) -> usize {
+        self.k.cfg.nodes
+    }
+
+    /// Current virtual time on this node.
+    pub fn now(&self) -> VirtualTime {
+        self.k.clock
+    }
+
+    /// Charge user compute time to the node clock (simulation of the
+    /// method body's real work, e.g. a block matrix multiply).
+    pub fn charge(&mut self, d: VirtualDuration) {
+        self.k.charge(d);
+    }
+
+    /// The executing actor's mail address.
+    ///
+    /// # Panics
+    /// Panics when called from a continuation or bootstrap context.
+    pub fn me(&self) -> MailAddr {
+        match self.ident {
+            Ident::Actor { addr, .. } => addr,
+            _ => panic!("Ctx::me outside an actor method"),
+        }
+    }
+
+    /// The reply destination of the current message, if it was a request.
+    pub fn customer(&self) -> Option<ContRef> {
+        self.customer
+    }
+
+    /// Asynchronous send (the actor `send` primitive).
+    pub fn send(&mut self, to: MailAddr, selector: Selector, args: Vec<Value>) {
+        self.k.send_to_addr(self.net, to, Msg::new(selector, args));
+    }
+
+    /// Send a fully formed message (continuation reference included).
+    pub fn send_msg(&mut self, to: MailAddr, msg: Msg) {
+        self.k.send_to_addr(self.net, to, msg);
+    }
+
+    /// Compiler fast path (§6.3): inline local dispatch when legal, else
+    /// the generic send. Returns whether the inline path ran.
+    pub fn send_fast(&mut self, to: MailAddr, selector: Selector, args: Vec<Value>) -> bool {
+        self.k.send_fast(self.net, to, Msg::new(selector, args))
+    }
+
+    /// `request`: asynchronous send whose reply fills `cont`.
+    pub fn request(&mut self, to: MailAddr, selector: Selector, args: Vec<Value>, cont: ContRef) {
+        self.k
+            .send_to_addr(self.net, to, Msg::request(selector, args, cont));
+    }
+
+    /// `reply`: answer the current message's customer.
+    ///
+    /// # Panics
+    /// Panics if the current message carried no continuation.
+    pub fn reply(&mut self, value: Value) {
+        let cont = self
+            .customer
+            .take()
+            .expect("reply without a customer continuation");
+        self.k.send_reply(self.net, cont, value);
+    }
+
+    /// Answer an explicit continuation reference (for forwarded or stored
+    /// customers).
+    pub fn reply_to(&mut self, cont: ContRef, value: Value) {
+        self.k.send_reply(self.net, cont, value);
+    }
+
+    /// Create a join continuation with `arity` slots, `prefilled` known
+    /// values, and body `func` (§6.2). Combine with [`Ctx::cont_slot`] to
+    /// build reply targets.
+    pub fn create_join(
+        &mut self,
+        arity: u16,
+        prefilled: Vec<(u16, Value)>,
+        func: JoinFn,
+    ) -> JcId {
+        let creator = match self.ident {
+            Ident::Actor { aid, .. } => Some(aid),
+            _ => None,
+        };
+        self.k.joins.create(arity, prefilled, func, creator)
+    }
+
+    /// A continuation reference filling `slot` of `jc` on this node.
+    pub fn cont_slot(&self, jc: JcId, slot: u16) -> ContRef {
+        ContRef::Join {
+            node: self.k.cfg.me,
+            jc,
+            slot,
+        }
+    }
+
+    /// `new`: create an actor on this node from a behavior object.
+    pub fn create_local(&mut self, behavior: Box<dyn Behavior>) -> MailAddr {
+        self.k.create_local(behavior)
+    }
+
+    /// `new @ node`: create an actor on `node` (alias latency hiding when
+    /// remote, §5). Placement is explicit, as HAL allows ("placement
+    /// specification for dynamically created objects").
+    pub fn create_on(&mut self, node: NodeId, behavior: BehaviorId, init: Vec<Value>) -> MailAddr {
+        if node == self.k.cfg.me {
+            let b = self.k.registry.create(behavior, &init);
+            self.k.create_local(b)
+        } else {
+            self.k.create_remote(self.net, node, behavior, init)
+        }
+    }
+
+    /// `grpnew`: create a group of `count` actors of `behavior` spread
+    /// over the partition; returns immediately with the group id. Each
+    /// member's factory receives `init ++ [Group(id), Int(index),
+    /// Int(count)]`.
+    pub fn grpnew(&mut self, behavior: BehaviorId, count: u32, init: Vec<Value>) -> GroupId {
+        self.k.grpnew(self.net, behavior, count, init, Mapping::Block)
+    }
+
+    /// `grpnew` with an explicit member-distribution mapping (Table 1's
+    /// block vs cyclic column placement).
+    pub fn grpnew_mapped(
+        &mut self,
+        behavior: BehaviorId,
+        count: u32,
+        init: Vec<Value>,
+        mapping: Mapping,
+    ) -> GroupId {
+        self.k.grpnew(self.net, behavior, count, init, mapping)
+    }
+
+    /// Broadcast to every member of `group` (§6.4).
+    pub fn broadcast(&mut self, group: GroupId, selector: Selector, args: Vec<Value>) {
+        self.k.broadcast(self.net, group, Msg::new(selector, args));
+    }
+
+    /// Send to one member of a group by index.
+    pub fn send_member(&mut self, group: GroupId, index: u32, selector: Selector, args: Vec<Value>) {
+        self.k
+            .deliver_member(self.net, group, index, Msg::new(selector, args));
+    }
+
+    /// Send a request to one member of a group.
+    pub fn request_member(
+        &mut self,
+        group: GroupId,
+        index: u32,
+        selector: Selector,
+        args: Vec<Value>,
+        cont: ContRef,
+    ) {
+        self.k
+            .deliver_member(self.net, group, index, Msg::request(selector, args, cont));
+    }
+
+    /// `become`: replace this actor's behavior after the current method
+    /// returns.
+    pub fn become_behavior(&mut self, behavior: Box<dyn Behavior>) {
+        assert!(
+            matches!(self.ident, Ident::Actor { .. }),
+            "become outside an actor method"
+        );
+        self.become_to = Some(behavior);
+    }
+
+    /// Ask the kernel to migrate this actor to `node` after the current
+    /// method returns.
+    pub fn migrate(&mut self, node: NodeId) {
+        assert!(
+            matches!(self.ident, Ident::Actor { .. }),
+            "migrate outside an actor method"
+        );
+        self.migrate_to = Some(node);
+    }
+
+    /// Post a named result for the harness to read from the machine
+    /// report.
+    pub fn report(&mut self, key: impl Into<String>, value: Value) {
+        self.k.reports.push((key.into(), value));
+    }
+
+    /// Stop the whole machine: sets the local stop flag and broadcasts
+    /// Halt to every other node.
+    pub fn stop(&mut self) {
+        self.k.stopped = true;
+        for n in 0..self.k.cfg.nodes as NodeId {
+            if n != self.k.cfg.me {
+                self.k.net_send(self.net, n, KMsg::Halt);
+            }
+        }
+    }
+
+    /// Node-local statistics (incrementing workload-specific counters).
+    pub fn stats(&mut self) -> &mut StatSet {
+        &mut self.k.stats
+    }
+
+    /// Pin a *local* actor as a garbage-collection root (the analog of
+    /// an address held outside the actor system). Panics if the actor
+    /// does not live on this node.
+    pub fn pin(&mut self, addr: MailAddr) {
+        match self.k.names.resolve(addr.key) {
+            Resolution::Local(aid) => {
+                self.k.gc.pinned.insert(aid);
+            }
+            other => panic!("pin of non-local actor ({other:?})"),
+        }
+    }
+
+    /// Remove a pin (the external reference was dropped); the actor
+    /// becomes collectable if nothing else reaches it.
+    pub fn unpin(&mut self, addr: MailAddr) {
+        if let Resolution::Local(aid) = self.k.names.resolve(addr.key) {
+            self.k.gc.pinned.remove(&aid);
+        }
+    }
+}
+
+/// Run a closure in a bootstrap (`System`) context against a kernel —
+/// how machines let harness code create the initial actors.
+pub fn with_system_ctx<R>(
+    kernel: &mut Kernel,
+    net: &mut dyn NetOut,
+    f: impl FnOnce(&mut Ctx<'_>) -> R,
+) -> R {
+    let mut ctx = Ctx {
+        k: kernel,
+        net,
+        ident: Ident::System,
+        customer: None,
+        become_to: None,
+        migrate_to: None,
+    };
+    let r = f(&mut ctx);
+    debug_assert!(ctx.become_to.is_none());
+    debug_assert!(ctx.migrate_to.is_none());
+    r
+}

@@ -1,0 +1,61 @@
+//! # hal-kernel — the HAL runtime kernel
+//!
+//! The primary contribution of Kim & Agha, *Efficient Support of Location
+//! Transparency in Concurrent Object-Oriented Programming Languages*
+//! (SC '95): a runtime system for a fine-grained actor language that
+//! supports **location transparency**, **dynamic placement**, and
+//! **migration** with tolerable overhead.
+//!
+//! Module map (mirrors the paper's Fig. 2 kernel structure):
+//!
+//! | Paper concept | Module |
+//! |---|---|
+//! | mail addresses & aliases (§4.1, §5) | [`addr`] |
+//! | locality descriptors (§4.1) | [`descriptor`] |
+//! | distributed name table (§4.2) | [`name_server`] |
+//! | FIR message delivery (§4.3, Fig. 3) | [`fir`] + [`kernel`] |
+//! | remote creation latency hiding (§5) | [`kernel`] (`create_on`) |
+//! | local synchronization constraints (§6.1) | [`actor`] + [`kernel`] |
+//! | join continuations (§6.2, Fig. 4) | [`join`] |
+//! | compiler-controlled scheduling (§6.3) | [`dispatch`] + `Ctx::send_fast` |
+//! | collective broadcast scheduling (§6.4) | [`group`] |
+//! | minimal flow control (§6.5) | `hal-am` + [`kernel`] |
+//! | random-polling load balancing (§7.2) | [`balance`] |
+//! | node manager (§3) | [`kernel`] (`handle_*`) |
+//! | program load module (§3) | [`registry`] |
+//! | CM-5 cost calibration | [`cost`] |
+//! | the partition itself | [`machine`] (simulated), [`thread_machine`] (threads) |
+
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod addr;
+pub mod balance;
+pub mod cost;
+pub mod descriptor;
+pub mod dispatch;
+pub mod fir;
+pub mod gc;
+pub mod group;
+pub mod join;
+pub mod kernel;
+pub mod machine;
+pub mod message;
+pub mod name_server;
+pub mod registry;
+pub mod thread_machine;
+pub mod timeline;
+pub mod wire;
+
+pub use actor::{ActorRecord, Behavior};
+pub use addr::{
+    ActorId, AddrKey, BehaviorId, DescriptorId, GroupId, JcId, MailAddr, Mapping, Selector,
+};
+pub use cost::CostModel;
+pub use kernel::{Ctx, Kernel, KernelConfig, NetOut, OptFlags};
+pub use machine::{MachineConfig, SimMachine, SimReport};
+pub use message::{ContRef, Msg, Target, Value};
+pub use registry::{BehaviorRegistry, FactoryFn};
+pub use thread_machine::{run_threaded, ThreadReport};
+pub use gc::GcReport;
+pub use wire::{ActorImage, KMsg};

@@ -1,0 +1,393 @@
+//! The simulated machine: N kernels over the discrete-event network.
+//!
+//! This is the "CM-5 partition" of the reproduction: the machine advances
+//! whichever node (or packet) has the earliest virtual timestamp, so an
+//! entire multicomputer executes deterministically on one host CPU. The
+//! benchmark harnesses read the resulting virtual makespans — their shape
+//! reproduces the paper's tables.
+
+use crate::cost::CostModel;
+use crate::gc::GcReport;
+use crate::timeline::{SpanKind, Timeline};
+use crate::kernel::{with_system_ctx, Ctx, Kernel, KernelConfig, NetOut};
+use crate::message::Value;
+use crate::registry::BehaviorRegistry;
+use crate::wire::KMsg;
+use hal_am::{LinkModel, NodeId, SimNetwork};
+use hal_des::{StatSet, VirtualTime};
+use std::sync::Arc;
+
+/// Machine-wide configuration.
+#[derive(Clone)]
+pub struct MachineConfig {
+    /// Partition size (number of nodes).
+    pub nodes: usize,
+    /// Master seed: every per-node RNG stream derives from it.
+    pub seed: u64,
+    /// Cost model charged by every kernel.
+    pub cost: CostModel,
+    /// Network timing.
+    pub link: LinkModel,
+    /// Receiver-initiated random-polling load balancing (§7.2).
+    pub load_balancing: bool,
+    /// Three-phase bulk flow control (§6.5); disable for the Table 1
+    /// ablation.
+    pub flow_control: bool,
+    /// Messages per actor scheduling quantum.
+    pub quantum: usize,
+    /// Stack-based inline dispatch depth bound (§6.3).
+    pub max_stack_depth: u32,
+    /// Safety valve: abort after this many simulation events (0 = off).
+    pub max_events: u64,
+    /// Ablation switches (paper design by default).
+    pub opt: crate::kernel::OptFlags,
+    /// Record per-node busy spans for timeline rendering
+    /// ([`crate::timeline`]).
+    pub record_timeline: bool,
+}
+
+impl MachineConfig {
+    /// CM-5-calibrated defaults for `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        MachineConfig {
+            nodes,
+            seed: 0x5EED,
+            cost: CostModel::cm5(),
+            link: LinkModel::cm5(),
+            load_balancing: false,
+            flow_control: true,
+            quantum: 16,
+            max_stack_depth: 64,
+            max_events: 0,
+            opt: crate::kernel::OptFlags::default(),
+            record_timeline: false,
+        }
+    }
+
+    /// Enable load balancing (builder style).
+    pub fn with_load_balancing(mut self, on: bool) -> Self {
+        self.load_balancing = on;
+        self
+    }
+
+    /// Enable/disable bulk flow control (builder style).
+    pub fn with_flow_control(mut self, on: bool) -> Self {
+        self.flow_control = on;
+        self
+    }
+
+    /// Set the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the ablation flags (builder style).
+    pub fn with_opt(mut self, opt: crate::kernel::OptFlags) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Record busy spans for timeline rendering (builder style).
+    pub fn with_timeline(mut self) -> Self {
+        self.record_timeline = true;
+        self
+    }
+}
+
+/// Result of running a simulated machine to completion.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Maximum node clock at completion — the parallel execution time.
+    pub makespan: VirtualTime,
+    /// Each node's final clock.
+    pub node_clocks: Vec<VirtualTime>,
+    /// Merged kernel + network statistics.
+    pub stats: StatSet,
+    /// Values actors posted via [`Ctx::report`].
+    pub reports: Vec<(String, Value)>,
+    /// Total simulation events dispatched.
+    pub events: u64,
+    /// Total actors created across all nodes.
+    pub actors_created: u64,
+}
+
+impl SimReport {
+    /// First reported value under `key`, if any.
+    pub fn value(&self, key: &str) -> Option<&Value> {
+        self.reports.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// All reported values under `key`.
+    pub fn values(&self, key: &str) -> Vec<&Value> {
+        self.reports
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .collect()
+    }
+}
+
+enum Action {
+    /// Deliver the next network packet.
+    Net,
+    /// Step node `i`'s dispatcher.
+    Step(usize),
+    /// Let idle node `i` send a load-balance poll.
+    Poll(usize),
+}
+
+/// A simulated multicomputer partition.
+pub struct SimMachine {
+    cfg: MachineConfig,
+    kernels: Vec<Kernel>,
+    net: SimNetwork<KMsg>,
+    events: u64,
+    timeline: Timeline,
+}
+
+impl SimMachine {
+    /// Build a machine over a registry of behaviors.
+    pub fn new(cfg: MachineConfig, registry: Arc<BehaviorRegistry>) -> Self {
+        assert!(cfg.nodes >= 1, "a partition needs at least one node");
+        assert!(
+            cfg.nodes <= u16::MAX as usize,
+            "partition exceeds the 16-bit node id space"
+        );
+        let kernels = (0..cfg.nodes)
+            .map(|i| {
+                let kcfg = KernelConfig {
+                    me: i as NodeId,
+                    nodes: cfg.nodes,
+                    cost: cfg.cost,
+                    load_balancing: cfg.load_balancing && cfg.nodes > 1,
+                    flow_control: cfg.flow_control,
+                    quantum: cfg.quantum,
+                    max_stack_depth: cfg.max_stack_depth,
+                    seed: cfg.seed,
+                    opt: cfg.opt,
+                };
+                Kernel::new(kcfg, Arc::clone(&registry))
+            })
+            .collect();
+        let net = SimNetwork::new(cfg.nodes, cfg.link);
+        SimMachine {
+            cfg,
+            kernels,
+            net,
+            events: 0,
+            timeline: Timeline::default(),
+        }
+    }
+
+    /// Partition size.
+    pub fn nodes(&self) -> usize {
+        self.cfg.nodes
+    }
+
+    /// Access a node's kernel (tests, diagnostics).
+    pub fn kernel(&self, node: NodeId) -> &Kernel {
+        &self.kernels[node as usize]
+    }
+
+    /// Mutable kernel access (test-only surgery).
+    pub fn kernel_mut(&mut self, node: NodeId) -> &mut Kernel {
+        &mut self.kernels[node as usize]
+    }
+
+    /// Run harness code in a system context on `node` — the front-end
+    /// loading a program: create initial actors, send kick-off messages.
+    pub fn with_ctx<R>(&mut self, node: NodeId, f: impl FnOnce(&mut Ctx<'_>) -> R) -> R {
+        with_system_ctx(&mut self.kernels[node as usize], &mut self.net, f)
+    }
+
+    /// Run until every node is idle and the network is drained (or a
+    /// kernel stopped the machine / the event valve blew).
+    pub fn run(&mut self) -> SimReport {
+        loop {
+            if self.kernels.iter().any(|k| k.stopped) {
+                break;
+            }
+            if self.cfg.max_events > 0 && self.events >= self.cfg.max_events {
+                panic!(
+                    "SimMachine exceeded max_events = {} (livelock?)",
+                    self.cfg.max_events
+                );
+            }
+            let Some(action) = self.next_action() else {
+                break; // fully drained
+            };
+            self.events += 1;
+            if std::env::var("HAL_TRACE").is_ok() && self.events < 80 {
+                match &action {
+                    Action::Net => {
+                        eprintln!("[{:>6}] NET   next={:?}", self.events, self.net.peek_time());
+                    }
+                    Action::Step(i) => eprintln!(
+                        "[{:>6}] STEP  node={} clock={} ready={}",
+                        self.events, i, self.kernels[*i].clock, self.kernels[*i].ready_len()
+                    ),
+                    Action::Poll(i) => eprintln!("[{:>6}] POLL  node={}", self.events, i),
+                }
+            }
+            match action {
+                Action::Net => {
+                    let (t, pkt) = self.net.pop().expect("next_action said Net");
+                    let node = pkt.dst;
+                    let k = &mut self.kernels[node as usize];
+                    // Interrupt semantics (§3): the node manager "steals
+                    // the processor from the actor that is currently
+                    // executing". If the node's clock is already past the
+                    // arrival (mid-method), the handler logically runs AT
+                    // the arrival time — its outbound packets (acks,
+                    // relays, grants) leave immediately — while the
+                    // interrupted method's completion slips by the
+                    // handler's CPU time.
+                    let busy_until = k.clock;
+                    k.clock = t;
+                    k.handle_packet(&mut self.net, pkt);
+                    let handler_time = k.clock.since(t);
+                    k.clock = k.clock.max(busy_until + handler_time);
+                    if self.cfg.record_timeline {
+                        self.timeline.push(node, t, t + handler_time, SpanKind::Handler);
+                    }
+                }
+                Action::Step(i) => {
+                    let k = &mut self.kernels[i];
+                    let before = k.clock;
+                    k.step(&mut self.net);
+                    if self.cfg.record_timeline {
+                        let after = self.kernels[i].clock;
+                        self.timeline
+                            .push(i as NodeId, before, after, SpanKind::Compute);
+                    }
+                }
+                Action::Poll(i) => {
+                    let k = &mut self.kernels[i];
+                    // Advance the idle node to its poll window.
+                    if let Some(t0) = k.balancer.poll_ready_at() {
+                        k.clock = k.clock.max(t0);
+                    }
+                    k.send_steal_poll(&mut self.net);
+                }
+            }
+        }
+        self.report()
+    }
+
+    /// Choose the globally earliest next action, deterministically.
+    ///
+    /// Tie-break order at equal timestamps: packet delivery, then node
+    /// steps by node index, then polls by node index — fixed so that
+    /// reruns with one seed are bit-identical.
+    fn next_action(&self) -> Option<Action> {
+        let mut best: Option<(VirtualTime, u8, usize)> = None;
+        let consider = |t: VirtualTime, rank: u8, idx: usize, best: &mut Option<(VirtualTime, u8, usize)>| {
+            let cand = (t, rank, idx);
+            if best.is_none_or(|b| cand < b) {
+                *best = Some(cand);
+            }
+        };
+        if let Some(t) = self.net.peek_time() {
+            consider(t, 0, 0, &mut best);
+        }
+        for (i, k) in self.kernels.iter().enumerate() {
+            if k.has_work() {
+                consider(k.clock, 1, i, &mut best);
+            }
+        }
+        if self.cfg.load_balancing && self.cfg.nodes > 1 {
+            // Idle nodes may poll — but only while some node actually
+            // holds ready work (the real system parks on an idle
+            // interrupt; the simulation can see readiness globally).
+            // In-flight packets deliberately do NOT count: steal traffic
+            // itself would otherwise keep idle nodes polling each other
+            // forever after the computation drains.
+            let work_exists = self.kernels.iter().any(|k| k.has_work());
+            if work_exists {
+                for (i, k) in self.kernels.iter().enumerate() {
+                    if !k.has_work() {
+                        if let Some(t0) = k.balancer.poll_ready_at() {
+                            consider(t0.max(k.clock), 2, i, &mut best);
+                        }
+                    }
+                }
+            }
+        }
+        best.map(|(_, rank, idx)| match rank {
+            0 => Action::Net,
+            1 => Action::Step(idx),
+            _ => Action::Poll(idx),
+        })
+    }
+
+    /// Snapshot the report without running.
+    pub fn report(&self) -> SimReport {
+        let mut stats = StatSet::new();
+        let mut reports = Vec::new();
+        let mut actors = 0;
+        for k in &self.kernels {
+            stats.merge(&k.stats);
+            reports.extend(k.reports.iter().cloned());
+            actors += k.actors_created();
+        }
+        stats.merge(self.net.stats());
+        let node_clocks: Vec<_> = self.kernels.iter().map(|k| k.clock).collect();
+        let makespan = node_clocks
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(VirtualTime::ZERO);
+        SimReport {
+            makespan,
+            node_clocks,
+            stats,
+            reports,
+            events: self.events,
+            actors_created: actors,
+        }
+    }
+
+    /// The network handle (tests needing raw injection).
+    pub fn net_mut(&mut self) -> &mut impl NetOut {
+        &mut self.net
+    }
+
+    /// The recorded timeline (empty unless
+    /// [`MachineConfig::record_timeline`] was set).
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Run a distributed garbage collection (§9 future work): the
+    /// machine must be quiescent (no ready work, empty network — i.e.
+    /// right after [`SimMachine::run`] drained). Returns what was freed.
+    ///
+    /// # Panics
+    /// Panics if the machine is not quiescent or join continuations are
+    /// still pending (a stuck program, not a collectable state).
+    pub fn collect_garbage(&mut self) -> GcReport {
+        assert!(
+            self.net.in_flight() == 0 && self.kernels.iter().all(|k| !k.has_work()),
+            "collect_garbage requires a quiescent machine"
+        );
+        self.kernels[0].start_gc(&mut self.net);
+        self.run();
+        // The coordinator posted gc_freed / gc_rounds / gc_live as its
+        // most recent reports.
+        let reports = &self.kernels[0].reports;
+        let find_last = |key: &str| {
+            reports
+                .iter()
+                .rev()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_int())
+                .unwrap_or_else(|| panic!("GC did not complete: missing {key}"))
+        };
+        GcReport {
+            freed: find_last("gc_freed") as u64,
+            rounds: find_last("gc_rounds") as u32,
+            live: find_last("gc_live") as u64,
+        }
+    }
+}

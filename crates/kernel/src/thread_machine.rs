@@ -1,0 +1,180 @@
+//! The threaded machine: one OS thread per node, real channels.
+//!
+//! Functionally equivalent to [`crate::machine::SimMachine`] but with
+//! genuine concurrency — the same kernel code, driven by per-node thread
+//! loops over [`hal_am::thread_network`]. Used by examples and by
+//! integration tests that verify the runtime carries no hidden
+//! shared-memory dependencies between nodes.
+//!
+//! Termination is explicit: some actor calls `Ctx::stop`, which
+//! broadcasts `Halt`. A wall-clock timeout backstops runaway programs.
+
+use crate::kernel::{with_system_ctx, Ctx, Kernel, KernelConfig};
+use crate::machine::MachineConfig;
+use crate::message::Value;
+use crate::registry::BehaviorRegistry;
+use crate::wire::KMsg;
+use hal_am::{thread_network, NodeId, ThreadEndpoint};
+use hal_des::StatSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct ThreadReport {
+    /// Wall-clock duration of the run.
+    pub wall: Duration,
+    /// Merged kernel statistics.
+    pub stats: StatSet,
+    /// Values actors posted via [`Ctx::report`].
+    pub reports: Vec<(String, Value)>,
+    /// Total actors created.
+    pub actors_created: u64,
+    /// True if the run ended by timeout rather than `Ctx::stop`.
+    pub timed_out: bool,
+}
+
+impl ThreadReport {
+    /// First reported value under `key`, if any.
+    pub fn value(&self, key: &str) -> Option<&Value> {
+        self.reports.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// Run a threaded machine: `bootstrap` executes on node 0 before the
+/// loops start (the front-end loading and kicking off the program); the
+/// machine runs until an actor calls [`Ctx::stop`] or `timeout` elapses.
+pub fn run_threaded(
+    cfg: MachineConfig,
+    registry: Arc<BehaviorRegistry>,
+    timeout: Duration,
+    bootstrap: impl FnOnce(&mut Ctx<'_>) + Send,
+) -> ThreadReport {
+    assert!(cfg.nodes >= 1);
+    let abort = Arc::new(AtomicBool::new(false));
+    let start = Instant::now();
+
+    let mut endpoints = thread_network::<KMsg>(cfg.nodes);
+    let mut kernels: Vec<Kernel> = (0..cfg.nodes)
+        .map(|i| {
+            let kcfg = KernelConfig {
+                me: i as NodeId,
+                nodes: cfg.nodes,
+                cost: cfg.cost,
+                load_balancing: cfg.load_balancing && cfg.nodes > 1,
+                flow_control: cfg.flow_control,
+                quantum: cfg.quantum,
+                max_stack_depth: cfg.max_stack_depth,
+                seed: cfg.seed,
+                opt: cfg.opt,
+            };
+            Kernel::new(kcfg, Arc::clone(&registry))
+        })
+        .collect();
+
+    // Bootstrap on node 0 before any thread runs.
+    {
+        let k0 = &mut kernels[0];
+        let ep0 = &mut endpoints[0];
+        with_system_ctx(k0, ep0, bootstrap);
+    }
+
+    let handles: Vec<_> = kernels
+        .into_iter()
+        .zip(endpoints)
+        .map(|(kernel, ep)| {
+            let abort = Arc::clone(&abort);
+            std::thread::spawn(move || node_loop(kernel, ep, abort))
+        })
+        .collect();
+
+    // Watchdog: flip the abort flag on timeout.
+    let mut timed_out = false;
+    let kernels: Vec<Kernel> = {
+        let deadline = start + timeout;
+        // Poll joins with a deadline; threads exit on Halt or abort.
+        let mut out = Vec::with_capacity(cfg.nodes);
+        for h in handles {
+            // We cannot join-with-timeout directly; the watchdog flag is
+            // checked by node loops every millisecond, so setting it when
+            // the deadline passes unblocks everything promptly.
+            loop {
+                if h.is_finished() {
+                    break;
+                }
+                if Instant::now() >= deadline {
+                    timed_out = true;
+                    abort.store(true, Ordering::Relaxed);
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            out.push(h.join().expect("node thread panicked"));
+        }
+        out
+    };
+
+    let mut stats = StatSet::new();
+    let mut reports = Vec::new();
+    let mut actors = 0;
+    for k in &kernels {
+        stats.merge(&k.stats);
+        reports.extend(k.reports.iter().cloned());
+        actors += k.actors_created();
+    }
+    ThreadReport {
+        wall: start.elapsed(),
+        stats,
+        reports,
+        actors_created: actors,
+        timed_out,
+    }
+}
+
+/// One node's event loop: drain packets, run ready actors, poll for work
+/// when idle, exit on Halt/abort.
+fn node_loop(
+    mut kernel: Kernel,
+    mut ep: ThreadEndpoint<KMsg>,
+    abort: Arc<AtomicBool>,
+) -> Kernel {
+    let steal_backoff = kernel.config().cost.steal_poll_interval;
+    loop {
+        if kernel.stopped || abort.load(Ordering::Relaxed) {
+            return kernel;
+        }
+        let mut progress = false;
+        // Drain arrivals.
+        while let Some(pkt) = ep.try_recv() {
+            kernel.handle_packet(&mut ep, pkt);
+            progress = true;
+            if kernel.stopped {
+                return kernel;
+            }
+        }
+        // One scheduling step.
+        if kernel.step(&mut ep) {
+            progress = true;
+        }
+        if !progress {
+            // Idle: maybe poll for work, then block briefly on the
+            // network.
+            let nodes = kernel.nodes();
+            if nodes > 1 && kernel.balancer.may_poll(kernel.clock) {
+                kernel.send_steal_poll(&mut ep);
+            }
+            match ep.recv_timeout(Duration::from_millis(1)) {
+                Some(pkt) => {
+                    kernel.handle_packet(&mut ep, pkt);
+                }
+                None => {
+                    // Nothing arrived: advance virtual time past the poll
+                    // backoff so the next idle iteration may poll again
+                    // (virtual clocks otherwise only move with work).
+                    kernel.clock += steal_backoff;
+                }
+            }
+        }
+    }
+}

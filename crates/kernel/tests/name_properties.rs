@@ -1,0 +1,117 @@
+//! Property tests over the name server and epoch-based gossip repair —
+//! the §4 invariants the whole delivery algorithm rests on.
+
+use hal_kernel::addr::{ActorId, AddrKey, DescriptorId, MailAddr};
+use hal_kernel::descriptor::Locality;
+use hal_kernel::name_server::{NameServer, Resolution};
+use proptest::prelude::*;
+
+proptest! {
+    /// Birthplace keys never touch the hash table; foreign keys never
+    /// touch the fast path.
+    #[test]
+    fn lookup_path_discipline(
+        me in 0u16..8,
+        n_local in 0usize..20,
+        foreign in prop::collection::vec((0u16..8, 0u32..40), 0..20),
+    ) {
+        let mut ns = NameServer::new(me);
+        let mut local_keys = Vec::new();
+        for i in 0..n_local {
+            let d = ns.alloc_local(ActorId(i as u32), 0);
+            local_keys.push(AddrKey { birthplace: me, index: d });
+        }
+        let mut foreign_keys = Vec::new();
+        for (node, idx) in foreign {
+            prop_assume!(node != me);
+            let d = ns.alloc_remote(node, None, 0);
+            let key = AddrKey { birthplace: node, index: DescriptorId(idx) };
+            ns.bind(key, d);
+            foreign_keys.push(key);
+        }
+        let fast_before = ns.fast_hits;
+        let hash_before = ns.hash_lookups;
+        for k in &local_keys {
+            let _ = ns.resolve(*k);
+        }
+        // fast path used exactly once per local resolve
+        prop_assert_eq!(ns.fast_hits - fast_before, local_keys.len() as u64);
+        prop_assert_eq!(ns.hash_lookups, hash_before);
+        let hash_before = ns.hash_lookups;
+        let mut ns2 = ns; // appease borrowck for the second loop
+        for k in &foreign_keys {
+            let _ = ns2.resolve(*k);
+        }
+        prop_assert_eq!(ns2.hash_lookups - hash_before, foreign_keys.len() as u64);
+    }
+
+    /// Epoch discipline: applying gossip in any order leaves each
+    /// descriptor holding the belief from the *highest* epoch seen.
+    #[test]
+    fn gossip_is_order_independent_under_epochs(
+        updates in prop::collection::vec((0u16..8, 0u32..1000), 1..40),
+    ) {
+        // Simulate repair_descriptor's rule on a single Remote entry:
+        // overwrite iff epoch >= current.
+        let apply = |order: &[(u16, u32)]| {
+            let mut node = 99u16;
+            let mut epoch = 0u32;
+            for &(n, e) in order {
+                if e >= epoch {
+                    node = n;
+                    epoch = e;
+                }
+            }
+            (node, epoch)
+        };
+        let (_, max_epoch) = apply(&updates);
+        let mut shuffled = updates.clone();
+        shuffled.reverse();
+        let (_, rev_epoch) = apply(&shuffled);
+        // The resulting epoch is order-independent (the node may differ
+        // among equal-epoch claims, which are by construction the same
+        // physical arrival in the real system).
+        prop_assert_eq!(max_epoch, rev_epoch);
+        prop_assert_eq!(max_epoch, updates.iter().map(|&(_, e)| e).max().unwrap());
+    }
+
+    /// Alias and ordinary keys resolve to the same actor once bound.
+    #[test]
+    fn alias_interchangeability(me in 0u16..8, requester in 0u16..8, aid in 0u32..100) {
+        prop_assume!(me != requester);
+        let mut ns = NameServer::new(me);
+        let d = ns.alloc_local(ActorId(aid), 0);
+        let ordinary = MailAddr::ordinary(me, d);
+        let alias = MailAddr::alias(requester, DescriptorId(0), me, hal_kernel::BehaviorId(1));
+        ns.bind(alias.key, d);
+        prop_assert_eq!(ns.resolve(ordinary.key), Resolution::Local(ActorId(aid)));
+        prop_assert_eq!(ns.resolve(alias.key), Resolution::Local(ActorId(aid)));
+        prop_assert_eq!(alias.default_route(), me, "alias routes to the creation node");
+    }
+
+    /// Descriptor updates through migrations always leave a resolvable
+    /// chain ending wherever the last migration went.
+    #[test]
+    fn migration_chain_resolution(path in prop::collection::vec(1u16..6, 1..10)) {
+        let mut ns = NameServer::new(0);
+        let d = ns.alloc_local(ActorId(0), 0);
+        let key = AddrKey { birthplace: 0, index: d };
+        // Actor leaves node 0 along `path`; node 0 keeps updating its
+        // forward pointer like migrate_out does.
+        let mut epoch = 0;
+        for &hop in &path {
+            epoch += 1;
+            let desc = ns.descriptor_mut(d);
+            desc.locality = Locality::Remote { node: hop, remote_index: None };
+            desc.epoch = epoch;
+        }
+        match ns.resolve(key) {
+            Resolution::Remote { node, .. } => prop_assert_eq!(node, *path.last().unwrap()),
+            other => {
+                let msg = format!("expected Remote, got {other:?}");
+                prop_assert!(false, "{}", msg);
+            }
+        }
+        prop_assert_eq!(ns.descriptor(d).epoch, path.len() as u32);
+    }
+}

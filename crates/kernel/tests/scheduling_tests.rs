@@ -1,0 +1,332 @@
+//! Second-wave kernel tests: scheduling fairness, stack-depth bounds,
+//! ablation-flag semantics, and protocol races.
+
+use hal_kernel::kernel::{Ctx, OptFlags};
+use hal_kernel::{
+    Behavior, BehaviorId, BehaviorRegistry, MachineConfig, MailAddr, Msg, SimMachine, Value,
+};
+use std::sync::Arc;
+
+fn empty_registry() -> Arc<BehaviorRegistry> {
+    Arc::new(BehaviorRegistry::new())
+}
+
+#[test]
+fn quantum_bounds_one_actors_monopoly() {
+    // Two actors, one with many queued messages: the quantum must let
+    // the second actor run before the first drains completely.
+    struct Logger {
+        tag: i64,
+    }
+    impl Behavior for Logger {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            ctx.report("order", Value::Int(self.tag));
+        }
+    }
+    let mut cfg = MachineConfig::new(1);
+    cfg.quantum = 4;
+    let mut m = SimMachine::new(cfg, empty_registry());
+    m.with_ctx(0, |ctx| {
+        let a = ctx.create_local(Box::new(Logger { tag: 1 }));
+        let b = ctx.create_local(Box::new(Logger { tag: 2 }));
+        for _ in 0..10 {
+            ctx.send(a, 0, vec![]);
+        }
+        ctx.send(b, 0, vec![]);
+    });
+    let r = m.run();
+    let order: Vec<i64> = r.values("order").into_iter().map(|v| v.as_int()).collect();
+    assert_eq!(order.len(), 11);
+    let b_pos = order.iter().position(|&t| t == 2).unwrap();
+    assert!(
+        b_pos <= 4,
+        "actor B should run after A's first quantum, ran at position {b_pos}: {order:?}"
+    );
+}
+
+#[test]
+fn fast_path_depth_bound_falls_back_to_queueing() {
+    // A chain of actors each fast-forwarding to the next: beyond the
+    // stack bound the kernel must queue instead of recursing.
+    struct Link {
+        next: Option<MailAddr>,
+    }
+    impl Behavior for Link {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let depth = msg.args[0].as_int();
+            match self.next {
+                Some(next) => {
+                    ctx.send_fast(next, 0, vec![Value::Int(depth + 1)]);
+                }
+                None => ctx.report("chain_depth", Value::Int(depth)),
+            }
+        }
+    }
+    let mut cfg = MachineConfig::new(1);
+    cfg.max_stack_depth = 8;
+    let mut m = SimMachine::new(cfg, empty_registry());
+    m.with_ctx(0, |ctx| {
+        // 100-link chain >> depth bound 8.
+        let mut next = None;
+        for _ in 0..100 {
+            next = Some(ctx.create_local(Box::new(Link { next })));
+        }
+        ctx.send(next.unwrap(), 0, vec![Value::Int(0)]);
+    });
+    let r = m.run();
+    assert_eq!(
+        r.value("chain_depth"),
+        Some(&Value::Int(99)),
+        "all links traversed despite the depth bound"
+    );
+    assert!(r.stats.get("fast.inline") > 0, "some links ran inline");
+    assert!(
+        r.stats.get("fast.depth_fallback") > 0,
+        "deep links fell back to the queue"
+    );
+}
+
+#[test]
+fn send_fast_to_remote_actor_degrades_to_generic_send() {
+    struct Reporter;
+    impl Behavior for Reporter {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            ctx.report("got_on", Value::Int(ctx.node() as i64));
+        }
+    }
+    struct Caller {
+        target: MailAddr,
+    }
+    impl Behavior for Caller {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            let inline = ctx.send_fast(self.target, 0, vec![]);
+            ctx.report("inline", Value::Int(inline as i64));
+        }
+    }
+    let mut reg = BehaviorRegistry::new();
+    reg.register(BehaviorId(0), "reporter", |_| Box::new(Reporter));
+    let mut m = SimMachine::new(MachineConfig::new(2), Arc::new(reg));
+    m.with_ctx(0, |ctx| {
+        let remote = ctx.create_on(1, BehaviorId(0), vec![]);
+        let caller = ctx.create_local(Box::new(Caller { target: remote }));
+        ctx.send(caller, 0, vec![]);
+    });
+    let r = m.run();
+    assert_eq!(r.value("inline"), Some(&Value::Int(0)), "remote: no inline");
+    assert_eq!(r.value("got_on"), Some(&Value::Int(1)), "delivered remotely");
+}
+
+#[test]
+fn broadcast_racing_group_creation_is_buffered() {
+    // A second node broadcasts to a group it just learned about, racing
+    // the GrpCreate fan-out: the parked broadcast must still reach every
+    // member exactly once.
+    struct Member {
+        index: i64,
+    }
+    impl Behavior for Member {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            ctx.report("member_hit", Value::Int(self.index));
+        }
+    }
+    fn make_member(args: &[Value]) -> Box<dyn Behavior> {
+        Box::new(Member {
+            index: args[args.len() - 2].as_int(),
+        })
+    }
+    struct Echoer;
+    impl Behavior for Echoer {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            // Immediately broadcast to the group we were told about —
+            // from a node the GrpCreate may not have reached yet.
+            let g = msg.args[0].as_group();
+            ctx.broadcast(g, 0, vec![]);
+        }
+    }
+    let mut reg = BehaviorRegistry::new();
+    reg.register(BehaviorId(0), "member", make_member);
+    reg.register(BehaviorId(1), "echoer", |_| Box::new(Echoer));
+    let mut m = SimMachine::new(MachineConfig::new(8), Arc::new(reg));
+    m.with_ctx(0, |ctx| {
+        let echoer = ctx.create_on(7, BehaviorId(1), vec![]);
+        let g = ctx.grpnew(BehaviorId(0), 16, vec![]);
+        // Tell the far node about the group right away.
+        ctx.send(echoer, 0, vec![Value::Group(g)]);
+    });
+    let r = m.run();
+    let mut hits: Vec<i64> = r.values("member_hit").into_iter().map(|v| v.as_int()).collect();
+    hits.sort_unstable();
+    assert_eq!(hits, (0..16).collect::<Vec<_>>(), "every member hit exactly once");
+}
+
+#[test]
+fn group_member_migrates_and_stays_addressable_by_index() {
+    struct Member {
+        index: i64,
+    }
+    impl Behavior for Member {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            match msg.selector {
+                0 => ctx.migrate(msg.args[0].as_int() as u16),
+                1 => ctx.report(
+                    "member_answered_from",
+                    Value::Int(ctx.node() as i64 * 100 + self.index),
+                ),
+                _ => unreachable!(),
+            }
+        }
+    }
+    fn make_member(args: &[Value]) -> Box<dyn Behavior> {
+        Box::new(Member {
+            index: args[args.len() - 2].as_int(),
+        })
+    }
+    let mut reg = BehaviorRegistry::new();
+    reg.register(BehaviorId(0), "member", make_member);
+    let mut m = SimMachine::new(MachineConfig::new(4), Arc::new(reg));
+    m.with_ctx(0, |ctx| {
+        let g = ctx.grpnew(BehaviorId(0), 4, vec![]);
+        // Member 2 (home node 2) migrates to node 0…
+        ctx.send_member(g, 2, 0, vec![Value::Int(0)]);
+        // …and must still answer when addressed by (group, 2).
+        ctx.send_member(g, 2, 1, vec![]);
+    });
+    let r = m.run();
+    assert_eq!(
+        r.value("member_answered_from"),
+        Some(&Value::Int(2)), // node 0 * 100 + index 2
+        "member found at its new node via its home-node entry"
+    );
+}
+
+#[test]
+fn aliases_off_still_computes_but_blocks() {
+    // The §5 ablation: with aliases off the requester's clock pays the
+    // full round trip per remote creation; results are unchanged.
+    struct Echo;
+    impl Behavior for Echo {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            ctx.reply(Value::Int(msg.args[0].as_int() + 1));
+        }
+    }
+    let mut reg = BehaviorRegistry::new();
+    reg.register(BehaviorId(0), "echo", |_| Box::new(Echo));
+    let registry = Arc::new(reg);
+
+    let run = |aliases: bool| {
+        let cfg = MachineConfig::new(2).with_opt(OptFlags {
+            aliases,
+            ..OptFlags::default()
+        });
+        let mut m = SimMachine::new(cfg, Arc::clone(&registry));
+        let before = m.kernel(0).clock;
+        m.with_ctx(0, |ctx| {
+            for _ in 0..10 {
+                ctx.create_on(1, BehaviorId(0), vec![]);
+            }
+        });
+        let requester_cost = (m.kernel(0).clock - before).as_nanos();
+        m.run();
+        requester_cost
+    };
+    let with = run(true);
+    let without = run(false);
+    assert!(
+        without > with * 3,
+        "blocking creation should cost much more at the requester: {without} vs {with}"
+    );
+}
+
+#[test]
+fn reply_to_actor_continuation_roundtrips() {
+    use hal_kernel::ContRef;
+    struct Server;
+    impl Behavior for Server {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            ctx.reply(Value::Int(msg.args[0].as_int() * 3));
+        }
+    }
+    struct Client {
+        server: MailAddr,
+    }
+    impl Behavior for Client {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            match msg.selector {
+                0 => {
+                    let me = ctx.me();
+                    ctx.request(
+                        self.server,
+                        0,
+                        vec![Value::Int(14)],
+                        ContRef::Actor {
+                            addr: me,
+                            selector: 1,
+                        },
+                    );
+                }
+                1 => ctx.report("answer", msg.args[0].clone()),
+                _ => unreachable!(),
+            }
+        }
+    }
+    let mut reg = BehaviorRegistry::new();
+    reg.register(BehaviorId(0), "server", |_| Box::new(Server));
+    let mut m = SimMachine::new(MachineConfig::new(2), Arc::new(reg));
+    m.with_ctx(0, |ctx| {
+        let server = ctx.create_on(1, BehaviorId(0), vec![]);
+        let client = ctx.create_local(Box::new(Client { server }));
+        ctx.send(client, 0, vec![]);
+    });
+    let r = m.run();
+    assert_eq!(r.value("answer"), Some(&Value::Int(42)));
+}
+
+#[test]
+#[should_panic(expected = "max_events")]
+fn event_valve_catches_livelock() {
+    // An actor that endlessly messages itself: the safety valve fires.
+    struct Spinner;
+    impl Behavior for Spinner {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            let me = ctx.me();
+            ctx.send(me, 0, vec![]);
+        }
+    }
+    let mut cfg = MachineConfig::new(1);
+    cfg.max_events = 1000;
+    let mut m = SimMachine::new(cfg, empty_registry());
+    m.with_ctx(0, |ctx| {
+        let s = ctx.create_local(Box::new(Spinner));
+        ctx.send(s, 0, vec![]);
+    });
+    m.run();
+}
+
+#[test]
+fn become_then_migrate_in_one_method() {
+    struct First;
+    impl Behavior for First {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            ctx.become_behavior(Box::new(Second));
+            ctx.migrate(1);
+        }
+    }
+    struct Second;
+    impl Behavior for Second {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            ctx.report("second_on", Value::Int(ctx.node() as i64));
+        }
+    }
+    let mut m = SimMachine::new(MachineConfig::new(2), empty_registry());
+    m.with_ctx(0, |ctx| {
+        let a = ctx.create_local(Box::new(First));
+        ctx.send(a, 0, vec![]);
+        ctx.send(a, 0, vec![]); // travels with the migration
+    });
+    let r = m.run();
+    assert_eq!(
+        r.value("second_on"),
+        Some(&Value::Int(1)),
+        "the become'd behavior processed the queued message on the new node"
+    );
+}

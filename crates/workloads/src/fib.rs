@@ -1,0 +1,294 @@
+//! The Fibonacci workload (Table 4).
+//!
+//! "Although the Fibonacci number generator is a very simple program, it
+//! is extremely concurrent: executing the Fibonacci of 33 results in the
+//! creation of 11,405,773 actors. Moreover, its computation tree has a
+//! great deal of load imbalance."
+//!
+//! One actor per call-tree node above the *grain* threshold; below it
+//! the subtree is computed sequentially, with its cost charged to the
+//! virtual clock — the analog of the paper's "actor creations were
+//! optimized away" for purely functional actors. Two distribution
+//! strategies reproduce the with/without-load-balancing comparison:
+//!
+//! * [`Placement::Local`] — children are created locally; the
+//!   receiver-initiated random-polling balancer (§7.2) moves work;
+//! * [`Placement::Random`] / [`Placement::RoundRobin`] — static child
+//!   placement with no runtime balancing.
+
+use hal::prelude::*;
+use hal::messages;
+
+messages! {
+    /// The fib protocol.
+    pub enum FibMsg {
+        /// Compute fib(n); reply with the value.
+        Compute { n: i64 } = 0,
+    }
+}
+
+/// Where a fib actor places its children.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Placement {
+    /// Create locally and rely on dynamic load balancing.
+    Local,
+    /// Static round-robin over all nodes.
+    RoundRobin,
+    /// Static pseudo-random node choice.
+    Random,
+}
+
+impl Placement {
+    fn encode(self) -> i64 {
+        match self {
+            Placement::Local => 0,
+            Placement::RoundRobin => 1,
+            Placement::Random => 2,
+        }
+    }
+    fn decode(v: i64) -> Self {
+        match v {
+            0 => Placement::Local,
+            1 => Placement::RoundRobin,
+            2 => Placement::Random,
+            other => panic!("bad placement code {other}"),
+        }
+    }
+}
+
+/// Per-call-node sequential cost: the paper's optimized C fib(33) takes
+/// 8.49 s for 11,405,773 call-tree nodes ≈ 744 ns per node on the 33 MHz
+/// SPARC.
+pub const SEQ_NODE_COST_NS: u64 = 744;
+
+/// Fib workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FibConfig {
+    /// The argument.
+    pub n: u64,
+    /// Subtrees of at most this size are computed sequentially inside
+    /// one actor ("creation elision"). `grain = 0` or `1` gives the pure
+    /// one-actor-per-node tree.
+    pub grain: u64,
+    /// Child placement strategy.
+    pub placement: Placement,
+}
+
+struct FibActor {
+    behavior: BehaviorId,
+    grain: i64,
+    placement: Placement,
+    rr_next: u16,
+}
+
+impl FibActor {
+    fn place(&mut self, ctx: &Ctx<'_>, salt: u64) -> u16 {
+        let p = ctx.nodes() as u16;
+        match self.placement {
+            Placement::Local => ctx.node(),
+            Placement::RoundRobin => {
+                let n = self.rr_next % p;
+                self.rr_next = self.rr_next.wrapping_add(1);
+                n
+            }
+            Placement::Random => {
+                // Deterministic hash of (node, own address, salt).
+                let mut x = (ctx.node() as u64) << 48
+                    ^ (ctx.me().key.index.0 as u64) << 16
+                    ^ salt;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (x % p as u64) as u16
+            }
+        }
+    }
+
+    fn init_args(&self) -> Vec<Value> {
+        vec![
+            Value::Int(self.behavior.0 as i64),
+            Value::Int(self.grain),
+            Value::Int(self.placement.encode()),
+        ]
+    }
+}
+
+impl Behavior for FibActor {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let FibMsg::Compute { n } = FibMsg::decode(&msg);
+        if n < 2 || n <= self.grain {
+            // Sequential leaf: charge the real subtree cost.
+            let nodes = hal_baselines::call_tree_nodes(n as u64);
+            ctx.charge(hal_des::VirtualDuration::from_nanos(nodes * SEQ_NODE_COST_NS));
+            let v = hal_baselines::fib_iter(n as u64) as i64;
+            hal::maybe_reply(ctx, Value::Int(v));
+            return;
+        }
+        let customer = SavedCustomer::take(ctx);
+        let p1 = self.place(ctx, n as u64);
+        let p2 = self.place(ctx, n as u64 + 1);
+        let c1 = ctx.create_on(p1, self.behavior, self.init_args());
+        let c2 = ctx.create_on(p2, self.behavior, self.init_args());
+        JoinBuilder::new()
+            .call(c1, 0, vec![Value::Int(n - 1)])
+            .call(c2, 0, vec![Value::Int(n - 2)])
+            .then(ctx, move |ctx, vals| {
+                let sum = vals[0].as_int() + vals[1].as_int();
+                customer.reply(ctx, Value::Int(sum));
+            });
+    }
+
+    fn name(&self) -> &'static str {
+        "fib"
+    }
+}
+
+fn make_fib(args: &[Value]) -> Box<dyn Behavior> {
+    Box::new(FibActor {
+        behavior: BehaviorId(args[0].as_int() as u32),
+        grain: args[1].as_int(),
+        placement: Placement::decode(args[2].as_int()),
+        rr_next: 0,
+    })
+}
+
+/// Register the fib behavior in a program.
+pub fn register(program: &mut Program) -> BehaviorId {
+    program.behavior("fib", make_fib)
+}
+
+/// Bootstrap the fib computation: create the root on node 0 and arrange
+/// for the result to be reported as `"fib"` before stopping the machine.
+pub fn bootstrap(ctx: &mut Ctx<'_>, behavior: BehaviorId, cfg: FibConfig) {
+    bootstrap_opts(ctx, behavior, cfg, true);
+}
+
+/// Like [`bootstrap`], but optionally without stopping the machine on
+/// completion — lets several programs share one partition ("the kernel
+/// does not discriminate between actors created by different programs",
+/// §3).
+pub fn bootstrap_opts(ctx: &mut Ctx<'_>, behavior: BehaviorId, cfg: FibConfig, stop: bool) {
+    let root = ctx.create_on(
+        0,
+        behavior,
+        vec![
+            Value::Int(behavior.0 as i64),
+            Value::Int(cfg.grain as i64),
+            Value::Int(cfg.placement.encode()),
+        ],
+    );
+    hal::call_then(ctx, root, 0, vec![Value::Int(cfg.n as i64)], move |ctx, v| {
+        ctx.report("fib", v);
+        if stop {
+            ctx.stop();
+        }
+    });
+}
+
+/// Run fib on a fresh simulated machine; returns `(value, report)`.
+pub fn run_sim(machine: MachineConfig, cfg: FibConfig) -> (u64, SimReport) {
+    let mut program = Program::new();
+    let id = register(&mut program);
+    let report = hal::sim_run(machine, program, |ctx| bootstrap(ctx, id, cfg));
+    let v = report
+        .value("fib")
+        .unwrap_or_else(|| panic!("fib did not complete"))
+        .as_int() as u64;
+    (v, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_actor_tree_computes_fib() {
+        let cfg = FibConfig {
+            n: 12,
+            grain: 1,
+            placement: Placement::Local,
+        };
+        let (v, r) = run_sim(MachineConfig::new(1), cfg);
+        assert_eq!(v, hal_baselines::fib_iter(12));
+        // One actor per call node plus the bootstrap continuation's root.
+        assert!(r.actors_created >= hal_baselines::call_tree_nodes(12));
+    }
+
+    #[test]
+    fn grained_tree_matches_and_creates_fewer_actors() {
+        let fine = run_sim(
+            MachineConfig::new(1),
+            FibConfig {
+                n: 14,
+                grain: 1,
+                placement: Placement::Local,
+            },
+        );
+        let coarse = run_sim(
+            MachineConfig::new(1),
+            FibConfig {
+                n: 14,
+                grain: 8,
+                placement: Placement::Local,
+            },
+        );
+        assert_eq!(fine.0, coarse.0);
+        assert!(coarse.1.actors_created < fine.1.actors_created / 4);
+    }
+
+    #[test]
+    fn static_random_placement_distributes() {
+        let (v, r) = run_sim(
+            MachineConfig::new(4),
+            FibConfig {
+                n: 13,
+                grain: 4,
+                placement: Placement::Random,
+            },
+        );
+        assert_eq!(v, hal_baselines::fib_iter(13));
+        assert!(r.stats.get("actors.remote_created") > 0, "work crossed nodes");
+    }
+
+    #[test]
+    fn load_balancing_beats_no_balancing_on_multiple_nodes() {
+        let n = 16;
+        let no_lb = run_sim(
+            MachineConfig::new(4).with_seed(1),
+            FibConfig {
+                n,
+                grain: 6,
+                placement: Placement::Local, // everything stays on node 0
+            },
+        );
+        let lb = run_sim(
+            MachineConfig::new(4).with_load_balancing(true).with_seed(1),
+            FibConfig {
+                n,
+                grain: 6,
+                placement: Placement::Local,
+            },
+        );
+        assert_eq!(no_lb.0, lb.0);
+        assert!(
+            lb.1.makespan < no_lb.1.makespan,
+            "LB {} should beat single-node pile-up {}",
+            lb.1.makespan,
+            no_lb.1.makespan
+        );
+        assert!(lb.1.stats.get("steal.granted") > 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let cfg = FibConfig {
+            n: 13,
+            grain: 4,
+            placement: Placement::Random,
+        };
+        let a = run_sim(MachineConfig::new(4).with_seed(9), cfg);
+        let b = run_sim(MachineConfig::new(4).with_seed(9), cfg);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1.makespan, b.1.makespan);
+        assert_eq!(a.1.events, b.1.events);
+    }
+}

@@ -1,0 +1,461 @@
+//! Systolic (Cannon's) matrix multiplication (Table 5).
+//!
+//! "The systolic matrix multiplication algorithm involves first skewing
+//! the blocks within a square processor grid, and then, cyclicly
+//! shifting the blocks at each step. No global synchronization is used
+//! in the implementation. Instead, per actor basis local synchronization
+//! is used to enforce the necessary synchronization."
+//!
+//! One actor per block on a g×g grid (a `grpnew` group, one member per
+//! node when P = g²). Each member starts with the *skewed* blocks
+//! `A[i][(j+i) mod g]` and `B[(i+j) mod g][j]`, multiplies, and shifts A
+//! left / B up, tagging blocks with the step number. The **local
+//! synchronization constraint** (§6.1) disables block messages from a
+//! future step until the actor reaches it — the pending queue is the
+//! only synchronization in the program, exactly as the paper describes.
+
+use hal::messages;
+use hal::prelude::*;
+use hal_baselines::gemm;
+use hal_des::VirtualDuration;
+
+messages! {
+    /// Systolic protocol.
+    pub enum MmMsg {
+        /// Kick a member off (broadcast).
+        Start {} = 0,
+        /// An A block arriving for `step`.
+        ABlock { step: i64, data: bytes::Bytes } = 1,
+        /// A B block arriving for `step`.
+        BBlock { step: i64, data: bytes::Bytes } = 2,
+        /// A finished C block (to the collector; validation runs).
+        Done { idx: i64, data: bytes::Bytes } = 3,
+        /// A finished block's sum of squares (benchmark runs — shipping
+        /// every block to one node would serialize at its ejection port
+        /// and measure the gather, not the multiply).
+        DoneSum { idx: i64, sum: f64 } = 4,
+    }
+}
+
+/// Deterministic logical block `(bi, bj)` of a block matrix.
+pub fn logical_block(seed: u64, g: usize, bs: usize, bi: usize, bj: usize) -> Vec<f64> {
+    gemm::random_matrix(bs, seed ^ ((bi * g + bj) as u64).wrapping_mul(0x9E37_79B9))
+}
+
+/// Assemble the full n×n matrix (n = g·bs) from its logical blocks.
+pub fn assemble(seed: u64, g: usize, bs: usize) -> Vec<f64> {
+    let n = g * bs;
+    let mut m = vec![0.0; n * n];
+    for bi in 0..g {
+        for bj in 0..g {
+            let blk = logical_block(seed, g, bs, bi, bj);
+            for r in 0..bs {
+                let dst = (bi * bs + r) * n + bj * bs;
+                m[dst..dst + bs].copy_from_slice(&blk[r * bs..r * bs + bs]);
+            }
+        }
+    }
+    m
+}
+
+/// Matmul workload parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MatmulConfig {
+    /// Processor/block grid dimension (g×g members).
+    pub grid: usize,
+    /// Block size (the full matrix is (g·bs)×(g·bs)).
+    pub block: usize,
+    /// Virtual cost per floating-point operation in the block kernel.
+    /// The paper's CM-5 nodes sustained ~6.8 MFLOPS each at the Table 5
+    /// peak (434 MFLOPS / 64 nodes), i.e. ~147 ns/flop end to end; the
+    /// kernel itself is charged a bit less since messaging overhead is
+    /// accounted separately.
+    pub per_flop_ns: u64,
+    /// Seeds for the A and B matrices.
+    pub seed_a: u64,
+    /// Seed for B.
+    pub seed_b: u64,
+}
+
+impl MatmulConfig {
+    /// Matrix dimension n = grid · block.
+    pub fn n(&self) -> usize {
+        self.grid * self.block
+    }
+}
+
+struct MmMember {
+    g: usize,
+    bs: usize,
+    i: usize,
+    j: usize,
+    group: GroupId,
+    collector: MailAddr,
+    per_flop_ns: u64,
+    step: i64,
+    a: Option<Vec<f64>>,
+    b: Option<Vec<f64>>,
+    c: Vec<f64>,
+    started: bool,
+    publish: bool,
+}
+
+impl MmMember {
+    fn member_index(&self, i: usize, j: usize) -> u32 {
+        (i * self.g + j) as u32
+    }
+
+    fn try_step(&mut self, ctx: &mut Ctx<'_>) {
+        while self.started && self.a.is_some() && self.b.is_some() {
+            let a = self.a.take().unwrap();
+            let b = self.b.take().unwrap();
+            // The real block multiply (validated against the sequential
+            // baseline) plus its virtual cost.
+            let flops = gemm::matmul_flops(self.bs);
+            ctx.charge(VirtualDuration::from_nanos(flops * self.per_flop_ns));
+            gemm::matmul_ikj_acc(&a, &b, &mut self.c, self.bs);
+            if self.publish {
+                let done = ctx.now().as_micros() as i64;
+                ctx.report(
+                    format!("mul_{}_{}_s{}", self.i, self.j, self.step),
+                    Value::Int(done),
+                );
+            }
+
+            let next = self.step + 1;
+            if (next as usize) < self.g {
+                // Cyclic shift: A one step left, B one step up.
+                let left = self.member_index(self.i, (self.j + self.g - 1) % self.g);
+                let up = self.member_index((self.i + self.g - 1) % self.g, self.j);
+                let (sel_a, args_a) = MmMsg::ABlock {
+                    step: next,
+                    data: crate::pack_f64(&a),
+                }
+                .encode();
+                ctx.send_member(self.group, left, sel_a, args_a);
+                let (sel_b, args_b) = MmMsg::BBlock {
+                    step: next,
+                    data: crate::pack_f64(&b),
+                }
+                .encode();
+                ctx.send_member(self.group, up, sel_b, args_b);
+                self.step = next;
+                // Blocks for `next` may already be waiting in the pending
+                // queue; the kernel's rescan redelivers them after this
+                // method returns.
+            } else {
+                let idx = self.member_index(self.i, self.j) as i64;
+                let (sel, args) = if self.publish {
+                    MmMsg::Done {
+                        idx,
+                        data: crate::pack_f64(&self.c),
+                    }
+                    .encode()
+                } else {
+                    MmMsg::DoneSum {
+                        idx,
+                        sum: self.c.iter().map(|x| x * x).sum(),
+                    }
+                    .encode()
+                };
+                ctx.send(self.collector, sel, args);
+                self.step = next; // terminal
+            }
+        }
+    }
+}
+
+impl Behavior for MmMember {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match MmMsg::decode(&msg) {
+            MmMsg::Start {} => {
+                assert!(!self.started, "double start");
+                self.started = true;
+                self.try_step(ctx);
+            }
+            MmMsg::ABlock { step, data } => {
+                debug_assert_eq!(step, self.step, "constraint admitted a wrong-step block");
+                assert!(self.a.is_none(), "two A blocks in one step");
+                self.a = Some(crate::unpack_f64(&data));
+                self.try_step(ctx);
+            }
+            MmMsg::BBlock { step, data } => {
+                debug_assert_eq!(step, self.step, "constraint admitted a wrong-step block");
+                assert!(self.b.is_none(), "two B blocks in one step");
+                self.b = Some(crate::unpack_f64(&data));
+                self.try_step(ctx);
+            }
+            MmMsg::Done { .. } | MmMsg::DoneSum { .. } => {
+                unreachable!("Done goes to the collector")
+            }
+        }
+    }
+
+    /// §6.1 disabling condition: only blocks for the *current* step may
+    /// be dispatched; future-step blocks wait in the pending queue. (A
+    /// block also waits if this step's slot is already filled but the
+    /// multiply has not happened — cannot occur with one sender per
+    /// direction, but the guard keeps the constraint locally checkable.)
+    fn enabled(&self, selector: Selector, args: &[Value]) -> bool {
+        match selector {
+            1 | 2 => args[0].as_int() == self.step,
+            _ => true,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mm-member"
+    }
+}
+
+fn make_member(args: &[Value]) -> Box<dyn Behavior> {
+    // init args ++ [Group(id), Int(index), Int(count)] appended by grpnew.
+    let collector = args[0].as_addr();
+    let bs = args[1].as_int() as usize;
+    let per_flop_ns = args[2].as_int() as u64;
+    let seed_a = args[3].as_int() as u64;
+    let seed_b = args[4].as_int() as u64;
+    let publish = args[5].as_int() != 0;
+    let group = args[6].as_group();
+    let idx = args[7].as_int() as usize;
+    let count = args[8].as_int() as usize;
+    let g = (count as f64).sqrt().round() as usize;
+    assert_eq!(g * g, count, "member count must be a perfect square");
+    let (i, j) = (idx / g, idx % g);
+    // Cannon's initial skew, generated in place.
+    let a = logical_block(seed_a, g, bs, i, (j + i) % g);
+    let b = logical_block(seed_b, g, bs, (i + j) % g, j);
+    Box::new(MmMember {
+        g,
+        bs,
+        i,
+        j,
+        group,
+        collector,
+        per_flop_ns,
+        step: 0,
+        a: Some(a),
+        b: Some(b),
+        c: vec![0.0; bs * bs],
+        started: false,
+        publish,
+    })
+}
+
+/// Gathers finished C blocks, reports the Frobenius norm (as
+/// `"matmul_fro"`) and each block (as `"c_<idx>"`), then stops.
+struct Collector {
+    expected: usize,
+    received: usize,
+    fro: f64,
+    publish_blocks: bool,
+    stop_when_done: bool,
+}
+
+impl Behavior for Collector {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match MmMsg::decode(&msg) {
+            MmMsg::Done { idx, data } => {
+                self.received += 1;
+                let block = crate::unpack_f64(&data);
+                self.fro += block.iter().map(|x| x * x).sum::<f64>();
+                if self.publish_blocks {
+                    ctx.report(format!("c_{idx}"), Value::Bytes(data));
+                }
+            }
+            MmMsg::DoneSum { idx: _, sum } => {
+                self.received += 1;
+                self.fro += sum;
+            }
+            _ => unreachable!("collector only receives Done/DoneSum"),
+        }
+        if self.received == self.expected {
+            ctx.report("matmul_fro", Value::Float(self.fro.sqrt()));
+            ctx.report("matmul_done_at_ns", Value::Int(ctx.now().as_nanos() as i64));
+            if self.stop_when_done {
+                ctx.stop();
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mm-collector"
+    }
+}
+
+/// Register the member behavior.
+pub fn register(program: &mut Program) -> BehaviorId {
+    program.behavior("mm-member", make_member)
+}
+
+/// Bootstrap the systolic multiply. `publish_blocks` additionally
+/// reports every C block (tests use this to validate the full result).
+pub fn bootstrap(
+    ctx: &mut Ctx<'_>,
+    behavior: BehaviorId,
+    cfg: MatmulConfig,
+    publish_blocks: bool,
+) {
+    bootstrap_opts(ctx, behavior, cfg, publish_blocks, true);
+}
+
+/// Like [`bootstrap`], optionally without stopping the machine (for
+/// multi-program runs).
+pub fn bootstrap_opts(
+    ctx: &mut Ctx<'_>,
+    behavior: BehaviorId,
+    cfg: MatmulConfig,
+    publish_blocks: bool,
+    stop_when_done: bool,
+) {
+    let members = (cfg.grid * cfg.grid) as u32;
+    let collector = ctx.create_local(Box::new(Collector {
+        expected: members as usize,
+        received: 0,
+        fro: 0.0,
+        publish_blocks,
+        stop_when_done,
+    }));
+    let group = ctx.grpnew(
+        behavior,
+        members,
+        vec![
+            Value::Addr(collector),
+            Value::Int(cfg.block as i64),
+            Value::Int(cfg.per_flop_ns as i64),
+            Value::Int(cfg.seed_a as i64),
+            Value::Int(cfg.seed_b as i64),
+            Value::Int(publish_blocks as i64),
+        ],
+    );
+    let (sel, args) = MmMsg::Start {}.encode();
+    ctx.broadcast(group, sel, args);
+}
+
+/// Run on a fresh simulated machine; returns `(frobenius_norm, report)`.
+pub fn run_sim(machine: MachineConfig, cfg: MatmulConfig, publish: bool) -> (f64, SimReport) {
+    let mut program = Program::new();
+    let id = register(&mut program);
+    let report = hal::sim_run(machine, program, |ctx| bootstrap(ctx, id, cfg, publish));
+    let fro = report
+        .value("matmul_fro")
+        .expect("matmul did not complete")
+        .as_float();
+    (fro, report)
+}
+
+/// Extract the assembled C matrix from a `publish_blocks` report.
+pub fn extract_c(report: &SimReport, cfg: MatmulConfig) -> Vec<f64> {
+    let (g, bs) = (cfg.grid, cfg.block);
+    let n = cfg.n();
+    let mut c = vec![f64::NAN; n * n];
+    for idx in 0..g * g {
+        let data = report
+            .value(&format!("c_{idx}"))
+            .unwrap_or_else(|| panic!("missing block {idx}"))
+            .as_bytes();
+        let blk = crate::unpack_f64(&data);
+        let (bi, bj) = (idx / g, idx % g);
+        for r in 0..bs {
+            let dst = (bi * bs + r) * n + bj * bs;
+            c[dst..dst + bs].copy_from_slice(&blk[r * bs..r * bs + bs]);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hal_baselines::gemm::{matmul_naive, max_abs_diff};
+
+    fn small_cfg(grid: usize, block: usize) -> MatmulConfig {
+        MatmulConfig {
+            grid,
+            block,
+            per_flop_ns: 100,
+            seed_a: 11,
+            seed_b: 22,
+        }
+    }
+
+    #[test]
+    fn result_matches_sequential_reference() {
+        let cfg = small_cfg(2, 4);
+        let (_, report) = run_sim(MachineConfig::new(4), cfg, true);
+        let c = extract_c(&report, cfg);
+        let n = cfg.n();
+        let a = assemble(cfg.seed_a, cfg.grid, cfg.block);
+        let b = assemble(cfg.seed_b, cfg.grid, cfg.block);
+        let mut expect = vec![0.0; n * n];
+        matmul_naive(&a, &b, &mut expect, n);
+        assert!(
+            max_abs_diff(&c, &expect) < 1e-10,
+            "systolic result disagrees with reference"
+        );
+    }
+
+    #[test]
+    fn larger_grid_still_correct() {
+        let cfg = small_cfg(4, 3);
+        let (_, report) = run_sim(MachineConfig::new(16), cfg, true);
+        let c = extract_c(&report, cfg);
+        let n = cfg.n();
+        let a = assemble(cfg.seed_a, cfg.grid, cfg.block);
+        let b = assemble(cfg.seed_b, cfg.grid, cfg.block);
+        let mut expect = vec![0.0; n * n];
+        matmul_naive(&a, &b, &mut expect, n);
+        assert!(max_abs_diff(&c, &expect) < 1e-10);
+    }
+
+    #[test]
+    fn fewer_nodes_than_members_works() {
+        // 4x4 member grid on 4 nodes: 4 members per node.
+        let cfg = small_cfg(4, 2);
+        let (fro1, _) = run_sim(MachineConfig::new(4), cfg, false);
+        let (fro16, _) = run_sim(MachineConfig::new(16), cfg, false);
+        assert!((fro1 - fro16).abs() < 1e-10, "result independent of P");
+    }
+
+    #[test]
+    fn local_sync_defers_future_steps() {
+        // Three nodes for sixteen members: uneven load guarantees some
+        // members run ahead and their blocks arrive at laggards early.
+        let cfg = small_cfg(4, 2);
+        let (_, report) = run_sim(MachineConfig::new(3), cfg, false);
+        // With asynchronous shifting some step-s+1 blocks inevitably
+        // arrive while a member is still at step s.
+        assert!(
+            report.stats.get("sync.deferred") > 0,
+            "expected pending-queue traffic, got none"
+        );
+        assert_eq!(
+            report.stats.get("sync.deferred"),
+            report.stats.get("sync.resumed"),
+            "every deferred block was eventually dispatched"
+        );
+    }
+
+    #[test]
+    fn more_nodes_reduce_virtual_time() {
+        // Block 16 puts the run in the compute-dominated regime (819 us
+        // of kernel per step vs ~200 us of wire per block) where the
+        // paper's near-linear scaling appears; tiny blocks are honestly
+        // communication-bound and scale poorly.
+        let cfg = MatmulConfig {
+            grid: 4,
+            block: 24,
+            per_flop_ns: 100,
+            seed_a: 1,
+            seed_b: 2,
+        };
+        let (_, r1) = run_sim(MachineConfig::new(1), cfg, false);
+        let (_, r16) = run_sim(MachineConfig::new(16), cfg, false);
+        assert!(
+            r16.makespan.as_nanos() * 4 < r1.makespan.as_nanos(),
+            "16 nodes should be >4x faster than 1: {} vs {}",
+            r16.makespan,
+            r1.makespan
+        );
+    }
+}

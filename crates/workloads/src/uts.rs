@@ -1,0 +1,284 @@
+//! Unbalanced tree search (UTS) — the "dynamic, irregular application"
+//! of the paper's introduction.
+//!
+//! The paper's opening argument: location transparency, dynamic
+//! placement, and migration are "essential for scalable execution of
+//! dynamic, irregular applications over sparse data structures". fib's
+//! imbalance is mild and predictable; UTS (Olivier et al.'s classic
+//! load-balancing stress test, here in its binomial variant) is the
+//! adversarial case: each node of a random tree has `m` children with
+//! probability `q` and none otherwise, so subtree sizes follow a heavy-
+//! tailed distribution no static placement can anticipate. Dynamic load
+//! balancing is the only thing that helps — exactly the claim the
+//! runtime exists to support.
+//!
+//! One actor per tree node (created locally, so the §7.2 balancer does
+//! *all* distribution); each node replies with its subtree size through
+//! a join continuation, and the root reports the total, which must
+//! equal the deterministic sequential traversal.
+
+use hal::messages;
+use hal::prelude::*;
+use hal_des::VirtualDuration;
+
+messages! {
+    /// UTS protocol.
+    pub enum UtsMsg {
+        /// Explore the subtree rooted at node `id` at `depth`.
+        Explore { id: i64, depth: i64 } = 0,
+    }
+}
+
+/// UTS parameters (binomial variant).
+#[derive(Clone, Copy, Debug)]
+pub struct UtsConfig {
+    /// Tree seed.
+    pub seed: u64,
+    /// Root branching factor (the root always has this many children).
+    pub root_children: u32,
+    /// Non-root nodes have `m` children with probability `q`…
+    pub m: u32,
+    /// …expressed as a fixed-point threshold `q_fp / 2^32` (keep
+    /// `m * q < 1` for finite trees).
+    pub q_fp: u32,
+    /// Hard depth limit (safety valve; deep tails are truncated
+    /// identically in the actor and sequential versions).
+    pub max_depth: i64,
+    /// Virtual compute charged per visited node (models the per-node
+    /// "work" of a real irregular application).
+    pub node_cost_ns: u64,
+}
+
+impl UtsConfig {
+    /// A moderately heavy-tailed default: expected subtree size ~10 per
+    /// non-root child, a few thousand nodes total.
+    pub fn standard(seed: u64) -> Self {
+        UtsConfig {
+            seed,
+            root_children: 128,
+            m: 8,
+            // q = 0.115 -> m*q = 0.92: branchy and shallow, so the
+            // tree's own critical path does not cap speedup too early.
+            q_fp: (0.115 * 4294967296.0) as u32,
+            max_depth: 100,
+            node_cost_ns: 20_000,
+        }
+    }
+}
+
+/// SplitMix64 hash used for child-id derivation and branching decisions
+/// (self-contained so the sequential reference and the actors agree
+/// bit-for-bit).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Child `i`'s node id.
+pub fn child_id(cfg: &UtsConfig, parent: i64, i: u32) -> i64 {
+    mix(cfg.seed ^ (parent as u64).wrapping_mul(0x2545_F491_4F6C_DD1D) ^ (i as u64) << 32) as i64
+}
+
+/// Number of children of tree node `id` at `depth`.
+pub fn num_children(cfg: &UtsConfig, id: i64, depth: i64) -> u32 {
+    if depth >= cfg.max_depth {
+        return 0;
+    }
+    if depth == 0 {
+        return cfg.root_children;
+    }
+    let draw = (mix(id as u64) >> 32) as u32;
+    if draw < cfg.q_fp {
+        cfg.m
+    } else {
+        0
+    }
+}
+
+/// Sequential reference: exact tree size.
+pub fn sequential_size(cfg: &UtsConfig) -> u64 {
+    fn rec(cfg: &UtsConfig, id: i64, depth: i64) -> u64 {
+        let k = num_children(cfg, id, depth);
+        let mut total = 1;
+        for i in 0..k {
+            total += rec(cfg, child_id(cfg, id, i), depth + 1);
+        }
+        total
+    }
+    rec(cfg, 0, 0)
+}
+
+struct UtsActor {
+    behavior: BehaviorId,
+    cfg: UtsConfig,
+}
+
+fn cfg_args(behavior: BehaviorId, cfg: &UtsConfig) -> Vec<Value> {
+    vec![
+        Value::Int(behavior.0 as i64),
+        Value::Int(cfg.seed as i64),
+        Value::Int(cfg.root_children as i64),
+        Value::Int(cfg.m as i64),
+        Value::Int(cfg.q_fp as i64),
+        Value::Int(cfg.max_depth),
+        Value::Int(cfg.node_cost_ns as i64),
+    ]
+}
+
+fn make_uts(args: &[Value]) -> Box<dyn Behavior> {
+    Box::new(UtsActor {
+        behavior: BehaviorId(args[0].as_int() as u32),
+        cfg: UtsConfig {
+            seed: args[1].as_int() as u64,
+            root_children: args[2].as_int() as u32,
+            m: args[3].as_int() as u32,
+            q_fp: args[4].as_int() as u32,
+            max_depth: args[5].as_int(),
+            node_cost_ns: args[6].as_int() as u64,
+        },
+    })
+}
+
+impl Behavior for UtsActor {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let UtsMsg::Explore { id, depth } = UtsMsg::decode(&msg);
+        ctx.charge(VirtualDuration::from_nanos(self.cfg.node_cost_ns));
+        let k = num_children(&self.cfg, id, depth);
+        if k == 0 {
+            hal::maybe_reply(ctx, Value::Int(1));
+            return;
+        }
+        let customer = SavedCustomer::take(ctx);
+        let mut join = JoinBuilder::new();
+        for i in 0..k {
+            // Children are created *locally*: only the dynamic load
+            // balancer distributes this tree.
+            let child = ctx.create_local(Box::new(UtsActor {
+                behavior: self.behavior,
+                cfg: self.cfg,
+            }));
+            let (sel, args) = UtsMsg::Explore {
+                id: child_id(&self.cfg, id, i),
+                depth: depth + 1,
+            }
+            .encode();
+            join = join.call(child, sel, args);
+        }
+        join.then(ctx, move |ctx, vals| {
+            let total: i64 = 1 + vals.iter().map(|v| v.as_int()).sum::<i64>();
+            customer.reply(ctx, Value::Int(total));
+        });
+    }
+
+    fn name(&self) -> &'static str {
+        "uts"
+    }
+}
+
+/// Register the UTS behavior.
+pub fn register(program: &mut Program) -> BehaviorId {
+    program.behavior("uts", make_uts)
+}
+
+/// Bootstrap: explore from the root, report `"uts_size"`, stop.
+pub fn bootstrap(ctx: &mut Ctx<'_>, behavior: BehaviorId, cfg: UtsConfig) {
+    bootstrap_opts(ctx, behavior, cfg, true);
+}
+
+/// Like [`bootstrap`], optionally without stopping the machine (for
+/// multi-program runs).
+pub fn bootstrap_opts(ctx: &mut Ctx<'_>, behavior: BehaviorId, cfg: UtsConfig, stop: bool) {
+    let root = ctx.create_on(0, behavior, cfg_args(behavior, &cfg));
+    let (sel, args) = UtsMsg::Explore { id: 0, depth: 0 }.encode();
+    hal::call_then(ctx, root, sel, args, move |ctx, v| {
+        ctx.report("uts_size", v);
+        if stop {
+            ctx.stop();
+        }
+    });
+}
+
+/// Run on a fresh simulated machine; returns `(tree_size, report)`.
+pub fn run_sim(machine: MachineConfig, cfg: UtsConfig) -> (u64, SimReport) {
+    let mut program = Program::new();
+    let id = register(&mut program);
+    let report = hal::sim_run(machine, program, |ctx| bootstrap(ctx, id, cfg));
+    let size = report
+        .value("uts_size")
+        .expect("uts did not complete")
+        .as_int() as u64;
+    (size, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(seed: u64) -> UtsConfig {
+        UtsConfig {
+            seed,
+            root_children: 8,
+            m: 3,
+            q_fp: (0.28 * 4294967296.0) as u32,
+            max_depth: 40,
+            // Per-node work well above the steal round trip, so dynamic
+            // balancing can pay for itself even on a small test tree.
+            node_cost_ns: 50_000,
+        }
+    }
+
+    #[test]
+    fn actor_tree_size_matches_sequential() {
+        for seed in [1u64, 2, 3] {
+            let cfg = tiny(seed);
+            let expect = sequential_size(&cfg);
+            let (size, _) = run_sim(MachineConfig::new(2).with_load_balancing(true), cfg);
+            assert_eq!(size, expect, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trees_are_actually_unbalanced() {
+        // Distinct root subtrees should differ wildly in size.
+        let cfg = tiny(7);
+        let sizes: Vec<u64> = (0..cfg.root_children)
+            .map(|i| {
+                fn rec(cfg: &UtsConfig, id: i64, depth: i64) -> u64 {
+                    let k = num_children(cfg, id, depth);
+                    1 + (0..k).map(|i| rec(cfg, child_id(cfg, id, i), depth + 1)).sum::<u64>()
+                }
+                rec(&cfg, child_id(&cfg, 0, i), 1)
+            })
+            .collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max >= 8 * min.max(1), "not unbalanced enough: {sizes:?}");
+    }
+
+    #[test]
+    fn load_balancing_helps_on_irregular_trees() {
+        let cfg = tiny(5);
+        let (s1, no_lb) = run_sim(MachineConfig::new(8).with_seed(1), cfg);
+        let (s2, lb) = run_sim(
+            MachineConfig::new(8).with_seed(1).with_load_balancing(true),
+            cfg,
+        );
+        assert_eq!(s1, s2);
+        assert!(
+            lb.makespan.as_nanos() * 2 < no_lb.makespan.as_nanos(),
+            "LB should be >2x faster on an unbalanced tree: {} vs {}",
+            lb.makespan,
+            no_lb.makespan
+        );
+        assert!(lb.stats.get("steal.granted") > 0);
+    }
+
+    #[test]
+    fn deterministic_tree_shape() {
+        let cfg = tiny(9);
+        assert_eq!(sequential_size(&cfg), sequential_size(&cfg));
+        assert_ne!(sequential_size(&tiny(9)), sequential_size(&tiny(10)));
+    }
+}

@@ -1,0 +1,45 @@
+//! Fibonacci with dynamic load balancing on the *threaded* machine —
+//! the same kernel code as the simulator, but with one OS thread per
+//! node and real channels (the examples' "networks of workstations"
+//! mode the paper's conclusions point toward).
+//!
+//! Run with: `cargo run --release --example fib_threads`
+
+use hal::prelude::*;
+use hal_workloads::fib::{self, FibConfig, Placement};
+use std::time::Duration;
+
+fn main() {
+    let n = 24u64;
+    let nodes = 4;
+
+    let mut program = Program::new();
+    let fib_id = fib::register(&mut program);
+
+    let report = hal::thread_run(
+        MachineConfig::new(nodes).with_load_balancing(true),
+        program,
+        Duration::from_secs(60),
+        move |ctx| {
+            fib::bootstrap(
+                ctx,
+                fib_id,
+                FibConfig {
+                    n,
+                    grain: 8,
+                    placement: Placement::Local,
+                },
+            );
+        },
+    );
+
+    assert!(!report.timed_out, "machine stopped cleanly");
+    let v = report.value("fib").expect("completed").as_int() as u64;
+    println!("fib({n})                = {v}");
+    println!("expected              = {}", hal_baselines::fib_iter(n));
+    println!("wall clock            = {:?}", report.wall);
+    println!("actors created        = {}", report.actors_created);
+    println!("work stolen (actors)  = {}", report.stats.get("steal.granted"));
+    println!("migrations in-flight  = {}", report.stats.get("migrations.in"));
+    assert_eq!(v, hal_baselines::fib_iter(n));
+}

@@ -1,0 +1,111 @@
+//! Distributed garbage collection in action — the paper's §9 future
+//! work ("the use of locality descriptors … has the advantage of
+//! supporting an efficient garbage collection scheme") realized as a
+//! coordinator-driven distributed mark & sweep.
+//!
+//! A pinned registry actor holds a chain of service actors spread over
+//! the partition (some of which migrate); a pile of temporaries becomes
+//! garbage. The collector traces the chain across nodes — through
+//! best-guess descriptors and forward pointers — and frees exactly the
+//! garbage.
+//!
+//! Run with: `cargo run --release --example garbage_collection`
+
+use hal::prelude::*;
+
+/// Holds acquaintances and can adopt more; declares them for tracing
+/// (the hook the HAL compiler generated automatically).
+struct Registry {
+    held: Vec<MailAddr>,
+}
+
+impl Behavior for Registry {
+    fn dispatch(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+        for v in &msg.args {
+            self.held.push(v.as_addr());
+        }
+    }
+    fn acquaintances(&self) -> Vec<MailAddr> {
+        self.held.clone()
+    }
+    fn name(&self) -> &'static str {
+        "registry"
+    }
+}
+
+/// A service that may migrate away after creation — the collector must
+/// find it through its forward chain.
+struct Service {
+    next: Option<MailAddr>,
+}
+
+impl Behavior for Service {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.selector {
+            // adopt the next link
+            0 => self.next = Some(msg.args[0].as_addr()),
+            // wander to another node
+            1 => ctx.migrate(msg.args[0].as_int() as u16),
+            _ => unreachable!(),
+        }
+    }
+    fn acquaintances(&self) -> Vec<MailAddr> {
+        self.next.into_iter().collect()
+    }
+    fn name(&self) -> &'static str {
+        "service"
+    }
+}
+
+fn make_service(_: &[Value]) -> Box<dyn Behavior> {
+    Box::new(Service { next: None })
+}
+
+fn main() {
+    let mut program = Program::new();
+    let service = program.behavior("service", make_service);
+
+    let mut m = SimMachine::new(MachineConfig::new(6), program.build());
+    let registry = m.with_ctx(0, |ctx| {
+        // A chain of services across nodes 1..5; the registry holds the head.
+        let mut head: Option<MailAddr> = None;
+        for node in (1..6u16).rev() {
+            let s = ctx.create_on(node, service, vec![]);
+            if let Some(next) = head {
+                ctx.send(s, 0, vec![Value::Addr(next)]);
+            }
+            head = Some(s);
+        }
+        // The chain's second link wanders off to node 0.
+        if let Some(h) = head {
+            // (the head itself migrates: the registry must still reach it)
+            ctx.send(h, 1, vec![Value::Int(0)]);
+        }
+        let registry = ctx.create_local(Box::new(Registry {
+            held: head.into_iter().collect(),
+        }));
+        ctx.pin(registry);
+
+        // Temporaries that become garbage.
+        for node in 0..6u16 {
+            for _ in 0..7 {
+                ctx.create_on(node, service, vec![]);
+            }
+        }
+        registry
+    });
+    m.run();
+
+    let before: usize = (0..6u16).map(|n| m.kernel(n).actor_count()).sum();
+    let report = m.collect_garbage();
+    let after: usize = (0..6u16).map(|n| m.kernel(n).actor_count()).sum();
+
+    println!("actors before collection : {before}");
+    println!("freed                    : {}", report.freed);
+    println!("mark rounds              : {}", report.rounds);
+    println!("live after               : {} ({after} counted)", report.live);
+    println!("pinned registry + 5-link chain survive; 42 temporaries are freed");
+    assert_eq!(report.freed, 42);
+    assert_eq!(report.live, 6);
+    let _ = registry;
+}

@@ -1,0 +1,30 @@
+//! Root helper library for the hal-rs reproduction — shared by the
+//! examples and the cross-crate integration tests.
+//!
+//! The interesting code lives in the workspace crates (start at
+//! [`hal`]); this crate re-exports the full stack under one name so
+//! `examples/` and `tests/` can reach every layer.
+
+pub use hal;
+pub use hal_am;
+pub use hal_baselines;
+pub use hal_des;
+pub use hal_kernel;
+pub use hal_workloads;
+
+/// The paper this workspace reproduces.
+pub const PAPER: &str = "Kim & Agha, \"Efficient Support of Location Transparency in \
+     Concurrent Object-Oriented Programming Languages\", SC '95";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stack_is_reachable() {
+        // One end-to-end touch of every layer through the re-exports.
+        let d = crate::hal_des::VirtualDuration::from_micros(5);
+        assert_eq!(d.as_nanos(), 5_000);
+        assert_eq!(crate::hal_am::bcast::total_sends(8), 7);
+        assert_eq!(crate::hal_baselines::fib_iter(10), 55);
+        assert!(crate::PAPER.contains("SC '95"));
+    }
+}

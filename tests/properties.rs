@@ -1,0 +1,280 @@
+//! Property-based tests (proptest) over the runtime's core invariants:
+//! exactly-once delivery under arbitrary migration/send interleavings,
+//! join-continuation counting, group mappings, codec roundtrips, and
+//! numeric agreement of the distributed workloads with their sequential
+//! references — for arbitrary inputs, not hand-picked ones.
+
+use hal::prelude::*;
+use hal_kernel::Mapping;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Exactly-once delivery under random migrations and probes
+// ---------------------------------------------------------------------
+
+/// Walks a scripted hop list; counts probes; reports the count when
+/// asked.
+struct Nomad {
+    hops: Vec<u16>,
+    probes: i64,
+}
+impl Behavior for Nomad {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.selector {
+            0 => {
+                if let Some(next) = self.hops.pop() {
+                    let me = ctx.me();
+                    ctx.send(me, 0, vec![]);
+                    ctx.migrate(next);
+                }
+            }
+            1 => {
+                self.probes += 1;
+                ctx.report("got", Value::Int(1));
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct Spray {
+    target: MailAddr,
+    n: i64,
+}
+impl Behavior for Spray {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        for _ in 0..self.n {
+            ctx.send(self.target, 1, vec![]);
+        }
+    }
+}
+fn make_spray(args: &[Value]) -> Box<dyn Behavior> {
+    Box::new(Spray {
+        target: args[0].as_addr(),
+        n: args[1].as_int(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any migration path + any spread of probes from any node: every
+    /// probe is delivered exactly once, and the machine drains.
+    #[test]
+    fn exactly_once_delivery_under_arbitrary_migration(
+        hops in prop::collection::vec(0u16..6, 0..12),
+        probes in 1i64..24,
+        prober_node in 0u16..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut program = Program::new();
+        let spray = program.behavior("spray", make_spray);
+        let mut m = SimMachine::new(MachineConfig::new(6).with_seed(seed), program.build());
+        m.with_ctx(0, |ctx| {
+            let nomad = ctx.create_local(Box::new(Nomad {
+                hops: hops.clone(),
+                probes: 0,
+            }));
+            ctx.send(nomad, 0, vec![]);
+            let s = ctx.create_on(
+                prober_node,
+                spray,
+                vec![Value::Addr(nomad), Value::Int(probes)],
+            );
+            ctx.send(s, 0, vec![]);
+        });
+        let r = m.run();
+        prop_assert_eq!(r.values("got").len() as i64, probes);
+        // Drained: no FIRs left outstanding anywhere.
+        for node in 0..6u16 {
+            prop_assert_eq!(m.kernel(node).fir_table().outstanding(), 0);
+        }
+    }
+
+    /// Determinism: identical seeds give identical virtual outcomes.
+    #[test]
+    fn machine_is_deterministic(
+        hops in prop::collection::vec(0u16..4, 0..6),
+        seed in 0u64..u64::MAX,
+    ) {
+        let run = || {
+            let mut program = Program::new();
+            let spray = program.behavior("spray", make_spray);
+            let mut m = SimMachine::new(
+                MachineConfig::new(4).with_seed(seed).with_load_balancing(true),
+                program.build(),
+            );
+            m.with_ctx(0, |ctx| {
+                let nomad = ctx.create_local(Box::new(Nomad { hops: hops.clone(), probes: 0 }));
+                ctx.send(nomad, 0, vec![]);
+                let s = ctx.create_on(1, spray, vec![Value::Addr(nomad), Value::Int(5)]);
+                ctx.send(s, 0, vec![]);
+            });
+            let r = m.run();
+            (r.makespan, r.events, r.stats.get("net.packets"))
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group mapping properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// home_node/members_on are exact inverses for both mappings.
+    #[test]
+    fn group_mappings_partition(count in 1u32..400, p in 1usize..40) {
+        for mapping in [Mapping::Block, Mapping::Cyclic] {
+            let mut owner = vec![None; count as usize];
+            for node in 0..p {
+                for i in hal_kernel::group::members_on(node as u16, count, p, mapping) {
+                    prop_assert!(owner[i as usize].is_none(), "member {i} owned twice");
+                    owner[i as usize] = Some(node as u16);
+                    prop_assert_eq!(
+                        hal_kernel::group::home_node(i, count, p, mapping),
+                        node as u16
+                    );
+                }
+            }
+            prop_assert!(owner.iter().all(|o| o.is_some()));
+        }
+    }
+
+    /// GroupId encoding roundtrips.
+    #[test]
+    fn group_id_roundtrip(creator in 0u16..u16::MAX, counter in 0u16..0x7FFF, count in 0u32..u32::MAX) {
+        for mapping in [Mapping::Block, Mapping::Cyclic] {
+            let g = GroupId::new(creator, counter, count, mapping);
+            prop_assert_eq!(g.creator(), creator);
+            prop_assert_eq!(g.count(), count);
+            prop_assert_eq!(g.mapping(), mapping);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Broadcast tree properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The spanning tree reaches every node exactly once from any root.
+    #[test]
+    fn bcast_tree_spans(p in 1usize..300, root_raw in 0usize..300) {
+        let root = (root_raw % p) as u16;
+        let mut reached = vec![false; p];
+        let mut stack = vec![root];
+        reached[root as usize] = true;
+        let mut sends = 0usize;
+        while let Some(n) = stack.pop() {
+            for c in hal_am::bcast::children(n, root, p) {
+                prop_assert!(!reached[c as usize], "node {c} reached twice");
+                reached[c as usize] = true;
+                sends += 1;
+                stack.push(c);
+            }
+        }
+        prop_assert!(reached.iter().all(|&r| r));
+        prop_assert_eq!(sends, p - 1, "minimum spanning tree uses p-1 sends");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workload numerics on arbitrary inputs
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Distributed Cholesky equals the sequential factorization for any
+    /// seed, size, variant, and partition.
+    #[test]
+    fn cholesky_matches_reference(
+        n in 2usize..14,
+        seed in 0u64..1_000_000,
+        p in 1usize..6,
+        variant_idx in 0usize..4,
+    ) {
+        use hal_workloads::cholesky::{run_sim, extract_l, CholeskyConfig, Variant};
+        let variant = Variant::all()[variant_idx];
+        let (_, report) = run_sim(
+            MachineConfig::new(p),
+            CholeskyConfig { n, variant, per_flop_ns: 10, seed },
+            true,
+        );
+        let l = extract_l(&report, n);
+        let mut a = hal_baselines::random_spd(n, seed);
+        hal_baselines::cholesky_seq(&mut a, n);
+        for i in 0..n {
+            for j in 0..=i {
+                prop_assert!(
+                    (l[i * n + j] - a[i * n + j]).abs() < 1e-9,
+                    "{variant:?} ({i},{j})"
+                );
+            }
+        }
+    }
+
+    /// Systolic matmul equals the naive kernel for any grid/block/seed.
+    #[test]
+    fn matmul_matches_reference(
+        grid in 1usize..5,
+        block in 1usize..7,
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+        p in 1usize..5,
+    ) {
+        use hal_workloads::matmul::{assemble, extract_c, run_sim, MatmulConfig};
+        use hal_baselines::gemm;
+        let cfg = MatmulConfig { grid, block, per_flop_ns: 10, seed_a, seed_b };
+        let (_, report) = run_sim(MachineConfig::new(p), cfg, true);
+        let c = extract_c(&report, cfg);
+        let n = cfg.n();
+        let a = assemble(seed_a, grid, block);
+        let b = assemble(seed_b, grid, block);
+        let mut expect = vec![0.0; n * n];
+        gemm::matmul_naive(&a, &b, &mut expect, n);
+        prop_assert!(gemm::max_abs_diff(&c, &expect) < 1e-9);
+    }
+
+    /// fib workload equals the closed form for any grain/placement/P.
+    #[test]
+    fn fib_matches_reference(
+        n in 1u64..15,
+        grain in 0u64..10,
+        p in 1usize..6,
+        lb in any::<bool>(),
+        placement_idx in 0usize..3,
+    ) {
+        use hal_workloads::fib::{run_sim, FibConfig, Placement};
+        let placement = [Placement::Local, Placement::RoundRobin, Placement::Random][placement_idx];
+        let (v, _) = run_sim(
+            MachineConfig::new(p).with_load_balancing(lb),
+            FibConfig { n, grain, placement },
+        );
+        prop_assert_eq!(v, hal_baselines::fib_iter(n));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value codec
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// f64 packing roundtrips bit-exactly.
+    #[test]
+    fn f64_pack_roundtrip(data in prop::collection::vec(any::<f64>(), 0..64)) {
+        let packed = hal_workloads::pack_f64(&data);
+        let back = hal_workloads::unpack_f64(&packed);
+        prop_assert_eq!(back.len(), data.len());
+        for (a, b) in back.iter().zip(&data) {
+            prop_assert!(a.to_bits() == b.to_bits());
+        }
+    }
+}
