@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint. No network access is required —
+# the workspace is dependency-free by design (see DESIGN.md).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test -q =="
+cargo test -q --workspace
+
+echo "== cargo clippy -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all gates passed"

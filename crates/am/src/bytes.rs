@@ -1,0 +1,180 @@
+//! Reference-counted byte buffers for bulk payloads.
+//!
+//! The runtime previously pulled in the `bytes` crate for this; a full
+//! zero-copy slicing API is unnecessary here — bulk payloads (matrix
+//! blocks, migration images) are built once and then only cloned and
+//! read — so this module carries a minimal `Arc<[u8]>` wrapper instead,
+//! keeping the workspace free of external dependencies (tier-1 verify
+//! must run with no network access). [`Cursor`] is the matching reader
+//! for the little-endian wire encodings the workloads use.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer (`Arc<[u8]>` underneath).
+///
+/// Cloning copies a pointer, not the payload — the simulator passes
+/// matrix blocks between "nodes" without duplicating them, exactly as
+/// the refcounted `bytes::Bytes` did.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes(Arc<[u8]>);
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes(Arc::from(&[][..]))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The underlying bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// A [`Cursor`] positioned at the start of the buffer.
+    pub fn reader(&self) -> Cursor<'_> {
+        Cursor::new(&self.0)
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Arc::from(v.into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes(Arc::from(v))
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Bytes {
+    fn from(v: [u8; N]) -> Self {
+        Bytes(Arc::from(&v[..]))
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Payloads can be megabytes; show length plus a short prefix.
+        let prefix: Vec<u8> = self.0.iter().copied().take(8).collect();
+        if self.0.len() > 8 {
+            write!(f, "Bytes({} bytes, {:02x?}…)", self.0.len(), prefix)
+        } else {
+            write!(f, "Bytes({:02x?})", prefix)
+        }
+    }
+}
+
+/// A little-endian reader over a byte slice, panicking on underrun (a
+/// marshalling bug must be loud, matching the `Value` accessors).
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Bytes::from(vec![1u8; 1 << 20]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert!(std::ptr::eq(a.as_slice().as_ptr(), b.as_slice().as_ptr()));
+    }
+
+    #[test]
+    fn deref_and_len() {
+        let b = Bytes::from(vec![1u8, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(&b[..2], &[1, 2]);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn cursor_reads_little_endian() {
+        let mut v = Vec::new();
+        v.extend_from_slice(&7u64.to_le_bytes());
+        v.extend_from_slice(&2.5f64.to_le_bytes());
+        v.extend_from_slice(&9u32.to_le_bytes());
+        let b = Bytes::from(v);
+        let mut r = b.reader();
+        assert_eq!(r.get_u64(), 7);
+        assert_eq!(r.get_f64(), 2.5);
+        assert_eq!(r.get_u32(), 9);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cursor_underrun_panics() {
+        let b = Bytes::from(vec![1u8, 2]);
+        b.reader().get_u64();
+    }
+}

@@ -12,8 +12,8 @@
 //!   discrete-event engine (`hal-des`), with a CM-5-calibrated
 //!   latency/bandwidth model, per-link FIFO, and injection serialization.
 //!   All paper-table benchmarks run here.
-//! * [`thread`] — one OS thread per node over crossbeam channels, used by
-//!   examples and concurrency tests.
+//! * [`thread`] — one OS thread per node over `std::sync::mpsc`
+//!   channels, used by examples and concurrency tests.
 //!
 //! Protocol state machines are substrate-independent and pure:
 //!
@@ -26,12 +26,14 @@
 
 pub mod bcast;
 pub mod bulk;
+pub mod bytes;
 pub mod flow;
 pub mod packet;
 pub mod sim;
 pub mod thread;
 
 pub use bulk::BulkSender;
+pub use bytes::Bytes;
 pub use flow::{FlowControl, Grant};
 pub use packet::{AmEnvelope, BulkTag, NodeId, Packet, MAX_SMALL_BYTES};
 pub use sim::{LinkModel, SimNetwork};

@@ -2,15 +2,15 @@
 //!
 //! This substrate exercises the same kernel code as [`crate::sim`] but
 //! with genuine concurrency: each simulated node is an OS thread and
-//! packets travel over crossbeam channels. It is used by the examples and
+//! packets travel over mpsc channels. It is used by the examples and
 //! by integration tests that check the runtime is actually `Send`-correct
 //! and free of shared-memory shortcuts between "nodes" — faithful to the
 //! paper's distributed-memory setting, where nodes communicate only
 //! through the network interface.
 
 use crate::packet::{AmEnvelope, NodeId, Packet};
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 
 /// Shared counters for the threaded network.
@@ -97,7 +97,7 @@ pub fn thread_network<P: Send + 'static>(nodes: usize) -> Vec<ThreadEndpoint<P>>
     let mut txs = Vec::with_capacity(nodes);
     let mut rxs = Vec::with_capacity(nodes);
     for _ in 0..nodes {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         txs.push(tx);
         rxs.push(rx);
     }

@@ -1,18 +1,29 @@
-//! Property tests for the active-message layer: flow-control safety and
-//! liveness, bulk-transfer exactly-once, and simulated-network causal
-//! ordering.
+//! Randomized property tests for the active-message layer: flow-control
+//! safety and liveness, bulk-transfer exactly-once, and simulated-network
+//! causal ordering.
+//!
+//! Inputs are generated from the workspace's own deterministic
+//! [`SplitMix64`] stream (seeded per case) instead of an external
+//! property-testing framework, so the suite runs with no network access
+//! and every failure is reproducible from the printed case number.
 
 use hal_am::{AmEnvelope, BulkSender, FlowControl, LinkModel, SimNetwork};
-use hal_des::VirtualTime;
-use proptest::prelude::*;
+use hal_des::{SplitMix64, VirtualTime};
 
-proptest! {
-    /// Flow control: at most one grant active; every request eventually
-    /// granted exactly once; grants issue in FIFO order.
-    #[test]
-    fn flow_control_safety_and_liveness(
-        schedule in prop::collection::vec(any::<bool>(), 1..400),
-    ) {
+/// Draw a value in `[lo, hi)`.
+fn range(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_u64() % (hi - lo)
+}
+
+/// Flow control: at most one grant active; every request eventually
+/// granted exactly once; grants issue in FIFO order.
+#[test]
+fn flow_control_safety_and_liveness() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xF10C + case);
+        let len = range(&mut rng, 1, 400) as usize;
+        let schedule: Vec<bool> = (0..len).map(|_| rng.next_u64() & 1 == 1).collect();
+
         let mut fc = FlowControl::new();
         let mut next_tag = 0u64;
         let mut granted_order = Vec::new();
@@ -24,7 +35,7 @@ proptest! {
                 next_tag += 1;
                 requested_order.push(next_tag);
                 if let Some(g) = fc.on_request((next_tag % 5) as u16, next_tag) {
-                    prop_assert!(active.is_none(), "second active grant");
+                    assert!(active.is_none(), "case {case}: second active grant");
                     granted_order.push(g.tag);
                     active = Some(g);
                 }
@@ -42,55 +53,67 @@ proptest! {
                 active = Some(next);
             }
         }
-        prop_assert_eq!(&granted_order, &requested_order, "FIFO grants, exactly once");
-        prop_assert_eq!(fc.granted_total(), requested_order.len() as u64);
-        prop_assert_eq!(fc.queued(), 0);
+        assert_eq!(
+            granted_order, requested_order,
+            "case {case}: FIFO grants, exactly once"
+        );
+        assert_eq!(fc.granted_total(), requested_order.len() as u64);
+        assert_eq!(fc.queued(), 0);
     }
+}
 
-    /// Bulk sender: every begun transfer is released exactly once with
-    /// its own payload, regardless of ack order.
-    #[test]
-    fn bulk_transfers_release_their_own_payload(
-        payloads in prop::collection::vec(any::<u32>(), 1..60),
-    ) {
+/// Bulk sender: every begun transfer is released exactly once with its
+/// own payload, regardless of ack order.
+#[test]
+fn bulk_transfers_release_their_own_payload() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xB01C + case);
+        let len = range(&mut rng, 1, 60) as usize;
+        let payloads: Vec<u32> = (0..len).map(|_| rng.next_u64() as u32).collect();
+
         let mut tx = BulkSender::new(3);
         let mut tags = Vec::new();
         for (i, &p) in payloads.iter().enumerate() {
             let (tag, env) = tx.begin((i % 7) as u16, p, 4);
-            let is_req = matches!(env, AmEnvelope::BulkRequest { .. });
-            prop_assert!(is_req, "expected a BulkRequest envelope");
+            assert!(
+                matches!(env, AmEnvelope::BulkRequest { .. }),
+                "case {case}: expected a BulkRequest envelope"
+            );
             tags.push((tag, p, (i % 7) as u16));
         }
         // Ack in reverse order (worst case for any accidental FIFO
         // assumption in the sender).
         for &(tag, p, dst) in tags.iter().rev() {
             let (d, env, _) = tx.on_ack(tag);
-            prop_assert_eq!(d, dst);
+            assert_eq!(d, dst);
             match env {
-                AmEnvelope::BulkData { body, .. } => prop_assert_eq!(body, p),
-                other => {
-                    let msg = format!("expected data, got {other:?}");
-                    prop_assert!(false, "{}", msg);
-                }
+                AmEnvelope::BulkData { body, .. } => assert_eq!(body, p),
+                other => panic!("case {case}: expected data, got {other:?}"),
             }
         }
-        prop_assert_eq!(tx.in_progress(), 0);
+        assert_eq!(tx.in_progress(), 0);
     }
+}
 
-    /// SimNetwork: for monotone (in-virtual-time-order) injections, each
-    /// (src,dst) link is FIFO and arrival never precedes injection.
-    #[test]
-    fn sim_network_monotone_injections_are_causal(
-        sends in prop::collection::vec((0u8..4, 0u8..4, 0u64..500, 0usize..200), 1..120),
-    ) {
+/// SimNetwork: for monotone (in-virtual-time-order) injections, each
+/// (src,dst) link is FIFO and arrival never precedes injection.
+#[test]
+fn sim_network_monotone_injections_are_causal() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::new(0x51E7 + case);
+        let n_sends = range(&mut rng, 1, 120) as usize;
         let mut net = SimNetwork::new(4, LinkModel::cm5());
         let mut now = 0u64;
-        for (seq, (src, dst, dt, bytes)) in sends.into_iter().enumerate() {
+        for seq in 0..n_sends {
+            let src = range(&mut rng, 0, 4) as u16;
+            let dst = range(&mut rng, 0, 4) as u16;
+            let dt = range(&mut rng, 0, 500);
+            let bytes = range(&mut rng, 0, 200) as usize;
             now += dt;
             net.inject(
                 VirtualTime::from_nanos(now),
-                src as u16,
-                dst as u16,
+                src,
+                dst,
                 AmEnvelope::Small((seq as u64, now)),
                 bytes,
             );
@@ -105,15 +128,21 @@ proptest! {
         // verify per-link monotone sequence numbers and causality.
         for (t, src, dst, body) in arrivals {
             let AmEnvelope::Small((s, injected_at)) = body else { unreachable!() };
-            prop_assert!(t.as_nanos() >= injected_at, "arrived before injection");
+            assert!(
+                t.as_nanos() >= injected_at,
+                "case {case}: arrived before injection"
+            );
             if let Some(prev) = last_per_link.insert((src, dst), s) {
-                prop_assert!(prev < s, "link ({src},{dst}) reordered {prev} after {s}");
+                assert!(
+                    prev < s,
+                    "case {case}: link ({src},{dst}) reordered {prev} after {s}"
+                );
             }
         }
     }
 }
 
-/// Deterministic (non-proptest) regression: out-of-order injections (an
+/// Deterministic (non-randomized) regression: out-of-order injections (an
 /// interrupt handler's earlier-timestamped send) must not be delayed by
 /// state that later-timestamped injections established first.
 #[test]

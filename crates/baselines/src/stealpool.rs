@@ -4,19 +4,25 @@
 //! The paper compares its actor runtime against Cilk (73.16 s for
 //! fib(33) on one SPARC node). We reproduce that comparison point with a
 //! minimal multithreaded work-stealing runtime of the same algorithmic
-//! class: per-worker deques (crossbeam-deque), random stealing, and a
-//! global injector.
+//! class: per-worker deques, random stealing, and a global injector —
+//! all built on `std` primitives so the workspace stays free of
+//! external dependencies.
 
-use crossbeam::deque::{Injector, Stealer, Worker};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A unit of work. Tasks may spawn more tasks through the [`Spawner`].
 pub type Task = Box<dyn FnOnce(&Spawner) + Send>;
 
+/// A mutex-guarded deque: back is the hot (LIFO) end for the owner,
+/// front is the cold end thieves take from — the Chase–Lev access
+/// pattern, with a lock standing in for the lock-free protocol.
+type TaskDeque = Arc<Mutex<VecDeque<Task>>>;
+
 /// Handle tasks use to spawn subtasks.
 pub struct Spawner {
-    injector: Arc<Injector<Task>>,
+    injector: TaskDeque,
     outstanding: Arc<AtomicUsize>,
 }
 
@@ -24,7 +30,7 @@ impl Spawner {
     /// Enqueue a subtask.
     pub fn spawn(&self, task: Task) {
         self.outstanding.fetch_add(1, Ordering::SeqCst);
-        self.injector.push(task);
+        self.injector.lock().expect("injector poisoned").push_back(task);
     }
 }
 
@@ -44,18 +50,20 @@ impl StealPool {
     /// Run `root` (plus everything it transitively spawns) to
     /// completion.
     pub fn run(&self, root: Task) {
-        let injector = Arc::new(Injector::<Task>::new());
+        let injector: TaskDeque = Arc::new(Mutex::new(VecDeque::new()));
         let outstanding = Arc::new(AtomicUsize::new(1));
-        injector.push(root);
+        injector.lock().expect("injector poisoned").push_back(root);
 
-        let locals: Vec<Worker<Task>> = (0..self.workers).map(|_| Worker::new_lifo()).collect();
-        let stealers: Arc<Vec<Stealer<Task>>> =
-            Arc::new(locals.iter().map(|w| w.stealer()).collect());
+        let locals: Arc<Vec<TaskDeque>> = Arc::new(
+            (0..self.workers)
+                .map(|_| Arc::new(Mutex::new(VecDeque::new())))
+                .collect(),
+        );
 
         std::thread::scope(|scope| {
-            for (i, local) in locals.into_iter().enumerate() {
+            for i in 0..self.workers {
                 let injector = Arc::clone(&injector);
-                let stealers = Arc::clone(&stealers);
+                let locals = Arc::clone(&locals);
                 let outstanding = Arc::clone(&outstanding);
                 scope.spawn(move || {
                     let spawner = Spawner {
@@ -65,21 +73,40 @@ impl StealPool {
                     let mut rng_state = 0x9E37_79B9u64.wrapping_add(i as u64);
                     loop {
                         // Local LIFO first (cache-friendly, Cilk-style),
-                        // then the injector, then random victims.
-                        let task = local.pop().or_else(|| {
-                            std::iter::repeat_with(|| {
-                                injector.steal_batch_and_pop(&local).or_else(|| {
-                                    // xorshift victim choice
-                                    rng_state ^= rng_state << 13;
-                                    rng_state ^= rng_state >> 7;
-                                    rng_state ^= rng_state << 17;
-                                    let v = (rng_state as usize) % stealers.len();
-                                    stealers[v].steal()
-                                })
-                            })
-                            .find(|s| !s.is_retry())
-                            .and_then(|s| s.success())
-                        });
+                        // then a batch from the injector, then a random
+                        // victim's cold (FIFO) end. Each phase is a
+                        // separate statement so the previous guard drops
+                        // before the next lock is taken (never hold two
+                        // deque locks at once).
+                        let mut task = locals[i].lock().expect("local poisoned").pop_back();
+                        if task.is_none() {
+                            let mut refill = Vec::new();
+                            {
+                                let mut inj = injector.lock().expect("injector poisoned");
+                                task = inj.pop_front();
+                                if task.is_some() {
+                                    // Grab up to half of what remains
+                                    // queued for the local deque.
+                                    let batch = (inj.len() / 2).min(16);
+                                    for _ in 0..batch {
+                                        refill.push(inj.pop_front().expect("len checked"));
+                                    }
+                                }
+                            }
+                            if !refill.is_empty() {
+                                locals[i].lock().expect("local poisoned").extend(refill);
+                            }
+                        }
+                        if task.is_none() {
+                            // xorshift victim choice
+                            rng_state ^= rng_state << 13;
+                            rng_state ^= rng_state >> 7;
+                            rng_state ^= rng_state << 17;
+                            let v = (rng_state as usize) % locals.len();
+                            if v != i {
+                                task = locals[v].lock().expect("victim poisoned").pop_front();
+                            }
+                        }
                         match task {
                             Some(t) => {
                                 t(&spawner);

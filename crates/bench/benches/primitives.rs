@@ -1,5 +1,6 @@
-//! Criterion micro-benchmarks: real host-nanosecond costs of the
-//! runtime primitives (complementing the simulated-µs Table 2).
+//! Micro-benchmarks: real host-nanosecond costs of the runtime
+//! primitives (complementing the simulated-µs Table 2), on the in-tree
+//! [`hal_bench::harness`].
 //!
 //! These answer "how expensive are the data-structure operations the
 //! kernel performs per primitive on a modern machine" — name-server
@@ -7,9 +8,9 @@
 //! allocation, broadcast-tree computation, event-queue churn, and the
 //! end-to-end local send / fast-path dispatch through a live machine.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hal::prelude::*;
 use hal_am::bcast;
+use hal_bench::harness::Harness;
 use hal_des::{EventQueue, VirtualTime};
 use hal_kernel::name_server::NameServer;
 use hal_kernel::{ActorId, AddrKey, DescriptorId, SimMachine};
@@ -20,8 +21,8 @@ impl Behavior for Sink {
     fn dispatch(&mut self, _ctx: &mut Ctx<'_>, _msg: Msg) {}
 }
 
-fn bench_name_server(c: &mut Criterion) {
-    let mut g = c.benchmark_group("name_server");
+fn bench_name_server(c: &mut Harness) {
+    let mut g = c.group("name_server");
     g.bench_function("resolve_birthplace_fast_path", |b| {
         let mut ns = NameServer::new(0);
         let d = ns.alloc_local(ActorId(0), 0);
@@ -53,8 +54,8 @@ fn bench_name_server(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_machine_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("send_paths");
+fn bench_machine_paths(c: &mut Harness) {
+    let mut g = c.group("send_paths");
     g.bench_function("local_send_generic_enqueue_dispatch", |b| {
         let mut m = SimMachine::new(MachineConfig::new(1), Program::new().build());
         let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink)));
@@ -81,7 +82,7 @@ fn bench_machine_paths(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_join(c: &mut Criterion) {
+fn bench_join(c: &mut Harness) {
     c.bench_function("join_create_fill_fire", |b| {
         let mut m = SimMachine::new(MachineConfig::new(1), Program::new().build());
         b.iter(|| {
@@ -96,8 +97,8 @@ fn bench_join(c: &mut Criterion) {
     });
 }
 
-fn bench_bcast_schedule(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bcast_tree");
+fn bench_bcast_schedule(c: &mut Harness) {
+    let mut g = c.group("bcast_tree");
     for p in [16usize, 256, 4096] {
         g.bench_function(format!("children_all_nodes_p{p}"), |b| {
             b.iter(|| {
@@ -112,27 +113,23 @@ fn bench_bcast_schedule(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
+fn bench_event_queue(c: &mut Harness) {
     c.bench_function("event_queue_push_pop_1k", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..1_000u64 {
-                    q.push(VirtualTime::from_nanos(i * 37 % 1000), i);
-                }
-                let mut acc = 0;
-                while let Some((_, v)) = q.pop() {
-                    acc += v;
-                }
-                black_box(acc)
-            },
-            BatchSize::SmallInput,
-        );
+        b.iter_batched(EventQueue::<u64>::new, |mut q| {
+            for i in 0..1_000u64 {
+                q.push(VirtualTime::from_nanos(i * 37 % 1000), i);
+            }
+            let mut acc = 0;
+            while let Some((_, v)) = q.pop() {
+                acc += v;
+            }
+            black_box(acc)
+        });
     });
 }
 
-fn bench_creation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("creation");
+fn bench_creation(c: &mut Harness) {
+    let mut g = c.group("creation");
     g.bench_function("local_create", |b| {
         let mut m = SimMachine::new(MachineConfig::new(1), Program::new().build());
         b.iter(|| {
@@ -142,13 +139,12 @@ fn bench_creation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_name_server,
-    bench_machine_paths,
-    bench_join,
-    bench_bcast_schedule,
-    bench_event_queue,
-    bench_creation
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_name_server(&mut h);
+    bench_machine_paths(&mut h);
+    bench_join(&mut h);
+    bench_bcast_schedule(&mut h);
+    bench_event_queue(&mut h);
+    bench_creation(&mut h);
+}

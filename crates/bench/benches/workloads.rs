@@ -1,17 +1,18 @@
-//! Criterion benchmarks of whole simulated workloads: how fast the
-//! discrete-event reproduction itself runs on the host (simulator
-//! throughput), and the wall-clock of the comparison baselines.
+//! Benchmarks of whole simulated workloads: how fast the discrete-event
+//! reproduction itself runs on the host (simulator throughput), and the
+//! wall-clock of the comparison baselines — on the in-tree
+//! [`hal_bench::harness`].
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use hal::MachineConfig;
 use hal_baselines::{fib, gemm, parallel_fib};
+use hal_bench::harness::Harness;
 use hal_workloads::cholesky::{self, CholeskyConfig, Variant};
 use hal_workloads::fib::{self as fib_wl, FibConfig, Placement};
 use hal_workloads::matmul::{self, MatmulConfig};
 use std::hint::black_box;
 
-fn bench_sim_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sim_workloads");
+fn bench_sim_throughput(c: &mut Harness) {
+    let mut g = c.group("sim_workloads");
     g.sample_size(10);
     g.bench_function("fib20_grain8_p4_lb", |b| {
         b.iter(|| {
@@ -60,8 +61,8 @@ fn bench_sim_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_baselines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("baselines");
+fn bench_baselines(c: &mut Harness) {
+    let mut g = c.group("baselines");
     g.bench_function("fib25_sequential", |b| {
         b.iter(|| black_box(fib(black_box(25))));
     });
@@ -83,8 +84,8 @@ fn bench_baselines(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("extensions");
+fn bench_extensions(c: &mut Harness) {
+    let mut g = c.group("extensions");
     g.sample_size(10);
     // Distributed GC over a 4-node machine with 400 garbage actors.
     g.bench_function("gc_collect_400_garbage_p4", |b| {
@@ -160,5 +161,9 @@ fn bench_extensions(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sim_throughput, bench_baselines, bench_extensions);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_sim_throughput(&mut h);
+    bench_baselines(&mut h);
+    bench_extensions(&mut h);
+}

@@ -51,6 +51,10 @@ fn make_spawner(args: &[Value]) -> Box<dyn Behavior> {
 }
 
 fn run(opt: OptFlags, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {
+    run_cfg(MachineConfig::new(8).with_opt(opt).with_seed(2), f)
+}
+
+fn run_cfg(cfg: MachineConfig, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {
     let mut program = Program::new();
     let ids = Ids {
         sink: program.behavior("sink", make_sink),
@@ -58,7 +62,7 @@ fn run(opt: OptFlags, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {
         member: program.behavior("member", make_member),
         bulk_spray: program.behavior("bulk_spray", make_bulk_spray),
     };
-    let mut m = SimMachine::new(MachineConfig::new(8).with_opt(opt).with_seed(2), program.build());
+    let mut m = SimMachine::new(cfg, program.build());
     m.with_ctx(0, |ctx| f(ctx, &ids));
     m.run()
 }
@@ -118,7 +122,7 @@ struct BulkSpray {
 }
 impl Behavior for BulkSpray {
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
-        let blob = bytes::Bytes::from(vec![0u8; self.payload as usize]);
+        let blob = hal_am::Bytes::from(vec![0u8; self.payload as usize]);
         let wave = self.n.min(10);
         for i in 0..wave {
             ctx.send(self.target, 1, vec![Value::Bytes(blob.clone()), Value::Int(i)]);
@@ -256,4 +260,27 @@ fn main() {
         "\nratios > 1 mean the paper's mechanism wins; see table1_cholesky\n\
          for the flow-control ablation on the pipelined Cholesky workload."
     );
+
+    // Flight-recorder view of the FIR chase ablation's paper-side run:
+    // chain-length and delivery-path histograms for the same workload.
+    let traced = run_cfg(
+        MachineConfig::new(8).with_opt(on).with_seed(2).with_trace(),
+        chase,
+    );
+    let trace = traced.trace.expect("tracing was enabled");
+    let h = trace.histograms();
+    println!(
+        "\nflight recorder (FIR chase run): {} chase episodes, mean chain {:.1} hops,\n\
+         longest {} hops; {} deliveries waited out a migration",
+        h.fir_chain.count(),
+        h.fir_chain.mean(),
+        h.fir_chain.max(),
+        h.delivery_migrated.count(),
+    );
+    let out = "results/ablations_trace.json";
+    if let Err(e) = trace.write_chrome(out) {
+        eprintln!("ablations: trace export to {out} failed: {e}");
+        std::process::exit(1);
+    }
+    println!("chrome trace written to {out}");
 }

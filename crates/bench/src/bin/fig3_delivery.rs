@@ -54,11 +54,14 @@ fn make_spray(args: &[Value]) -> Box<dyn Behavior> {
     })
 }
 
-fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64) {
+fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64, Option<TraceReport>) {
     let p = 8usize;
     let mut program = Program::new();
     let spray = program.behavior("spray", make_spray);
-    let mut m = SimMachine::new(MachineConfig::new(p).with_seed(5), program.build());
+    let mut m = SimMachine::new(
+        MachineConfig::new(p).with_seed(5).with_trace(),
+        program.build(),
+    );
     m.with_ctx(0, |ctx| {
         // Walk `chain` hops around the ring 1,2,3,... (avoiding repeats
         // until necessary).
@@ -77,6 +80,7 @@ fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64) {
         r.stats.get("fir.suppressed"),
         r.stats.get("deliver.forwarded"),
         r.stats.get("net.packets"),
+        r.trace,
     )
 }
 
@@ -92,9 +96,11 @@ fn main() {
         &["hops", "delivered", "FIRs", "suppressed", "forwards", "packets"],
         &widths,
     );
+    let mut deepest_trace: Option<TraceReport> = None;
     for &chain in &[0usize, 1, 2, 4, 8, 16] {
-        let (delivered, firs, supp, fwd, pkts) = run(chain, 20);
+        let (delivered, firs, supp, fwd, pkts, trace) = run(chain, 20);
         assert_eq!(delivered, 20, "exactly-once delivery violated");
+        deepest_trace = trace; // keep the longest-chain run's recording
         row(
             &[
                 cell(chain),
@@ -112,4 +118,14 @@ fn main() {
          every message is still delivered exactly once; suppression keeps\n\
          the FIR count well below the probe count."
     );
+
+    // Flight-recorder export for the deepest chase (16 hops).
+    let trace = deepest_trace.expect("tracing was enabled");
+    println!("\nflight recorder (16-hop run):\n{}", trace.summary());
+    let out = "results/fig3_delivery_trace.json";
+    if let Err(e) = trace.write_chrome(out) {
+        eprintln!("fig3_delivery: trace export to {out} failed: {e}");
+        std::process::exit(1);
+    }
+    println!("chrome trace written to {out} (open in chrome://tracing or Perfetto)");
 }

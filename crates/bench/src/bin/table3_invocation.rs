@@ -128,4 +128,35 @@ fn main() {
          dispatch; on a modern host the in-process queue is already cheap and\n\
          the remaining gap over a raw call is marshalling + scheduling."
     );
+
+    // Flight-recorder cross-check: a traced generic-send run whose
+    // per-message delivery latency should sit at the locality-check +
+    // local-send cost the table above derives analytically.
+    let mut program = Program::new();
+    let _probe = synth::register(&mut program);
+    let mut m = SimMachine::new(
+        MachineConfig::new(1).with_trace(),
+        program.build(),
+    );
+    let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink { hits: 0 })));
+    m.with_ctx(0, |ctx| {
+        for i in 0..1000i64 {
+            let (sel, args) = SynthMsg::Echo { v: i }.encode();
+            ctx.send(sink, sel, args);
+        }
+    });
+    let r = m.run();
+    let trace = r.trace.expect("tracing was enabled");
+    let h = trace.histograms();
+    println!(
+        "\nflight recorder: {} local deliveries, mean latency {:.0} ns (sim)",
+        h.delivery_local.count(),
+        h.delivery_local.mean()
+    );
+    let out = "results/table3_invocation_trace.json";
+    if let Err(e) = trace.write_chrome(out) {
+        eprintln!("table3_invocation: trace export to {out} failed: {e}");
+        std::process::exit(1);
+    }
+    println!("chrome trace written to {out}");
 }

@@ -1,0 +1,157 @@
+//! A minimal wall-clock micro-benchmark harness (criterion stand-in).
+//!
+//! The workspace must build and test offline, so the host-nanosecond
+//! benches in `benches/` run on this ~100-line harness instead of an
+//! external framework: warm up, auto-calibrate an iteration count to a
+//! target sample duration, take several samples, report the median
+//! per-iteration time. Invoke with `cargo bench [filter]`; a positional
+//! argument selects benchmarks by substring.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Samples per benchmark; the median is reported.
+const SAMPLES: usize = 7;
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] (or
+/// [`Bencher::iter_batched`]) with the routine to measure.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Measure `f`, storing the median per-iteration time.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warm up and calibrate: how many iterations fill one sample?
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 10_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+    }
+
+    /// Measure `routine` over fresh state from `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let t0 = Instant::now();
+        std::hint::black_box(routine(setup()));
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+            let t = Instant::now();
+            for s in inputs {
+                std::hint::black_box(routine(s));
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+/// The top-level harness: owns the name filter and prints one line per
+/// benchmark.
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Build from `std::env::args`: the first non-flag argument is a
+    /// substring filter (flags like `--bench` that cargo passes are
+    /// ignored).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Harness { filter }
+    }
+
+    /// True if `name` passes the filter.
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run one benchmark and print its median per-iteration time.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        if !self.selected(name) {
+            return;
+        }
+        let mut b = Bencher { result_ns: 0.0 };
+        f(&mut b);
+        if b.result_ns >= 10_000.0 {
+            println!("{name:<44} {:>12.2} µs/iter", b.result_ns / 1e3);
+        } else {
+            println!("{name:<44} {:>12.1} ns/iter", b.result_ns);
+        }
+    }
+
+    /// A named group: benchmark names get a `group/` prefix, mirroring
+    /// the criterion convention the result files used.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            harness: self,
+            prefix: name.to_string(),
+        }
+    }
+}
+
+/// A benchmark group created by [`Harness::group`].
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    prefix: String,
+}
+
+impl Group<'_> {
+    /// Run one benchmark under the group prefix.
+    pub fn bench_function(&mut self, name: impl AsRef<str>, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.prefix, name.as_ref());
+        self.harness.bench_function(&full, f);
+    }
+
+    /// Accepted for criterion-API compatibility; sampling here is
+    /// duration-driven, so the count is ignored.
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// No-op terminator (criterion-API compatibility).
+    pub fn finish(self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something_positive() {
+        let mut b = Bencher { result_ns: 0.0 };
+        b.iter(|| std::hint::black_box(1u64 + 2));
+        assert!(b.result_ns > 0.0);
+    }
+
+    #[test]
+    fn filter_selects_by_substring() {
+        let h = Harness { filter: Some("name_server".into()) };
+        assert!(h.selected("name_server/resolve"));
+        assert!(!h.selected("send_paths/local"));
+        let h = Harness { filter: None };
+        assert!(h.selected("anything"));
+    }
+}

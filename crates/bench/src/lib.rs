@@ -11,11 +11,15 @@
 //! | `table5_matmul` | Table 5 — systolic matmul times and MFLOPS |
 //! | `fig3_delivery` | Fig. 3 — FIR message delivery under migration |
 //!
-//! Criterion benches in `benches/` measure the *real* (host) nanosecond
-//! cost of the primitive operations, complementing the simulated
-//! CM-5-calibrated microseconds the binaries report.
+//! The benches in `benches/` measure the *real* (host) nanosecond cost
+//! of the primitive operations, complementing the simulated
+//! CM-5-calibrated microseconds the binaries report. They run on the
+//! in-tree [`harness`] so the workspace carries no external
+//! dependencies and builds offline.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use std::fmt::Display;
 

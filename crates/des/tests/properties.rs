@@ -1,13 +1,25 @@
-//! Property tests for the discrete-event engine: the total order of the
-//! event queue, RNG stream independence, histogram/merge algebra.
+//! Randomized property tests for the discrete-event engine: the total
+//! order of the event queue, RNG stream independence, histogram/merge
+//! algebra.
+//!
+//! Inputs come from the engine's own deterministic [`SplitMix64`]
+//! streams (seeded per case) rather than an external property-testing
+//! framework, so the suite needs no network access and each failure is
+//! reproducible from the printed case number.
 
 use hal_des::{EventQueue, Histogram, Pcg32, SplitMix64, StatSet, VirtualTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// Pops come out sorted by time; ties preserve insertion order.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..1000, 0..300)) {
+fn range(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_u64() % (hi - lo)
+}
+
+/// Pops come out sorted by time; ties preserve insertion order.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xE0_0001 + case);
+        let n = range(&mut rng, 0, 300) as usize;
+        let times: Vec<u64> = (0..n).map(|_| range(&mut rng, 0, 1000)).collect();
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.push(VirtualTime::from_nanos(t), i);
@@ -15,27 +27,33 @@ proptest! {
         let mut last: Option<(VirtualTime, usize)> = None;
         let mut seen = vec![false; times.len()];
         while let Some((t, idx)) = q.pop() {
-            prop_assert_eq!(t.as_nanos(), times[idx]);
-            prop_assert!(!seen[idx], "event {idx} popped twice");
+            assert_eq!(t.as_nanos(), times[idx]);
+            assert!(!seen[idx], "case {case}: event {idx} popped twice");
             seen[idx] = true;
             if let Some((lt, lidx)) = last {
-                prop_assert!(lt <= t, "time order violated");
+                assert!(lt <= t, "case {case}: time order violated");
                 if lt == t {
-                    prop_assert!(lidx < idx, "FIFO tie-break violated");
+                    assert!(lidx < idx, "case {case}: FIFO tie-break violated");
                 }
             }
             last = Some((t, idx));
         }
-        prop_assert!(seen.iter().all(|&s| s), "every event popped");
+        assert!(seen.iter().all(|&s| s), "case {case}: every event popped");
     }
+}
 
-    /// Interleaved push/pop never loses or duplicates events.
-    #[test]
-    fn event_queue_interleaved(ops in prop::collection::vec((any::<bool>(), 0u64..100), 0..200)) {
+/// Interleaved push/pop never loses or duplicates events.
+#[test]
+fn event_queue_interleaved() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xE0_0002 + case);
+        let n_ops = range(&mut rng, 0, 200) as usize;
         let mut q = EventQueue::new();
         let mut pushed = 0u64;
         let mut popped = 0u64;
-        for (push, t) in ops {
+        for _ in 0..n_ops {
+            let push = rng.next_u64() & 1 == 1;
+            let t = range(&mut rng, 0, 100);
             if push {
                 q.push(VirtualTime::from_nanos(t), ());
                 pushed += 1;
@@ -46,36 +64,51 @@ proptest! {
         while q.pop().is_some() {
             popped += 1;
         }
-        prop_assert_eq!(pushed, popped);
-        prop_assert_eq!(q.scheduled_total(), pushed);
-        prop_assert_eq!(q.dispatched_total(), popped);
+        assert_eq!(pushed, popped);
+        assert_eq!(q.scheduled_total(), pushed);
+        assert_eq!(q.dispatched_total(), popped);
     }
+}
 
-    /// SplitMix64 streams from distinct seeds diverge quickly.
-    #[test]
-    fn splitmix_seeds_diverge(a in any::<u64>(), b in any::<u64>()) {
-        prop_assume!(a != b);
+/// SplitMix64 streams from distinct seeds diverge quickly.
+#[test]
+fn splitmix_seeds_diverge() {
+    let mut meta = SplitMix64::new(0xE0_0003);
+    for case in 0..256u64 {
+        let a = meta.next_u64();
+        let b = meta.next_u64();
+        if a == b {
+            continue;
+        }
         let mut ra = SplitMix64::new(a);
         let mut rb = SplitMix64::new(b);
         let same = (0..8).filter(|_| ra.next_u64() == rb.next_u64()).count();
-        prop_assert!(same <= 1, "streams collide suspiciously often");
+        assert!(same <= 1, "case {case}: streams collide suspiciously often");
     }
+}
 
-    /// PCG bounded draws stay in range for arbitrary bounds.
-    #[test]
-    fn pcg_bounded(seed in any::<u64>(), stream in any::<u64>(), bound in 1u32..u32::MAX) {
+/// PCG bounded draws stay in range for arbitrary bounds.
+#[test]
+fn pcg_bounded() {
+    let mut meta = SplitMix64::new(0xE0_0004);
+    for case in 0..256u64 {
+        let seed = meta.next_u64();
+        let stream = meta.next_u64();
+        let bound = (meta.next_u64() as u32).max(1);
         let mut rng = Pcg32::new(seed, stream);
         for _ in 0..32 {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(rng.next_below(bound) < bound, "case {case}");
         }
     }
+}
 
-    /// Histogram merge equals observing the union of samples.
-    #[test]
-    fn histogram_merge_is_union(
-        xs in prop::collection::vec(any::<u32>(), 0..100),
-        ys in prop::collection::vec(any::<u32>(), 0..100),
-    ) {
+/// Histogram merge equals observing the union of samples.
+#[test]
+fn histogram_merge_is_union() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xE0_0005 + case);
+        let xs: Vec<u32> = (0..range(&mut rng, 0, 100)).map(|_| rng.next_u64() as u32).collect();
+        let ys: Vec<u32> = (0..range(&mut rng, 0, 100)).map(|_| rng.next_u64() as u32).collect();
         let mut hx = Histogram::default();
         let mut hy = Histogram::default();
         let mut hu = Histogram::default();
@@ -88,18 +121,20 @@ proptest! {
             hu.observe(y as u64);
         }
         hx.merge(&hy);
-        prop_assert_eq!(hx.count(), hu.count());
-        prop_assert_eq!(hx.sum(), hu.sum());
-        prop_assert_eq!(hx.max(), hu.max());
+        assert_eq!(hx.count(), hu.count(), "case {case}");
+        assert_eq!(hx.sum(), hu.sum(), "case {case}");
+        assert_eq!(hx.max(), hu.max(), "case {case}");
     }
+}
 
-    /// StatSet merge is additive on counters.
-    #[test]
-    fn statset_merge_additive(
-        a in prop::collection::vec(0usize..4, 0..50),
-        b in prop::collection::vec(0usize..4, 0..50),
-    ) {
-        const NAMES: [&str; 4] = ["w", "x", "y", "z"];
+/// StatSet merge is additive on counters.
+#[test]
+fn statset_merge_additive() {
+    const NAMES: [&str; 4] = ["w", "x", "y", "z"];
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xE0_0006 + case);
+        let a: Vec<usize> = (0..range(&mut rng, 0, 50)).map(|_| range(&mut rng, 0, 4) as usize).collect();
+        let b: Vec<usize> = (0..range(&mut rng, 0, 50)).map(|_| range(&mut rng, 0, 4) as usize).collect();
         let mut sa = StatSet::new();
         let mut sb = StatSet::new();
         for &i in &a {
@@ -112,7 +147,7 @@ proptest! {
         for (i, name) in NAMES.iter().enumerate() {
             let expect = a.iter().filter(|&&x| x == i).count() as u64
                 + b.iter().filter(|&&x| x == i).count() as u64;
-            prop_assert_eq!(sa.get(name), expect);
+            assert_eq!(sa.get(name), expect, "case {case}: counter {name}");
         }
     }
 }

@@ -11,6 +11,8 @@
 //! programs                       list loadable programs
 //! run <prog> [k=v ...] [& <prog> [k=v ...] ...]
 //! stats                          counters from the last run
+//! trace on|off                   toggle the kernel flight recorder
+//! trace dump [path]              export the last run's Chrome trace
 //! gc                             collect garbage on the last partition
 //! quit
 //! ```
@@ -63,6 +65,11 @@ pub enum Command {
     Run(Vec<ProgramSpec>),
     /// Print the last run's statistics.
     Stats,
+    /// Toggle flight recording for subsequent runs.
+    Trace(bool),
+    /// Export the last run's trace: Chrome JSON to the given path, or a
+    /// summary to the console when no path is given.
+    TraceDump(Option<String>),
     /// Collect garbage on the last run's (quiescent) partition.
     Gc,
     /// Exit the console.
@@ -109,6 +116,12 @@ pub fn parse(line: &str) -> Result<Command, String> {
             Some("off") => Ok(Command::LoadBalancing(false)),
             _ => Err("usage: lb on|off".into()),
         },
+        "trace" => match words.next() {
+            Some("on") => Ok(Command::Trace(true)),
+            Some("off") => Ok(Command::Trace(false)),
+            Some("dump") => Ok(Command::TraceDump(words.next().map(str::to_string))),
+            _ => Err("usage: trace on|off | trace dump [path]".into()),
+        },
         "run" => {
             let rest: Vec<&str> = line["run".len()..].trim().split('&').collect();
             let mut specs = Vec::new();
@@ -145,6 +158,13 @@ mod tests {
         assert_eq!(parse("gc").unwrap(), Command::Gc);
         assert_eq!(parse("seed 42").unwrap(), Command::Seed(42));
         assert_eq!(parse("lb on").unwrap(), Command::LoadBalancing(true));
+        assert_eq!(parse("trace on").unwrap(), Command::Trace(true));
+        assert_eq!(parse("trace off").unwrap(), Command::Trace(false));
+        assert_eq!(parse("trace dump").unwrap(), Command::TraceDump(None));
+        assert_eq!(
+            parse("trace dump /tmp/t.json").unwrap(),
+            Command::TraceDump(Some("/tmp/t.json".into()))
+        );
         assert_eq!(parse("").unwrap(), Command::Nothing);
         assert_eq!(parse("# comment").unwrap(), Command::Nothing);
     }
@@ -179,6 +199,7 @@ mod tests {
         assert!(parse("nodes 0").is_err());
         assert!(parse("run fib n").is_err());
         assert!(parse("lb maybe").is_err());
+        assert!(parse("trace maybe").is_err());
         assert!(parse("run").is_err());
     }
 }

@@ -11,6 +11,7 @@ pub struct Console {
     nodes: usize,
     seed: u64,
     lb: bool,
+    trace: bool,
     last: Option<SimReport>,
     machine: Option<SimMachine>,
     done: bool,
@@ -22,6 +23,7 @@ impl Default for Console {
             nodes: 8,
             seed: 0x5EED,
             lb: false,
+            trace: false,
             last: None,
             machine: None,
             done: false,
@@ -117,6 +119,25 @@ impl Console {
                     out
                 }
             },
+            Command::Trace(on) => {
+                self.trace = on;
+                format!("flight recorder = {}", if on { "on" } else { "off" })
+            }
+            Command::TraceDump(path) => {
+                let Some(trace) = self.last.as_ref().and_then(|r| r.trace.as_ref()) else {
+                    return "no trace recorded (enable with `trace on`, then run)".into();
+                };
+                match path {
+                    None => trace.summary().trim_end().to_string(),
+                    Some(p) => match trace.write_chrome(&p) {
+                        Ok(()) => format!(
+                            "chrome trace ({} events) written to {p}",
+                            trace.events.len()
+                        ),
+                        Err(e) => format!("error: trace export to {p} failed: {e}"),
+                    },
+                }
+            }
             Command::Gc => match &mut self.machine {
                 None => "no partition to collect (run something first)".into(),
                 Some(m) => {
@@ -203,9 +224,12 @@ impl Console {
             boots.push(boot);
         }
 
-        let machine = MachineConfig::new(self.nodes)
+        let mut machine = MachineConfig::new(self.nodes)
             .with_seed(self.seed)
             .with_load_balancing(self.lb);
+        if self.trace {
+            machine = machine.with_trace();
+        }
         let mut m = SimMachine::new(machine, program.build());
         m.with_ctx(0, |ctx| {
             // Concurrent programs must not stop the machine: it drains
@@ -257,6 +281,8 @@ commands:
   run <prog> [k=v ...]      run a program on a fresh partition
   run <a> ... & <b> ...     run several programs concurrently
   stats                     counters from the last run
+  trace on|off              kernel flight recorder for subsequent runs
+  trace dump [path]         last run's trace: summary, or Chrome JSON to path
   gc                        collect garbage on the last partition
   quit                      exit
 "#;
@@ -322,6 +348,34 @@ mod tests {
         assert!(out.contains("freed"), "{out}");
         // fib actors are all garbage after the run (nothing pinned).
         assert!(out.contains("0 live"), "{out}");
+    }
+
+    #[test]
+    fn trace_dump_requires_a_recorded_run() {
+        let mut c = Console::new();
+        assert!(c.execute("trace dump").contains("no trace recorded"));
+        // A run without `trace on` records nothing.
+        c.execute("nodes 2");
+        c.execute("run fib n=10 grain=3");
+        assert!(c.execute("trace dump").contains("no trace recorded"));
+    }
+
+    #[test]
+    fn trace_records_and_dumps() {
+        let mut c = Console::new();
+        c.execute("nodes 2");
+        assert!(c.execute("trace on").contains("on"));
+        c.execute("run fib n=10 grain=3");
+        let summary = c.execute("trace dump");
+        assert!(summary.contains("events recorded"), "{summary}");
+        assert!(summary.contains("delivery.local"), "{summary}");
+        let dir = std::env::temp_dir().join("hal_console_trace_test");
+        let path = dir.join("dump.json");
+        let out = c.execute(&format!("trace dump {}", path.display()));
+        assert!(out.contains("written to"), "{out}");
+        let body = std::fs::read_to_string(&path).expect("dump file exists");
+        assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

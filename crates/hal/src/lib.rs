@@ -51,8 +51,9 @@ pub use program::{sim_run, thread_run, Program};
 // Re-export the kernel surface the facade builds on, so workloads need
 // only one `use hal::prelude::*`.
 pub use hal_kernel::{
-    Behavior, BehaviorId, ContRef, CostModel, GroupId, JcId, MachineConfig, MailAddr, Mapping,
-    Msg, OptFlags, Selector, SimMachine, SimReport, ThreadReport, Value,
+    Behavior, BehaviorId, ContRef, CostModel, DeliveryPath, GroupId, JcId, KernelEvent,
+    MachineConfig, MailAddr, Mapping, Msg, OptFlags, Selector, SimMachine, SimReport,
+    ThreadReport, TraceEvent, TraceHists, TraceReport, Value,
 };
 
 /// Everything a workload module typically needs.
@@ -63,7 +64,8 @@ pub mod prelude {
     pub use crate::value::{FromValue, IntoValue};
     pub use hal_kernel::kernel::Ctx;
     pub use hal_kernel::{
-        Behavior, BehaviorId, ContRef, CostModel, GroupId, MachineConfig, MailAddr, Mapping, Msg,
-        Selector, SimMachine, SimReport, Value,
+        Behavior, BehaviorId, ContRef, CostModel, DeliveryPath, GroupId, KernelEvent,
+        MachineConfig, MailAddr, Mapping, Msg, Selector, SimMachine, SimReport, TraceEvent,
+        TraceReport, Value,
     };
 }

@@ -109,7 +109,7 @@ macro_rules! messages {
 
 #[cfg(test)]
 mod tests {
-    use bytes::Bytes;
+    use hal_am::Bytes;
     use hal_kernel::{DescriptorId, MailAddr, Msg};
 
     messages! {

@@ -5,7 +5,7 @@
 //! plays that role, and these traits are the marshalling primitives it
 //! expands to.
 
-use bytes::Bytes;
+use hal_am::Bytes;
 use hal_kernel::{GroupId, MailAddr, Value};
 
 /// Decode a [`Value`] into a concrete Rust type (panics on a type

@@ -1,0 +1,205 @@
+//! Latency histograms derived from a flight-recorder event stream.
+//!
+//! The recorder ([`crate::trace`]) captures raw events; this module
+//! folds them into the log2-bucketed [`Histogram`]s the observability
+//! story is about:
+//!
+//! * **delivery latency** split by path — local enqueues, one-hop
+//!   remote sends, and deliveries that waited out a migration chase
+//!   (the paper's central claim is that the third column stays tolerable);
+//! * **FIR chain length** — how many FIR hops each chase episode took
+//!   (§4.3's forward chains);
+//! * **alias-resolution latency** — mint-to-NameInfo time for remote
+//!   creations (§5's hidden latency, made visible);
+//! * **pending-queue residency** — how long synchronization-constrained
+//!   messages sat parked (§6.1).
+
+use crate::trace::{DeliveryPath, KernelEvent, TraceEvent};
+use hal_des::Histogram;
+use std::collections::HashMap;
+
+/// The standard derived histograms. All values are virtual nanoseconds
+/// except `fir_chain`, which counts FIR hops per chase episode.
+#[derive(Clone, Debug, Default)]
+pub struct TraceHists {
+    /// Same-node delivery latency (ns).
+    pub delivery_local: Histogram,
+    /// One-hop remote delivery latency (ns).
+    pub delivery_remote: Histogram,
+    /// Delivery latency for messages that chased a migrated actor (ns).
+    pub delivery_migrated: Histogram,
+    /// FIR hops per chase episode (an episode ends when the reply
+    /// propagates back).
+    pub fir_chain: Histogram,
+    /// Alias mint-to-resolution latency (ns).
+    pub alias_latency: Histogram,
+    /// Pending-queue residency (ns).
+    pub pending_residency: Histogram,
+}
+
+/// Fold an ordered event stream into the standard histograms.
+pub fn derive(events: &[TraceEvent]) -> TraceHists {
+    let mut h = TraceHists::default();
+    // FIR chain length: count FirSent per key until the episode closes
+    // with a FirReplyPropagated for that key at the chase origin.
+    let mut chase_hops: HashMap<crate::addr::AddrKey, u64> = HashMap::new();
+    for e in events {
+        match &e.event {
+            KernelEvent::MessageDelivered { latency_ns, path, .. } => {
+                let hist = match path {
+                    DeliveryPath::Local => &mut h.delivery_local,
+                    DeliveryPath::Remote => &mut h.delivery_remote,
+                    DeliveryPath::Migrated => &mut h.delivery_migrated,
+                };
+                hist.observe(*latency_ns);
+            }
+            KernelEvent::FirSent { key, .. } => {
+                *chase_hops.entry(*key).or_insert(0) += 1;
+            }
+            KernelEvent::FirReplyPropagated { key, .. } => {
+                if let Some(hops) = chase_hops.remove(key) {
+                    h.fir_chain.observe(hops);
+                }
+            }
+            KernelEvent::AliasResolved { latency_ns, .. } => {
+                h.alias_latency.observe(*latency_ns);
+            }
+            KernelEvent::PendingRescanned { residency_ns, .. } => {
+                h.pending_residency.observe(*residency_ns);
+            }
+            _ => {}
+        }
+    }
+    // Episodes still open at the end of the run (reply never reached
+    // the origin's ring, or the run stopped mid-chase) still describe
+    // chain length.
+    for (_, hops) in chase_hops {
+        h.fir_chain.observe(hops);
+    }
+    h
+}
+
+/// Render the histograms as an aligned summary table.
+pub fn render(h: &TraceHists) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<26} {:>8} {:>12} {:>12} {:>12}",
+        "histogram", "count", "mean", "max", "unit"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    let mut line = |name: &str, hist: &Histogram, unit: &str| {
+        let _ = writeln!(
+            out,
+            "{:<26} {:>8} {:>12.1} {:>12} {:>12}",
+            name,
+            hist.count(),
+            hist.mean(),
+            hist.max(),
+            unit
+        );
+    };
+    line("delivery.local", &h.delivery_local, "ns");
+    line("delivery.remote", &h.delivery_remote, "ns");
+    line("delivery.migrated", &h.delivery_migrated, "ns");
+    line("fir.chain_length", &h.fir_chain, "hops");
+    line("alias.resolution", &h.alias_latency, "ns");
+    line("pending.residency", &h.pending_residency, "ns");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{AddrKey, DescriptorId};
+    use hal_des::VirtualTime;
+
+    fn at(ns: u64, event: KernelEvent) -> TraceEvent {
+        TraceEvent {
+            time: VirtualTime::from_nanos(ns),
+            node: 0,
+            event,
+        }
+    }
+
+    fn key(i: u32) -> AddrKey {
+        AddrKey { birthplace: 0, index: DescriptorId(i) }
+    }
+
+    #[test]
+    fn deliveries_split_by_path() {
+        let events = vec![
+            at(10, KernelEvent::MessageDelivered { id: 1, latency_ns: 100, path: DeliveryPath::Local }),
+            at(20, KernelEvent::MessageDelivered { id: 2, latency_ns: 9_000, path: DeliveryPath::Remote }),
+            at(30, KernelEvent::MessageDelivered { id: 3, latency_ns: 80_000, path: DeliveryPath::Migrated }),
+            at(40, KernelEvent::MessageDelivered { id: 4, latency_ns: 120, path: DeliveryPath::Local }),
+        ];
+        let h = derive(&events);
+        assert_eq!(h.delivery_local.count(), 2);
+        assert_eq!(h.delivery_remote.count(), 1);
+        assert_eq!(h.delivery_migrated.count(), 1);
+        assert_eq!(h.delivery_local.sum(), 220);
+        assert_eq!(h.delivery_migrated.max(), 80_000);
+    }
+
+    #[test]
+    fn log2_bucketing_is_inherited_from_histogram() {
+        // 100 and 120 land in the same power-of-two bucket [64,128);
+        // 9000 lands in [8192,16384). The derived histograms use the
+        // workspace Histogram, so mean/max/count follow its contract.
+        let events = vec![
+            at(0, KernelEvent::MessageDelivered { id: 1, latency_ns: 100, path: DeliveryPath::Local }),
+            at(0, KernelEvent::MessageDelivered { id: 2, latency_ns: 120, path: DeliveryPath::Local }),
+        ];
+        let h = derive(&events);
+        assert_eq!(h.delivery_local.count(), 2);
+        assert!((h.delivery_local.mean() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fir_chain_counts_hops_per_episode() {
+        let events = vec![
+            // Episode for key 1: three hops, then the reply propagates.
+            at(10, KernelEvent::FirSent { key: key(1), to: 1 }),
+            at(20, KernelEvent::FirSent { key: key(1), to: 2 }),
+            at(30, KernelEvent::FirSent { key: key(1), to: 3 }),
+            at(40, KernelEvent::FirReplyPropagated { key: key(1), node: 3, askers: 2, released: 1 }),
+            // Episode for key 2: one hop, never closed (run ended).
+            at(50, KernelEvent::FirSent { key: key(2), to: 1 }),
+        ];
+        let h = derive(&events);
+        assert_eq!(h.fir_chain.count(), 2);
+        assert_eq!(h.fir_chain.max(), 3);
+        assert_eq!(h.fir_chain.sum(), 4);
+    }
+
+    #[test]
+    fn alias_and_pending_latencies() {
+        let events = vec![
+            at(10, KernelEvent::AliasResolved { key: key(1), latency_ns: 20_830 }),
+            at(20, KernelEvent::PendingRescanned { id: 9, residency_ns: 5_000 }),
+            at(30, KernelEvent::PendingEnqueued { id: 10 }), // no resume: not counted
+        ];
+        let h = derive(&events);
+        assert_eq!(h.alias_latency.count(), 1);
+        assert_eq!(h.alias_latency.max(), 20_830);
+        assert_eq!(h.pending_residency.count(), 1);
+        assert_eq!(h.pending_residency.sum(), 5_000);
+    }
+
+    #[test]
+    fn render_mentions_every_histogram() {
+        let s = render(&TraceHists::default());
+        for name in [
+            "delivery.local",
+            "delivery.remote",
+            "delivery.migrated",
+            "fir.chain_length",
+            "alias.resolution",
+            "pending.residency",
+        ] {
+            assert!(s.contains(name), "{s}");
+        }
+    }
+}

@@ -30,6 +30,7 @@ use crate::join::{JoinFn, JoinTable};
 use crate::message::{ContRef, Msg, Target, Value};
 use crate::name_server::{NameServer, Resolution};
 use crate::registry::BehaviorRegistry;
+use crate::trace::{KernelEvent, Recorder, TraceEvent, TraceTag};
 use crate::wire::{ActorImage, KMsg};
 use hal_am::{bcast, AmEnvelope, BulkSender, FlowControl, NodeId, Packet, MAX_SMALL_BYTES};
 use hal_des::{StatSet, VirtualDuration, VirtualTime};
@@ -137,6 +138,9 @@ pub struct KernelConfig {
     pub seed: u64,
     /// Ablation switches (paper design by default).
     pub opt: OptFlags,
+    /// Enable the flight recorder ([`crate::trace`]). Off by default;
+    /// the disabled path is a single pointer test per hook.
+    pub trace: bool,
 }
 
 impl KernelConfig {
@@ -152,6 +156,7 @@ impl KernelConfig {
             max_stack_depth: 64,
             seed: 0x5EED,
             opt: OptFlags::default(),
+            trace: false,
         }
     }
 }
@@ -196,13 +201,20 @@ pub struct Kernel {
     pub stats: StatSet,
     /// Values posted by actors via `Ctx::report` (harness results).
     pub reports: Vec<(String, Value)>,
+    /// Flight recorder ([`crate::trace`]); `None` when tracing is off,
+    /// boxed so the common case carries one cold pointer.
+    recorder: Option<Box<Recorder>>,
 }
 
 impl Kernel {
     /// Build a kernel over a shared behavior registry.
     pub fn new(cfg: KernelConfig, registry: Arc<BehaviorRegistry>) -> Self {
         let balancer = Balancer::new(cfg.load_balancing, cfg.seed, cfg.me);
+        let recorder = cfg
+            .trace
+            .then(|| Box::new(Recorder::new(cfg.me, Recorder::DEFAULT_CAPACITY)));
         Kernel {
+            recorder,
             names: NameServer::new(cfg.me),
             actors: ActorSlab::new(),
             joins: JoinTable::new(),
@@ -278,6 +290,59 @@ impl Kernel {
     /// Read-only access to the FIR table (tests, diagnostics).
     pub fn fir_table(&self) -> &FirTable {
         &self.firs
+    }
+
+    /// The flight recorder, if tracing is enabled.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Record one trace event at the current clock. Callers on hot
+    /// paths guard with `self.recorder.is_some()` so event construction
+    /// is skipped entirely when tracing is off.
+    #[inline]
+    fn trace_event(&mut self, event: KernelEvent) {
+        if let Some(r) = self.recorder.as_deref_mut() {
+            let time = self.clock;
+            let node = self.cfg.me;
+            r.ring.push(TraceEvent { time, node, event });
+        }
+    }
+
+    /// Stamp an outgoing actor message with a trace tag (first send
+    /// only) and record the `MessageSent` event. No-op when tracing is
+    /// off or the message is already stamped (re-sends keep their id so
+    /// end-to-end latency spans the whole journey).
+    fn trace_stamp_send(&mut self, msg: &mut Msg, key: AddrKey, remote: bool) {
+        let Some(r) = self.recorder.as_deref_mut() else {
+            return;
+        };
+        match msg.trace.as_mut() {
+            None => {
+                let id = r.next_msg_id();
+                let time = self.clock;
+                let node = self.cfg.me;
+                msg.trace = Some(TraceTag {
+                    id,
+                    sent_at: time,
+                    flags: if remote { TraceTag::REMOTE } else { 0 },
+                });
+                r.ring.push(TraceEvent {
+                    time,
+                    node,
+                    event: KernelEvent::MessageSent { id, key, remote },
+                });
+            }
+            Some(tag) if remote => tag.flags |= TraceTag::REMOTE,
+            Some(_) => {}
+        }
+    }
+
+    /// Latency from a tag's send time to now, robust against the
+    /// loosely synchronized clocks of thread mode.
+    #[inline]
+    fn trace_latency_ns(&self, tag: &TraceTag) -> u64 {
+        self.clock.as_nanos().saturating_sub(tag.sent_at.as_nanos())
     }
 
     // ------------------------------------------------------------------
@@ -387,6 +452,21 @@ impl Kernel {
         match k {
             KMsg::Deliver { target, msg } => self.handle_deliver(net, src, target, msg),
             KMsg::NameInfo { key, node, index, epoch } => {
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    // If this NameInfo answers a §5 alias creation, the
+                    // mint-to-resolution window just closed.
+                    if let Some(born) = r.alias_born.remove(&key) {
+                        let latency_ns =
+                            self.clock.as_nanos().saturating_sub(born.as_nanos());
+                        let time = self.clock;
+                        let me = self.cfg.me;
+                        r.ring.push(TraceEvent {
+                            time,
+                            node: me,
+                            event: KernelEvent::AliasResolved { key, latency_ns },
+                        });
+                    }
+                }
                 self.repair_descriptor(key, node, index, epoch)
             }
             KMsg::Create {
@@ -431,18 +511,27 @@ impl Kernel {
 
     /// Send `msg` to mail address `to` from this node (the generic send
     /// of Fig. 3, sender side).
-    fn send_to_addr(&mut self, net: &mut dyn NetOut, to: MailAddr, msg: Msg) {
+    fn send_to_addr(&mut self, net: &mut dyn NetOut, to: MailAddr, mut msg: Msg) {
         self.charge(self.cfg.cost.locality_check);
         match self.names.resolve(to.key) {
             Resolution::Local(aid) => {
+                if self.recorder.is_some() {
+                    self.trace_stamp_send(&mut msg, to.key, false);
+                }
                 self.charge(self.cfg.cost.local_send);
                 self.stats.bump("msgs.local");
                 self.enqueue_local(aid, msg);
             }
             Resolution::Remote { node, remote_index } => {
+                if self.recorder.is_some() {
+                    self.trace_stamp_send(&mut msg, to.key, true);
+                }
                 if self.firs.is_pending(to.key) {
                     // We already know our guess is stale; park with the
                     // FIR instead of bouncing off the old node again.
+                    if let Some(tag) = msg.trace.as_mut() {
+                        tag.flags |= TraceTag::CHASED;
+                    }
                     self.firs.buffer(to.key, msg);
                     self.stats.bump("fir.buffered_at_send");
                     return;
@@ -474,6 +563,9 @@ impl Kernel {
                     "dangling local mail address {:?}",
                     to
                 );
+                if self.recorder.is_some() {
+                    self.trace_stamp_send(&mut msg, to.key, true);
+                }
                 let route = to.default_route();
                 let d = self.names.alloc_remote(route, None, 0);
                 self.names.bind(to.key, d);
@@ -580,10 +672,16 @@ impl Kernel {
         &mut self,
         net: &mut dyn NetOut,
         key: AddrKey,
-        msg: Msg,
+        mut msg: Msg,
         node: NodeId,
         remote_index: Option<DescriptorId>,
     ) {
+        // Any message that lands here is behind a migration: its
+        // eventual delivery should count in the `migrated` latency
+        // column.
+        if let Some(tag) = msg.trace.as_mut() {
+            tag.flags |= TraceTag::CHASED;
+        }
         if std::env::var("HAL_FIR_TRACE").is_ok() {
             eprintln!("[{}] node {} forward_or_chase key={key:?} to={node} confirmed={}", self.clock, self.cfg.me, remote_index.is_some());
         }
@@ -608,6 +706,7 @@ impl Kernel {
         if self.firs.is_pending(key) {
             // A chase is already running; join it.
             self.stats.bump("fir.suppressed");
+            self.trace_event(KernelEvent::FirSuppressed { key });
             self.firs.buffer(key, msg);
             return;
         }
@@ -641,9 +740,11 @@ impl Kernel {
         self.charge(self.cfg.cost.fir_handle);
         if self.firs.need_location(key) {
             self.stats.bump("fir.sent");
+            self.trace_event(KernelEvent::FirSent { key, to: next_hop });
             self.net_send(net, next_hop, KMsg::Fir { key });
         } else {
             self.stats.bump("fir.suppressed");
+            self.trace_event(KernelEvent::FirSuppressed { key });
         }
         self.firs.buffer(key, msg);
     }
@@ -676,6 +777,7 @@ impl Kernel {
                 } else {
                     self.firs.need_location(key);
                     self.firs.add_asker(key, src);
+                    self.trace_event(KernelEvent::FirSent { key, to: node });
                     self.net_send(net, node, KMsg::Fir { key });
                 }
             }
@@ -693,6 +795,7 @@ impl Kernel {
                 } else {
                     self.firs.need_location(key);
                     self.firs.add_asker(key, src);
+                    self.trace_event(KernelEvent::FirSent { key, to: key.birthplace });
                     self.net_send(net, key.birthplace, KMsg::Fir { key });
                 }
             }
@@ -716,6 +819,12 @@ impl Kernel {
         self.stats.bump("fir.found");
         self.repair_descriptor(key, node, index, epoch);
         if let Some(pending) = self.firs.complete(key) {
+            self.trace_event(KernelEvent::FirReplyPropagated {
+                key,
+                node,
+                askers: pending.askers.len() as u32,
+                released: pending.buffered.len() as u32,
+            });
             for asker in pending.askers {
                 self.net_send(net, asker, KMsg::FirFound { key, node, index, epoch });
             }
@@ -776,6 +885,16 @@ impl Kernel {
     /// Enqueue a message for a local actor, scheduling it if idle.
     fn enqueue_local(&mut self, aid: ActorId, msg: Msg) {
         self.charge(self.cfg.cost.constraint_check);
+        if self.recorder.is_some() {
+            if let Some(tag) = msg.trace {
+                let latency_ns = self.trace_latency_ns(&tag);
+                self.trace_event(KernelEvent::MessageDelivered {
+                    id: tag.id,
+                    latency_ns,
+                    path: tag.path(),
+                });
+            }
+        }
         if self.actors.enqueue(aid, msg) {
             self.dispatcher.push(aid);
         }
@@ -827,6 +946,16 @@ impl Kernel {
         self.stats.bump("actors.remote_requests");
         let d = self.names.alloc_remote(node, None, 0);
         let alias = MailAddr::alias(self.cfg.me, d, node, behavior);
+        if let Some(r) = self.recorder.as_deref_mut() {
+            r.alias_born.insert(alias.key, self.clock);
+            let time = self.clock;
+            let me = self.cfg.me;
+            r.ring.push(TraceEvent {
+                time,
+                node: me,
+                event: KernelEvent::AliasCreated { key: alias.key, target: node },
+            });
+        }
         self.net_send(
             net,
             node,
@@ -1018,6 +1147,9 @@ impl Kernel {
         }
         let primary = image.keys[0];
         let epoch = image.hops;
+        if self.recorder.is_some() {
+            self.trace_event(KernelEvent::ActorMigrated { key: primary, from, epoch });
+        }
         let aid = self.actors.insert(ActorRecord {
             behavior: image.behavior,
             addr: MailAddr::ordinary(primary.birthplace, primary.index),
@@ -1101,6 +1233,7 @@ impl Kernel {
         debug_assert!(self.balancer.may_poll(self.clock));
         let victim = self.balancer.start_poll(self.cfg.me, self.cfg.nodes);
         self.stats.bump("steal.polls");
+        self.trace_event(KernelEvent::StealRequest { victim });
         self.net_send(net, victim, KMsg::StealRequest { thief: self.cfg.me });
     }
 
@@ -1121,6 +1254,7 @@ impl Kernel {
             if let Some(rec) = self.actors.get_mut(aid) {
                 rec.scheduled = false;
                 self.stats.bump("steal.granted");
+                self.trace_event(KernelEvent::StealGrant { thief });
                 self.migrate_out(net, aid, thief, true);
             }
         }
@@ -1475,6 +1609,9 @@ impl Kernel {
         self.stats.add("gc.freed", freed);
         self.gc.active = false;
         let live = self.actors.len() as u64;
+        if self.recorder.is_some() {
+            self.trace_event(KernelEvent::GcSweep { freed, live });
+        }
         let coordinator = self.gc_coordinator;
         self.net_send(net, coordinator, KMsg::GcSwept { freed, live });
     }
@@ -1563,6 +1700,18 @@ impl Kernel {
                 }
             } else {
                 self.stats.bump("sync.deferred");
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    if let Some(tag) = msg.trace {
+                        r.pending_since.insert(tag.id, self.clock);
+                        let time = self.clock;
+                        let me = self.cfg.me;
+                        r.ring.push(TraceEvent {
+                            time,
+                            node: me,
+                            event: KernelEvent::PendingEnqueued { id: tag.id },
+                        });
+                    }
+                }
                 rec.pendq.push_back(msg);
             }
         }
@@ -1621,6 +1770,24 @@ impl Kernel {
                 if enabled {
                     let msg = rec.pendq.remove(i).expect("index in range");
                     self.stats.bump("sync.resumed");
+                    if let Some(r) = self.recorder.as_deref_mut() {
+                        if let Some(tag) = msg.trace {
+                            if let Some(parked) = r.pending_since.remove(&tag.id) {
+                                let residency_ns =
+                                    self.clock.as_nanos().saturating_sub(parked.as_nanos());
+                                let time = self.clock;
+                                let me = self.cfg.me;
+                                r.ring.push(TraceEvent {
+                                    time,
+                                    node: me,
+                                    event: KernelEvent::PendingRescanned {
+                                        id: tag.id,
+                                        residency_ns,
+                                    },
+                                });
+                            }
+                        }
+                    }
                     fired = true;
                     let mreq = self.execute_message(net, aid, rec, msg);
                     if mreq.is_some() {

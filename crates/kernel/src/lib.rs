@@ -21,6 +21,7 @@
 //! | collective broadcast scheduling (§6.4) | [`group`] |
 //! | minimal flow control (§6.5) | `hal-am` + [`kernel`] |
 //! | random-polling load balancing (§7.2) | [`balance`] |
+//! | flight recorder (observability) | [`trace`] + [`hist`] |
 //! | node manager (§3) | [`kernel`] (`handle_*`) |
 //! | program load module (§3) | [`registry`] |
 //! | CM-5 cost calibration | [`cost`] |
@@ -37,6 +38,7 @@ pub mod dispatch;
 pub mod fir;
 pub mod gc;
 pub mod group;
+pub mod hist;
 pub mod join;
 pub mod kernel;
 pub mod machine;
@@ -45,6 +47,7 @@ pub mod name_server;
 pub mod registry;
 pub mod thread_machine;
 pub mod timeline;
+pub mod trace;
 pub mod wire;
 
 pub use actor::{ActorRecord, Behavior};
@@ -58,4 +61,6 @@ pub use message::{ContRef, Msg, Target, Value};
 pub use registry::{BehaviorRegistry, FactoryFn};
 pub use thread_machine::{run_threaded, ThreadReport};
 pub use gc::GcReport;
+pub use hist::TraceHists;
+pub use trace::{DeliveryPath, KernelEvent, TraceEvent, TraceReport};
 pub use wire::{ActorImage, KMsg};

@@ -44,6 +44,8 @@ pub struct MachineConfig {
     /// Record per-node busy spans for timeline rendering
     /// ([`crate::timeline`]).
     pub record_timeline: bool,
+    /// Record flight-recorder events on every kernel ([`crate::trace`]).
+    pub record_trace: bool,
 }
 
 impl MachineConfig {
@@ -61,6 +63,7 @@ impl MachineConfig {
             max_events: 0,
             opt: crate::kernel::OptFlags::default(),
             record_timeline: false,
+            record_trace: false,
         }
     }
 
@@ -93,6 +96,12 @@ impl MachineConfig {
         self.record_timeline = true;
         self
     }
+
+    /// Record flight-recorder events on every kernel (builder style).
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
 }
 
 /// Result of running a simulated machine to completion.
@@ -110,6 +119,9 @@ pub struct SimReport {
     pub events: u64,
     /// Total actors created across all nodes.
     pub actors_created: u64,
+    /// Merged flight-recorder events, present when
+    /// [`MachineConfig::record_trace`] was set.
+    pub trace: Option<crate::trace::TraceReport>,
 }
 
 impl SimReport {
@@ -166,6 +178,7 @@ impl SimMachine {
                     max_stack_depth: cfg.max_stack_depth,
                     seed: cfg.seed,
                     opt: cfg.opt,
+                    trace: cfg.record_trace,
                 };
                 Kernel::new(kcfg, Arc::clone(&registry))
             })
@@ -338,6 +351,9 @@ impl SimMachine {
             .copied()
             .max()
             .unwrap_or(VirtualTime::ZERO);
+        let trace = self.cfg.record_trace.then(|| {
+            crate::trace::TraceReport::merge(self.kernels.iter().filter_map(|k| k.recorder()))
+        });
         SimReport {
             makespan,
             node_clocks,
@@ -345,6 +361,7 @@ impl SimMachine {
             reports,
             events: self.events,
             actors_created: actors,
+            trace,
         }
     }
 

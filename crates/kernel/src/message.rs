@@ -8,7 +8,7 @@
 //! address to `reply` to.
 
 use crate::addr::{AddrKey, GroupId, JcId, MailAddr, Selector};
-use bytes::Bytes;
+use hal_am::Bytes;
 use hal_am::NodeId;
 
 /// A first-class value that can travel in a message.
@@ -119,6 +119,10 @@ pub struct Msg {
     pub args: Vec<Value>,
     /// Reply destination, if this is a `request`-style send.
     pub customer: Option<ContRef>,
+    /// Flight-recorder metadata, stamped by the kernel at send time
+    /// when tracing is enabled ([`crate::trace`]). Simulation metadata
+    /// only: it never counts toward [`Msg::wire_bytes`].
+    pub trace: Option<crate::trace::TraceTag>,
 }
 
 impl Msg {
@@ -128,6 +132,7 @@ impl Msg {
             selector,
             args,
             customer: None,
+            trace: None,
         }
     }
 
@@ -137,6 +142,7 @@ impl Msg {
             selector,
             args,
             customer: Some(customer),
+            trace: None,
         }
     }
 

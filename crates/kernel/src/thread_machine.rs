@@ -33,6 +33,11 @@ pub struct ThreadReport {
     pub actors_created: u64,
     /// True if the run ended by timeout rather than `Ctx::stop`.
     pub timed_out: bool,
+    /// Merged flight-recorder events, present when
+    /// [`MachineConfig::record_trace`] was set. Virtual clocks drift
+    /// independently across threaded nodes, so cross-node timestamps are
+    /// comparable only loosely.
+    pub trace: Option<crate::trace::TraceReport>,
 }
 
 impl ThreadReport {
@@ -68,6 +73,7 @@ pub fn run_threaded(
                 max_stack_depth: cfg.max_stack_depth,
                 seed: cfg.seed,
                 opt: cfg.opt,
+                trace: cfg.record_trace,
             };
             Kernel::new(kcfg, Arc::clone(&registry))
         })
@@ -123,12 +129,16 @@ pub fn run_threaded(
         reports.extend(k.reports.iter().cloned());
         actors += k.actors_created();
     }
+    let trace = cfg.record_trace.then(|| {
+        crate::trace::TraceReport::merge(kernels.iter().filter_map(|k| k.recorder()))
+    });
     ThreadReport {
         wall: start.elapsed(),
         stats,
         reports,
         actors_created: actors,
         timed_out,
+        trace,
     }
 }
 

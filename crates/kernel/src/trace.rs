@@ -1,0 +1,571 @@
+//! The kernel flight recorder: structured event tracing.
+//!
+//! The paper argues about *mechanism costs* — FIR chases, alias
+//! round trips, pending-queue stalls — but its tables only show
+//! aggregate times. The flight recorder makes the mechanisms visible:
+//! when enabled (via [`crate::MachineConfig::with_trace`]), every kernel
+//! records a typed [`KernelEvent`] stream into a bounded per-node
+//! [`TraceRing`], stamped with the node's virtual clock. At report time
+//! the machine merges the rings into one time-ordered [`TraceReport`]
+//! that can
+//!
+//! * derive latency histograms ([`crate::hist`]) — message delivery
+//!   split by path (local / remote / migrated-chase), FIR chain length,
+//!   alias-resolution latency, pending-queue residency;
+//! * export Chrome trace-event JSON loadable in `chrome://tracing` or
+//!   [Perfetto](https://ui.perfetto.dev) (one track per node, delivery
+//!   latencies as duration slices, protocol events as instants).
+//!
+//! Recording is off by default and the disabled path is a single
+//! `Option` check per hook — `table2_primitives` numbers are unchanged
+//! with tracing off.
+
+use crate::addr::AddrKey;
+use hal_am::NodeId;
+use hal_des::VirtualTime;
+use std::collections::HashMap;
+
+/// How a delivered message reached its receiver's mail queue.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryPath {
+    /// Sender and receiver were on the same node.
+    Local,
+    /// One network hop to a correctly believed location.
+    Remote,
+    /// The receiver had migrated: the message waited out an FIR chase
+    /// or was forwarded along the migration chain.
+    Migrated,
+}
+
+/// One structured kernel event. Variants mirror the paper's protocol
+/// vocabulary (§4–§7) so a trace reads like the flowcharts.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelEvent {
+    /// An actor-level send left `send_to_addr` (stamped with a
+    /// node-unique message id).
+    MessageSent {
+        /// Node-unique message id (node in the high bits).
+        id: u64,
+        /// Destination identity key.
+        key: AddrKey,
+        /// The sender believed the receiver was remote.
+        remote: bool,
+    },
+    /// A message reached its receiver's mail queue.
+    MessageDelivered {
+        /// Id stamped at send time.
+        id: u64,
+        /// Virtual nanoseconds between send and enqueue.
+        latency_ns: u64,
+        /// How it got here.
+        path: DeliveryPath,
+    },
+    /// An FIR left this node chasing `key` (§4.3).
+    FirSent {
+        /// The chased identity key.
+        key: AddrKey,
+        /// Next hop of the chase.
+        to: NodeId,
+    },
+    /// A message joined an already-running chase instead of sending
+    /// another FIR (§4.3's duplicate suppression).
+    FirSuppressed {
+        /// The chased identity key.
+        key: AddrKey,
+    },
+    /// An FIR reply arrived: tables repaired, buffered messages
+    /// released, askers answered (§4.3).
+    FirReplyPropagated {
+        /// The located identity key.
+        key: AddrKey,
+        /// Where the actor actually is.
+        node: NodeId,
+        /// Chain nodes still waiting that we forwarded the answer to.
+        askers: u32,
+        /// Buffered messages released directly to `node`.
+        released: u32,
+    },
+    /// An actor completed a migration hop (recorded at the arrival
+    /// node).
+    ActorMigrated {
+        /// The actor's primary identity key.
+        key: AddrKey,
+        /// The node it left.
+        from: NodeId,
+        /// Its migration-hop count after this move.
+        epoch: u32,
+    },
+    /// A remote creation minted an alias and fired the request (§5).
+    AliasCreated {
+        /// The alias key.
+        key: AddrKey,
+        /// The node asked to create the actor.
+        target: NodeId,
+    },
+    /// The requester learned the alias's real descriptor (the §5
+    /// background NameInfo landed).
+    AliasResolved {
+        /// The alias key.
+        key: AddrKey,
+        /// Virtual nanoseconds from mint to resolution.
+        latency_ns: u64,
+    },
+    /// A message failed its synchronization constraint and was parked
+    /// in the pending queue (§6.1).
+    PendingEnqueued {
+        /// The message's trace id.
+        id: u64,
+    },
+    /// A parked message became enabled and was dispatched by the
+    /// pending-queue rescan (§6.1).
+    PendingRescanned {
+        /// The message's trace id.
+        id: u64,
+        /// Virtual nanoseconds it sat in the pending queue.
+        residency_ns: u64,
+    },
+    /// An idle node polled a random victim for work (§7.2).
+    StealRequest {
+        /// The polled victim.
+        victim: NodeId,
+    },
+    /// A victim granted work to a thief (one event per donated actor).
+    StealGrant {
+        /// The node receiving the actor.
+        thief: NodeId,
+    },
+    /// A node finished its garbage-collection sweep (§9).
+    GcSweep {
+        /// Actors freed on this node.
+        freed: u64,
+        /// Actors still live on this node.
+        live: u64,
+    },
+}
+
+impl KernelEvent {
+    /// Short stable name (Chrome trace + summary tables).
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelEvent::MessageSent { .. } => "MessageSent",
+            KernelEvent::MessageDelivered { .. } => "MessageDelivered",
+            KernelEvent::FirSent { .. } => "FirSent",
+            KernelEvent::FirSuppressed { .. } => "FirSuppressed",
+            KernelEvent::FirReplyPropagated { .. } => "FirReplyPropagated",
+            KernelEvent::ActorMigrated { .. } => "ActorMigrated",
+            KernelEvent::AliasCreated { .. } => "AliasCreated",
+            KernelEvent::AliasResolved { .. } => "AliasResolved",
+            KernelEvent::PendingEnqueued { .. } => "PendingEnqueued",
+            KernelEvent::PendingRescanned { .. } => "PendingRescanned",
+            KernelEvent::StealRequest { .. } => "StealRequest",
+            KernelEvent::StealGrant { .. } => "StealGrant",
+            KernelEvent::GcSweep { .. } => "GcSweep",
+        }
+    }
+}
+
+/// A [`KernelEvent`] stamped with where and when it happened.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Virtual time on the recording node.
+    pub time: VirtualTime,
+    /// The recording node.
+    pub node: NodeId,
+    /// What happened.
+    pub event: KernelEvent,
+}
+
+/// Per-message metadata riding inside [`crate::Msg`] while tracing is
+/// on. Never serialized: [`crate::Msg::wire_bytes`] ignores it, so the
+/// cost model and the small/bulk split are identical with tracing on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceTag {
+    /// Node-unique message id.
+    pub id: u64,
+    /// Virtual time at the sender when the send was issued.
+    pub sent_at: VirtualTime,
+    /// Path flags ([`TraceTag::REMOTE`], [`TraceTag::CHASED`]).
+    pub flags: u8,
+}
+
+impl TraceTag {
+    /// The sender resolved the receiver to another node.
+    pub const REMOTE: u8 = 1;
+    /// The message was buffered behind an FIR chase or forwarded along
+    /// a migration chain.
+    pub const CHASED: u8 = 2;
+
+    /// The delivery path these flags describe.
+    pub fn path(&self) -> DeliveryPath {
+        if self.flags & Self::CHASED != 0 {
+            DeliveryPath::Migrated
+        } else if self.flags & Self::REMOTE != 0 {
+            DeliveryPath::Remote
+        } else {
+            DeliveryPath::Local
+        }
+    }
+}
+
+/// A bounded ring of trace events: pushes past the capacity overwrite
+/// the oldest entries (a *flight recorder*, not an unbounded log).
+#[derive(Clone, Debug)]
+pub struct TraceRing {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the logical start once the ring has wrapped.
+    head: usize,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+}
+
+impl TraceRing {
+    /// Ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            buf: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record an event, overwriting the oldest if full.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events currently held, oldest first.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten after the ring filled.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate events oldest first (accounting for wraparound).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        let (tail, head) = self.buf.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+}
+
+/// Per-kernel recorder state: the ring plus the latency-tracking maps
+/// that turn single events into durations. Boxed behind an `Option` in
+/// the kernel so the disabled path costs one pointer test.
+#[derive(Debug)]
+pub struct Recorder {
+    /// The bounded event buffer.
+    pub ring: TraceRing,
+    next_msg_seq: u64,
+    node_bits: u64,
+    /// Alias key -> mint time (for [`KernelEvent::AliasResolved`]).
+    pub(crate) alias_born: HashMap<AddrKey, VirtualTime>,
+    /// Trace id -> park time (for [`KernelEvent::PendingRescanned`]).
+    pub(crate) pending_since: HashMap<u64, VirtualTime>,
+}
+
+impl Recorder {
+    /// Default ring capacity per node.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Recorder for `node` with the given ring capacity.
+    pub fn new(node: NodeId, capacity: usize) -> Self {
+        Recorder {
+            ring: TraceRing::new(capacity),
+            next_msg_seq: 0,
+            node_bits: (node as u64) << 48,
+            alias_born: HashMap::new(),
+            pending_since: HashMap::new(),
+        }
+    }
+
+    /// Mint a node-unique message id.
+    pub fn next_msg_id(&mut self) -> u64 {
+        self.next_msg_seq += 1;
+        self.node_bits | self.next_msg_seq
+    }
+}
+
+/// The merged, time-ordered trace of a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct TraceReport {
+    /// All surviving events, ordered by (time, node).
+    pub events: Vec<TraceEvent>,
+    /// Events lost to ring wraparound, summed over nodes.
+    pub dropped: u64,
+}
+
+impl TraceReport {
+    /// Merge per-node recorders into one ordered report.
+    pub fn merge<'a>(recorders: impl Iterator<Item = &'a Recorder>) -> Self {
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for r in recorders {
+            events.extend(r.ring.iter().cloned());
+            dropped += r.ring.dropped();
+        }
+        events.sort_by_key(|e| (e.time, e.node));
+        TraceReport { events, dropped }
+    }
+
+    /// Count of events with the given stable name.
+    pub fn count(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.event.name() == name).count()
+    }
+
+    /// Derive the standard latency histograms ([`crate::hist`]).
+    pub fn histograms(&self) -> crate::hist::TraceHists {
+        crate::hist::derive(&self.events)
+    }
+
+    /// Human-readable summary: event counts plus the derived latency
+    /// histograms.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut counts: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for e in &self.events {
+            *counts.entry(e.event.name()).or_insert(0) += 1;
+        }
+        let mut out = String::from("flight recorder summary\n");
+        let _ = writeln!(out, "  events recorded: {} (dropped: {})", self.events.len(), self.dropped);
+        for (name, n) in counts {
+            let _ = writeln!(out, "  {name:<20} {n:>8}");
+        }
+        out.push('\n');
+        out.push_str(&crate::hist::render(&self.histograms()));
+        out
+    }
+
+    /// Serialize as Chrome trace-event JSON (the `chrome://tracing` /
+    /// Perfetto format): one `pid` per machine, one `tid` per node,
+    /// deliveries as duration slices (`ph:"X"` spanning send→enqueue),
+    /// everything else as thread-scoped instants (`ph:"i"`).
+    pub fn chrome_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut nodes: Vec<NodeId> = self.events.iter().map(|e| e.node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        let mut first = true;
+        let push = |out: &mut String, first: &mut bool, line: &str| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str(line);
+        };
+        for n in nodes {
+            push(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{n},\
+                     \"args\":{{\"name\":\"node {n}\"}}}}"
+                ),
+            );
+        }
+        for e in &self.events {
+            let ts_us = e.time.as_nanos() as f64 / 1e3;
+            let tid = e.node;
+            let line = match &e.event {
+                KernelEvent::MessageDelivered { id, latency_ns, path } => {
+                    // A slice spanning the delivery latency, ending at
+                    // the enqueue instant.
+                    let dur_us = *latency_ns as f64 / 1e3;
+                    let start_us = ts_us - dur_us;
+                    format!(
+                        "{{\"name\":\"deliver:{path:?}\",\"cat\":\"delivery\",\"ph\":\"X\",\
+                         \"pid\":0,\"tid\":{tid},\"ts\":{start_us:.3},\"dur\":{dur_us:.3},\
+                         \"args\":{{\"id\":{id}}}}}"
+                    )
+                }
+                ev => {
+                    let args = match ev {
+                        KernelEvent::MessageSent { id, key, remote } => format!(
+                            "{{\"id\":{id},\"key\":\"{key:?}\",\"remote\":{remote}}}"
+                        ),
+                        KernelEvent::FirSent { key, to } => {
+                            format!("{{\"key\":\"{key:?}\",\"to\":{to}}}")
+                        }
+                        KernelEvent::FirSuppressed { key } => format!("{{\"key\":\"{key:?}\"}}"),
+                        KernelEvent::FirReplyPropagated { key, node, askers, released } => format!(
+                            "{{\"key\":\"{key:?}\",\"node\":{node},\"askers\":{askers},\
+                             \"released\":{released}}}"
+                        ),
+                        KernelEvent::ActorMigrated { key, from, epoch } => format!(
+                            "{{\"key\":\"{key:?}\",\"from\":{from},\"epoch\":{epoch}}}"
+                        ),
+                        KernelEvent::AliasCreated { key, target } => {
+                            format!("{{\"key\":\"{key:?}\",\"target\":{target}}}")
+                        }
+                        KernelEvent::AliasResolved { key, latency_ns } => {
+                            format!("{{\"key\":\"{key:?}\",\"latency_ns\":{latency_ns}}}")
+                        }
+                        KernelEvent::PendingEnqueued { id } => format!("{{\"id\":{id}}}"),
+                        KernelEvent::PendingRescanned { id, residency_ns } => {
+                            format!("{{\"id\":{id},\"residency_ns\":{residency_ns}}}")
+                        }
+                        KernelEvent::StealRequest { victim } => {
+                            format!("{{\"victim\":{victim}}}")
+                        }
+                        KernelEvent::StealGrant { thief } => format!("{{\"thief\":{thief}}}"),
+                        KernelEvent::GcSweep { freed, live } => {
+                            format!("{{\"freed\":{freed},\"live\":{live}}}")
+                        }
+                        KernelEvent::MessageDelivered { .. } => unreachable!("handled above"),
+                    };
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"kernel\",\"ph\":\"i\",\"s\":\"t\",\
+                         \"pid\":0,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{args}}}",
+                        e.event.name()
+                    )
+                }
+            };
+            push(&mut out, &mut first, &line);
+        }
+        let _ = write!(out, "\n],\"displayTimeUnit\":\"ns\"}}");
+        out
+    }
+
+    /// Write the Chrome trace JSON to `path`, creating parent
+    /// directories as needed.
+    pub fn write_chrome(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, self.chrome_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::DescriptorId;
+
+    fn ev(ns: u64, node: NodeId) -> TraceEvent {
+        TraceEvent {
+            time: VirtualTime::from_nanos(ns),
+            node,
+            event: KernelEvent::StealRequest { victim: 0 },
+        }
+    }
+
+    #[test]
+    fn ring_holds_events_below_capacity() {
+        let mut r = TraceRing::new(4);
+        for i in 0..3 {
+            r.push(ev(i, 0));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let times: Vec<u64> = r.iter().map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest_and_counts_drops() {
+        let mut r = TraceRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i, 0));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        // Oldest-first iteration across the wrap point.
+        let times: Vec<u64> = r.iter().map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_capacity_one_keeps_latest() {
+        let mut r = TraceRing::new(1);
+        r.push(ev(1, 0));
+        r.push(ev(2, 0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.iter().next().unwrap().time.as_nanos(), 2);
+        assert_eq!(r.dropped(), 1);
+    }
+
+    #[test]
+    fn merge_orders_across_nodes() {
+        let mut a = Recorder::new(0, 16);
+        let mut b = Recorder::new(1, 16);
+        a.ring.push(ev(5, 0));
+        a.ring.push(ev(9, 0));
+        b.ring.push(ev(3, 1));
+        b.ring.push(ev(7, 1));
+        let merged = TraceReport::merge([&a, &b].into_iter());
+        let times: Vec<u64> = merged.events.iter().map(|e| e.time.as_nanos()).collect();
+        assert_eq!(times, vec![3, 5, 7, 9]);
+        assert_eq!(merged.dropped, 0);
+    }
+
+    #[test]
+    fn msg_ids_are_node_unique() {
+        let mut a = Recorder::new(3, 16);
+        let id1 = a.next_msg_id();
+        let id2 = a.next_msg_id();
+        assert_ne!(id1, id2);
+        assert_eq!(id1 >> 48, 3);
+    }
+
+    #[test]
+    fn tag_path_classification() {
+        let t = |flags| TraceTag { id: 0, sent_at: VirtualTime::ZERO, flags };
+        assert_eq!(t(0).path(), DeliveryPath::Local);
+        assert_eq!(t(TraceTag::REMOTE).path(), DeliveryPath::Remote);
+        assert_eq!(t(TraceTag::CHASED).path(), DeliveryPath::Migrated);
+        assert_eq!(t(TraceTag::REMOTE | TraceTag::CHASED).path(), DeliveryPath::Migrated);
+    }
+
+    #[test]
+    fn chrome_json_is_well_formed_enough() {
+        let mut r = Recorder::new(0, 16);
+        r.ring.push(TraceEvent {
+            time: VirtualTime::from_nanos(2_000),
+            node: 0,
+            event: KernelEvent::MessageDelivered {
+                id: 7,
+                latency_ns: 1_000,
+                path: DeliveryPath::Remote,
+            },
+        });
+        r.ring.push(TraceEvent {
+            time: VirtualTime::from_nanos(2_500),
+            node: 0,
+            event: KernelEvent::FirSent {
+                key: AddrKey { birthplace: 0, index: DescriptorId(1) },
+                to: 3,
+            },
+        });
+        let report = TraceReport::merge([&r].into_iter());
+        let json = report.chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"dur\":1.000"), "{json}");
+        assert!(json.contains("FirSent"), "{json}");
+        assert!(json.ends_with("\"displayTimeUnit\":\"ns\"}"));
+        // Balanced braces — cheap structural sanity check.
+        let open = json.matches('{').count();
+        let close = json.matches('}').count();
+        assert_eq!(open, close);
+    }
+}

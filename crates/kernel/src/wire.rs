@@ -291,7 +291,7 @@ mod tests {
         };
         let big = KMsg::Deliver {
             target: Target::Member { group: GroupId::new(0, 0, 1, crate::addr::Mapping::Block), index: 0 },
-            msg: Msg::new(0, vec![Value::Bytes(bytes::Bytes::from(vec![0u8; 1024]))]),
+            msg: Msg::new(0, vec![Value::Bytes(hal_am::Bytes::from(vec![0u8; 1024]))]),
         };
         assert!(big.wire_bytes() > small.wire_bytes() + 1000);
     }

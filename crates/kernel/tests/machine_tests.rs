@@ -569,7 +569,7 @@ fn bulk_messages_use_three_phase_protocol() {
     let mut m = SimMachine::new(MachineConfig::new(2), registry());
     let sink = m.with_ctx(1, |ctx| ctx.create_local(Box::new(BigSink)));
     m.with_ctx(0, |ctx| {
-        let payload = bytes::Bytes::from(vec![7u8; 100_000]);
+        let payload = hal_am::Bytes::from(vec![7u8; 100_000]);
         ctx.send(sink, 0, vec![Value::Bytes(payload)]);
     });
     let r = m.run();

@@ -1,20 +1,29 @@
-//! Property tests over the name server and epoch-based gossip repair —
-//! the §4 invariants the whole delivery algorithm rests on.
+//! Randomized property tests over the name server and epoch-based gossip
+//! repair — the §4 invariants the whole delivery algorithm rests on.
+//!
+//! Inputs come from the workspace's deterministic [`SplitMix64`] stream
+//! (seeded per case), keeping the suite free of external dependencies;
+//! failures reproduce from the printed case number.
 
+use hal_des::SplitMix64;
 use hal_kernel::addr::{ActorId, AddrKey, DescriptorId, MailAddr};
 use hal_kernel::descriptor::Locality;
 use hal_kernel::name_server::{NameServer, Resolution};
-use proptest::prelude::*;
 
-proptest! {
-    /// Birthplace keys never touch the hash table; foreign keys never
-    /// touch the fast path.
-    #[test]
-    fn lookup_path_discipline(
-        me in 0u16..8,
-        n_local in 0usize..20,
-        foreign in prop::collection::vec((0u16..8, 0u32..40), 0..20),
-    ) {
+fn range(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_u64() % (hi - lo)
+}
+
+/// Birthplace keys never touch the hash table; foreign keys never touch
+/// the fast path.
+#[test]
+fn lookup_path_discipline() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x4A_0001 + case);
+        let me = range(&mut rng, 0, 8) as u16;
+        let n_local = range(&mut rng, 0, 20) as usize;
+        let n_foreign = range(&mut rng, 0, 20) as usize;
+
         let mut ns = NameServer::new(me);
         let mut local_keys = Vec::new();
         for i in 0..n_local {
@@ -22,8 +31,12 @@ proptest! {
             local_keys.push(AddrKey { birthplace: me, index: d });
         }
         let mut foreign_keys = Vec::new();
-        for (node, idx) in foreign {
-            prop_assume!(node != me);
+        for _ in 0..n_foreign {
+            let node = range(&mut rng, 0, 8) as u16;
+            let idx = range(&mut rng, 0, 40) as u32;
+            if node == me {
+                continue; // foreign means not the birthplace
+            }
             let d = ns.alloc_remote(node, None, 0);
             let key = AddrKey { birthplace: node, index: DescriptorId(idx) };
             ns.bind(key, d);
@@ -35,22 +48,30 @@ proptest! {
             let _ = ns.resolve(*k);
         }
         // fast path used exactly once per local resolve
-        prop_assert_eq!(ns.fast_hits - fast_before, local_keys.len() as u64);
-        prop_assert_eq!(ns.hash_lookups, hash_before);
+        assert_eq!(ns.fast_hits - fast_before, local_keys.len() as u64, "case {case}");
+        assert_eq!(ns.hash_lookups, hash_before, "case {case}");
         let hash_before = ns.hash_lookups;
-        let mut ns2 = ns; // appease borrowck for the second loop
         for k in &foreign_keys {
-            let _ = ns2.resolve(*k);
+            let _ = ns.resolve(*k);
         }
-        prop_assert_eq!(ns2.hash_lookups - hash_before, foreign_keys.len() as u64);
+        assert_eq!(
+            ns.hash_lookups - hash_before,
+            foreign_keys.len() as u64,
+            "case {case}"
+        );
     }
+}
 
-    /// Epoch discipline: applying gossip in any order leaves each
-    /// descriptor holding the belief from the *highest* epoch seen.
-    #[test]
-    fn gossip_is_order_independent_under_epochs(
-        updates in prop::collection::vec((0u16..8, 0u32..1000), 1..40),
-    ) {
+/// Epoch discipline: applying gossip in any order leaves each descriptor
+/// holding the belief from the *highest* epoch seen.
+#[test]
+fn gossip_is_order_independent_under_epochs() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x4A_0002 + case);
+        let n = range(&mut rng, 1, 40) as usize;
+        let updates: Vec<(u16, u32)> = (0..n)
+            .map(|_| (range(&mut rng, 0, 8) as u16, range(&mut rng, 0, 1000) as u32))
+            .collect();
         // Simulate repair_descriptor's rule on a single Remote entry:
         // overwrite iff epoch >= current.
         let apply = |order: &[(u16, u32)]| {
@@ -71,28 +92,50 @@ proptest! {
         // The resulting epoch is order-independent (the node may differ
         // among equal-epoch claims, which are by construction the same
         // physical arrival in the real system).
-        prop_assert_eq!(max_epoch, rev_epoch);
-        prop_assert_eq!(max_epoch, updates.iter().map(|&(_, e)| e).max().unwrap());
+        assert_eq!(max_epoch, rev_epoch, "case {case}");
+        assert_eq!(
+            max_epoch,
+            updates.iter().map(|&(_, e)| e).max().unwrap(),
+            "case {case}"
+        );
     }
+}
 
-    /// Alias and ordinary keys resolve to the same actor once bound.
-    #[test]
-    fn alias_interchangeability(me in 0u16..8, requester in 0u16..8, aid in 0u32..100) {
-        prop_assume!(me != requester);
+/// Alias and ordinary keys resolve to the same actor once bound.
+#[test]
+fn alias_interchangeability() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x4A_0003 + case);
+        let me = range(&mut rng, 0, 8) as u16;
+        let requester = range(&mut rng, 0, 8) as u16;
+        let aid = range(&mut rng, 0, 100) as u32;
+        if me == requester {
+            continue; // aliases exist only for genuinely remote creation
+        }
         let mut ns = NameServer::new(me);
         let d = ns.alloc_local(ActorId(aid), 0);
         let ordinary = MailAddr::ordinary(me, d);
         let alias = MailAddr::alias(requester, DescriptorId(0), me, hal_kernel::BehaviorId(1));
         ns.bind(alias.key, d);
-        prop_assert_eq!(ns.resolve(ordinary.key), Resolution::Local(ActorId(aid)));
-        prop_assert_eq!(ns.resolve(alias.key), Resolution::Local(ActorId(aid)));
-        prop_assert_eq!(alias.default_route(), me, "alias routes to the creation node");
+        assert_eq!(ns.resolve(ordinary.key), Resolution::Local(ActorId(aid)), "case {case}");
+        assert_eq!(ns.resolve(alias.key), Resolution::Local(ActorId(aid)), "case {case}");
+        assert_eq!(
+            alias.default_route(),
+            me,
+            "case {case}: alias routes to the creation node"
+        );
     }
+}
 
-    /// Descriptor updates through migrations always leave a resolvable
-    /// chain ending wherever the last migration went.
-    #[test]
-    fn migration_chain_resolution(path in prop::collection::vec(1u16..6, 1..10)) {
+/// Descriptor updates through migrations always leave a resolvable chain
+/// ending wherever the last migration went.
+#[test]
+fn migration_chain_resolution() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x4A_0004 + case);
+        let hops = range(&mut rng, 1, 10) as usize;
+        let path: Vec<u16> = (0..hops).map(|_| range(&mut rng, 1, 6) as u16).collect();
+
         let mut ns = NameServer::new(0);
         let d = ns.alloc_local(ActorId(0), 0);
         let key = AddrKey { birthplace: 0, index: d };
@@ -106,12 +149,11 @@ proptest! {
             desc.epoch = epoch;
         }
         match ns.resolve(key) {
-            Resolution::Remote { node, .. } => prop_assert_eq!(node, *path.last().unwrap()),
-            other => {
-                let msg = format!("expected Remote, got {other:?}");
-                prop_assert!(false, "{}", msg);
+            Resolution::Remote { node, .. } => {
+                assert_eq!(node, *path.last().unwrap(), "case {case}")
             }
+            other => panic!("case {case}: expected Remote, got {other:?}"),
         }
-        prop_assert_eq!(ns.descriptor(d).epoch, path.len() as u32);
+        assert_eq!(ns.descriptor(d).epoch, path.len() as u32, "case {case}");
     }
 }

@@ -31,13 +31,13 @@ messages! {
         /// in the global variants, the coordinator drives instead).
         Start {} = 0,
         /// Finished column `k` (rows k..n), to be applied as a cmod.
-        Update { k: i64, data: bytes::Bytes } = 1,
+        Update { k: i64, data: hal_am::Bytes } = 1,
         /// Global variants: the coordinator tells column `j` to cdiv.
         DoColumn { j: i64 } = 2,
         /// Global variants: a column acknowledges applying an update.
         Ack {} = 3,
         /// A factored column for the collector.
-        Result { j: i64, data: bytes::Bytes } = 4,
+        Result { j: i64, data: hal_am::Bytes } = 4,
     }
 }
 

@@ -22,16 +22,16 @@ pub mod synth;
 pub mod uts;
 
 /// Pack a f64 slice into a wire payload.
-pub fn pack_f64(data: &[f64]) -> bytes::Bytes {
+pub fn pack_f64(data: &[f64]) -> hal_am::Bytes {
     let mut out = Vec::with_capacity(data.len() * 8);
     for v in data {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    bytes::Bytes::from(out)
+    hal_am::Bytes::from(out)
 }
 
 /// Unpack a wire payload into f64s.
-pub fn unpack_f64(b: &bytes::Bytes) -> Vec<f64> {
+pub fn unpack_f64(b: &hal_am::Bytes) -> Vec<f64> {
     assert_eq!(b.len() % 8, 0, "payload not a multiple of 8 bytes");
     b.chunks_exact(8)
         .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
@@ -56,6 +56,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of 8")]
     fn ragged_payload_rejected() {
-        unpack_f64(&bytes::Bytes::from(vec![1u8, 2, 3]));
+        unpack_f64(&hal_am::Bytes::from(vec![1u8, 2, 3]));
     }
 }

@@ -25,11 +25,11 @@ messages! {
         /// Kick a member off (broadcast).
         Start {} = 0,
         /// An A block arriving for `step`.
-        ABlock { step: i64, data: bytes::Bytes } = 1,
+        ABlock { step: i64, data: hal_am::Bytes } = 1,
         /// A B block arriving for `step`.
-        BBlock { step: i64, data: bytes::Bytes } = 2,
+        BBlock { step: i64, data: hal_am::Bytes } = 2,
         /// A finished C block (to the collector; validation runs).
-        Done { idx: i64, data: bytes::Bytes } = 3,
+        Done { idx: i64, data: hal_am::Bytes } = 3,
         /// A finished block's sum of squares (benchmark runs — shipping
         /// every block to one node would serialize at its ejection port
         /// and measure the gather, not the multiply).

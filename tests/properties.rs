@@ -1,12 +1,20 @@
-//! Property-based tests (proptest) over the runtime's core invariants:
-//! exactly-once delivery under arbitrary migration/send interleavings,
-//! join-continuation counting, group mappings, codec roundtrips, and
-//! numeric agreement of the distributed workloads with their sequential
-//! references — for arbitrary inputs, not hand-picked ones.
+//! Randomized tests over the runtime's core invariants: exactly-once
+//! delivery under arbitrary migration/send interleavings, determinism,
+//! group mappings, codec roundtrips, and numeric agreement of the
+//! distributed workloads with their sequential references — for
+//! randomly drawn inputs, not hand-picked ones.
+//!
+//! Inputs come from the workspace's deterministic [`SplitMix64`] stream
+//! (seeded per case), keeping tier-1 verification offline; failures
+//! reproduce from the printed case number.
 
 use hal::prelude::*;
+use hal_des::SplitMix64;
 use hal_kernel::Mapping;
-use proptest::prelude::*;
+
+fn range(rng: &mut SplitMix64, lo: u64, hi: u64) -> u64 {
+    lo + rng.next_u64() % (hi - lo)
+}
 
 // ---------------------------------------------------------------------
 // Exactly-once delivery under random migrations and probes
@@ -55,18 +63,18 @@ fn make_spray(args: &[Value]) -> Box<dyn Behavior> {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Any migration path + any spread of probes from any node: every probe
+/// is delivered exactly once, and the machine drains.
+#[test]
+fn exactly_once_delivery_under_arbitrary_migration() {
+    for case in 0..48u64 {
+        let mut rng = SplitMix64::new(0x10_0001 + case);
+        let n_hops = range(&mut rng, 0, 12) as usize;
+        let hops: Vec<u16> = (0..n_hops).map(|_| range(&mut rng, 0, 6) as u16).collect();
+        let probes = range(&mut rng, 1, 24) as i64;
+        let prober_node = range(&mut rng, 0, 6) as u16;
+        let seed = rng.next_u64();
 
-    /// Any migration path + any spread of probes from any node: every
-    /// probe is delivered exactly once, and the machine drains.
-    #[test]
-    fn exactly_once_delivery_under_arbitrary_migration(
-        hops in prop::collection::vec(0u16..6, 0..12),
-        probes in 1i64..24,
-        prober_node in 0u16..6,
-        seed in 0u64..u64::MAX,
-    ) {
         let mut program = Program::new();
         let spray = program.behavior("spray", make_spray);
         let mut m = SimMachine::new(MachineConfig::new(6).with_seed(seed), program.build());
@@ -84,19 +92,23 @@ proptest! {
             ctx.send(s, 0, vec![]);
         });
         let r = m.run();
-        prop_assert_eq!(r.values("got").len() as i64, probes);
+        assert_eq!(r.values("got").len() as i64, probes, "case {case}");
         // Drained: no FIRs left outstanding anywhere.
         for node in 0..6u16 {
-            prop_assert_eq!(m.kernel(node).fir_table().outstanding(), 0);
+            assert_eq!(m.kernel(node).fir_table().outstanding(), 0, "case {case}");
         }
     }
+}
 
-    /// Determinism: identical seeds give identical virtual outcomes.
-    #[test]
-    fn machine_is_deterministic(
-        hops in prop::collection::vec(0u16..4, 0..6),
-        seed in 0u64..u64::MAX,
-    ) {
+/// Determinism: identical seeds give identical virtual outcomes.
+#[test]
+fn machine_is_deterministic() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x10_0002 + case);
+        let n_hops = range(&mut rng, 0, 6) as usize;
+        let hops: Vec<u16> = (0..n_hops).map(|_| range(&mut rng, 0, 4) as u16).collect();
+        let seed = rng.next_u64();
+
         let run = || {
             let mut program = Program::new();
             let spray = program.behavior("spray", make_spray);
@@ -113,7 +125,7 @@ proptest! {
             let r = m.run();
             (r.makespan, r.events, r.stats.get("net.packets"))
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "case {case}");
     }
 }
 
@@ -121,36 +133,47 @@ proptest! {
 // Group mapping properties
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// home_node/members_on are exact inverses for both mappings.
-    #[test]
-    fn group_mappings_partition(count in 1u32..400, p in 1usize..40) {
+/// home_node/members_on are exact inverses for both mappings.
+#[test]
+fn group_mappings_partition() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x10_0003 + case);
+        let count = range(&mut rng, 1, 400) as u32;
+        let p = range(&mut rng, 1, 40) as usize;
         for mapping in [Mapping::Block, Mapping::Cyclic] {
             let mut owner = vec![None; count as usize];
             for node in 0..p {
                 for i in hal_kernel::group::members_on(node as u16, count, p, mapping) {
-                    prop_assert!(owner[i as usize].is_none(), "member {i} owned twice");
+                    assert!(
+                        owner[i as usize].is_none(),
+                        "case {case}: member {i} owned twice"
+                    );
                     owner[i as usize] = Some(node as u16);
-                    prop_assert_eq!(
+                    assert_eq!(
                         hal_kernel::group::home_node(i, count, p, mapping),
-                        node as u16
+                        node as u16,
+                        "case {case}"
                     );
                 }
             }
-            prop_assert!(owner.iter().all(|o| o.is_some()));
+            assert!(owner.iter().all(|o| o.is_some()), "case {case}");
         }
     }
+}
 
-    /// GroupId encoding roundtrips.
-    #[test]
-    fn group_id_roundtrip(creator in 0u16..u16::MAX, counter in 0u16..0x7FFF, count in 0u32..u32::MAX) {
+/// GroupId encoding roundtrips.
+#[test]
+fn group_id_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x10_0004 + case);
+        let creator = range(&mut rng, 0, u16::MAX as u64) as u16;
+        let counter = range(&mut rng, 0, 0x7FFF) as u16;
+        let count = rng.next_u64() as u32;
         for mapping in [Mapping::Block, Mapping::Cyclic] {
             let g = GroupId::new(creator, counter, count, mapping);
-            prop_assert_eq!(g.creator(), creator);
-            prop_assert_eq!(g.count(), count);
-            prop_assert_eq!(g.mapping(), mapping);
+            assert_eq!(g.creator(), creator, "case {case}");
+            assert_eq!(g.count(), count, "case {case}");
+            assert_eq!(g.mapping(), mapping, "case {case}");
         }
     }
 }
@@ -159,27 +182,27 @@ proptest! {
 // Broadcast tree properties
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The spanning tree reaches every node exactly once from any root.
-    #[test]
-    fn bcast_tree_spans(p in 1usize..300, root_raw in 0usize..300) {
-        let root = (root_raw % p) as u16;
+/// The spanning tree reaches every node exactly once from any root.
+#[test]
+fn bcast_tree_spans() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x10_0005 + case);
+        let p = range(&mut rng, 1, 300) as usize;
+        let root = (range(&mut rng, 0, 300) as usize % p) as u16;
         let mut reached = vec![false; p];
         let mut stack = vec![root];
         reached[root as usize] = true;
         let mut sends = 0usize;
         while let Some(n) = stack.pop() {
             for c in hal_am::bcast::children(n, root, p) {
-                prop_assert!(!reached[c as usize], "node {c} reached twice");
+                assert!(!reached[c as usize], "case {case}: node {c} reached twice");
                 reached[c as usize] = true;
                 sends += 1;
                 stack.push(c);
             }
         }
-        prop_assert!(reached.iter().all(|&r| r));
-        prop_assert_eq!(sends, p - 1, "minimum spanning tree uses p-1 sends");
+        assert!(reached.iter().all(|&r| r), "case {case}");
+        assert_eq!(sends, p - 1, "case {case}: minimum spanning tree uses p-1 sends");
     }
 }
 
@@ -187,20 +210,17 @@ proptest! {
 // Workload numerics on arbitrary inputs
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Distributed Cholesky equals the sequential factorization for any
-    /// seed, size, variant, and partition.
-    #[test]
-    fn cholesky_matches_reference(
-        n in 2usize..14,
-        seed in 0u64..1_000_000,
-        p in 1usize..6,
-        variant_idx in 0usize..4,
-    ) {
-        use hal_workloads::cholesky::{run_sim, extract_l, CholeskyConfig, Variant};
-        let variant = Variant::all()[variant_idx];
+/// Distributed Cholesky equals the sequential factorization for any
+/// seed, size, variant, and partition.
+#[test]
+fn cholesky_matches_reference() {
+    use hal_workloads::cholesky::{run_sim, extract_l, CholeskyConfig, Variant};
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0x10_0006 + case);
+        let n = range(&mut rng, 2, 14) as usize;
+        let seed = range(&mut rng, 0, 1_000_000);
+        let p = range(&mut rng, 1, 6) as usize;
+        let variant = Variant::all()[range(&mut rng, 0, 4) as usize];
         let (_, report) = run_sim(
             MachineConfig::new(p),
             CholeskyConfig { n, variant, per_flop_ns: 10, seed },
@@ -211,25 +231,27 @@ proptest! {
         hal_baselines::cholesky_seq(&mut a, n);
         for i in 0..n {
             for j in 0..=i {
-                prop_assert!(
+                assert!(
                     (l[i * n + j] - a[i * n + j]).abs() < 1e-9,
-                    "{variant:?} ({i},{j})"
+                    "case {case}: {variant:?} ({i},{j})"
                 );
             }
         }
     }
+}
 
-    /// Systolic matmul equals the naive kernel for any grid/block/seed.
-    #[test]
-    fn matmul_matches_reference(
-        grid in 1usize..5,
-        block in 1usize..7,
-        seed_a in 0u64..1_000_000,
-        seed_b in 0u64..1_000_000,
-        p in 1usize..5,
-    ) {
-        use hal_workloads::matmul::{assemble, extract_c, run_sim, MatmulConfig};
-        use hal_baselines::gemm;
+/// Systolic matmul equals the naive kernel for any grid/block/seed.
+#[test]
+fn matmul_matches_reference() {
+    use hal_baselines::gemm;
+    use hal_workloads::matmul::{assemble, extract_c, run_sim, MatmulConfig};
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0x10_0007 + case);
+        let grid = range(&mut rng, 1, 5) as usize;
+        let block = range(&mut rng, 1, 7) as usize;
+        let seed_a = range(&mut rng, 0, 1_000_000);
+        let seed_b = range(&mut rng, 0, 1_000_000);
+        let p = range(&mut rng, 1, 5) as usize;
         let cfg = MatmulConfig { grid, block, per_flop_ns: 10, seed_a, seed_b };
         let (_, report) = run_sim(MachineConfig::new(p), cfg, true);
         let c = extract_c(&report, cfg);
@@ -238,25 +260,27 @@ proptest! {
         let b = assemble(seed_b, grid, block);
         let mut expect = vec![0.0; n * n];
         gemm::matmul_naive(&a, &b, &mut expect, n);
-        prop_assert!(gemm::max_abs_diff(&c, &expect) < 1e-9);
+        assert!(gemm::max_abs_diff(&c, &expect) < 1e-9, "case {case}");
     }
+}
 
-    /// fib workload equals the closed form for any grain/placement/P.
-    #[test]
-    fn fib_matches_reference(
-        n in 1u64..15,
-        grain in 0u64..10,
-        p in 1usize..6,
-        lb in any::<bool>(),
-        placement_idx in 0usize..3,
-    ) {
-        use hal_workloads::fib::{run_sim, FibConfig, Placement};
-        let placement = [Placement::Local, Placement::RoundRobin, Placement::Random][placement_idx];
+/// fib workload equals the closed form for any grain/placement/P.
+#[test]
+fn fib_matches_reference() {
+    use hal_workloads::fib::{run_sim, FibConfig, Placement};
+    for case in 0..12u64 {
+        let mut rng = SplitMix64::new(0x10_0008 + case);
+        let n = range(&mut rng, 1, 15);
+        let grain = range(&mut rng, 0, 10);
+        let p = range(&mut rng, 1, 6) as usize;
+        let lb = rng.next_u64() & 1 == 1;
+        let placement =
+            [Placement::Local, Placement::RoundRobin, Placement::Random][range(&mut rng, 0, 3) as usize];
         let (v, _) = run_sim(
             MachineConfig::new(p).with_load_balancing(lb),
             FibConfig { n, grain, placement },
         );
-        prop_assert_eq!(v, hal_baselines::fib_iter(n));
+        assert_eq!(v, hal_baselines::fib_iter(n), "case {case}");
     }
 }
 
@@ -264,17 +288,18 @@ proptest! {
 // Value codec
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// f64 packing roundtrips bit-exactly.
-    #[test]
-    fn f64_pack_roundtrip(data in prop::collection::vec(any::<f64>(), 0..64)) {
+/// f64 packing roundtrips bit-exactly.
+#[test]
+fn f64_pack_roundtrip() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x10_0009 + case);
+        let n = range(&mut rng, 0, 64) as usize;
+        let data: Vec<f64> = (0..n).map(|_| f64::from_bits(rng.next_u64())).collect();
         let packed = hal_workloads::pack_f64(&data);
         let back = hal_workloads::unpack_f64(&packed);
-        prop_assert_eq!(back.len(), data.len());
+        assert_eq!(back.len(), data.len(), "case {case}");
         for (a, b) in back.iter().zip(&data) {
-            prop_assert!(a.to_bits() == b.to_bits());
+            assert!(a.to_bits() == b.to_bits(), "case {case}");
         }
     }
 }
