@@ -15,4 +15,22 @@ cargo test -q --workspace
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== parallel-equivalence smoke =="
+# The windowed executor must produce byte-identical results at any host
+# parallelism. Run two representative harnesses quick, sequential vs
+# 4 threads, and diff their stdout (timing goes to stderr only).
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+mkdir -p "$smoke_dir/results"   # run from here so quick runs don't clobber committed results/
+smoke() {
+  local bin="$1" exe="$PWD/target/release/$1"
+  (cd "$smoke_dir" && HAL_PARALLEL=1 "$exe" --quick >"$bin.seq.out" 2>/dev/null)
+  (cd "$smoke_dir" && HAL_PARALLEL=4 "$exe" --quick >"$bin.par.out" 2>/dev/null)
+  diff "$smoke_dir/$bin.seq.out" "$smoke_dir/$bin.par.out" \
+    || { echo "ci: $bin output differs between HAL_PARALLEL=1 and 4"; exit 1; }
+  echo "   $bin: identical across parallelism"
+}
+smoke table4_fib
+smoke fig3_delivery
+
 echo "ci: all gates passed"

@@ -36,5 +36,5 @@ pub use bulk::BulkSender;
 pub use bytes::Bytes;
 pub use flow::{FlowControl, Grant};
 pub use packet::{AmEnvelope, BulkTag, NodeId, Packet, MAX_SMALL_BYTES};
-pub use sim::{LinkModel, SimNetwork};
+pub use sim::{Admitted, LinkModel, LinkState, SimNetwork};
 pub use thread::{thread_network, ThreadEndpoint};

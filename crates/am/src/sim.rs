@@ -84,8 +84,24 @@ impl LinkModel {
     }
 }
 
-/// The simulated network: an event queue of in-flight packets plus the
-/// link-model bookkeeping that imposes FIFO and injection serialization.
+/// One admitted injection: where the resource arithmetic placed it.
+#[derive(Clone, Copy, Debug)]
+pub struct Admitted {
+    /// Scheduled arrival time at the destination's ejection port.
+    pub arrival: VirtualTime,
+    /// Global admission sequence number — the deterministic tie-breaker
+    /// for packets arriving at the same virtual time.
+    pub seq: u64,
+    /// Time the sender's NI frees up (callers may charge it to the node
+    /// clock).
+    pub ni_free: VirtualTime,
+}
+
+/// The network's resource state machine, separated from the event queue
+/// so parallel executors can replay staged injections against it at
+/// window barriers: per-(src,dst) FIFO links, per-source NI
+/// serialization, per-destination ejection ports, and wormhole
+/// back-pressure.
 ///
 /// Injections may arrive **out of virtual-time order**: a node executing
 /// a long actor method injects its sends at the method's completion
@@ -95,8 +111,7 @@ impl LinkModel {
 /// set it, and only constrains injections that are *not before* it — an
 /// earlier-time injection sees the resource as idle (which it truly was
 /// at that moment).
-pub struct SimNetwork<P> {
-    queue: EventQueue<Packet<P>>,
+pub struct LinkState {
     model: LinkModel,
     /// Per-(src, dst) link: (inject time that set it, last scheduled
     /// arrival) — enforces FIFO forward in time.
@@ -107,18 +122,20 @@ pub struct SimNetwork<P> {
     /// port frees up). A hot receiver queues arrivals and, past the
     /// back-pressure window, stalls senders.
     eject_busy: Vec<(VirtualTime, VirtualTime)>,
+    /// Next admission sequence number.
+    seq: u64,
     stats: StatSet,
 }
 
-impl<P> SimNetwork<P> {
-    /// A network connecting `nodes` nodes under `model`.
+impl LinkState {
+    /// Resource state for `nodes` nodes under `model`.
     pub fn new(nodes: usize, model: LinkModel) -> Self {
-        SimNetwork {
-            queue: EventQueue::with_capacity(1024),
+        LinkState {
             model,
             link_last: HashMap::new(),
             ni_free: vec![(VirtualTime::ZERO, VirtualTime::ZERO); nodes],
             eject_busy: vec![(VirtualTime::ZERO, VirtualTime::ZERO); nodes],
+            seq: 0,
             stats: StatSet::new(),
         }
     }
@@ -133,20 +150,28 @@ impl<P> SimNetwork<P> {
         self.model
     }
 
-    /// Inject a packet at virtual time `now`. Returns the time the sender's
-    /// NI becomes free again (callers may charge that to the node clock).
+    /// Network statistics (packet/byte counters).
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Admit one injection at virtual time `now`: run the full resource
+    /// arithmetic (NI serialization, per-link FIFO, ejection port,
+    /// back-pressure), commit the resource state, and return the
+    /// scheduled arrival. The caller is responsible for enqueueing the
+    /// packet at `Admitted::arrival` with `Admitted::seq` as the
+    /// tie-breaker.
     ///
-    /// `wire_bytes` is the envelope's size on the wire; callers compute it
-    /// via [`AmEnvelope::wire_bytes`] so the cost model sees serialized
-    /// sizes, not in-memory ones.
-    pub fn inject(
+    /// Admission order is the order that matters for determinism: two
+    /// replays that admit the same injections in the same order produce
+    /// identical arrivals and sequence numbers.
+    pub fn admit(
         &mut self,
         now: VirtualTime,
         src: NodeId,
         dst: NodeId,
-        body: AmEnvelope<P>,
         wire_bytes: usize,
-    ) -> VirtualTime {
+    ) -> Admitted {
         assert!(
             (src as usize) < self.ni_free.len() && (dst as usize) < self.ni_free.len(),
             "inject: node id out of range"
@@ -208,8 +233,68 @@ impl<P> SimNetwork<P> {
 
         self.stats.bump("net.packets");
         self.stats.add("net.bytes", wire_bytes as u64);
-        self.queue.push(arrival, Packet { src, dst, body });
-        ni_free
+        let seq = self.seq;
+        self.seq += 1;
+        Admitted {
+            arrival,
+            seq,
+            ni_free,
+        }
+    }
+}
+
+/// The simulated network: a [`LinkState`] resource model plus the event
+/// queue of in-flight packets. This is the facade the sequential
+/// executor drives; the parallel executor disassembles it via
+/// [`SimNetwork::into_parts`] and reassembles it at the end of a run.
+pub struct SimNetwork<P> {
+    queue: EventQueue<Packet<P>>,
+    link: LinkState,
+}
+
+impl<P> SimNetwork<P> {
+    /// A network connecting `nodes` nodes under `model`.
+    pub fn new(nodes: usize, model: LinkModel) -> Self {
+        Self::with_capacity(nodes, model, 1024)
+    }
+
+    /// A network with the event queue pre-sized for `cap` in-flight
+    /// packets.
+    pub fn with_capacity(nodes: usize, model: LinkModel, cap: usize) -> Self {
+        SimNetwork {
+            queue: EventQueue::with_capacity(cap),
+            link: LinkState::new(nodes, model),
+        }
+    }
+
+    /// Number of nodes attached.
+    pub fn nodes(&self) -> usize {
+        self.link.nodes()
+    }
+
+    /// The link model in force.
+    pub fn model(&self) -> LinkModel {
+        self.link.model()
+    }
+
+    /// Inject a packet at virtual time `now`. Returns the time the sender's
+    /// NI becomes free again (callers may charge that to the node clock).
+    ///
+    /// `wire_bytes` is the envelope's size on the wire; callers compute it
+    /// via [`AmEnvelope::wire_bytes`] so the cost model sees serialized
+    /// sizes, not in-memory ones.
+    pub fn inject(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        body: AmEnvelope<P>,
+        wire_bytes: usize,
+    ) -> VirtualTime {
+        let adm = self.link.admit(now, src, dst, wire_bytes);
+        self.queue
+            .push_at(adm.arrival, adm.seq, Packet { src, dst, body });
+        adm.ni_free
     }
 
     /// Remove and return the next packet to arrive anywhere, if any.
@@ -217,9 +302,19 @@ impl<P> SimNetwork<P> {
         self.queue.pop()
     }
 
+    /// Remove the next packet together with its admission sequence number.
+    pub fn pop_seq(&mut self) -> Option<(VirtualTime, u64, Packet<P>)> {
+        self.queue.pop_seq()
+    }
+
     /// Arrival time of the next pending packet.
     pub fn peek_time(&self) -> Option<VirtualTime> {
         self.queue.peek_time()
+    }
+
+    /// `(arrival, seq)` of the next pending packet.
+    pub fn peek(&self) -> Option<(VirtualTime, u64)> {
+        self.queue.peek()
     }
 
     /// Number of packets in flight.
@@ -229,7 +324,27 @@ impl<P> SimNetwork<P> {
 
     /// Network statistics (packet/byte counters).
     pub fn stats(&self) -> &StatSet {
-        &self.stats
+        self.link.stats()
+    }
+
+    /// Disassemble into the resource state and the pending packets
+    /// (drained in arrival order, with their admission sequence numbers).
+    pub fn into_parts(mut self) -> (LinkState, Vec<(VirtualTime, u64, Packet<P>)>) {
+        let mut pending = Vec::with_capacity(self.queue.len());
+        while let Some(e) = self.queue.pop_seq() {
+            pending.push(e);
+        }
+        (self.link, pending)
+    }
+
+    /// Reassemble a network from a resource state plus pending packets
+    /// (the inverse of [`SimNetwork::into_parts`]).
+    pub fn from_parts(link: LinkState, pending: Vec<(VirtualTime, u64, Packet<P>)>) -> Self {
+        let mut queue = EventQueue::with_capacity(pending.len().max(1024));
+        for (t, s, p) in pending {
+            queue.push_at(t, s, p);
+        }
+        SimNetwork { queue, link }
     }
 }
 

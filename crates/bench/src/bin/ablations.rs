@@ -16,7 +16,8 @@
 
 use hal::prelude::*;
 use hal::OptFlags;
-use hal_bench::{banner, header, row};
+use hal_bench::{banner, header, out, row};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 struct Sink;
 impl Behavior for Sink {
@@ -50,6 +51,8 @@ fn make_spawner(args: &[Value]) -> Box<dyn Behavior> {
     })
 }
 
+static RUN_NO: AtomicUsize = AtomicUsize::new(0);
+
 fn run(opt: OptFlags, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {
     run_cfg(MachineConfig::new(8).with_opt(opt).with_seed(2), f)
 }
@@ -62,9 +65,13 @@ fn run_cfg(cfg: MachineConfig, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimRe
         member: program.behavior("member", make_member),
         bulk_spray: program.behavior("bulk_spray", make_bulk_spray),
     };
-    let mut m = SimMachine::new(cfg, program.build());
+    let mut m = SimMachine::new(cfg.with_parallelism(out::parallelism()), program.build());
     m.with_ctx(0, |ctx| f(ctx, &ids));
-    m.run()
+    let t0 = std::time::Instant::now();
+    let r = m.run();
+    let n = RUN_NO.fetch_add(1, Ordering::Relaxed);
+    out::note_run(format!("ablation run {n}"), &r, t0.elapsed());
+    r
 }
 
 struct Ids {
@@ -277,10 +284,11 @@ fn main() {
         h.fir_chain.max(),
         h.delivery_migrated.count(),
     );
-    let out = "results/ablations_trace.json";
-    if let Err(e) = trace.write_chrome(out) {
-        eprintln!("ablations: trace export to {out} failed: {e}");
+    let path = "results/ablations_trace.json";
+    if let Err(e) = trace.write_chrome(path) {
+        eprintln!("ablations: trace export to {path} failed: {e}");
         std::process::exit(1);
     }
-    println!("chrome trace written to {out}");
+    println!("chrome trace written to {path}");
+    out::finish("ablations");
 }

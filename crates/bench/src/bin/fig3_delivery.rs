@@ -10,7 +10,7 @@
 //! effect of the birthplace cache once gossip settles.
 
 use hal::prelude::*;
-use hal_bench::{banner, cell, header, row};
+use hal_bench::{banner, cell, header, out, row};
 
 struct Nomad {
     hops: Vec<u16>,
@@ -59,7 +59,10 @@ fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64, Option<TraceRepor
     let mut program = Program::new();
     let spray = program.behavior("spray", make_spray);
     let mut m = SimMachine::new(
-        MachineConfig::new(p).with_seed(5).with_trace(),
+        MachineConfig::new(p)
+            .with_seed(5)
+            .with_trace()
+            .with_parallelism(out::parallelism()),
         program.build(),
     );
     m.with_ctx(0, |ctx| {
@@ -72,7 +75,9 @@ fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64, Option<TraceRepor
         let s = ctx.create_on(4, spray, vec![Value::Addr(nomad), Value::Int(probes)]);
         ctx.send(s, 0, vec![]);
     });
+    let t0 = std::time::Instant::now();
     let r = m.run();
+    out::note_run(format!("fig3 chain={chain} probes={probes}"), &r, t0.elapsed());
     let delivered = r.values("probe_delivered").len() as u64;
     (
         delivered,
@@ -97,7 +102,12 @@ fn main() {
         &widths,
     );
     let mut deepest_trace: Option<TraceReport> = None;
-    for &chain in &[0usize, 1, 2, 4, 8, 16] {
+    let chains: &[usize] = if out::quick() {
+        &[0, 2, 8]
+    } else {
+        &[0, 1, 2, 4, 8, 16]
+    };
+    for &chain in chains {
         let (delivered, firs, supp, fwd, pkts, trace) = run(chain, 20);
         assert_eq!(delivered, 20, "exactly-once delivery violated");
         deepest_trace = trace; // keep the longest-chain run's recording
@@ -119,13 +129,18 @@ fn main() {
          the FIR count well below the probe count."
     );
 
-    // Flight-recorder export for the deepest chase (16 hops).
+    // Flight-recorder export for the deepest chase.
     let trace = deepest_trace.expect("tracing was enabled");
-    println!("\nflight recorder (16-hop run):\n{}", trace.summary());
-    let out = "results/fig3_delivery_trace.json";
-    if let Err(e) = trace.write_chrome(out) {
-        eprintln!("fig3_delivery: trace export to {out} failed: {e}");
+    println!(
+        "\nflight recorder ({}-hop run):\n{}",
+        chains.last().expect("non-empty chain list"),
+        trace.summary()
+    );
+    let path = "results/fig3_delivery_trace.json";
+    if let Err(e) = trace.write_chrome(path) {
+        eprintln!("fig3_delivery: trace export to {path} failed: {e}");
         std::process::exit(1);
     }
-    println!("chrome trace written to {out} (open in chrome://tracing or Perfetto)");
+    println!("chrome trace written to {path} (open in chrome://tracing or Perfetto)");
+    out::finish("fig3_delivery");
 }

@@ -8,7 +8,7 @@
 //! random polling is the only source of parallelism.
 
 use hal::MachineConfig;
-use hal_bench::{banner, cell, header, row};
+use hal_bench::{banner, cell, header, out, row};
 use hal_workloads::uts::{run_sim, sequential_size, UtsConfig};
 
 fn main() {
@@ -21,33 +21,45 @@ fn main() {
         &["seed", "nodes", "P", "noLB (ms)", "LB (ms)", "steals", "speedup"],
         &widths,
     );
-    for seed in [11u64, 23] {
+    let seeds: &[u64] = if out::quick() { &[11] } else { &[11, 23] };
+    for &seed in seeds {
         let cfg = UtsConfig::standard(seed);
         let size = sequential_size(&cfg);
         for &p in &[1usize, 4, 16, 64] {
-            let (s0, r0) = run_sim(MachineConfig::new(p).with_seed(1), cfg);
-            assert_eq!(s0, size);
-            let (s1, r1) = if p > 1 {
-                let out = run_sim(
-                    MachineConfig::new(p).with_seed(1).with_load_balancing(true),
+            let (s0, r0) = out::timed(format!("uts seed={seed} p={p} noLB"), || {
+                run_sim(
+                    MachineConfig::new(p)
+                        .with_seed(1)
+                        .with_parallelism(out::parallelism()),
                     cfg,
-                );
-                (out.0, out.1)
+                )
+            });
+            assert_eq!(s0, size);
+            let nolb_ns = r0.makespan.as_nanos();
+            let (lb_ns, steals) = if p > 1 {
+                let (s1, r1) = out::timed(format!("uts seed={seed} p={p} LB"), || {
+                    run_sim(
+                        MachineConfig::new(p)
+                            .with_seed(1)
+                            .with_load_balancing(true)
+                            .with_parallelism(out::parallelism()),
+                        cfg,
+                    )
+                });
+                assert_eq!(s1, size);
+                (r1.makespan.as_nanos(), r1.stats.get("steal.granted"))
             } else {
-                (s0, r0)
+                (nolb_ns, 0)
             };
-            assert_eq!(s1, size);
-            // `r0` consumed above when p == 1; recompute cleanly.
-            let (_, r0) = run_sim(MachineConfig::new(p).with_seed(1), cfg);
             row(
                 &[
                     cell(seed),
                     cell(size),
                     cell(p),
-                    format!("{:.2}", r0.makespan.as_secs_f64() * 1e3),
-                    format!("{:.2}", r1.makespan.as_secs_f64() * 1e3),
-                    cell(r1.stats.get("steal.granted")),
-                    format!("{:.1}x", r0.makespan.as_nanos() as f64 / r1.makespan.as_nanos() as f64),
+                    format!("{:.2}", nolb_ns as f64 / 1e6),
+                    format!("{:.2}", lb_ns as f64 / 1e6),
+                    cell(steals),
+                    format!("{:.1}x", nolb_ns as f64 / lb_ns as f64),
                 ],
                 &widths,
             );
@@ -58,4 +70,5 @@ fn main() {
          every P); with it, speedup tracks P until the tree's parallelism or\n\
          steal latency saturates — the paper's motivating scenario."
     );
+    out::finish("irregular_uts");
 }

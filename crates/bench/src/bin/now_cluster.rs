@@ -12,40 +12,50 @@
 
 use hal::MachineConfig;
 use hal_am::LinkModel;
-use hal_bench::{banner, header, row};
+use hal_bench::{banner, header, out, row};
 use hal_workloads::cholesky::{self, CholeskyConfig, Variant};
 use hal_workloads::matmul::{self, MatmulConfig};
 
-fn chol(link: LinkModel, variant: Variant) -> f64 {
-    let mut m = MachineConfig::new(8).with_seed(4);
+fn chol(link: LinkModel, name: &str, variant: Variant) -> f64 {
+    let mut m = MachineConfig::new(8)
+        .with_seed(4)
+        .with_parallelism(out::parallelism());
+    let label = format!("cholesky n=96 {variant:?} {name}");
     m.link = link;
-    let (_, r) = cholesky::run_sim(
-        m,
-        CholeskyConfig {
-            n: 96,
-            variant,
-            per_flop_ns: 140,
-            seed: 21,
-        },
-        false,
-    );
+    let (_, r) = out::timed(label, || {
+        cholesky::run_sim(
+            m,
+            CholeskyConfig {
+                n: 96,
+                variant,
+                per_flop_ns: 140,
+                seed: 21,
+            },
+            false,
+        )
+    });
     r.makespan.as_secs_f64() * 1e3
 }
 
-fn mm(link: LinkModel) -> f64 {
-    let mut m = MachineConfig::new(16).with_seed(4);
+fn mm(link: LinkModel, name: &str) -> f64 {
+    let mut m = MachineConfig::new(16)
+        .with_seed(4)
+        .with_parallelism(out::parallelism());
+    let label = format!("matmul 256 p=16 {name}");
     m.link = link;
-    let (_, r) = matmul::run_sim(
-        m,
-        MatmulConfig {
-            grid: 4,
-            block: 64,
-            per_flop_ns: 135,
-            seed_a: 5,
-            seed_b: 6,
-        },
-        false,
-    );
+    let (_, r) = out::timed(label, || {
+        matmul::run_sim(
+            m,
+            MatmulConfig {
+                grid: 4,
+                block: 64,
+                per_flop_ns: 135,
+                seed_a: 5,
+                seed_b: 6,
+            },
+            false,
+        )
+    });
     r.makespan.as_secs_f64() * 1e3
 }
 
@@ -59,23 +69,23 @@ fn main() {
     let rows: Vec<(&str, f64, f64)> = vec![
         (
             "cholesky BP (pipelined)",
-            chol(LinkModel::cm5(), Variant::BP),
-            chol(LinkModel::now_cluster(), Variant::BP),
+            chol(LinkModel::cm5(), "cm5", Variant::BP),
+            chol(LinkModel::now_cluster(), "now", Variant::BP),
         ),
         (
             "cholesky Bcast (global)",
-            chol(LinkModel::cm5(), Variant::Bcast),
-            chol(LinkModel::now_cluster(), Variant::Bcast),
+            chol(LinkModel::cm5(), "cm5", Variant::Bcast),
+            chol(LinkModel::now_cluster(), "now", Variant::Bcast),
         ),
         (
             "cholesky Seq (global)",
-            chol(LinkModel::cm5(), Variant::Seq),
-            chol(LinkModel::now_cluster(), Variant::Seq),
+            chol(LinkModel::cm5(), "cm5", Variant::Seq),
+            chol(LinkModel::now_cluster(), "now", Variant::Seq),
         ),
         (
             "matmul 256^2 on 16 (systolic)",
-            mm(LinkModel::cm5()),
-            mm(LinkModel::now_cluster()),
+            mm(LinkModel::cm5(), "cm5"),
+            mm(LinkModel::now_cluster(), "now"),
         ),
     ];
     for (name, cm5, now) in rows {
@@ -96,4 +106,5 @@ fn main() {
          multiply barely notices the commodity network. Location-transparent\n\
          programs carry over unchanged; only the cost calibration moved."
     );
+    out::finish("now_cluster");
 }

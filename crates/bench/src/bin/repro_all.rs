@@ -1,13 +1,22 @@
 //! Run every reproduction harness in sequence — the one-command
 //! regeneration of the paper's evaluation plus the extension
-//! experiments. Each harness also exists as its own binary; this driver
-//! just invokes their entry logic via `cargo run` so the committed
-//! `results/` files can be refreshed in one go:
+//! experiments — and measure what the parallel windowed executor buys.
+//!
+//! Each bin is run **twice**: once sequentially (`HAL_PARALLEL=1`, the
+//! reference executor) and once on all host cores (`HAL_PARALLEL=auto`,
+//! the windowed executor). The sequential stdout is committed to
+//! `results/<bin>.txt`; the two stdouts are asserted byte-identical
+//! (simulation results do not depend on host parallelism), and the
+//! wall-clock totals from both runs are combined into a
+//! sequential-vs-parallel speedup table written to
+//! `results/BENCH_repro_all.json`.
 //!
 //! ```bash
-//! cargo run --release -p hal-bench --bin repro_all
+//! cargo run --release -p hal-bench --bin repro_all            # full
+//! cargo run --release -p hal-bench --bin repro_all -- --quick # smoke
 //! ```
 
+use hal_bench::out;
 use std::process::Command;
 
 const BINS: &[&str] = &[
@@ -23,22 +32,176 @@ const BINS: &[&str] = &[
     "timeline_cholesky",
 ];
 
-fn main() {
-    std::fs::create_dir_all("results").expect("create results/");
-    for bin in BINS {
-        eprintln!("== running {bin} ==");
-        let out = Command::new(env!("CARGO"))
-            .args(["run", "--release", "-p", "hal-bench", "--bin", bin])
-            .output()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(
-            out.status.success(),
-            "{bin} failed:\n{}",
-            String::from_utf8_lossy(&out.stderr)
-        );
-        let path = format!("results/{bin}.txt");
-        std::fs::write(&path, &out.stdout).expect("write results file");
-        eprintln!("   -> {path} ({} bytes)", out.stdout.len());
+/// Bins whose stdout embeds host wall-clock measurements, which
+/// legitimately differ between the two runs. Everything else must be
+/// byte-identical across parallelism levels.
+const HOST_TIMED_STDOUT: &[&str] = &["table3_invocation"];
+
+struct BinResult {
+    bin: &'static str,
+    seq_wall_ms: f64,
+    par_wall_ms: f64,
+    /// Per-run label → (sequential wall ms, parallel wall ms).
+    runs: Vec<(String, f64, f64)>,
+}
+
+/// Pull `wall_ms=` out of the `BENCHTOTAL <bin> ...` stderr line.
+fn parse_total_ms(stderr: &str, bin: &str) -> f64 {
+    let prefix = format!("BENCHTOTAL {bin} ");
+    stderr
+        .lines()
+        .find_map(|l| l.strip_prefix(&prefix))
+        .and_then(|rest| {
+            rest.split_whitespace()
+                .find_map(|t| t.strip_prefix("wall_ms="))
+        })
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// Parse every `BENCHLINE <label> virtual_ms=... wall_ms=...` stderr
+/// line into (label, wall_ms). Labels may contain spaces; the four
+/// trailing tokens are the key=value fields.
+fn parse_benchlines(stderr: &str) -> Vec<(String, f64)> {
+    let mut v = Vec::new();
+    for line in stderr.lines() {
+        let Some(rest) = line.strip_prefix("BENCHLINE ") else {
+            continue;
+        };
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        if toks.len() < 5 {
+            continue;
+        }
+        let (label_toks, kv) = toks.split_at(toks.len() - 4);
+        let wall_ms = kv
+            .iter()
+            .find_map(|t| t.strip_prefix("wall_ms="))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.0);
+        v.push((label_toks.join(" "), wall_ms));
     }
-    eprintln!("all harnesses completed; see results/");
+    v
+}
+
+fn run_bin(bin: &str, parallel: &str, quick: bool) -> std::process::Output {
+    let mut cmd = Command::new(env!("CARGO"));
+    cmd.args(["run", "--release", "-p", "hal-bench", "--bin", bin]);
+    if quick {
+        cmd.args(["--", "--quick"]);
+    }
+    cmd.env("HAL_PARALLEL", parallel);
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} (HAL_PARALLEL={parallel}) failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let quick = out::quick();
+    std::fs::create_dir_all("results").expect("create results/");
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut results = Vec::new();
+
+    for bin in BINS {
+        eprintln!("== running {bin} (sequential) ==");
+        let seq = run_bin(bin, "1", quick);
+        let path = format!("results/{bin}.txt");
+        std::fs::write(&path, &seq.stdout).expect("write results file");
+        eprintln!("   -> {path} ({} bytes)", seq.stdout.len());
+
+        eprintln!("== running {bin} (parallel, {cores} cores) ==");
+        let par = run_bin(bin, "auto", quick);
+        if !HOST_TIMED_STDOUT.contains(bin) {
+            assert!(
+                seq.stdout == par.stdout,
+                "{bin}: stdout differs between sequential and parallel runs — \
+                 the windowed executor broke determinism"
+            );
+        }
+
+        let seq_err = String::from_utf8_lossy(&seq.stderr);
+        let par_err = String::from_utf8_lossy(&par.stderr);
+        let seq_lines = parse_benchlines(&seq_err);
+        let par_lines = parse_benchlines(&par_err);
+        let runs = seq_lines
+            .iter()
+            .filter_map(|(label, s_ms)| {
+                par_lines
+                    .iter()
+                    .find(|(l, _)| l == label)
+                    .map(|(_, p_ms)| (label.clone(), *s_ms, *p_ms))
+            })
+            .collect();
+        results.push(BinResult {
+            bin,
+            seq_wall_ms: parse_total_ms(&seq_err, bin),
+            par_wall_ms: parse_total_ms(&par_err, bin),
+            runs,
+        });
+    }
+
+    // Human-readable speedup table (stderr, like all timing output).
+    eprintln!("\n== sequential vs parallel ({cores} cores) ==");
+    eprintln!("{:<20} {:>12} {:>12} {:>9}", "bin", "seq (ms)", "par (ms)", "speedup");
+    let (mut seq_total, mut par_total) = (0.0f64, 0.0f64);
+    for r in &results {
+        seq_total += r.seq_wall_ms;
+        par_total += r.par_wall_ms;
+        let speedup = if r.par_wall_ms > 0.0 {
+            r.seq_wall_ms / r.par_wall_ms
+        } else {
+            0.0
+        };
+        eprintln!(
+            "{:<20} {:>12.1} {:>12.1} {:>8.2}x",
+            r.bin, r.seq_wall_ms, r.par_wall_ms, speedup
+        );
+    }
+    let total_speedup = if par_total > 0.0 { seq_total / par_total } else { 0.0 };
+    eprintln!(
+        "{:<20} {:>12.1} {:>12.1} {:>8.2}x",
+        "TOTAL", seq_total, par_total, total_speedup
+    );
+
+    // Machine-readable record, including per-workload speedups.
+    let mut bins_json = String::new();
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            bins_json.push_str(",\n");
+        }
+        let mut runs_json = String::new();
+        for (j, (label, s_ms, p_ms)) in r.runs.iter().enumerate() {
+            if j > 0 {
+                runs_json.push_str(",\n");
+            }
+            let speedup = if *p_ms > 0.0 { s_ms / p_ms } else { 0.0 };
+            runs_json.push_str(&format!(
+                "        {{\"label\": \"{}\", \"seq_wall_ms\": {s_ms:.3}, \"par_wall_ms\": {p_ms:.3}, \"speedup\": {speedup:.3}}}",
+                json_escape(label),
+            ));
+        }
+        let speedup = if r.par_wall_ms > 0.0 {
+            r.seq_wall_ms / r.par_wall_ms
+        } else {
+            0.0
+        };
+        bins_json.push_str(&format!(
+            "    {{\n      \"bin\": \"{}\",\n      \"seq_wall_ms\": {:.3},\n      \"par_wall_ms\": {:.3},\n      \"speedup\": {:.3},\n      \"runs\": [\n{}\n      ]\n    }}",
+            r.bin, r.seq_wall_ms, r.par_wall_ms, speedup, runs_json
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"repro_all\",\n  \"host_cores\": {cores},\n  \"quick\": {quick},\n  \"bins\": [\n{bins_json}\n  ],\n  \"total_seq_wall_ms\": {seq_total:.3},\n  \"total_par_wall_ms\": {par_total:.3},\n  \"total_speedup\": {total_speedup:.3}\n}}\n"
+    );
+    std::fs::write("results/BENCH_repro_all.json", json).expect("write BENCH_repro_all.json");
+    eprintln!("all harnesses completed; see results/ (speedups in results/BENCH_repro_all.json)");
 }

@@ -14,7 +14,7 @@
 //! sync); disabling flow control degrades the pipelined variant.
 
 use hal::MachineConfig;
-use hal_bench::{banner, cell, header, ms, row};
+use hal_bench::{banner, cell, header, ms, out, row};
 use hal_workloads::cholesky::{run_sim, CholeskyConfig, Variant};
 
 fn run(n: usize, p: usize, variant: Variant, flow: bool) -> f64 {
@@ -24,8 +24,12 @@ fn run(n: usize, p: usize, variant: Variant, flow: bool) -> f64 {
         per_flop_ns: 140,
         seed: 42,
     };
-    let machine = MachineConfig::new(p).with_flow_control(flow).with_seed(7);
-    let (_, report) = run_sim(machine, cfg, false);
+    let machine = MachineConfig::new(p)
+        .with_flow_control(flow)
+        .with_seed(7)
+        .with_parallelism(out::parallelism());
+    let label = format!("cholesky n={n} p={p} {variant:?} fc={flow}");
+    let (_, report) = out::timed(label, || run_sim(machine, cfg, false));
     report.makespan.as_secs_f64()
 }
 
@@ -38,7 +42,8 @@ fn main() {
     );
     let widths = [5usize, 4, 10, 10, 10, 10, 10];
     header(&["n", "P", "BP", "CP", "Seq", "Bcast", "BP noFC"], &widths);
-    for &n in &[64usize, 128, 256] {
+    let sizes: &[usize] = if out::quick() { &[64] } else { &[64, 128, 256] };
+    for &n in sizes {
         for &p in &[4usize, 8, 16, 32] {
             if p > n {
                 continue;
@@ -67,4 +72,5 @@ fn main() {
          cyclic (CP) <= block (BP) at larger P (better tail balance);\n\
          BP-without-flow-control >= BP."
     );
+    out::finish("table1_cholesky");
 }

@@ -11,7 +11,7 @@
 //! the cost-model table, so protocol changes show up here.
 
 use hal::prelude::*;
-use hal_bench::{banner, header, row, us};
+use hal_bench::{banner, header, out, row, us};
 use hal_workloads::synth::{self, SynthMsg};
 
 /// Measure the node-0 clock advance caused by `f`.
@@ -32,7 +32,12 @@ fn main() {
     let nil = synth::register_nil(&mut program);
     let registry = program.build();
 
-    let fresh = || SimMachine::new(MachineConfig::new(4), registry.clone());
+    let fresh = || {
+        SimMachine::new(
+            MachineConfig::new(4).with_parallelism(out::parallelism()),
+            registry.clone(),
+        )
+    };
 
     // --- creation ------------------------------------------------------
     let mut m = fresh();
@@ -48,7 +53,9 @@ fn main() {
     let remote_apparent = clocked(&mut m, |ctx| {
         ctx.create_on(1, nil, vec![]);
     });
+    let t0 = std::time::Instant::now();
     let rep = m.run();
+    out::note_run("remote creation", &rep, t0.elapsed());
     let remote_actual = rep
         .stats
         .histogram("create.remote_actual_ns")
@@ -99,8 +106,9 @@ fn main() {
         let (sel, args) = SynthMsg::Echo { v: 1 }.encode();
         hal::call_then(ctx, echo, sel, args, |ctx, _| ctx.stop());
     });
+    let t0 = std::time::Instant::now();
     let r = m.run();
-    let _ = r;
+    out::note_run("local call/return", &r, t0.elapsed());
     let callret = (m.kernel(0).clock - before).as_nanos() as f64;
 
     let widths = [44usize, 12];
@@ -125,4 +133,5 @@ fn main() {
         remote_actual / 1e3,
         locality_local / 1e3
     );
+    out::finish("table2_primitives");
 }

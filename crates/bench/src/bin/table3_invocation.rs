@@ -16,7 +16,7 @@
 //! Reported in simulated CM-5 µs *and* measured host nanoseconds.
 
 use hal::prelude::*;
-use hal_bench::{banner, header, row, us};
+use hal_bench::{banner, header, out, row, us};
 use hal_workloads::synth::{self, SynthMsg};
 use std::time::Instant;
 
@@ -53,7 +53,7 @@ fn main() {
     let mut program = Program::new();
     let _probe = synth::register(&mut program);
     let registry = program.build();
-    let iters = 200_000u64;
+    let iters = if out::quick() { 20_000u64 } else { 200_000 };
 
     // Generic path: enqueue + step.
     let mut m = SimMachine::new(MachineConfig::new(1), registry.clone());
@@ -145,7 +145,9 @@ fn main() {
             ctx.send(sink, sel, args);
         }
     });
+    let t0 = Instant::now();
     let r = m.run();
+    out::note_run("traced generic sends", &r, t0.elapsed());
     let trace = r.trace.expect("tracing was enabled");
     let h = trace.histograms();
     println!(
@@ -159,4 +161,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("chrome trace written to {out}");
+    hal_bench::out::finish("table3_invocation");
 }

@@ -14,16 +14,18 @@
 
 use hal::MachineConfig;
 use hal_baselines::{call_tree_nodes, fib, parallel_fib};
-use hal_bench::{banner, cell, header, row, secs};
+use hal_bench::{banner, cell, header, out, row, secs};
 use hal_workloads::fib::{run_sim, FibConfig, Placement, SEQ_NODE_COST_NS};
 use std::time::Instant;
 
 fn sim(n: u64, grain: u64, p: usize, lb: bool, placement: Placement) -> (u64, f64, u64) {
     let machine = MachineConfig::new(p)
         .with_load_balancing(lb)
-        .with_seed(1234);
+        .with_seed(1234)
+        .with_parallelism(out::parallelism());
     let cfg = FibConfig { n, grain, placement };
-    let (v, r) = run_sim(machine, cfg);
+    let label = format!("fib n={n} p={p} lb={lb} {placement:?}");
+    let (v, r) = out::timed(label, || run_sim(machine, cfg));
     (v, r.makespan.as_secs_f64(), r.stats.get("steal.granted"))
 }
 
@@ -37,7 +39,11 @@ fn main() {
          8.49 s fib(33) on one SPARC).",
     );
 
-    let configs: &[(u64, u64)] = &[(24, 10), (28, 12), (30, 14)];
+    let configs: &[(u64, u64)] = if out::quick() {
+        &[(20, 10)]
+    } else {
+        &[(24, 10), (28, 12), (30, 14)]
+    };
     let widths = [6usize, 7, 4, 12, 12, 12, 9, 10];
     header(
         &["n", "grain", "P", "noLB (s)", "static (s)", "LB (s)", "steals", "C 1node(s)"],
@@ -72,8 +78,9 @@ fn main() {
         }
     }
 
-    println!("\n-- host baselines (this machine, wall clock) --");
-    let n_host = 30u64;
+    // Host-baseline wall clocks fluctuate run to run, so they go to
+    // stderr: stdout stays byte-identical across parallelism levels.
+    let n_host = if out::quick() { 24u64 } else { 30 };
     let t0 = Instant::now();
     let v = fib(n_host);
     let t_seq = t0.elapsed().as_secs_f64();
@@ -81,12 +88,12 @@ fn main() {
     let v2 = parallel_fib(n_host, 1, 16);
     let t_pool = t0.elapsed().as_secs_f64();
     assert_eq!(v, v2);
-    println!(
-        "sequential Rust fib({n_host})           : {:.3} s  ('optimized C' role)",
+    eprintln!(
+        "host baseline: sequential Rust fib({n_host})           : {:.3} s  ('optimized C' role)",
         t_seq
     );
-    println!(
-        "work-stealing pool fib({n_host}), 1 thr : {:.3} s  ('Cilk' role; single-CPU host)",
+    eprintln!(
+        "host baseline: work-stealing pool fib({n_host}), 1 thr : {:.3} s  ('Cilk' role; single-CPU host)",
         t_pool
     );
     println!(
@@ -95,4 +102,5 @@ fn main() {
          the actor runtime's 1-node virtual time is within ~10% of the C cost\n\
          thanks to creation elision (grain) and cheap primitives."
     );
+    out::finish("table4_fib");
 }

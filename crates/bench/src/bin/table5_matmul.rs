@@ -6,7 +6,7 @@
 //! 1024 by 1024 matrix on 64 node partition of the CM-5."
 
 use hal::MachineConfig;
-use hal_bench::{banner, cell, header, row, secs};
+use hal_bench::{banner, cell, header, out, row, secs};
 use hal_workloads::matmul::{run_sim, MatmulConfig};
 
 fn main() {
@@ -18,7 +18,12 @@ fn main() {
     let widths = [6usize, 4, 7, 12, 10];
     header(&["n", "P", "block", "time (s)", "MFLOPS"], &widths);
     let mut peak = 0.0f64;
-    for &n in &[256usize, 512, 1024] {
+    let sizes: &[usize] = if out::quick() {
+        &[256]
+    } else {
+        &[256, 512, 1024]
+    };
+    for &n in sizes {
         for &grid in &[2usize, 4, 8] {
             let p = grid * grid;
             if n / grid < 16 {
@@ -31,8 +36,11 @@ fn main() {
                 seed_a: 7,
                 seed_b: 8,
             };
-            let machine = MachineConfig::new(p).with_seed(99);
-            let (_fro, report) = run_sim(machine, cfg, false);
+            let machine = MachineConfig::new(p)
+                .with_seed(99)
+                .with_parallelism(out::parallelism());
+            let label = format!("matmul n={n} p={p}");
+            let (_fro, report) = out::timed(label, || run_sim(machine, cfg, false));
             let t = report.makespan.as_secs_f64();
             let flops = 2.0 * (n as f64).powi(3);
             let mflops = flops / t / 1e6;
@@ -48,4 +56,5 @@ fn main() {
          shape: MFLOPS grow with P and with n (bigger blocks amortize\n\
          communication), peaking at the largest configuration."
     );
+    out::finish("table5_matmul");
 }

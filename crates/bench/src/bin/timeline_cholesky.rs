@@ -6,7 +6,7 @@
 //! staircase of idle nodes waiting for each iteration's barrier.
 
 use hal::prelude::*;
-use hal_bench::banner;
+use hal_bench::{banner, out};
 use hal_kernel::timeline::render_ascii;
 use hal_workloads::cholesky::{self, CholeskyConfig, Variant};
 
@@ -21,11 +21,16 @@ fn show(variant: Variant) {
     let mut program = Program::new();
     let id = cholesky::register(&mut program);
     let mut m = SimMachine::new(
-        MachineConfig::new(p).with_seed(9).with_timeline(),
+        MachineConfig::new(p)
+            .with_seed(9)
+            .with_timeline()
+            .with_parallelism(out::parallelism()),
         program.build(),
     );
     m.with_ctx(0, |ctx| cholesky::bootstrap(ctx, id, cfg, false));
+    let t0 = std::time::Instant::now();
     let report = m.run();
+    out::note_run(format!("timeline cholesky {variant:?}"), &report, t0.elapsed());
     println!(
         "-- {variant:?}: {} --",
         report.makespan
@@ -48,4 +53,5 @@ fn main() {
         "shape: the pipelined variant fills the chart; the globally\n\
          synchronized ones leave idle stripes between iterations."
     );
+    out::finish("timeline_cholesky");
 }

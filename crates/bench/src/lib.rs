@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod harness;
+pub mod out;
 
 use std::fmt::Display;
 

@@ -1,0 +1,166 @@
+//! Machine-readable benchmark output + shared bench-bin switches.
+//!
+//! Every table bin records its simulation runs here and calls
+//! [`finish`] at exit, which writes `results/BENCH_<bin>.json` next to
+//! the human-readable `results/<bin>.txt` — virtual time, host wall
+//! time, and events/sec throughput per run — so the performance
+//! trajectory of the simulator itself is tracked from PR to PR.
+//!
+//! The module also owns the two switches every bin honors:
+//!
+//! * `--parallel[=K]` / `HAL_PARALLEL=K|auto` — windowed-executor host
+//!   parallelism (`auto` or bare `--parallel` = all cores). Reports are
+//!   bit-identical across K, so stdout does not change — only wall time.
+//! * `--quick` / `HAL_QUICK=1` — shrink problem sizes so the bin
+//!   finishes in seconds (CI smoke).
+//!
+//! Timing lines go to **stderr**: stdout stays byte-identical across
+//! parallelism levels so `ci.sh` can diff sequential vs parallel runs.
+
+use hal_kernel::SimReport;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One recorded simulation run.
+struct Run {
+    label: String,
+    virtual_ns: u64,
+    events: u64,
+    wall: Duration,
+}
+
+static RUNS: Mutex<Vec<Run>> = Mutex::new(Vec::new());
+
+/// The executor parallelism requested for this process: `--parallel`
+/// (bare or `--parallel=K`) on the command line, else the
+/// `HAL_PARALLEL` environment variable (`auto` or a thread count),
+/// else `1` (sequential reference). `0` means "all available cores"
+/// (the [`hal_kernel::MachineConfig::with_parallelism`] convention).
+pub fn parallelism() -> usize {
+    for arg in std::env::args().skip(1) {
+        if arg == "--parallel" {
+            return 0;
+        }
+        if let Some(v) = arg.strip_prefix("--parallel=") {
+            return parse_parallelism(v);
+        }
+    }
+    match std::env::var("HAL_PARALLEL") {
+        Ok(v) => parse_parallelism(&v),
+        Err(_) => 1,
+    }
+}
+
+fn parse_parallelism(v: &str) -> usize {
+    if v.eq_ignore_ascii_case("auto") {
+        return 0;
+    }
+    v.parse()
+        .unwrap_or_else(|_| panic!("bad parallelism {v:?}: expected a thread count or \"auto\""))
+}
+
+/// True when the bin should shrink its problem sizes to finish in
+/// seconds: `--quick` on the command line or `HAL_QUICK` set.
+pub fn quick() -> bool {
+    std::env::args().skip(1).any(|a| a == "--quick") || std::env::var("HAL_QUICK").is_ok()
+}
+
+/// Record one simulation run under `label`. `wall` is the host
+/// wall-clock time of the `run()` call.
+pub fn note_run(label: impl Into<String>, report: &SimReport, wall: Duration) {
+    let run = Run {
+        label: label.into(),
+        virtual_ns: report.makespan.as_nanos(),
+        events: report.events,
+        wall,
+    };
+    eprintln!(
+        "BENCHLINE {label} virtual_ms={vms:.3} wall_ms={wms:.3} events={ev} events_per_sec={eps:.0}",
+        label = run.label,
+        vms = run.virtual_ns as f64 / 1e6,
+        wms = run.wall.as_secs_f64() * 1e3,
+        ev = run.events,
+        eps = events_per_sec(run.events, run.wall),
+    );
+    RUNS.lock().expect("bench out lock").push(run);
+}
+
+fn events_per_sec(events: u64, wall: Duration) -> f64 {
+    let s = wall.as_secs_f64();
+    if s > 0.0 {
+        events as f64 / s
+    } else {
+        0.0
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write `results/BENCH_<bin>.json` from every run recorded so far and
+/// print a total line to stderr. Call once, at the end of `main`.
+pub fn finish(bin: &str) {
+    let runs = std::mem::take(&mut *RUNS.lock().expect("bench out lock"));
+    let (mut total_events, mut total_wall) = (0u64, Duration::ZERO);
+    let mut body = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        total_events += r.events;
+        total_wall += r.wall;
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str(&format!(
+            "    {{\"label\": \"{}\", \"virtual_ns\": {}, \"events\": {}, \"wall_ns\": {}, \"events_per_sec\": {:.0}}}",
+            json_escape(&r.label),
+            r.virtual_ns,
+            r.events,
+            r.wall.as_nanos(),
+            events_per_sec(r.events, r.wall),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"{}\",\n  \"parallelism\": {},\n  \"runs\": [\n{}\n  ],\n  \"total_events\": {},\n  \"total_wall_ns\": {},\n  \"total_events_per_sec\": {:.0}\n}}\n",
+        json_escape(bin),
+        parallelism(),
+        body,
+        total_events,
+        total_wall.as_nanos(),
+        events_per_sec(total_events, total_wall),
+    );
+    let path = format!("results/BENCH_{bin}.json");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::File::create(&path))
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        eprintln!("bench out: writing {path} failed: {e}");
+        return;
+    }
+    eprintln!(
+        "BENCHTOTAL {bin} runs={n} wall_ms={wms:.3} events={ev} events_per_sec={eps:.0} json={path}",
+        n = runs.len(),
+        wms = total_wall.as_secs_f64() * 1e3,
+        ev = total_events,
+        eps = events_per_sec(total_events, total_wall),
+    );
+}
+
+/// Time `f` and record its report under `label` — the common wrapper
+/// for `run_sim`-style calls returning `(value, SimReport)`.
+pub fn timed<T>(label: impl Into<String>, f: impl FnOnce() -> (T, SimReport)) -> (T, SimReport) {
+    let t0 = std::time::Instant::now();
+    let (v, report) = f();
+    note_run(label, &report, t0.elapsed());
+    (v, report)
+}

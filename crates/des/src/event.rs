@@ -77,6 +77,23 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry { time, seq, payload });
     }
 
+    /// Schedule `payload` at `time` under a caller-supplied sequence
+    /// number.
+    ///
+    /// This is the re-insertion path for executors that split one global
+    /// queue across shards: the original global sequence numbers must be
+    /// preserved so that `(time, seq)` ordering — and therefore FIFO
+    /// tie-breaking — is identical no matter how the queue was sharded.
+    /// The internal counter is advanced past `seq` so later [`push`]
+    /// calls stay unique.
+    ///
+    /// [`push`]: EventQueue::push
+    #[inline]
+    pub fn push_at(&mut self, time: VirtualTime, seq: u64, payload: E) {
+        self.seq = self.seq.max(seq + 1);
+        self.heap.push(Entry { time, seq, payload });
+    }
+
     /// Remove and return the earliest event, if any.
     #[inline]
     pub fn pop(&mut self) -> Option<(VirtualTime, E)> {
@@ -85,10 +102,24 @@ impl<E> EventQueue<E> {
         Some((e.time, e.payload))
     }
 
+    /// Remove the earliest event together with its sequence number.
+    #[inline]
+    pub fn pop_seq(&mut self) -> Option<(VirtualTime, u64, E)> {
+        let e = self.heap.pop()?;
+        self.popped += 1;
+        Some((e.time, e.seq, e.payload))
+    }
+
     /// Timestamp of the earliest pending event without removing it.
     #[inline]
     pub fn peek_time(&self) -> Option<VirtualTime> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// `(time, seq)` of the earliest pending event without removing it.
+    #[inline]
+    pub fn peek(&self) -> Option<(VirtualTime, u64)> {
+        self.heap.peek().map(|e| (e.time, e.seq))
     }
 
     /// Number of pending events.
@@ -166,6 +197,50 @@ mod tests {
         assert_eq!(q.peek_time(), Some(T::from_nanos(3)));
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn push_at_preserves_external_sequence_order() {
+        // Distribute a FIFO burst across two "shard" queues and re-merge:
+        // the original global order must survive.
+        let mut global = EventQueue::new();
+        for i in 0..10 {
+            global.push(T::from_nanos(5), i);
+        }
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        while let Some((t, s, p)) = global.pop_seq() {
+            if p % 2 == 0 {
+                a.push_at(t, s, p);
+            } else {
+                b.push_at(t, s, p);
+            }
+        }
+        let mut merged = EventQueue::new();
+        for q in [&mut a, &mut b] {
+            while let Some((t, s, p)) = q.pop_seq() {
+                merged.push_at(t, s, p);
+            }
+        }
+        let order: Vec<_> = std::iter::from_fn(|| merged.pop()).map(|(_, p)| p).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        // New auto-seq pushes stay unique after push_at.
+        merged.push(T::from_nanos(5), 100);
+        merged.push(T::from_nanos(5), 101);
+        assert_eq!(merged.pop().unwrap().1, 100);
+        assert_eq!(merged.pop().unwrap().1, 101);
+    }
+
+    #[test]
+    fn peek_reports_time_and_seq() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek(), None);
+        q.push(T::from_nanos(9), "x");
+        q.push(T::from_nanos(4), "y");
+        let (t, s) = q.peek().unwrap();
+        assert_eq!(t, T::from_nanos(4));
+        assert_eq!(s, 1);
+        assert_eq!(q.pop_seq().unwrap(), (T::from_nanos(4), 1, "y"));
     }
 
     #[test]

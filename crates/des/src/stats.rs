@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// A named set of counters and log2-bucketed histograms.
-#[derive(Default, Clone)]
+#[derive(Default, Clone, PartialEq, Eq)]
 pub struct StatSet {
     counters: BTreeMap<&'static str, u64>,
     histograms: BTreeMap<&'static str, Histogram>,
@@ -80,7 +80,7 @@ impl fmt::Debug for StatSet {
 
 /// A histogram with power-of-two buckets: bucket `i` counts values `v`
 /// with `2^(i-1) <= v < 2^i` (bucket 0 counts zeros and ones).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Histogram {
     buckets: [u64; 65],
     count: u64,

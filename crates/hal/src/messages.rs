@@ -103,6 +103,41 @@ macro_rules! messages {
                     ),
                 }
             }
+
+            /// Unmarshal by *consuming* a received message: field values
+            /// are moved out of the args vector, never cloned. This is
+            /// the right call in `Behavior::dispatch`, which owns its
+            /// `Msg` — on the compiler fast path (§6.3) the message is
+            /// dispatched inline on the sender's stack and a clone here
+            /// would be the only heap traffic of the whole send.
+            ///
+            /// # Panics
+            /// Panics on unknown selectors or arity/type mismatches —
+            /// marshalling bugs must not be silent.
+            pub fn take(msg: $crate::Msg) -> Self {
+                match msg.selector {
+                    $(
+                        $sel => {
+                            #[allow(unused_mut, unused_variables)]
+                            let mut it = msg.args.into_iter();
+                            Self::$variant {
+                                $(
+                                    $f: <$t as $crate::value::FromValue>::from_value(
+                                        it.next().unwrap_or_else(|| panic!(
+                                            "arity mismatch decoding {}::{}",
+                                            stringify!($name), stringify!($variant)
+                                        ))
+                                    )
+                                ),*
+                            }
+                        }
+                    ),*
+                    other => panic!(
+                        "unknown selector {other} for {}",
+                        stringify!($name)
+                    ),
+                }
+            }
         }
     };
 }
@@ -136,6 +171,16 @@ mod tests {
         assert_eq!(sel, 1);
         let wire = Msg::new(sel, args);
         assert_eq!(TestMsg::decode(&wire), m);
+    }
+
+    #[test]
+    fn take_moves_fields_out() {
+        let data = Bytes::from(vec![1u8, 2, 3]);
+        let (sel, args) = TestMsg::Blob { data: data.clone() }.encode();
+        match TestMsg::take(Msg::new(sel, args)) {
+            TestMsg::Blob { data: d } => assert_eq!(d, data),
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,629 @@
+//! Conservative time-window parallel executor for the simulated machine.
+//!
+//! The sequential reference in [`crate::machine`] advances the globally
+//! earliest action one at a time. This module runs the same simulation
+//! in bounded **windows**: the link model guarantees every injection at
+//! time `now` arrives no earlier than `now + inject_overhead + latency`
+//! (the *lookahead* `L`), so if the machine's nodes are sharded across
+//! host threads, each shard can execute every action with `t < end` of a
+//! window `[m·L, (m+1)·L)` without ever seeing a packet another shard
+//! produced inside the same window — those arrive at `≥ end` by
+//! construction. Cross-shard sends are therefore *staged* during the
+//! window and replayed against the shared [`LinkState`] at the barrier,
+//! in the canonical order the sequential executor would have admitted
+//! them. For a fixed seed the resulting [`crate::machine::SimReport`] is
+//! bit-identical for every shard count, and `K = 1` is the reference.
+//!
+//! Determinism rests on three facts:
+//!
+//! 1. Every executed action has a globally unique [`ActionKey`] (time,
+//!    rank, tie-breaker) except back-to-back zero-cost steps of one
+//!    node, which live on one shard and are kept adjacent by a stable
+//!    sort — so sorting the staged injections by producing-action key
+//!    reconstructs the exact sequential admission order.
+//! 2. Window planning uses only barrier-aggregated global state
+//!    (earliest queue head, earliest ready clock, poll candidates), so
+//!    every shard count computes the same window sequence.
+//! 3. All mutable per-node state (kernel, RNG, recorder) stays on its
+//!    owning shard; the only shared state — the link resource model —
+//!    is touched exclusively at barriers.
+
+use crate::kernel::{Kernel, NetOut};
+use crate::timeline::SpanKind;
+use crate::wire::KMsg;
+use hal_am::{AmEnvelope, LinkModel, LinkState, NodeId, Packet};
+use hal_des::{EventQueue, VirtualTime};
+use std::sync::mpsc;
+
+/// Lookahead of a link model in nanoseconds: no injection at `now` can
+/// arrive before `now + inject_overhead + latency` (transmission time
+/// and resource contention only push arrivals later). Zero means the
+/// windowed executor cannot run and the caller must fall back to the
+/// sequential instant-network loop.
+pub(crate) fn lookahead_ns(link: &LinkModel) -> u64 {
+    (link.inject_overhead + link.latency).as_nanos()
+}
+
+/// Canonical order of simulation actions — the windowed equivalent of
+/// the sequential executor's `(time, rank, index)` tie-break: packet
+/// deliveries first (tied on global admission sequence), then dispatcher
+/// steps by node id, then load-balance polls by node id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) struct ActionKey {
+    t: VirtualTime,
+    rank: u8,
+    tie: u64,
+}
+
+const RANK_NET: u8 = 0;
+const RANK_STEP: u8 = 1;
+const RANK_POLL: u8 = 2;
+
+/// One injection a kernel performed inside a window, parked until the
+/// barrier replays it against the shared [`LinkState`].
+pub(crate) struct Staged {
+    key: ActionKey,
+    now: VirtualTime,
+    src: NodeId,
+    dst: NodeId,
+    env: AmEnvelope<KMsg>,
+    wire: usize,
+}
+
+/// The [`NetOut`] a shard hands its kernels: sends are recorded, not
+/// admitted. Kernels never observe network resource state, so deferring
+/// admission to the barrier is invisible to them.
+#[derive(Default)]
+struct StageNet {
+    cur: Option<ActionKey>,
+    buf: Vec<Staged>,
+}
+
+impl NetOut for StageNet {
+    fn inject(
+        &mut self,
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        env: AmEnvelope<KMsg>,
+        wire_bytes: usize,
+    ) {
+        self.buf.push(Staged {
+            key: self.cur.expect("staged inject outside an action"),
+            now,
+            src,
+            dst,
+            env,
+            wire: wire_bytes,
+        });
+    }
+}
+
+/// A timeline span tagged with the key of the action that produced it,
+/// so shard-local spans merge back into canonical order.
+type KeyedSpan = (ActionKey, NodeId, VirtualTime, VirtualTime, SpanKind);
+
+/// What a shard reports at a window barrier.
+pub(crate) struct Summary {
+    staged: Vec<Staged>,
+    events: u64,
+    stopped: bool,
+    queue_head: Option<(VirtualTime, u64)>,
+    ready_min_clock: Option<VirtualTime>,
+    /// `(node, max(next_poll_at, clock))` for every idle node that could
+    /// send a load-balance poll.
+    idle_polls: Vec<(NodeId, VirtualTime)>,
+}
+
+/// A window assignment from the coordinator.
+pub(crate) struct WindowCmd {
+    end: VirtualTime,
+    arrivals: Vec<(VirtualTime, u64, Packet<KMsg>)>,
+    /// Poll fire times for this shard's idle nodes, sorted by
+    /// `(time, node)`.
+    polls: Vec<(VirtualTime, NodeId)>,
+    /// Remaining global event budget (u64::MAX when the valve is off).
+    budget: u64,
+}
+
+/// One shard: the kernels of every node `n` with `n % stride == id`,
+/// plus their slice of the pending-packet queue.
+pub(crate) struct Shard {
+    id: usize,
+    stride: usize,
+    kernels: Vec<Kernel>,
+    queue: EventQueue<Packet<KMsg>>,
+    stage: StageNet,
+    spans: Vec<KeyedSpan>,
+    record_timeline: bool,
+}
+
+impl Shard {
+    fn node_of(&self, local: usize) -> NodeId {
+        (self.id + local * self.stride) as NodeId
+    }
+
+    /// Describe the shard's current frontier without executing anything.
+    fn summarize(&mut self) -> Summary {
+        let mut ready_min_clock: Option<VirtualTime> = None;
+        let mut idle_polls = Vec::new();
+        for (i, k) in self.kernels.iter().enumerate() {
+            if k.has_work() {
+                let c = k.clock;
+                if ready_min_clock.is_none_or(|m| c < m) {
+                    ready_min_clock = Some(c);
+                }
+            } else if let Some(t0) = k.balancer.poll_ready_at() {
+                idle_polls.push((self.node_of(i), t0.max(k.clock)));
+            }
+        }
+        Summary {
+            staged: std::mem::take(&mut self.stage.buf),
+            events: 0,
+            stopped: self.kernels.iter().any(|k| k.stopped),
+            queue_head: self.queue.peek(),
+            ready_min_clock,
+            idle_polls,
+        }
+    }
+
+    /// Execute every action of this shard with `t < cmd.end`, staging
+    /// all sends, then summarize the new frontier.
+    fn run_window(&mut self, cmd: WindowCmd) -> Summary {
+        for (t, seq, pkt) in cmd.arrivals {
+            self.queue.push_at(t, seq, pkt);
+        }
+        let end = cmd.end;
+        let mut events = 0u64;
+        let mut poll_idx = 0usize;
+        loop {
+            if events >= cmd.budget {
+                // Out of global event budget: abort the window quietly —
+                // the coordinator detects the exhausted valve at the
+                // barrier and raises the canonical livelock panic there
+                // (a shard thread must not panic with its own message).
+                break;
+            }
+            // Globally minimal candidate with t < end.
+            let mut best: Option<(ActionKey, Cand)> = None;
+            let mut consider = |key: ActionKey, c: Cand| {
+                if best.as_ref().is_none_or(|(b, _)| key < *b) {
+                    best = Some((key, c));
+                }
+            };
+            if let Some((t, seq)) = self.queue.peek() {
+                if t < end {
+                    consider(
+                        ActionKey {
+                            t,
+                            rank: RANK_NET,
+                            tie: seq,
+                        },
+                        Cand::Net,
+                    );
+                }
+            }
+            for (i, k) in self.kernels.iter().enumerate() {
+                if k.has_work() && k.clock < end {
+                    consider(
+                        ActionKey {
+                            t: k.clock,
+                            rank: RANK_STEP,
+                            tie: self.node_of(i) as u64,
+                        },
+                        Cand::Step(i),
+                    );
+                }
+            }
+            if let Some(&(tf, node)) = cmd.polls.get(poll_idx) {
+                consider(
+                    ActionKey {
+                        t: tf,
+                        rank: RANK_POLL,
+                        tie: node as u64,
+                    },
+                    Cand::Poll(node, tf),
+                );
+            }
+            let Some((key, cand)) = best.take() else {
+                break; // frontier reached the window end
+            };
+            events += 1;
+            match cand {
+                Cand::Net => {
+                    let (t, _, pkt) = self.queue.pop_seq().expect("candidate said Net");
+                    self.exec_net(key, t, pkt);
+                    // Batch-drain every packet arriving at the same
+                    // instant: deliveries (rank 0) win all ties at `t`,
+                    // and no in-window send can arrive before `end`, so
+                    // the scan above cannot change the verdict.
+                    while self.queue.peek_time() == Some(t) {
+                        if events >= cmd.budget {
+                            break;
+                        }
+                        let (_, seq, pkt) = self.queue.pop_seq().expect("peeked");
+                        events += 1;
+                        self.exec_net(
+                            ActionKey {
+                                t,
+                                rank: RANK_NET,
+                                tie: seq,
+                            },
+                            t,
+                            pkt,
+                        );
+                    }
+                }
+                Cand::Step(i) => {
+                    self.stage.cur = Some(key);
+                    let k = &mut self.kernels[i];
+                    let before = k.clock;
+                    k.step(&mut self.stage);
+                    if self.record_timeline {
+                        let after = self.kernels[i].clock;
+                        self.spans
+                            .push((key, self.node_of(i), before, after, SpanKind::Compute));
+                    }
+                }
+                Cand::Poll(node, tf) => {
+                    poll_idx += 1;
+                    let i = (node as usize) / self.stride;
+                    let k = &mut self.kernels[i];
+                    // The poll was scheduled at the previous barrier; the
+                    // node's state may have moved since (a delivered
+                    // packet gave it work, a steal reply rescheduled the
+                    // backoff). Fire only if the poll is still live.
+                    if k.has_work() {
+                        continue;
+                    }
+                    let Some(t0) = k.balancer.poll_ready_at() else {
+                        continue;
+                    };
+                    if t0 > tf {
+                        continue;
+                    }
+                    k.clock = k.clock.max(tf);
+                    self.stage.cur = Some(key);
+                    k.send_steal_poll(&mut self.stage);
+                }
+            }
+        }
+        let mut s = self.summarize();
+        s.events = events;
+        s
+    }
+
+    fn exec_net(&mut self, key: ActionKey, t: VirtualTime, pkt: Packet<KMsg>) {
+        let node = pkt.dst;
+        let i = (node as usize) / self.stride;
+        debug_assert_eq!((node as usize) % self.stride, self.id);
+        self.stage.cur = Some(key);
+        let k = &mut self.kernels[i];
+        // Interrupt semantics (§3), identical to the sequential loop:
+        // the handler logically runs AT the arrival time while the
+        // interrupted method's completion slips by the handler's CPU
+        // time.
+        let busy_until = k.clock;
+        k.clock = t;
+        k.handle_packet(&mut self.stage, pkt);
+        let handler_time = k.clock.since(t);
+        k.clock = k.clock.max(busy_until + handler_time);
+        if self.record_timeline {
+            self.spans
+                .push((key, node, t, t + handler_time, SpanKind::Handler));
+        }
+    }
+}
+
+enum Cand {
+    Net,
+    Step(usize),
+    Poll(NodeId, VirtualTime),
+}
+
+/// Everything the windowed run hands back to [`crate::machine::SimMachine`].
+pub(crate) struct EngineOut {
+    /// Kernels in node order.
+    pub kernels: Vec<Kernel>,
+    /// The link resource state (seq counter, FIFO/NI/eject state, stats).
+    pub link: LinkState,
+    /// Packets still in flight (stop mid-run leaves some).
+    pub pending: Vec<(VirtualTime, u64, Packet<KMsg>)>,
+    /// Total events dispatched, including the count carried in.
+    pub events: u64,
+    /// Timeline spans in canonical action order (empty unless recording).
+    pub spans: Vec<(NodeId, VirtualTime, VirtualTime, SpanKind)>,
+}
+
+/// Barrier-side state: the shared link resources plus window planning.
+struct Coordinator {
+    link: LinkState,
+    window_ns: u64,
+    shards: usize,
+    lb: bool,
+    max_events: u64,
+    events: u64,
+    /// Lower bound on the next window index — windows strictly increase.
+    next_window: u64,
+    /// Per-shard arrivals replayed at the last barrier, awaiting the
+    /// next window command.
+    inbox: Vec<Vec<(VirtualTime, u64, Packet<KMsg>)>>,
+}
+
+impl Coordinator {
+    /// Merge the shard summaries, replay staged sends in canonical
+    /// order, and plan the next window. `None` means the run is over
+    /// (drained, or a kernel stopped the machine).
+    ///
+    /// # Panics
+    /// Panics when the event valve blows, exactly like the sequential
+    /// executor.
+    fn barrier(&mut self, summaries: &mut [Summary]) -> Option<Vec<WindowCmd>> {
+        for s in summaries.iter() {
+            self.events += s.events;
+        }
+        // Replay staged injections in the order the sequential executor
+        // would have admitted them: actions sort by unique ActionKey;
+        // equal keys (repeated zero-cost steps of one node) come from
+        // one shard in execution order, which the stable sort preserves.
+        let mut staged: Vec<Staged> = Vec::new();
+        for s in summaries.iter_mut() {
+            staged.append(&mut s.staged);
+        }
+        staged.sort_by_key(|s| s.key);
+        for st in staged {
+            let adm = self.link.admit(st.now, st.src, st.dst, st.wire);
+            self.inbox[(st.dst as usize) % self.shards].push((
+                adm.arrival,
+                adm.seq,
+                Packet {
+                    src: st.src,
+                    dst: st.dst,
+                    body: st.env,
+                },
+            ));
+        }
+        if summaries.iter().any(|s| s.stopped) {
+            return None;
+        }
+        if self.max_events > 0 && self.events >= self.max_events {
+            panic!(
+                "SimMachine exceeded max_events = {} (livelock?)",
+                self.max_events
+            );
+        }
+        // Earliest pending action anywhere decides the next window.
+        let mut t_next: Option<VirtualTime> = None;
+        let mut consider = |t: VirtualTime| {
+            if t_next.is_none_or(|m| t < m) {
+                t_next = Some(t);
+            }
+        };
+        for s in summaries.iter() {
+            if let Some((t, _)) = s.queue_head {
+                consider(t);
+            }
+            if let Some(t) = s.ready_min_clock {
+                consider(t);
+            }
+        }
+        for ib in &self.inbox {
+            for &(t, _, _) in ib {
+                consider(t);
+            }
+        }
+        // Idle nodes may poll only while ready work exists somewhere —
+        // the same gate as the sequential executor, evaluated at the
+        // barrier.
+        let work_exists = summaries.iter().any(|s| s.ready_min_clock.is_some());
+        if self.lb && work_exists {
+            for s in summaries.iter() {
+                for &(_, cand) in &s.idle_polls {
+                    consider(cand);
+                }
+            }
+        }
+        let t_next = t_next?; // nothing pending: drained
+        let m = (t_next.as_nanos() / self.window_ns).max(self.next_window);
+        self.next_window = m + 1;
+        let start = VirtualTime::from_nanos(m * self.window_ns);
+        let end = VirtualTime::from_nanos((m + 1) * self.window_ns);
+        let budget = if self.max_events > 0 {
+            self.max_events - self.events
+        } else {
+            u64::MAX
+        };
+        let mut cmds: Vec<WindowCmd> = self
+            .inbox
+            .iter_mut()
+            .map(|ib| WindowCmd {
+                end,
+                arrivals: std::mem::take(ib),
+                polls: Vec::new(),
+                budget,
+            })
+            .collect();
+        if self.lb && work_exists {
+            for s in summaries.iter() {
+                for &(node, cand) in &s.idle_polls {
+                    let tf = cand.max(start);
+                    if tf < end {
+                        cmds[(node as usize) % self.shards].polls.push((tf, node));
+                    }
+                }
+            }
+            for c in &mut cmds {
+                c.polls.sort_unstable();
+            }
+        }
+        Some(cmds)
+    }
+}
+
+/// Split `kernels` (node order) round-robin into `k` shards and
+/// distribute the pending packets by destination.
+fn make_shards(
+    kernels: Vec<Kernel>,
+    pending: Vec<(VirtualTime, u64, Packet<KMsg>)>,
+    k: usize,
+    record_timeline: bool,
+) -> Vec<Shard> {
+    let nodes = kernels.len();
+    let mut shards: Vec<Shard> = (0..k)
+        .map(|id| Shard {
+            id,
+            stride: k,
+            kernels: Vec::with_capacity(nodes.div_ceil(k)),
+            queue: EventQueue::with_capacity((nodes * 64 / k).max(64)),
+            stage: StageNet::default(),
+            spans: Vec::new(),
+            record_timeline,
+        })
+        .collect();
+    for (n, kernel) in kernels.into_iter().enumerate() {
+        shards[n % k].kernels.push(kernel);
+    }
+    for (t, seq, pkt) in pending {
+        shards[(pkt.dst as usize) % k].queue.push_at(t, seq, pkt);
+    }
+    shards
+}
+
+/// Reassemble machine state from the finished shards.
+fn assemble(mut shards: Vec<Shard>, link: LinkState, events: u64) -> EngineOut {
+    let k = shards.len();
+    let nodes: usize = shards.iter().map(|s| s.kernels.len()).sum();
+    let mut slots: Vec<Option<Kernel>> = (0..nodes).map(|_| None).collect();
+    let mut pending = Vec::new();
+    let mut keyed_spans: Vec<KeyedSpan> = Vec::new();
+    for shard in &mut shards {
+        for (i, kernel) in shard.kernels.drain(..).enumerate() {
+            slots[shard.id + i * k] = Some(kernel);
+        }
+        while let Some(e) = shard.queue.pop_seq() {
+            pending.push(e);
+        }
+        debug_assert!(shard.stage.buf.is_empty(), "staged sends left unreplayed");
+        keyed_spans.append(&mut shard.spans);
+    }
+    keyed_spans.sort_by_key(|(key, ..)| *key);
+    EngineOut {
+        kernels: slots.into_iter().map(|s| s.expect("node missing")).collect(),
+        link,
+        pending,
+        events,
+        spans: keyed_spans
+            .into_iter()
+            .map(|(_, n, a, b, kind)| (n, a, b, kind))
+            .collect(),
+    }
+}
+
+/// Engine entry point: run the windowed simulation over `k` shards.
+///
+/// `pending` and `events0` carry state from a previous run on the same
+/// machine (e.g. [`crate::machine::SimMachine::collect_garbage`] runs
+/// the machine twice).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run(
+    kernels: Vec<Kernel>,
+    link: LinkState,
+    pending: Vec<(VirtualTime, u64, Packet<KMsg>)>,
+    events0: u64,
+    k: usize,
+    lb: bool,
+    max_events: u64,
+    record_timeline: bool,
+) -> EngineOut {
+    let window_ns = lookahead_ns(&link.model());
+    assert!(window_ns > 0, "windowed executor needs nonzero lookahead");
+    let nodes = kernels.len();
+    let k = k.clamp(1, nodes.max(1));
+    let lb = lb && nodes > 1;
+    let mut coord = Coordinator {
+        link,
+        window_ns,
+        shards: k,
+        lb,
+        max_events,
+        events: events0,
+        next_window: 0,
+        inbox: (0..k).map(|_| Vec::new()).collect(),
+    };
+    let mut shards = make_shards(kernels, pending, k, record_timeline);
+    if k == 1 {
+        // Inline driver — this is the reference the threaded path must
+        // match bit for bit.
+        let mut summaries = vec![shards[0].summarize()];
+        while let Some(mut cmds) = coord.barrier(&mut summaries) {
+            summaries = vec![shards[0].run_window(cmds.pop().expect("one shard"))];
+        }
+        let events = coord.events;
+        let mut out = assemble(shards, coord.link, events);
+        out.pending.extend(drain_inbox(&mut coord.inbox));
+        return out;
+    }
+
+    let shards: Vec<Shard> = std::thread::scope(|scope| {
+        let mut cmd_txs = Vec::with_capacity(k);
+        let (sum_tx, sum_rx) = mpsc::channel::<(usize, Summary)>();
+        let mut handles = Vec::with_capacity(k);
+        for (id, mut shard) in shards.into_iter().enumerate() {
+            let (cmd_tx, cmd_rx) = mpsc::channel::<WindowCmd>();
+            cmd_txs.push(cmd_tx);
+            let sum_tx = sum_tx.clone();
+            handles.push(scope.spawn(move || {
+                // Initial probe so the coordinator can plan window 0.
+                if sum_tx.send((id, shard.summarize())).is_err() {
+                    return shard;
+                }
+                while let Ok(cmd) = cmd_rx.recv() {
+                    let s = shard.run_window(cmd);
+                    if sum_tx.send((id, s)).is_err() {
+                        break;
+                    }
+                }
+                shard
+            }));
+        }
+        drop(sum_tx);
+        let collect = |rx: &mpsc::Receiver<(usize, Summary)>| -> Vec<Summary> {
+            let mut slots: Vec<Option<Summary>> = (0..k).map(|_| None).collect();
+            for _ in 0..k {
+                let (id, s) = rx.recv().expect("shard died mid-window");
+                slots[id] = Some(s);
+            }
+            slots.into_iter().map(|s| s.expect("summary")).collect()
+        };
+        let mut summaries = collect(&sum_rx);
+        while let Some(cmds) = coord.barrier(&mut summaries) {
+            for (tx, cmd) in cmd_txs.iter().zip(cmds) {
+                tx.send(cmd).expect("shard hung up");
+            }
+            summaries = collect(&sum_rx);
+        }
+        // Closing the command channels tells the workers to exit with
+        // their shard state.
+        drop(cmd_txs);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard panicked"))
+            .collect()
+    });
+    let events = coord.events;
+    let mut out = assemble(shards, coord.link, events);
+    out.pending.extend(drain_inbox(&mut coord.inbox));
+    out
+}
+
+/// Arrivals replayed at the final barrier but never delivered (the run
+/// stopped): they go back into the machine's network queue.
+fn drain_inbox(
+    inbox: &mut [Vec<(VirtualTime, u64, Packet<KMsg>)>],
+) -> Vec<(VirtualTime, u64, Packet<KMsg>)> {
+    let mut out = Vec::new();
+    for ib in inbox {
+        out.append(ib);
+    }
+    out
+}

@@ -195,6 +195,11 @@ pub struct Kernel {
     gc_live_total: u64,
     /// Depth of inline (stack-based) dispatch currently active.
     stack_depth: u32,
+    /// Freelist of spent `Vec<Value>` argument buffers. Creation paths
+    /// build one arg vector per actor (group creation builds one per
+    /// *member*); recycling them turns that per-create heap churn into
+    /// a pop/push on this stack.
+    args_pool: Vec<Vec<Value>>,
     /// Set by `Ctx::stop` or an incoming Halt.
     pub stopped: bool,
     /// Counters; the machine merges these into its report.
@@ -232,6 +237,7 @@ impl Kernel {
             gc_coordinator: 0,
             gc_live_total: 0,
             stack_depth: 0,
+            args_pool: Vec::new(),
             stopped: false,
             clock: VirtualTime::ZERO,
             stats: StatSet::new(),
@@ -259,6 +265,33 @@ impl Kernel {
     #[inline]
     fn charge(&mut self, d: VirtualDuration) {
         self.clock += d;
+    }
+
+    /// Bound on [`Kernel::args_pool`]: beyond this, spent buffers are
+    /// simply dropped (a burst of group creations must not pin memory
+    /// forever).
+    const ARGS_POOL_MAX: usize = 64;
+
+    /// An empty argument buffer with at least `cap` capacity, reusing a
+    /// pooled allocation when one is available.
+    #[inline]
+    fn take_args(&mut self, cap: usize) -> Vec<Value> {
+        match self.args_pool.pop() {
+            Some(mut v) => {
+                v.reserve(cap);
+                v
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a spent argument buffer to the pool.
+    #[inline]
+    fn recycle_args(&mut self, mut v: Vec<Value>) {
+        if self.args_pool.len() < Self::ARGS_POOL_MAX {
+            v.clear();
+            self.args_pool.push(v);
+        }
     }
 
     /// Does this node have runnable work (ready actors or self-addressed
@@ -980,6 +1013,7 @@ impl Kernel {
     ) {
         self.charge(self.cfg.cost.remote_creation_work);
         let b = self.registry.create(behavior, &init);
+        self.recycle_args(init);
         let (aid, addr) = self.install_actor(b);
         // Register the alias alongside the ordinary address ("registers
         // the actor in its local name table with the received alias").
@@ -1305,15 +1339,21 @@ impl Kernel {
         let mut members = Vec::new();
         for idx in members_on(self.cfg.me, count, self.cfg.nodes, group.mapping()) {
             self.charge(self.cfg.cost.local_creation);
-            let mut args = init.clone();
+            // One pooled buffer per member instead of a fresh clone of
+            // `init` — group creation is the kernel's hottest
+            // allocation site (one vector per member per node).
+            let mut args = self.take_args(init.len() + 3);
+            args.extend_from_slice(&init);
             args.push(Value::Group(group));
             args.push(Value::Int(idx as i64));
             args.push(Value::Int(count as i64));
             let b = self.registry.create(behavior, &args);
+            self.recycle_args(args);
             let (aid, addr) = self.install_actor(b);
             self.actors.get_mut(aid).expect("just installed").group = Some((group, idx));
             members.push((idx, addr));
         }
+        self.recycle_args(init);
         self.stats.add("groups.members_created", members.len() as u64);
         let (parked_member, parked_bcast) = self.groups.install(group, members);
         for (idx, msg) in parked_member {
@@ -1386,7 +1426,9 @@ impl Kernel {
             self.charge(self.cfg.cost.dispatch);
         }
         self.stats.add("bcast.local_deliveries", members.len() as u64);
-        for (_idx, addr) in members {
+        let last = members.len() - 1;
+        let mut msg = Some(msg);
+        for (i, (_idx, addr)) in members.into_iter().enumerate() {
             if !self.cfg.opt.collective_bcast {
                 // Ablation: every member delivery is its own scheduling
                 // event.
@@ -1396,7 +1438,13 @@ impl Kernel {
             // Members homed here are usually still local; if one migrated
             // the normal descriptor path forwards it.
             self.charge(self.cfg.cost.constraint_check);
-            let m = msg.clone();
+            // The last member takes the message itself; only the first
+            // `len - 1` deliveries pay for a clone.
+            let m = if i == last {
+                msg.take().expect("taken once")
+            } else {
+                msg.as_ref().expect("not yet taken").clone()
+            };
             match self.names.resolve(addr.key) {
                 Resolution::Local(aid) => {
                     if self.actors.enqueue(aid, m) {
@@ -2055,6 +2103,7 @@ impl<'a> Ctx<'a> {
     pub fn create_on(&mut self, node: NodeId, behavior: BehaviorId, init: Vec<Value>) -> MailAddr {
         if node == self.k.cfg.me {
             let b = self.k.registry.create(behavior, &init);
+            self.k.recycle_args(init);
             self.k.create_local(b)
         } else {
             self.k.create_remote(self.net, node, behavior, init)

@@ -35,6 +35,7 @@ pub mod balance;
 pub mod cost;
 pub mod descriptor;
 pub mod dispatch;
+mod executor;
 pub mod fir;
 pub mod gc;
 pub mod group;

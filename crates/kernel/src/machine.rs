@@ -46,6 +46,11 @@ pub struct MachineConfig {
     pub record_timeline: bool,
     /// Record flight-recorder events on every kernel ([`crate::trace`]).
     pub record_trace: bool,
+    /// Host worker threads for the windowed executor: `1` = single
+    /// shard (the reference), `0` = all available cores, `k` = exactly
+    /// `k` shards (clamped to the node count). The report is
+    /// bit-identical for every value.
+    pub parallelism: usize,
 }
 
 impl MachineConfig {
@@ -64,6 +69,7 @@ impl MachineConfig {
             opt: crate::kernel::OptFlags::default(),
             record_timeline: false,
             record_trace: false,
+            parallelism: 1,
         }
     }
 
@@ -102,10 +108,22 @@ impl MachineConfig {
         self.record_trace = true;
         self
     }
+
+    /// Set the host parallelism of the windowed executor (builder
+    /// style): `0` = all available cores, otherwise exactly `k` worker
+    /// threads (clamped to the node count at run time). Reports are
+    /// bit-identical across all values of `k`.
+    pub fn with_parallelism(mut self, k: usize) -> Self {
+        self.parallelism = k;
+        self
+    }
 }
 
 /// Result of running a simulated machine to completion.
-#[derive(Debug)]
+///
+/// `PartialEq` compares every field — the parallel-equivalence tests
+/// assert bit-identical reports across executor parallelism levels.
+#[derive(Debug, PartialEq)]
 pub struct SimReport {
     /// Maximum node clock at completion — the parallel execution time.
     pub makespan: VirtualTime,
@@ -183,7 +201,10 @@ impl SimMachine {
                 Kernel::new(kcfg, Arc::clone(&registry))
             })
             .collect();
-        let net = SimNetwork::new(cfg.nodes, cfg.link);
+        // Pre-size the packet heap: fan-out workloads keep O(nodes)
+        // packets in flight, and growing a BinaryHeap mid-run moves
+        // every entry.
+        let net = SimNetwork::with_capacity(cfg.nodes, cfg.link, (cfg.nodes * 64).max(1024));
         SimMachine {
             cfg,
             kernels,
@@ -216,7 +237,54 @@ impl SimMachine {
 
     /// Run until every node is idle and the network is drained (or a
     /// kernel stopped the machine / the event valve blew).
+    ///
+    /// When the link model has nonzero lookahead (`inject_overhead +
+    /// latency > 0`), the run uses the conservative time-window executor
+    /// sharded over [`MachineConfig::parallelism`] host threads; its
+    /// report is bit-identical for every parallelism level. A
+    /// zero-lookahead link ([`LinkModel::instant`]) falls back to the
+    /// sequential instant-network loop, which remains the reference for
+    /// that regime.
     pub fn run(&mut self) -> SimReport {
+        if crate::executor::lookahead_ns(&self.cfg.link) == 0 {
+            return self.run_instant();
+        }
+        let k = match self.cfg.parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            k => k,
+        };
+        self.run_windowed(k.clamp(1, self.cfg.nodes))
+    }
+
+    /// The windowed executor: disassemble the network, run the engine
+    /// over `k` shards, reassemble.
+    fn run_windowed(&mut self, k: usize) -> SimReport {
+        let net = std::mem::replace(&mut self.net, SimNetwork::new(0, self.cfg.link));
+        let (link, pending) = net.into_parts();
+        let kernels = std::mem::take(&mut self.kernels);
+        let out = crate::executor::run(
+            kernels,
+            link,
+            pending,
+            self.events,
+            k,
+            self.cfg.load_balancing,
+            self.cfg.max_events,
+            self.cfg.record_timeline,
+        );
+        self.kernels = out.kernels;
+        self.net = SimNetwork::from_parts(out.link, out.pending);
+        self.events = out.events;
+        for (node, start, end, kind) in out.spans {
+            self.timeline.push(node, start, end, kind);
+        }
+        self.report()
+    }
+
+    /// Sequential reference loop for zero-lookahead links.
+    fn run_instant(&mut self) -> SimReport {
         loop {
             if self.kernels.iter().any(|k| k.stopped) {
                 break;
@@ -246,23 +314,22 @@ impl SimMachine {
             match action {
                 Action::Net => {
                     let (t, pkt) = self.net.pop().expect("next_action said Net");
-                    let node = pkt.dst;
-                    let k = &mut self.kernels[node as usize];
-                    // Interrupt semantics (§3): the node manager "steals
-                    // the processor from the actor that is currently
-                    // executing". If the node's clock is already past the
-                    // arrival (mid-method), the handler logically runs AT
-                    // the arrival time — its outbound packets (acks,
-                    // relays, grants) leave immediately — while the
-                    // interrupted method's completion slips by the
-                    // handler's CPU time.
-                    let busy_until = k.clock;
-                    k.clock = t;
-                    k.handle_packet(&mut self.net, pkt);
-                    let handler_time = k.clock.since(t);
-                    k.clock = k.clock.max(busy_until + handler_time);
-                    if self.cfg.record_timeline {
-                        self.timeline.push(node, t, t + handler_time, SpanKind::Handler);
+                    self.deliver_packet(t, pkt);
+                    // Batch-drain packets arriving at the same instant:
+                    // delivery outranks every other action at `t`, so
+                    // the full candidate scan cannot choose differently
+                    // — this skips a heap sift + O(nodes) scan per
+                    // packet in hot fan-in phases.
+                    while self.net.peek_time() == Some(t) {
+                        if self.kernels.iter().any(|k| k.stopped) {
+                            break;
+                        }
+                        if self.cfg.max_events > 0 && self.events >= self.cfg.max_events {
+                            break;
+                        }
+                        let (_, pkt) = self.net.pop().expect("peeked");
+                        self.events += 1;
+                        self.deliver_packet(t, pkt);
                     }
                 }
                 Action::Step(i) => {
@@ -286,6 +353,26 @@ impl SimMachine {
             }
         }
         self.report()
+    }
+
+    /// Deliver one packet with interrupt semantics (§3): the node
+    /// manager "steals the processor from the actor that is currently
+    /// executing". If the node's clock is already past the arrival
+    /// (mid-method), the handler logically runs AT the arrival time —
+    /// its outbound packets (acks, relays, grants) leave immediately —
+    /// while the interrupted method's completion slips by the handler's
+    /// CPU time.
+    fn deliver_packet(&mut self, t: VirtualTime, pkt: hal_am::Packet<KMsg>) {
+        let node = pkt.dst;
+        let k = &mut self.kernels[node as usize];
+        let busy_until = k.clock;
+        k.clock = t;
+        k.handle_packet(&mut self.net, pkt);
+        let handler_time = k.clock.since(t);
+        k.clock = k.clock.max(busy_until + handler_time);
+        if self.cfg.record_timeline {
+            self.timeline.push(node, t, t + handler_time, SpanKind::Handler);
+        }
     }
 
     /// Choose the globally earliest next action, deterministically.

@@ -302,7 +302,7 @@ impl Recorder {
 }
 
 /// The merged, time-ordered trace of a whole run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceReport {
     /// All surviving events, ordered by (time, node).
     pub events: Vec<TraceEvent>,

@@ -205,7 +205,7 @@ impl Column {
 
 impl Behavior for Column {
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        match ChMsg::decode(&msg) {
+        match ChMsg::take(msg) {
             ChMsg::Start {} => {
                 // Pipelined: column 0 needs no updates, so it starts the
                 // wavefront. (Global variants are driven by DoColumn.)
@@ -343,7 +343,7 @@ struct Collector {
 
 impl Behavior for Collector {
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let ChMsg::Result { j, data } = ChMsg::decode(&msg) else {
+        let ChMsg::Result { j, data } = ChMsg::take(msg) else {
             unreachable!("collector only receives Result");
         };
         self.received += 1;

@@ -114,7 +114,7 @@ impl FibActor {
 
 impl Behavior for FibActor {
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let FibMsg::Compute { n } = FibMsg::decode(&msg);
+        let FibMsg::Compute { n } = FibMsg::take(msg);
         if n < 2 || n <= self.grain {
             // Sequential leaf: charge the real subtree cost.
             let nodes = hal_baselines::call_tree_nodes(n as u64);

@@ -167,7 +167,7 @@ impl MmMember {
 
 impl Behavior for MmMember {
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        match MmMsg::decode(&msg) {
+        match MmMsg::take(msg) {
             MmMsg::Start {} => {
                 assert!(!self.started, "double start");
                 self.started = true;
@@ -254,7 +254,7 @@ struct Collector {
 
 impl Behavior for Collector {
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        match MmMsg::decode(&msg) {
+        match MmMsg::take(msg) {
             MmMsg::Done { idx, data } => {
                 self.received += 1;
                 let block = crate::unpack_f64(&data);

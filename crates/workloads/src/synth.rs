@@ -29,7 +29,7 @@ pub struct Probe {
 
 impl Behavior for Probe {
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        match SynthMsg::decode(&msg) {
+        match SynthMsg::take(msg) {
             SynthMsg::Nop {} => {}
             SynthMsg::Echo { v } => hal::maybe_reply(ctx, Value::Int(v)),
             SynthMsg::CreateLocal { k } => {

@@ -143,7 +143,7 @@ fn make_uts(args: &[Value]) -> Box<dyn Behavior> {
 
 impl Behavior for UtsActor {
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let UtsMsg::Explore { id, depth } = UtsMsg::decode(&msg);
+        let UtsMsg::Explore { id, depth } = UtsMsg::take(msg);
         ctx.charge(VirtualDuration::from_nanos(self.cfg.node_cost_ns));
         let k = num_children(&self.cfg, id, depth);
         if k == 0 {

@@ -1,0 +1,179 @@
+//! Parallel determinism: for a fixed seed, the windowed executor must
+//! produce a **bit-identical** `SimReport` at every parallelism level —
+//! same counters, same final virtual times, same reported values, same
+//! merged trace event sequence. `K = 1` is the reference; `K = 2` and
+//! `K = 7` (deliberately not a divisor of the node count) must match it
+//! exactly, across workloads that stress different kernel machinery:
+//! fib (join continuations + load balancing), Cholesky (groups +
+//! broadcast + bulk transfers), and a migration chase (FIRs + forward
+//! chains + racing probes).
+
+use hal::prelude::*;
+use hal_kernel::SimReport;
+use hal_workloads::{cholesky, fib};
+
+const PARALLELISMS: [usize; 2] = [2, 7];
+const SEEDS: [u64; 3] = [1, 0x5EED, 42];
+
+/// Run `build` at K = 1 and at each parallelism level; every report must
+/// equal the reference exactly.
+fn assert_equivalent(label: &str, build: impl Fn(usize) -> SimReport) {
+    let reference = build(1);
+    assert!(
+        reference.events > 0,
+        "{label}: reference run executed nothing"
+    );
+    for k in PARALLELISMS {
+        let parallel = build(k);
+        assert_eq!(
+            reference, parallel,
+            "{label}: K={k} report diverged from sequential reference"
+        );
+    }
+}
+
+#[test]
+fn fib_with_load_balancing_is_identical() {
+    for seed in SEEDS {
+        assert_equivalent(&format!("fib-lb seed={seed}"), |k| {
+            let cfg = fib::FibConfig {
+                n: 13,
+                grain: 3,
+                placement: fib::Placement::Local,
+            };
+            let machine = MachineConfig::new(8)
+                .with_seed(seed)
+                .with_load_balancing(true)
+                .with_parallelism(k);
+            let (v, report) = fib::run_sim(machine, cfg);
+            assert_eq!(v, 233, "fib(13) wrong");
+            report
+        });
+    }
+}
+
+#[test]
+fn fib_static_placement_with_trace_is_identical() {
+    // Trace recording on: the merged flight-recorder event sequence is
+    // part of the equality.
+    assert_equivalent("fib-static-trace", |k| {
+        let cfg = fib::FibConfig {
+            n: 12,
+            grain: 2,
+            placement: fib::Placement::RoundRobin,
+        };
+        let machine = MachineConfig::new(8)
+            .with_seed(0x5EED)
+            .with_trace()
+            .with_parallelism(k);
+        let (v, report) = fib::run_sim(machine, cfg);
+        assert_eq!(v, 144, "fib(12) wrong");
+        assert!(
+            report.trace.as_ref().is_some_and(|t| !t.events.is_empty()),
+            "trace should have recorded events"
+        );
+        report
+    });
+}
+
+#[test]
+fn cholesky_is_identical() {
+    for seed in SEEDS {
+        assert_equivalent(&format!("cholesky seed={seed}"), |k| {
+            let cfg = cholesky::CholeskyConfig {
+                n: 8,
+                variant: cholesky::Variant::BP,
+                per_flop_ns: 50,
+                seed,
+            };
+            let machine = MachineConfig::new(6).with_seed(seed).with_parallelism(k);
+            let (fro, report) = cholesky::run_sim(machine, cfg, false);
+            assert!(fro.is_finite() && fro > 0.0, "factorization failed");
+            report
+        });
+    }
+}
+
+// ---- migration chase (the Fig. 3 pattern: a nomad actor walks hops
+// while probes race it through FIR chases and forward chains) ----
+
+struct Nomad {
+    hops: Vec<u16>,
+    probes: i64,
+}
+impl Behavior for Nomad {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.selector {
+            0 => {
+                if let Some(next) = self.hops.pop() {
+                    let me = ctx.me();
+                    ctx.send(me, 0, vec![]);
+                    ctx.migrate(next);
+                }
+            }
+            1 => {
+                self.probes += 1;
+                ctx.report("probe_delivered", Value::Int(self.probes));
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct Spray {
+    target: MailAddr,
+    n: i64,
+}
+impl Behavior for Spray {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        for _ in 0..self.n {
+            ctx.send(self.target, 1, vec![]);
+        }
+    }
+}
+
+fn run_chase(seed: u64, k: usize) -> SimReport {
+    const CHAIN: usize = 8;
+    const PROBES: i64 = 20;
+    let p = 8usize;
+    let mut program = Program::new();
+    let spray = program.behavior("spray", |args: &[Value]| {
+        Box::new(Spray {
+            target: args[0].as_addr(),
+            n: args[1].as_int(),
+        }) as Box<dyn Behavior>
+    });
+    let mut m = SimMachine::new(
+        MachineConfig::new(p)
+            .with_seed(seed)
+            .with_trace()
+            .with_parallelism(k),
+        program.build(),
+    );
+    m.with_ctx(0, |ctx| {
+        let hops: Vec<u16> = (0..CHAIN).rev().map(|i| ((i % (p - 1)) + 1) as u16).collect();
+        let nomad = ctx.create_local(Box::new(Nomad {
+            hops,
+            probes: 0,
+        }));
+        ctx.send(nomad, 0, vec![]);
+        let s = ctx.create_on(4, spray, vec![Value::Addr(nomad), Value::Int(PROBES)]);
+        ctx.send(s, 0, vec![]);
+    });
+    let report = m.run();
+    assert_eq!(
+        report.values("probe_delivered").len(),
+        20,
+        "exactly-once delivery violated"
+    );
+    report
+}
+
+#[test]
+fn migration_chase_is_identical() {
+    for seed in SEEDS {
+        assert_equivalent(&format!("migration-chase seed={seed}"), |k| {
+            run_chase(seed, k)
+        });
+    }
+}
