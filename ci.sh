@@ -33,4 +33,13 @@ smoke() {
 smoke table4_fib
 smoke fig3_delivery
 
+echo "== chaos smoke =="
+# Seeded fault injection must be deterministic too: the chaos harness
+# asserts exactly-once delivery internally, and its stdout (fault
+# decisions included) must not depend on executor parallelism.
+smoke chaos_delivery
+
+echo "== cargo doc --no-deps (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
 echo "ci: all gates passed"

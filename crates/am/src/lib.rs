@@ -27,14 +27,18 @@
 pub mod bcast;
 pub mod bulk;
 pub mod bytes;
+pub mod fault;
 pub mod flow;
 pub mod packet;
+pub mod reliable;
 pub mod sim;
 pub mod thread;
 
 pub use bulk::BulkSender;
 pub use bytes::Bytes;
+pub use fault::{FaultPlan, LinkOutage, NodePause};
 pub use flow::{FlowControl, Grant};
-pub use packet::{AmEnvelope, BulkTag, NodeId, Packet, MAX_SMALL_BYTES};
-pub use sim::{Admitted, LinkModel, LinkState, SimNetwork};
+pub use packet::{AmEnvelope, BulkTag, NodeId, Packet, RelPayload, MAX_SMALL_BYTES, REL_HEADER};
+pub use reliable::{RelReceiver, RelSender, RetxDecision, RxOutcome, SendTicket, RETX_BATCH};
+pub use sim::{Admitted, Fate, LinkModel, LinkState, SimNetwork};
 pub use thread::{thread_network, ThreadEndpoint};

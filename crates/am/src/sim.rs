@@ -18,6 +18,7 @@
 //! serialization points; the paper's claims we reproduce do not depend on
 //! fabric hot-spots.
 
+use crate::fault::{FaultPlan, FaultState, RawFate};
 use crate::packet::{AmEnvelope, NodeId, Packet};
 use hal_des::{EventQueue, StatSet, VirtualDuration, VirtualTime};
 use std::collections::HashMap;
@@ -95,6 +96,30 @@ pub struct Admitted {
     /// Time the sender's NI frees up (callers may charge it to the node
     /// clock).
     pub ni_free: VirtualTime,
+    /// What the fault layer decided ([`Fate::Deliver`] when no fault
+    /// plan is installed). The caller enqueues zero, one, or two copies
+    /// accordingly.
+    pub fate: Fate,
+}
+
+/// Delivery verdict of one admission, as seen by the enqueueing caller.
+#[derive(Clone, Copy, Debug)]
+pub enum Fate {
+    /// Enqueue the packet at [`Admitted::arrival`] (a reordered packet
+    /// also lands here — its arrival already includes the extra delay).
+    Deliver,
+    /// The fabric lost the packet: enqueue nothing. Sender-side costs
+    /// ([`Admitted::ni_free`]) still apply.
+    Dropped,
+    /// The fabric duplicated the packet: enqueue the original at
+    /// [`Admitted::arrival`] and, if the envelope is clonable
+    /// ([`AmEnvelope::try_clone`]), a copy at the embedded arrival/seq.
+    Duplicated {
+        /// Arrival time of the duplicate copy.
+        arrival: VirtualTime,
+        /// Admission sequence number of the duplicate copy.
+        seq: u64,
+    },
 }
 
 /// The network's resource state machine, separated from the event queue
@@ -125,6 +150,9 @@ pub struct LinkState {
     /// Next admission sequence number.
     seq: u64,
     stats: StatSet,
+    /// Fault machinery; `None` (the default) keeps the exact legacy
+    /// admission path — zero RNG draws, byte-identical behavior.
+    faults: Option<FaultState>,
 }
 
 impl LinkState {
@@ -137,6 +165,16 @@ impl LinkState {
             eject_busy: vec![(VirtualTime::ZERO, VirtualTime::ZERO); nodes],
             seq: 0,
             stats: StatSet::new(),
+            faults: None,
+        }
+    }
+
+    /// Install a fault plan, seeding its RNG stream from the machine's
+    /// master seed. A plan without link-level faults installs nothing,
+    /// keeping the zero-overhead legacy path.
+    pub fn set_fault_plan(&mut self, plan: &FaultPlan, seed: u64) {
+        if plan.link_faults() {
+            self.faults = Some(FaultState::new(plan.clone(), seed));
         }
     }
 
@@ -176,6 +214,15 @@ impl LinkState {
             (src as usize) < self.ni_free.len() && (dst as usize) < self.ni_free.len(),
             "inject: node id out of range"
         );
+        // Fault fate first: the decision consumes a fixed number of RNG
+        // draws per admission (none when no plan is installed), so the
+        // stream position depends only on the canonical admission order.
+        let raw = match self.faults.as_mut() {
+            Some(f) => f.decide(now, src, dst),
+            None => RawFate::Deliver,
+        };
+        let dropped = matches!(raw, RawFate::Drop);
+        let delayed = matches!(raw, RawFate::Delay(_));
         let xmit = self.model.per_byte.scaled(wire_bytes as u64);
 
         // NI injection serialization: a send cannot begin until the
@@ -191,10 +238,13 @@ impl LinkState {
         // Earliest possible arrival given wire latency…
         let mut arrival = ni_free + self.model.latency;
         // …but never before an earlier packet on the same (src,dst)
-        // link (FIFO, applied forward in time)…
-        if let Some(&(l_set, l_arr)) = self.link_last.get(&(src, dst)) {
-            if now >= l_set {
-                arrival = arrival.max(l_arr);
+        // link (FIFO, applied forward in time) — unless the fault layer
+        // reorders this packet, which is exactly a FIFO violation…
+        if !delayed {
+            if let Some(&(l_set, l_arr)) = self.link_last.get(&(src, dst)) {
+                if now >= l_set {
+                    arrival = arrival.max(l_arr);
+                }
             }
         }
         // …and never before the receiver's ejection port frees up: a hot
@@ -202,6 +252,9 @@ impl LinkState {
         let (e_set, e_busy) = self.eject_busy[dst as usize];
         if now >= e_set {
             arrival = arrival.max(e_busy);
+        }
+        if let RawFate::Delay(extra) = raw {
+            arrival += extra;
         }
         // The ejection port is then busy draining this packet.
         let eject_done = arrival + self.model.per_byte.scaled(wire_bytes as u64);
@@ -219,15 +272,20 @@ impl LinkState {
             ni_free = backlog_release;
         }
 
-        // Commit resource state, never backward in virtual time.
+        // Commit resource state, never backward in virtual time. A
+        // dropped packet spends the sender's NI but never reaches the
+        // link or the ejection port; a reordered one bypasses the FIFO
+        // state in both directions.
         if now >= ni_set_at {
             self.ni_free[src as usize] = (now, ni_free);
         }
-        let link = self.link_last.entry((src, dst)).or_insert((now, arrival));
-        if now >= link.0 {
-            *link = (now, arrival.max(link.1));
+        if !dropped && !delayed {
+            let link = self.link_last.entry((src, dst)).or_insert((now, arrival));
+            if now >= link.0 {
+                *link = (now, arrival.max(link.1));
+            }
         }
-        if now >= e_set {
+        if !dropped && now >= e_set {
             self.eject_busy[dst as usize] = (now, eject_done.max(e_busy));
         }
 
@@ -235,11 +293,42 @@ impl LinkState {
         self.stats.add("net.bytes", wire_bytes as u64);
         let seq = self.seq;
         self.seq += 1;
+        let fate = match raw {
+            RawFate::Deliver => Fate::Deliver,
+            RawFate::Delay(_) => {
+                self.stats.bump("net.fault_reordered");
+                Fate::Deliver
+            }
+            RawFate::Drop => {
+                self.stats.bump("net.fault_dropped");
+                Fate::Dropped
+            }
+            RawFate::Dup(extra) => {
+                self.stats.bump("net.fault_duplicated");
+                let seq2 = self.seq;
+                self.seq += 1;
+                Fate::Duplicated {
+                    arrival: arrival + extra,
+                    seq: seq2,
+                }
+            }
+        };
         Admitted {
             arrival,
             seq,
             ni_free,
+            fate,
         }
+    }
+
+    /// Allocate a sequence number for a scheduler-level event (a timer)
+    /// that bypasses the admission arithmetic entirely: no resources,
+    /// no faults, no packet stats — just a deterministic tie-breaker
+    /// from the same counter the admissions use.
+    pub fn next_event_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
     }
 }
 
@@ -292,9 +381,44 @@ impl<P> SimNetwork<P> {
         wire_bytes: usize,
     ) -> VirtualTime {
         let adm = self.link.admit(now, src, dst, wire_bytes);
-        self.queue
-            .push_at(adm.arrival, adm.seq, Packet { src, dst, body });
+        match adm.fate {
+            Fate::Dropped => {}
+            Fate::Deliver => {
+                self.queue
+                    .push_at(adm.arrival, adm.seq, Packet { src, dst, body });
+            }
+            Fate::Duplicated { arrival, seq } => {
+                if let Some(copy) = body.try_clone() {
+                    self.queue.push_at(arrival, seq, Packet { src, dst, body: copy });
+                }
+                self.queue
+                    .push_at(adm.arrival, adm.seq, Packet { src, dst, body });
+            }
+        }
         adm.ni_free
+    }
+
+    /// Install a fault plan on the link state (see
+    /// [`LinkState::set_fault_plan`]).
+    pub fn set_fault_plan(&mut self, plan: &crate::fault::FaultPlan, seed: u64) {
+        self.link.set_fault_plan(plan, seed);
+    }
+
+    /// Schedule a self-addressed timer event to fire at `fire_at` on
+    /// `node`. Timers go straight into the event queue — they consume
+    /// no network resources and are immune to faults (a retransmit
+    /// timer that could itself be dropped would defeat its purpose).
+    pub fn schedule(&mut self, fire_at: VirtualTime, node: NodeId, body: AmEnvelope<P>) {
+        let seq = self.link.next_event_seq();
+        self.queue.push_at(
+            fire_at,
+            seq,
+            Packet {
+                src: node,
+                dst: node,
+                body,
+            },
+        );
     }
 
     /// Remove and return the next packet to arrive anywhere, if any.
@@ -432,5 +556,97 @@ mod tests {
     fn inject_checks_node_ids() {
         let mut net = SimNetwork::new(2, LinkModel::instant());
         net.inject(VirtualTime::ZERO, 0, 5, small(1), 1);
+    }
+
+    #[test]
+    fn drop_fault_loses_packets_but_charges_the_sender() {
+        let mut net = SimNetwork::new(2, LinkModel::cm5());
+        net.set_fault_plan(&crate::fault::FaultPlan::none().with_drop(1.0), 1);
+        let free = net.inject(VirtualTime::ZERO, 0, 1, small(1), 8);
+        assert!(free > VirtualTime::ZERO, "NI time still spent");
+        assert_eq!(net.in_flight(), 0, "the packet was lost");
+        assert_eq!(net.stats().get("net.fault_dropped"), 1);
+    }
+
+    #[test]
+    fn duplicate_fault_copies_only_reliable_packets() {
+        let plan = crate::fault::FaultPlan::none().with_duplicate(1.0);
+        let mut net = SimNetwork::new(2, LinkModel::cm5());
+        net.set_fault_plan(&plan, 1);
+        // An opaque Small payload cannot be copied…
+        net.inject(VirtualTime::ZERO, 0, 1, small(1), 8);
+        assert_eq!(net.in_flight(), 1);
+        // …but a Rel packet can.
+        let rel = AmEnvelope::Rel {
+            seq: 1,
+            body: crate::packet::RelPayload::new(small(2)),
+            bytes: 8,
+        };
+        net.inject(VirtualTime::ZERO, 0, 1, rel, 16);
+        assert_eq!(net.in_flight(), 3, "original + duplicate");
+        assert_eq!(net.stats().get("net.fault_duplicated"), 2);
+    }
+
+    #[test]
+    fn reorder_fault_lets_later_packets_overtake() {
+        let model = LinkModel {
+            latency: VirtualDuration::from_nanos(1_000),
+            per_byte: VirtualDuration::from_nanos(100),
+            inject_overhead: VirtualDuration::ZERO,
+            backpressure_window: VirtualDuration::from_millis(1_000),
+        };
+        let mut plan = crate::fault::FaultPlan::none().with_reorder(1.0);
+        plan.reorder_window = VirtualDuration::from_nanos(1_000_000);
+        let mut net = SimNetwork::new(2, model);
+        net.set_fault_plan(&plan, 3);
+        // Without faults the FIFO clamp forces arrival order 1 then 2
+        // (see per_link_fifo_holds_even_with_size_inversion); with
+        // every packet reordered by a random extra delay, overtaking
+        // becomes possible — assert both are still delivered.
+        net.inject(VirtualTime::ZERO, 0, 1, small(1), 10_000);
+        net.inject(VirtualTime::ZERO, 0, 1, small(2), 1);
+        assert_eq!(net.in_flight(), 2);
+        assert_eq!(net.stats().get("net.fault_reordered"), 2);
+    }
+
+    #[test]
+    fn fault_decisions_replay_identically() {
+        let plan = crate::fault::FaultPlan::chaos(0.4);
+        let run = || {
+            let mut net = SimNetwork::new(4, LinkModel::cm5());
+            net.set_fault_plan(&plan, 99);
+            for i in 0..50u64 {
+                let rel = AmEnvelope::Rel {
+                    seq: i,
+                    body: crate::packet::RelPayload::new(small(i as u32)),
+                    bytes: 8,
+                };
+                net.inject(
+                    VirtualTime::from_nanos(i * 700),
+                    (i % 4) as NodeId,
+                    ((i + 1) % 4) as NodeId,
+                    rel,
+                    24,
+                );
+            }
+            let mut order = Vec::new();
+            while let Some((t, seq, p)) = net.pop_seq() {
+                order.push((t, seq, p.src, p.dst));
+            }
+            order
+        };
+        assert_eq!(run(), run(), "same seed, same admissions, same fates");
+    }
+
+    #[test]
+    fn scheduled_timers_bypass_admission() {
+        let mut net = SimNetwork::new(2, LinkModel::cm5());
+        net.schedule(VirtualTime::from_nanos(500), 1, AmEnvelope::Timer(7u32));
+        assert_eq!(net.stats().get("net.packets"), 0, "no admission stats");
+        let (t, p) = net.pop().unwrap();
+        assert_eq!(t.as_nanos(), 500);
+        assert_eq!(p.src, 1);
+        assert_eq!(p.dst, 1);
+        assert_eq!(p.body, AmEnvelope::Timer(7));
     }
 }

@@ -61,7 +61,7 @@ fn bench_machine_paths(c: &mut Harness) {
         let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink)));
         b.iter(|| {
             m.with_ctx(0, |ctx| ctx.send(sink, 0, vec![]));
-            m.run();
+            m.run().unwrap();
         });
     });
     g.bench_function("local_send_fast_path_inline", |b| {
@@ -76,7 +76,7 @@ fn bench_machine_paths(c: &mut Harness) {
         let sink = m.with_ctx(1, |ctx| ctx.create_local(Box::new(Sink)));
         b.iter(|| {
             m.with_ctx(0, |ctx| ctx.send(sink, 0, vec![]));
-            m.run();
+            m.run().unwrap();
         });
     });
     g.finish();

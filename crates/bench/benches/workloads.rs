@@ -17,7 +17,7 @@ fn bench_sim_throughput(c: &mut Harness) {
     g.bench_function("fib20_grain8_p4_lb", |b| {
         b.iter(|| {
             let (v, _) = fib_wl::run_sim(
-                MachineConfig::new(4).with_load_balancing(true),
+                MachineConfig::builder(4).load_balancing(true).build().unwrap(),
                 FibConfig {
                     n: 20,
                     grain: 8,
@@ -104,8 +104,8 @@ fn bench_extensions(c: &mut Harness) {
                     ctx.create_local(Box::new(Nop));
                 }
             });
-            m.run();
-            let r = m.collect_garbage();
+            m.run().unwrap();
+            let r = m.collect_garbage().unwrap();
             assert_eq!(r.freed, 400);
             black_box(r.rounds)
         });
@@ -154,7 +154,7 @@ fn bench_extensions(c: &mut Harness) {
             node_cost_ns: 5_000,
         };
         b.iter(|| {
-            let (size, _) = run_sim(MachineConfig::new(8).with_load_balancing(true), cfg);
+            let (size, _) = run_sim(MachineConfig::builder(8).load_balancing(true).build().unwrap(), cfg);
             black_box(size)
         });
     });

@@ -54,10 +54,10 @@ fn make_spawner(args: &[Value]) -> Box<dyn Behavior> {
 static RUN_NO: AtomicUsize = AtomicUsize::new(0);
 
 fn run(opt: OptFlags, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {
-    run_cfg(MachineConfig::new(8).with_opt(opt).with_seed(2), f)
+    run_cfg(MachineConfig::builder(8).opt(opt).seed(2), f)
 }
 
-fn run_cfg(cfg: MachineConfig, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {
+fn run_cfg(cfg: MachineConfigBuilder, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {
     let mut program = Program::new();
     let ids = Ids {
         sink: program.behavior("sink", make_sink),
@@ -65,10 +65,11 @@ fn run_cfg(cfg: MachineConfig, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimRe
         member: program.behavior("member", make_member),
         bulk_spray: program.behavior("bulk_spray", make_bulk_spray),
     };
-    let mut m = SimMachine::new(cfg.with_parallelism(out::parallelism()), program.build());
+    let cfg = cfg.parallelism(out::parallelism()).build().unwrap();
+    let mut m = SimMachine::new(cfg, program.build());
     m.with_ctx(0, |ctx| f(ctx, &ids));
     let t0 = std::time::Instant::now();
-    let r = m.run();
+    let r = m.run().unwrap();
     let n = RUN_NO.fetch_add(1, Ordering::Relaxed);
     out::note_run(format!("ablation run {n}"), &r, t0.elapsed());
     r
@@ -271,7 +272,7 @@ fn main() {
     // Flight-recorder view of the FIR chase ablation's paper-side run:
     // chain-length and delivery-path histograms for the same workload.
     let traced = run_cfg(
-        MachineConfig::new(8).with_opt(on).with_seed(2).with_trace(),
+        MachineConfig::builder(8).opt(on).seed(2).trace(),
         chase,
     );
     let trace = traced.trace.expect("tracing was enabled");

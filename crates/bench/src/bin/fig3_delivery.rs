@@ -59,10 +59,10 @@ fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64, Option<TraceRepor
     let mut program = Program::new();
     let spray = program.behavior("spray", make_spray);
     let mut m = SimMachine::new(
-        MachineConfig::new(p)
-            .with_seed(5)
-            .with_trace()
-            .with_parallelism(out::parallelism()),
+        MachineConfig::builder(p)
+            .seed(5)
+            .trace()
+            .parallelism(out::parallelism()).build().unwrap(),
         program.build(),
     );
     m.with_ctx(0, |ctx| {
@@ -76,7 +76,7 @@ fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64, Option<TraceRepor
         ctx.send(s, 0, vec![]);
     });
     let t0 = std::time::Instant::now();
-    let r = m.run();
+    let r = m.run().unwrap();
     out::note_run(format!("fig3 chain={chain} probes={probes}"), &r, t0.elapsed());
     let delivered = r.values("probe_delivered").len() as u64;
     (

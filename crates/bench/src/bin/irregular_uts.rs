@@ -28,9 +28,9 @@ fn main() {
         for &p in &[1usize, 4, 16, 64] {
             let (s0, r0) = out::timed(format!("uts seed={seed} p={p} noLB"), || {
                 run_sim(
-                    MachineConfig::new(p)
-                        .with_seed(1)
-                        .with_parallelism(out::parallelism()),
+                    MachineConfig::builder(p)
+                        .seed(1)
+                        .parallelism(out::parallelism()).build().unwrap(),
                     cfg,
                 )
             });
@@ -39,10 +39,10 @@ fn main() {
             let (lb_ns, steals) = if p > 1 {
                 let (s1, r1) = out::timed(format!("uts seed={seed} p={p} LB"), || {
                     run_sim(
-                        MachineConfig::new(p)
-                            .with_seed(1)
-                            .with_load_balancing(true)
-                            .with_parallelism(out::parallelism()),
+                        MachineConfig::builder(p)
+                            .seed(1)
+                            .load_balancing(true)
+                            .parallelism(out::parallelism()).build().unwrap(),
                         cfg,
                     )
                 });

@@ -17,9 +17,9 @@ use hal_workloads::cholesky::{self, CholeskyConfig, Variant};
 use hal_workloads::matmul::{self, MatmulConfig};
 
 fn chol(link: LinkModel, name: &str, variant: Variant) -> f64 {
-    let mut m = MachineConfig::new(8)
-        .with_seed(4)
-        .with_parallelism(out::parallelism());
+    let mut m = MachineConfig::builder(8)
+        .seed(4)
+        .parallelism(out::parallelism()).build().unwrap();
     let label = format!("cholesky n=96 {variant:?} {name}");
     m.link = link;
     let (_, r) = out::timed(label, || {
@@ -38,9 +38,9 @@ fn chol(link: LinkModel, name: &str, variant: Variant) -> f64 {
 }
 
 fn mm(link: LinkModel, name: &str) -> f64 {
-    let mut m = MachineConfig::new(16)
-        .with_seed(4)
-        .with_parallelism(out::parallelism());
+    let mut m = MachineConfig::builder(16)
+        .seed(4)
+        .parallelism(out::parallelism()).build().unwrap();
     let label = format!("matmul 256 p=16 {name}");
     m.link = link;
     let (_, r) = out::timed(label, || {

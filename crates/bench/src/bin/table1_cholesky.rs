@@ -24,10 +24,10 @@ fn run(n: usize, p: usize, variant: Variant, flow: bool) -> f64 {
         per_flop_ns: 140,
         seed: 42,
     };
-    let machine = MachineConfig::new(p)
-        .with_flow_control(flow)
-        .with_seed(7)
-        .with_parallelism(out::parallelism());
+    let machine = MachineConfig::builder(p)
+        .flow_control(flow)
+        .seed(7)
+        .parallelism(out::parallelism()).build().unwrap();
     let label = format!("cholesky n={n} p={p} {variant:?} fc={flow}");
     let (_, report) = out::timed(label, || run_sim(machine, cfg, false));
     report.makespan.as_secs_f64()

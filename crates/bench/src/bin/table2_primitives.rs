@@ -34,7 +34,7 @@ fn main() {
 
     let fresh = || {
         SimMachine::new(
-            MachineConfig::new(4).with_parallelism(out::parallelism()),
+            MachineConfig::builder(4).parallelism(out::parallelism()).build().unwrap(),
             registry.clone(),
         )
     };
@@ -54,7 +54,7 @@ fn main() {
         ctx.create_on(1, nil, vec![]);
     });
     let t0 = std::time::Instant::now();
-    let rep = m.run();
+    let rep = m.run().unwrap();
     out::note_run("remote creation", &rep, t0.elapsed());
     let remote_actual = rep
         .stats
@@ -107,7 +107,7 @@ fn main() {
         hal::call_then(ctx, echo, sel, args, |ctx, _| ctx.stop());
     });
     let t0 = std::time::Instant::now();
-    let r = m.run();
+    let r = m.run().unwrap();
     out::note_run("local call/return", &r, t0.elapsed());
     let callret = (m.kernel(0).clock - before).as_nanos() as f64;
 

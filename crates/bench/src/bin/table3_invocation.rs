@@ -69,7 +69,7 @@ fn main() {
                 ctx.send(sink, sel, args);
             }
         });
-        m.run();
+        m.run().unwrap();
     }
     let generic_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
 
@@ -135,7 +135,7 @@ fn main() {
     let mut program = Program::new();
     let _probe = synth::register(&mut program);
     let mut m = SimMachine::new(
-        MachineConfig::new(1).with_trace(),
+        MachineConfig::builder(1).trace().build().unwrap(),
         program.build(),
     );
     let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink { hits: 0 })));
@@ -146,7 +146,7 @@ fn main() {
         }
     });
     let t0 = Instant::now();
-    let r = m.run();
+    let r = m.run().unwrap();
     out::note_run("traced generic sends", &r, t0.elapsed());
     let trace = r.trace.expect("tracing was enabled");
     let h = trace.histograms();

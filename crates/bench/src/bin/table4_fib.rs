@@ -19,10 +19,10 @@ use hal_workloads::fib::{run_sim, FibConfig, Placement, SEQ_NODE_COST_NS};
 use std::time::Instant;
 
 fn sim(n: u64, grain: u64, p: usize, lb: bool, placement: Placement) -> (u64, f64, u64) {
-    let machine = MachineConfig::new(p)
-        .with_load_balancing(lb)
-        .with_seed(1234)
-        .with_parallelism(out::parallelism());
+    let machine = MachineConfig::builder(p)
+        .load_balancing(lb)
+        .seed(1234)
+        .parallelism(out::parallelism()).build().unwrap();
     let cfg = FibConfig { n, grain, placement };
     let label = format!("fib n={n} p={p} lb={lb} {placement:?}");
     let (v, r) = out::timed(label, || run_sim(machine, cfg));

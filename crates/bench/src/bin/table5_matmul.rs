@@ -36,9 +36,9 @@ fn main() {
                 seed_a: 7,
                 seed_b: 8,
             };
-            let machine = MachineConfig::new(p)
-                .with_seed(99)
-                .with_parallelism(out::parallelism());
+            let machine = MachineConfig::builder(p)
+                .seed(99)
+                .parallelism(out::parallelism()).build().unwrap();
             let label = format!("matmul n={n} p={p}");
             let (_fro, report) = out::timed(label, || run_sim(machine, cfg, false));
             let t = report.makespan.as_secs_f64();

@@ -21,15 +21,15 @@ fn show(variant: Variant) {
     let mut program = Program::new();
     let id = cholesky::register(&mut program);
     let mut m = SimMachine::new(
-        MachineConfig::new(p)
-            .with_seed(9)
-            .with_timeline()
-            .with_parallelism(out::parallelism()),
+        MachineConfig::builder(p)
+            .seed(9)
+            .timeline()
+            .parallelism(out::parallelism()).build().unwrap(),
         program.build(),
     );
     m.with_ctx(0, |ctx| cholesky::bootstrap(ctx, id, cfg, false));
     let t0 = std::time::Instant::now();
-    let report = m.run();
+    let report = m.run().unwrap();
     out::note_run(format!("timeline cholesky {variant:?}"), &report, t0.elapsed());
     println!(
         "-- {variant:?}: {} --",

@@ -28,6 +28,9 @@ struct Run {
     virtual_ns: u64,
     events: u64,
     wall: Duration,
+    /// Extra per-run counters (e.g. chaos delivery stats), emitted
+    /// verbatim into the JSON record.
+    extras: Vec<(String, u64)>,
 }
 
 static RUNS: Mutex<Vec<Run>> = Mutex::new(Vec::new());
@@ -36,7 +39,7 @@ static RUNS: Mutex<Vec<Run>> = Mutex::new(Vec::new());
 /// (bare or `--parallel=K`) on the command line, else the
 /// `HAL_PARALLEL` environment variable (`auto` or a thread count),
 /// else `1` (sequential reference). `0` means "all available cores"
-/// (the [`hal_kernel::MachineConfig::with_parallelism`] convention).
+/// (the [`hal_kernel::MachineConfigBuilder::parallelism`] convention).
 pub fn parallelism() -> usize {
     for arg in std::env::args().skip(1) {
         if arg == "--parallel" {
@@ -69,11 +72,24 @@ pub fn quick() -> bool {
 /// Record one simulation run under `label`. `wall` is the host
 /// wall-clock time of the `run()` call.
 pub fn note_run(label: impl Into<String>, report: &SimReport, wall: Duration) {
+    note_run_with(label, report, wall, &[]);
+}
+
+/// Like [`note_run`] but with extra named counters attached to the JSON
+/// record — chaos bins use this for delivered/retransmit/duplicate
+/// counts.
+pub fn note_run_with(
+    label: impl Into<String>,
+    report: &SimReport,
+    wall: Duration,
+    extras: &[(&str, u64)],
+) {
     let run = Run {
         label: label.into(),
         virtual_ns: report.makespan.as_nanos(),
         events: report.events,
         wall,
+        extras: extras.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
     };
     eprintln!(
         "BENCHLINE {label} virtual_ms={vms:.3} wall_ms={wms:.3} events={ev} events_per_sec={eps:.0}",
@@ -121,13 +137,19 @@ pub fn finish(bin: &str) {
         if i > 0 {
             body.push_str(",\n");
         }
+        let extras: String = r
+            .extras
+            .iter()
+            .map(|(k, v)| format!(", \"{}\": {}", json_escape(k), v))
+            .collect();
         body.push_str(&format!(
-            "    {{\"label\": \"{}\", \"virtual_ns\": {}, \"events\": {}, \"wall_ns\": {}, \"events_per_sec\": {:.0}}}",
+            "    {{\"label\": \"{}\", \"virtual_ns\": {}, \"events\": {}, \"wall_ns\": {}, \"events_per_sec\": {:.0}{}}}",
             json_escape(&r.label),
             r.virtual_ns,
             r.events,
             r.wall.as_nanos(),
             events_per_sec(r.events, r.wall),
+            extras,
         ));
     }
     let json = format!(

@@ -143,11 +143,13 @@ impl Console {
                 Some(m) => {
                     let before: usize =
                         (0..m.nodes()).map(|n| m.kernel(n as u16).actor_count()).sum();
-                    let r = m.collect_garbage();
-                    format!(
-                        "gc: {} actors examined, {} freed in {} round(s), {} live",
-                        before, r.freed, r.rounds, r.live
-                    )
+                    match m.collect_garbage() {
+                        Ok(r) => format!(
+                            "gc: {} actors examined, {} freed in {} round(s), {} live",
+                            before, r.freed, r.rounds, r.live
+                        ),
+                        Err(e) => format!("error: {e}"),
+                    }
                 }
             },
             Command::Run(specs) => self.run_programs(specs),
@@ -224,12 +226,16 @@ impl Console {
             boots.push(boot);
         }
 
-        let mut machine = MachineConfig::new(self.nodes)
-            .with_seed(self.seed)
-            .with_load_balancing(self.lb);
+        let mut builder = MachineConfig::builder(self.nodes)
+            .seed(self.seed)
+            .load_balancing(self.lb);
         if self.trace {
-            machine = machine.with_trace();
+            builder = builder.trace();
         }
+        let machine = match builder.build() {
+            Ok(cfg) => cfg,
+            Err(e) => return format!("error: {e}"),
+        };
         let mut m = SimMachine::new(machine, program.build());
         m.with_ctx(0, |ctx| {
             // Concurrent programs must not stop the machine: it drains
@@ -243,7 +249,10 @@ impl Console {
                 }
             }
         });
-        let report = m.run();
+        let report = match m.run() {
+            Ok(r) => r,
+            Err(e) => return format!("error: {e}"),
+        };
         self.machine = Some(m);
 
         // "The front-end processes all I/O requests from the kernels":

@@ -26,7 +26,7 @@
 //! }
 //!
 //! let program = Program::new();
-//! let report = sim_run(MachineConfig::new(2), program, |ctx| {
+//! let report = sim_run(MachineConfig::builder(2).build().unwrap(), program, |ctx| {
 //!     let g = ctx.create_local(Box::new(Greeter));
 //!     call_then(ctx, g, 0, vec![Value::Int(21)], |ctx, v| {
 //!         ctx.report("answer", v);
@@ -46,26 +46,30 @@ pub mod sync;
 pub mod value;
 
 pub use callret::{call_then, maybe_reply, JoinBuilder, SavedCustomer};
-pub use program::{sim_run, thread_run, Program};
+pub use program::{sim_run, thread_run, try_sim_run, Program};
 
 // Re-export the kernel surface the facade builds on, so workloads need
 // only one `use hal::prelude::*`.
 pub use hal_kernel::{
-    Behavior, BehaviorId, ContRef, CostModel, DeliveryPath, GroupId, JcId, KernelEvent,
-    MachineConfig, MailAddr, Mapping, Msg, OptFlags, Selector, SimMachine, SimReport,
-    ThreadReport, TraceEvent, TraceHists, TraceReport, Value,
+    Behavior, BehaviorId, BehaviorRegistry, ConfigError, ContRef, CostModel, DeliveryPath,
+    FaultPlan, GroupId, JcId, KernelEvent, LinkOutage, MachineConfig, MachineConfigBuilder,
+    MachineError, MailAddr,
+    Mapping, Msg, NodePause, OptFlags, Selector, SimMachine, SimReport, ThreadReport, TraceEvent,
+    TraceHists, TraceReport, Value,
 };
 
 /// Everything a workload module typically needs.
 pub mod prelude {
     pub use crate::callret::{call_then, maybe_reply, JoinBuilder, SavedCustomer};
-    pub use crate::program::{sim_run, thread_run, Program};
+    pub use crate::program::{sim_run, thread_run, try_sim_run, Program};
     pub use crate::sync::{BoundedCounter, Gates};
     pub use crate::value::{FromValue, IntoValue};
     pub use hal_kernel::kernel::Ctx;
     pub use hal_kernel::{
-        Behavior, BehaviorId, ContRef, CostModel, DeliveryPath, GroupId, KernelEvent,
-        MachineConfig, MailAddr, Mapping, Msg, Selector, SimMachine, SimReport, TraceEvent,
+        Behavior, BehaviorId, BehaviorRegistry, ConfigError, ContRef, CostModel, DeliveryPath,
+        FaultPlan, GroupId, KernelEvent, LinkOutage, MachineConfig, MachineConfigBuilder,
+        MachineError, MailAddr,
+        Mapping, Msg, NodePause, OptFlags, Selector, SimMachine, SimReport, TraceEvent,
         TraceReport, Value,
     };
 }

@@ -7,8 +7,8 @@
 
 use hal_kernel::kernel::Ctx;
 use hal_kernel::{
-    run_threaded, BehaviorId, BehaviorRegistry, FactoryFn, MachineConfig, SimMachine, SimReport,
-    ThreadReport,
+    run_threaded, BehaviorId, BehaviorRegistry, FactoryFn, MachineConfig, MachineError,
+    SimMachine, SimReport, ThreadReport,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -46,11 +46,29 @@ impl Program {
 }
 
 /// Build a simulated machine and bootstrap it in one call.
+///
+/// # Panics
+/// Panics on a [`MachineError`] (livelock valve, bad node id, unknown
+/// behavior). Harness code that wants the typed error should use
+/// [`try_sim_run`].
 pub fn sim_run(
     cfg: MachineConfig,
     program: Program,
     bootstrap: impl FnOnce(&mut Ctx<'_>),
 ) -> SimReport {
+    match try_sim_run(cfg, program, bootstrap) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Build a simulated machine and bootstrap it, surfacing machine
+/// failures as typed [`MachineError`] values.
+pub fn try_sim_run(
+    cfg: MachineConfig,
+    program: Program,
+    bootstrap: impl FnOnce(&mut Ctx<'_>),
+) -> Result<SimReport, MachineError> {
     let mut m = SimMachine::new(cfg, program.build());
     m.with_ctx(0, bootstrap);
     m.run()

@@ -1,0 +1,153 @@
+//! Typed errors for the public kernel API.
+//!
+//! Historically every misuse of the machine — a bad node id, an unknown
+//! behavior id arriving over the wire, a `max_events` livelock abort —
+//! was a `panic!` deep inside the kernel. Harness code (benches, the
+//! console, integration tests) could not distinguish "the simulation is
+//! wrong" from "the simulation found a bug", and the windowed-parallel
+//! executor had to forward panics across threads. [`MachineError`]
+//! makes these outcomes values: [`crate::SimMachine::run`] returns
+//! `Result<SimReport, MachineError>` and configuration problems are
+//! caught at build time by [`ConfigError`] via
+//! [`crate::MachineConfig::builder`].
+
+use crate::addr::BehaviorId;
+use hal_am::NodeId;
+use std::fmt;
+
+/// A typed failure from a [`crate::SimMachine`] run (or from garbage
+/// collection / configuration on its public paths).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The event loop exceeded `max_events` — almost always a livelock
+    /// (e.g. two actors bouncing a message forever).
+    MaxEvents {
+        /// The configured event budget that was exhausted.
+        limit: u64,
+    },
+    /// A create request named a behavior id the registry doesn't know.
+    UnknownBehavior {
+        /// The unregistered behavior id.
+        behavior: BehaviorId,
+        /// The node that tried to instantiate it.
+        node: NodeId,
+    },
+    /// A packet or request named a node outside the partition.
+    InvalidNode {
+        /// The out-of-range node id.
+        node: NodeId,
+        /// The partition size.
+        nodes: usize,
+    },
+    /// Garbage collection was requested while the machine still had
+    /// undelivered messages or scheduled work.
+    NotQuiescent,
+    /// The distributed GC protocol did not converge.
+    GcIncomplete {
+        /// Human-readable description of what never arrived.
+        missing: String,
+    },
+    /// The machine was built from an invalid configuration.
+    Config(ConfigError),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::MaxEvents { limit } => {
+                write!(f, "SimMachine exceeded max_events = {limit} (livelock?)")
+            }
+            MachineError::UnknownBehavior { behavior, node } => {
+                write!(f, "unknown behavior id {} on node {node}", behavior.0)
+            }
+            MachineError::InvalidNode { node, nodes } => {
+                write!(f, "node id {node} out of range for a {nodes}-node partition")
+            }
+            MachineError::NotQuiescent => {
+                write!(f, "garbage collection requires a quiescent machine")
+            }
+            MachineError::GcIncomplete { missing } => {
+                write!(f, "garbage collection did not converge: {missing}")
+            }
+            MachineError::Config(e) => write!(f, "invalid configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+impl From<ConfigError> for MachineError {
+    fn from(e: ConfigError) -> Self {
+        MachineError::Config(e)
+    }
+}
+
+/// A validation failure from [`crate::MachineConfig::builder`]'s
+/// `build()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The partition must have at least one node.
+    ZeroNodes,
+    /// Node ids are `u16`, so the partition cannot exceed that space.
+    TooManyNodes {
+        /// The requested partition size.
+        nodes: usize,
+    },
+    /// The scheduling quantum must be positive.
+    ZeroQuantum,
+    /// A fault probability was outside `[0, 1]` (or not finite).
+    BadFaultRate {
+        /// Which probability field was rejected.
+        which: &'static str,
+    },
+    /// A chaos timeout is shorter than the executor lookahead — timers
+    /// would fire inside the window they were scheduled in.
+    TimeoutTooShort {
+        /// Which timeout field was rejected.
+        which: &'static str,
+        /// The minimum allowed value in nanoseconds.
+        min_ns: u64,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroNodes => write!(f, "a partition needs at least one node"),
+            ConfigError::TooManyNodes { nodes } => {
+                write!(f, "{nodes} nodes exceed the u16 node-id space")
+            }
+            ConfigError::ZeroQuantum => write!(f, "the scheduling quantum must be positive"),
+            ConfigError::BadFaultRate { which } => {
+                write!(f, "fault probability `{which}` must be in [0, 1]")
+            }
+            ConfigError::TimeoutTooShort { which, min_ns } => {
+                write!(f, "`{which}` must be at least {min_ns} ns (the link lookahead)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        assert_eq!(
+            MachineError::MaxEvents { limit: 10 }.to_string(),
+            "SimMachine exceeded max_events = 10 (livelock?)"
+        );
+        assert_eq!(
+            ConfigError::ZeroNodes.to_string(),
+            "a partition needs at least one node"
+        );
+        assert!(
+            MachineError::from(ConfigError::ZeroQuantum)
+                .to_string()
+                .contains("quantum")
+        );
+    }
+}

@@ -28,10 +28,11 @@
 //!    owning shard; the only shared state — the link resource model —
 //!    is touched exclusively at barriers.
 
+use crate::error::MachineError;
 use crate::kernel::{Kernel, NetOut};
 use crate::timeline::SpanKind;
 use crate::wire::KMsg;
-use hal_am::{AmEnvelope, LinkModel, LinkState, NodeId, Packet};
+use hal_am::{AmEnvelope, Fate, LinkModel, LinkState, NodeId, Packet};
 use hal_des::{EventQueue, VirtualTime};
 use std::sync::mpsc;
 
@@ -59,15 +60,29 @@ const RANK_NET: u8 = 0;
 const RANK_STEP: u8 = 1;
 const RANK_POLL: u8 = 2;
 
-/// One injection a kernel performed inside a window, parked until the
-/// barrier replays it against the shared [`LinkState`].
+/// One network operation a kernel performed inside a window, parked
+/// until the barrier replays it against the shared [`LinkState`].
 pub(crate) struct Staged {
     key: ActionKey,
-    now: VirtualTime,
-    src: NodeId,
-    dst: NodeId,
-    env: AmEnvelope<KMsg>,
-    wire: usize,
+    op: StagedOp,
+}
+
+/// What was staged: an ordinary injection (admitted — with fault fate —
+/// at the barrier) or a chaos timer (which takes a tie-break sequence
+/// number from the shared counter but no resources or faults).
+enum StagedOp {
+    Send {
+        now: VirtualTime,
+        src: NodeId,
+        dst: NodeId,
+        env: AmEnvelope<KMsg>,
+        wire: usize,
+    },
+    Timer {
+        fire_at: VirtualTime,
+        node: NodeId,
+        env: AmEnvelope<KMsg>,
+    },
 }
 
 /// The [`NetOut`] a shard hands its kernels: sends are recorded, not
@@ -90,11 +105,20 @@ impl NetOut for StageNet {
     ) {
         self.buf.push(Staged {
             key: self.cur.expect("staged inject outside an action"),
-            now,
-            src,
-            dst,
-            env,
-            wire: wire_bytes,
+            op: StagedOp::Send {
+                now,
+                src,
+                dst,
+                env,
+                wire: wire_bytes,
+            },
+        });
+    }
+
+    fn schedule(&mut self, fire_at: VirtualTime, node: NodeId, env: AmEnvelope<KMsg>) {
+        self.buf.push(Staged {
+            key: self.cur.expect("staged timer outside an action"),
+            op: StagedOp::Timer { fire_at, node, env },
         });
     }
 }
@@ -180,8 +204,8 @@ impl Shard {
             if events >= cmd.budget {
                 // Out of global event budget: abort the window quietly —
                 // the coordinator detects the exhausted valve at the
-                // barrier and raises the canonical livelock panic there
-                // (a shard thread must not panic with its own message).
+                // barrier and records the typed MaxEvents error there
+                // (a shard thread must not fail with its own message).
                 break;
             }
             // Globally minimal candidate with t < end.
@@ -299,18 +323,12 @@ impl Shard {
         debug_assert_eq!((node as usize) % self.stride, self.id);
         self.stage.cur = Some(key);
         let k = &mut self.kernels[i];
-        // Interrupt semantics (§3), identical to the sequential loop:
-        // the handler logically runs AT the arrival time while the
-        // interrupted method's completion slips by the handler's CPU
-        // time.
-        let busy_until = k.clock;
-        k.clock = t;
-        k.handle_packet(&mut self.stage, pkt);
-        let handler_time = k.clock.since(t);
-        k.clock = k.clock.max(busy_until + handler_time);
-        if self.record_timeline {
-            self.spans
-                .push((key, node, t, t + handler_time, SpanKind::Handler));
+        // Interrupt semantics (§3), identical to the sequential loop;
+        // stale chaos timers are retired for free inside `deliver`.
+        if let Some((start, end)) = k.deliver(&mut self.stage, t, pkt) {
+            if self.record_timeline {
+                self.spans.push((key, node, start, end, SpanKind::Handler));
+            }
         }
     }
 }
@@ -333,6 +351,9 @@ pub(crate) struct EngineOut {
     pub events: u64,
     /// Timeline spans in canonical action order (empty unless recording).
     pub spans: Vec<(NodeId, VirtualTime, VirtualTime, SpanKind)>,
+    /// Engine-level failure (the event valve), surfaced as a typed error
+    /// instead of a cross-thread panic.
+    pub error: Option<MachineError>,
 }
 
 /// Barrier-side state: the shared link resources plus window planning.
@@ -348,16 +369,16 @@ struct Coordinator {
     /// Per-shard arrivals replayed at the last barrier, awaiting the
     /// next window command.
     inbox: Vec<Vec<(VirtualTime, u64, Packet<KMsg>)>>,
+    /// Set when the event valve blows; ends the run and surfaces as
+    /// [`MachineError::MaxEvents`].
+    error: Option<MachineError>,
 }
 
 impl Coordinator {
     /// Merge the shard summaries, replay staged sends in canonical
     /// order, and plan the next window. `None` means the run is over
-    /// (drained, or a kernel stopped the machine).
-    ///
-    /// # Panics
-    /// Panics when the event valve blows, exactly like the sequential
-    /// executor.
+    /// (drained, a kernel stopped the machine, or the event valve blew
+    /// — see [`Coordinator::error`]).
     fn barrier(&mut self, summaries: &mut [Summary]) -> Option<Vec<WindowCmd>> {
         for s in summaries.iter() {
             self.events += s.events;
@@ -372,25 +393,56 @@ impl Coordinator {
         }
         staged.sort_by_key(|s| s.key);
         for st in staged {
-            let adm = self.link.admit(st.now, st.src, st.dst, st.wire);
-            self.inbox[(st.dst as usize) % self.shards].push((
-                adm.arrival,
-                adm.seq,
-                Packet {
-                    src: st.src,
-                    dst: st.dst,
-                    body: st.env,
-                },
-            ));
+            match st.op {
+                StagedOp::Send {
+                    now,
+                    src,
+                    dst,
+                    env,
+                    wire,
+                } => {
+                    // Mirror `SimNetwork::inject` exactly: the fault
+                    // fate decided at admission governs what (if
+                    // anything) reaches the destination's queue.
+                    let adm = self.link.admit(now, src, dst, wire);
+                    let ib = &mut self.inbox[(dst as usize) % self.shards];
+                    match adm.fate {
+                        Fate::Dropped => {}
+                        Fate::Deliver => {
+                            ib.push((adm.arrival, adm.seq, Packet { src, dst, body: env }));
+                        }
+                        Fate::Duplicated { arrival, seq } => {
+                            if let Some(copy) = env.try_clone() {
+                                ib.push((arrival, seq, Packet { src, dst, body: copy }));
+                            }
+                            ib.push((adm.arrival, adm.seq, Packet { src, dst, body: env }));
+                        }
+                    }
+                }
+                StagedOp::Timer { fire_at, node, env } => {
+                    // Mirror `SimNetwork::schedule`: same counter, no
+                    // resources, no faults.
+                    let seq = self.link.next_event_seq();
+                    self.inbox[(node as usize) % self.shards].push((
+                        fire_at,
+                        seq,
+                        Packet {
+                            src: node,
+                            dst: node,
+                            body: env,
+                        },
+                    ));
+                }
+            }
         }
         if summaries.iter().any(|s| s.stopped) {
             return None;
         }
         if self.max_events > 0 && self.events >= self.max_events {
-            panic!(
-                "SimMachine exceeded max_events = {} (livelock?)",
-                self.max_events
-            );
+            self.error = Some(MachineError::MaxEvents {
+                limit: self.max_events,
+            });
+            return None;
         }
         // Earliest pending action anywhere decides the next window.
         let mut t_next: Option<VirtualTime> = None;
@@ -516,6 +568,7 @@ fn assemble(mut shards: Vec<Shard>, link: LinkState, events: u64) -> EngineOut {
             .into_iter()
             .map(|(_, n, a, b, kind)| (n, a, b, kind))
             .collect(),
+        error: None,
     }
 }
 
@@ -549,6 +602,7 @@ pub(crate) fn run(
         events: events0,
         next_window: 0,
         inbox: (0..k).map(|_| Vec::new()).collect(),
+        error: None,
     };
     let mut shards = make_shards(kernels, pending, k, record_timeline);
     if k == 1 {
@@ -561,6 +615,7 @@ pub(crate) fn run(
         let events = coord.events;
         let mut out = assemble(shards, coord.link, events);
         out.pending.extend(drain_inbox(&mut coord.inbox));
+        out.error = coord.error;
         return out;
     }
 
@@ -613,6 +668,7 @@ pub(crate) fn run(
     let events = coord.events;
     let mut out = assemble(shards, coord.link, events);
     out.pending.extend(drain_inbox(&mut coord.inbox));
+    out.error = coord.error;
     out
 }
 

@@ -23,6 +23,7 @@ use crate::balance::Balancer;
 use crate::cost::CostModel;
 use crate::descriptor::Locality;
 use crate::dispatch::Dispatcher;
+use crate::error::MachineError;
 use crate::fir::FirTable;
 use crate::gc::{CoordState, GcState, MarkBatches};
 use crate::group::{home_node, members_on, GroupTable};
@@ -32,7 +33,10 @@ use crate::name_server::{NameServer, Resolution};
 use crate::registry::BehaviorRegistry;
 use crate::trace::{KernelEvent, Recorder, TraceEvent, TraceTag};
 use crate::wire::{ActorImage, KMsg};
-use hal_am::{bcast, AmEnvelope, BulkSender, FlowControl, NodeId, Packet, MAX_SMALL_BYTES};
+use hal_am::{
+    bcast, AmEnvelope, BulkSender, FaultPlan, FlowControl, NodeId, Packet, RelReceiver, RelSender,
+    RetxDecision, RxOutcome, MAX_SMALL_BYTES, REL_HEADER,
+};
 use hal_des::{StatSet, VirtualDuration, VirtualTime};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -49,6 +53,11 @@ pub trait NetOut {
         env: AmEnvelope<KMsg>,
         wire_bytes: usize,
     );
+
+    /// Schedule a self-addressed timer event on `node` at `fire_at`
+    /// (chaos subsystem: retransmit timeouts, FIR watchdogs). Timers
+    /// bypass the link resource model and fault layer entirely.
+    fn schedule(&mut self, fire_at: VirtualTime, node: NodeId, env: AmEnvelope<KMsg>);
 }
 
 impl NetOut for hal_am::SimNetwork<KMsg> {
@@ -61,6 +70,10 @@ impl NetOut for hal_am::SimNetwork<KMsg> {
         wire_bytes: usize,
     ) {
         hal_am::SimNetwork::inject(self, now, src, dst, env, wire_bytes);
+    }
+
+    fn schedule(&mut self, fire_at: VirtualTime, node: NodeId, env: AmEnvelope<KMsg>) {
+        hal_am::SimNetwork::schedule(self, fire_at, node, env);
     }
 }
 
@@ -75,6 +88,12 @@ impl NetOut for hal_am::ThreadEndpoint<KMsg> {
     ) {
         debug_assert_eq!(src, self.node());
         self.send(dst, env, wire_bytes);
+    }
+
+    fn schedule(&mut self, _fire_at: VirtualTime, _node: NodeId, _env: AmEnvelope<KMsg>) {
+        // Thread mode has no virtual clock to fire against; fault
+        // injection (the only timer producer) is simulation-only.
+        panic!("timers require the simulated network");
     }
 }
 
@@ -141,6 +160,9 @@ pub struct KernelConfig {
     /// Enable the flight recorder ([`crate::trace`]). Off by default;
     /// the disabled path is a single pointer test per hook.
     pub trace: bool,
+    /// Seeded fault plan (chaos subsystem). [`FaultPlan::none`] runs the
+    /// byte-identical fault-free fast path.
+    pub faults: FaultPlan,
 }
 
 impl KernelConfig {
@@ -157,6 +179,7 @@ impl KernelConfig {
             seed: 0x5EED,
             opt: OptFlags::default(),
             trace: false,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -209,6 +232,16 @@ pub struct Kernel {
     /// Flight recorder ([`crate::trace`]); `None` when tracing is off,
     /// boxed so the common case carries one cold pointer.
     recorder: Option<Box<Recorder>>,
+    /// Reliable-delivery sender state (per-peer unacked queues). Only
+    /// touched when the fault plan is active and `reliable` is on.
+    rel_tx: RelSender<KMsg>,
+    /// Reliable-delivery receiver state (per-peer dedup + holdback).
+    rel_rx: RelReceiver<KMsg>,
+    /// This node's pause windows from the fault plan, sorted by start.
+    pauses: Vec<(VirtualTime, VirtualTime)>,
+    /// First typed error hit on a public kernel path; stops the machine
+    /// and surfaces through `SimMachine::run`.
+    pub(crate) failed: Option<MachineError>,
 }
 
 impl Kernel {
@@ -242,6 +275,10 @@ impl Kernel {
             clock: VirtualTime::ZERO,
             stats: StatSet::new(),
             reports: Vec::new(),
+            rel_tx: RelSender::new(),
+            rel_rx: RelReceiver::new(),
+            pauses: cfg.faults.pauses_for(cfg.me),
+            failed: None,
             cfg,
         }
     }
@@ -394,13 +431,13 @@ impl Kernel {
         let wire = kmsg.wire_bytes();
         self.stats.bump("net.sends");
         if wire <= MAX_SMALL_BYTES {
-            net.inject(self.clock, self.cfg.me, dst, AmEnvelope::Small(kmsg), wire + 16);
+            self.inject_env(net, dst, AmEnvelope::Small(kmsg), wire + 16);
         } else if self.cfg.flow_control {
             // Three-phase protocol: announce, park the payload, wait for
             // the grant.
             let (_tag, req) = self.bulk_tx.begin(dst, kmsg, wire);
             self.stats.bump("net.bulk_requests");
-            net.inject(self.clock, self.cfg.me, dst, req, 16);
+            self.inject_env(net, dst, req, 16);
         } else {
             // Ablation: eager injection of bulk data (no grant). The
             // receiver will not run flow control either (same config
@@ -411,8 +448,82 @@ impl Kernel {
                 bytes: wire,
             };
             self.stats.bump("net.bulk_eager");
-            net.inject(self.clock, self.cfg.me, dst, env, wire + 16);
+            self.inject_env(net, dst, env, wire + 16);
         }
+    }
+
+    /// True when the fault plan can corrupt link traffic — the gate for
+    /// both reliable wrapping and the FIR watchdog.
+    #[inline]
+    fn chaos_on(&self) -> bool {
+        self.cfg.faults.link_faults()
+    }
+
+    /// True when outbound envelopes must travel under the reliable
+    /// (seq + ack + retransmit) protocol.
+    #[inline]
+    fn rel_on(&self) -> bool {
+        self.chaos_on() && self.cfg.faults.reliable
+    }
+
+    /// Record a typed failure and stop the machine. Only the first
+    /// failure is kept; later ones are consequences of a dead machine.
+    pub(crate) fn fail(&mut self, e: MachineError) {
+        if self.failed.is_none() {
+            self.failed = Some(e);
+        }
+        self.stopped = true;
+    }
+
+    /// Every kernel envelope leaves through here. Validates the
+    /// destination, and — when the fault plan is live and `reliable` is
+    /// on — wraps the envelope in [`AmEnvelope::Rel`], parks a
+    /// retransmittable copy, and arms the per-peer retransmit timer.
+    fn inject_env(&mut self, net: &mut dyn NetOut, dst: NodeId, env: AmEnvelope<KMsg>, wire: usize) {
+        if (dst as usize) >= self.cfg.nodes {
+            self.fail(MachineError::InvalidNode {
+                node: dst,
+                nodes: self.cfg.nodes,
+            });
+            return;
+        }
+        if !self.rel_on() {
+            net.inject(self.clock, self.cfg.me, dst, env, wire);
+            return;
+        }
+        let ticket = self.rel_tx.register(dst, env, wire);
+        net.inject(
+            self.clock,
+            self.cfg.me,
+            dst,
+            AmEnvelope::Rel {
+                seq: ticket.seq,
+                body: ticket.payload,
+                bytes: wire,
+            },
+            wire + REL_HEADER,
+        );
+        if ticket.arm_timer {
+            net.schedule(
+                self.clock + self.cfg.faults.rto,
+                self.cfg.me,
+                AmEnvelope::Timer(KMsg::RetxTimer { peer: dst }),
+            );
+        }
+    }
+
+    /// Exponential backoff for retransmissions: `rto << attempt`, capped
+    /// at `rto_max`.
+    fn retx_delay(&self, attempt: u32) -> VirtualDuration {
+        let ns = self
+            .cfg
+            .faults
+            .rto
+            .as_nanos()
+            .checked_shl(attempt.min(16))
+            .unwrap_or(u64::MAX)
+            .min(self.cfg.faults.rto_max.as_nanos());
+        VirtualDuration::from_nanos(ns)
     }
 
     // ------------------------------------------------------------------
@@ -425,19 +536,70 @@ impl Kernel {
     /// processor").
     pub fn handle_packet(&mut self, net: &mut dyn NetOut, pkt: Packet<KMsg>) {
         debug_assert_eq!(pkt.dst, self.cfg.me);
-        self.charge(self.cfg.cost.net_recv_overhead);
-        self.stats.bump("net.recvs");
         match pkt.body {
-            AmEnvelope::Small(k) => self.handle_kmsg(net, pkt.src, k),
+            // Timers are local clock events, not network traffic: no
+            // receive overhead, no recv counter.
+            AmEnvelope::Timer(body) => {
+                self.handle_timer(net, body);
+                self.drain_loopback(net);
+                return;
+            }
+            body => {
+                self.charge(self.cfg.cost.net_recv_overhead);
+                self.stats.bump("net.recvs");
+                match body {
+                    AmEnvelope::Rel { seq, body, bytes } => {
+                        match self.rel_rx.on_data(pkt.src, seq, body, bytes) {
+                            RxOutcome::Duplicate => {
+                                self.stats.bump("rel.dup_dropped");
+                                self.trace_event(KernelEvent::Drop { src: pkt.src, seq });
+                            }
+                            RxOutcome::Deliver(envs) => {
+                                for env in envs {
+                                    self.stats.bump("rel.delivered");
+                                    self.handle_envelope(net, pkt.src, env);
+                                }
+                            }
+                        }
+                        // Ack every Rel arrival (duplicates included —
+                        // the ack that retired the original may itself
+                        // have been lost). Cumulative, so idempotent.
+                        let cum = self.rel_rx.cum(pkt.src);
+                        self.charge(self.cfg.cost.net_send_overhead);
+                        self.stats.bump("rel.acks");
+                        net.inject(
+                            self.clock,
+                            self.cfg.me,
+                            pkt.src,
+                            AmEnvelope::RelAck { cum },
+                            16 + REL_HEADER,
+                        );
+                    }
+                    AmEnvelope::RelAck { cum } => {
+                        self.rel_tx.on_ack(pkt.src, cum);
+                    }
+                    env => self.handle_envelope(net, pkt.src, env),
+                }
+            }
+        }
+        self.drain_loopback(net);
+    }
+
+    /// Dispatch one unwrapped envelope (either straight off the wire on
+    /// the fault-free fast path, or released in order by the reliable
+    /// receiver).
+    fn handle_envelope(&mut self, net: &mut dyn NetOut, src: NodeId, env: AmEnvelope<KMsg>) {
+        match env {
+            AmEnvelope::Small(k) => self.handle_kmsg(net, src, k),
             AmEnvelope::BulkRequest { tag, bytes: _ } => {
-                if let Some(grant) = self.flow.on_request(pkt.src, tag) {
+                if let Some(grant) = self.flow.on_request(src, tag) {
                     self.net_send_ctl(net, grant.to, AmEnvelope::BulkAck { tag: grant.tag });
                 }
             }
             AmEnvelope::BulkAck { tag } => {
                 let (dst, data, bytes) = self.bulk_tx.on_ack(tag);
                 self.charge(self.cfg.cost.net_send_overhead);
-                net.inject(self.clock, self.cfg.me, dst, data, bytes + 16);
+                self.inject_env(net, dst, data, bytes + 16);
             }
             AmEnvelope::BulkData { tag, body, bytes } => {
                 if self.cfg.flow_control {
@@ -445,8 +607,8 @@ impl Kernel {
                     // when it issued the ack, so reception is a single
                     // copy out of the network interface.
                     self.charge(VirtualDuration::from_nanos(bytes as u64 * 10));
-                    self.handle_kmsg(net, pkt.src, body);
-                    if let Some(next) = self.flow.on_data_complete(pkt.src, tag) {
+                    self.handle_kmsg(net, src, body);
+                    if let Some(next) = self.flow.on_data_complete(src, tag) {
                         self.net_send_ctl(net, next.to, AmEnvelope::BulkAck { tag: next.tag });
                     }
                 } else {
@@ -458,17 +620,100 @@ impl Kernel {
                     // exists to avoid.
                     self.stats.bump("net.bulk_unexpected");
                     self.charge(VirtualDuration::from_nanos(5_000 + bytes as u64 * 30));
-                    self.handle_kmsg(net, pkt.src, body);
+                    self.handle_kmsg(net, src, body);
                 }
             }
+            AmEnvelope::Rel { .. } | AmEnvelope::RelAck { .. } | AmEnvelope::Timer(_) => {
+                unreachable!("reliability framing cannot nest")
+            }
         }
-        self.drain_loopback(net);
     }
 
     /// Send a protocol control envelope (acks) — small, fixed size.
     fn net_send_ctl(&mut self, net: &mut dyn NetOut, dst: NodeId, env: AmEnvelope<KMsg>) {
         self.charge(self.cfg.cost.net_send_overhead);
-        net.inject(self.clock, self.cfg.me, dst, env, 16);
+        self.inject_env(net, dst, env, 16);
+    }
+
+    // ------------------------------------------------------------------
+    // Chaos timers (retransmit timeouts, FIR watchdog)
+    // ------------------------------------------------------------------
+
+    /// Would delivering this timer do nothing? Checked by the machine
+    /// *before* clock mutation so stale timers (work already acked, FIR
+    /// already answered) cost zero virtual time.
+    pub fn timer_stale(&self, body: &KMsg) -> bool {
+        match body {
+            KMsg::RetxTimer { peer } => !self.rel_tx.has_unacked(*peer),
+            KMsg::FirTimer { key } => !self.firs.is_pending(*key),
+            _ => false,
+        }
+    }
+
+    /// Retire a stale timer: disarm the peer's retransmit state so the
+    /// next `register` arms a fresh timer.
+    pub fn expire_timer(&mut self, body: &KMsg) {
+        self.stats.bump("rel.timers_expired");
+        if let KMsg::RetxTimer { peer } = body {
+            self.rel_tx.expire(*peer);
+        }
+    }
+
+    /// A live timer fired.
+    fn handle_timer(&mut self, net: &mut dyn NetOut, body: KMsg) {
+        match body {
+            KMsg::RetxTimer { peer } => match self.rel_tx.timer_fired(peer) {
+                RetxDecision::Stale => {}
+                RetxDecision::Retransmit { copies, attempt } => {
+                    for (seq, payload, bytes) in copies {
+                        self.charge(self.cfg.cost.net_send_overhead);
+                        self.stats.bump("rel.retransmits");
+                        self.trace_event(KernelEvent::Retransmit { peer, seq });
+                        net.inject(
+                            self.clock,
+                            self.cfg.me,
+                            peer,
+                            AmEnvelope::Rel {
+                                seq,
+                                body: payload,
+                                bytes,
+                            },
+                            bytes + REL_HEADER,
+                        );
+                    }
+                    net.schedule(
+                        self.clock + self.retx_delay(attempt),
+                        self.cfg.me,
+                        AmEnvelope::Timer(KMsg::RetxTimer { peer }),
+                    );
+                }
+            },
+            KMsg::FirTimer { key } => {
+                if !self.firs.is_pending(key) {
+                    return; // reply arrived first; let the watchdog die
+                }
+                let retries = self.firs.note_reissue(key);
+                self.stats.bump("fir.reissued");
+                self.trace_event(KernelEvent::FirTimeout { key, retries });
+                // Re-chase from current knowledge: our best guess if we
+                // have one, else the birthplace (which always learns of
+                // migrations, §4.3).
+                let next = match self.names.resolve(key) {
+                    Resolution::Remote { node, .. } => node,
+                    Resolution::Local(_) => return, // arrived here; chase is moot
+                    Resolution::Unknown => key.birthplace,
+                };
+                if next != self.cfg.me {
+                    self.net_send(net, next, KMsg::Fir { key });
+                    net.schedule(
+                        self.clock + self.cfg.faults.fir_timeout,
+                        self.cfg.me,
+                        AmEnvelope::Timer(KMsg::FirTimer { key }),
+                    );
+                }
+            }
+            other => unreachable!("not a timer: {other:?}"),
+        }
     }
 
     /// Process self-addressed kernel messages until none remain.
@@ -535,7 +780,52 @@ impl Kernel {
             KMsg::GcSweepCmd { root } => self.handle_gc_sweep(net, root),
             KMsg::GcSwept { freed, live } => self.handle_gc_swept(net, freed, live),
             KMsg::Halt => self.stopped = true,
+            KMsg::RetxTimer { .. } | KMsg::FirTimer { .. } => {
+                unreachable!("timers are dispatched at the packet layer")
+            }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-plan pauses & the canonical delivery entry point
+    // ------------------------------------------------------------------
+
+    /// Shift a would-be execution time out of this node's pause windows
+    /// (fault plan `node_pauses`). Applied at execution entry only —
+    /// never in scheduling keys — so both executors shift identically.
+    pub fn pause_shift(&self, mut t: VirtualTime) -> VirtualTime {
+        for &(from, until) in &self.pauses {
+            if t >= from && t < until {
+                t = until;
+            }
+        }
+        t
+    }
+
+    /// Deliver one queued packet with the paper's interrupt semantics
+    /// (§3): the handler logically runs at arrival time, and whatever
+    /// method it interrupted slips by the handler's CPU time. Returns
+    /// the `(start, end)` handler span for the timeline, or `None` for a
+    /// stale chaos timer (retired for free, without touching the clock).
+    pub fn deliver(
+        &mut self,
+        net: &mut dyn NetOut,
+        t: VirtualTime,
+        pkt: Packet<KMsg>,
+    ) -> Option<(VirtualTime, VirtualTime)> {
+        if let AmEnvelope::Timer(body) = &pkt.body {
+            if self.timer_stale(body) {
+                self.expire_timer(body);
+                return None;
+            }
+        }
+        let t = self.pause_shift(t);
+        let busy_until = self.clock;
+        self.clock = t;
+        self.handle_packet(net, pkt);
+        let handler_time = self.clock.since(t);
+        self.clock = self.clock.max(busy_until + handler_time);
+        Some((t, t + handler_time))
     }
 
     // ------------------------------------------------------------------
@@ -775,6 +1065,7 @@ impl Kernel {
             self.stats.bump("fir.sent");
             self.trace_event(KernelEvent::FirSent { key, to: next_hop });
             self.net_send(net, next_hop, KMsg::Fir { key });
+            self.arm_fir_watchdog(net, key);
         } else {
             self.stats.bump("fir.suppressed");
             self.trace_event(KernelEvent::FirSuppressed { key });
@@ -812,6 +1103,7 @@ impl Kernel {
                     self.firs.add_asker(key, src);
                     self.trace_event(KernelEvent::FirSent { key, to: node });
                     self.net_send(net, node, KMsg::Fir { key });
+                    self.arm_fir_watchdog(net, key);
                 }
             }
             Resolution::Unknown => {
@@ -830,8 +1122,22 @@ impl Kernel {
                     self.firs.add_asker(key, src);
                     self.trace_event(KernelEvent::FirSent { key, to: key.birthplace });
                     self.net_send(net, key.birthplace, KMsg::Fir { key });
+                    self.arm_fir_watchdog(net, key);
                 }
             }
+        }
+    }
+
+    /// Under a live fault plan an FIR (or its reply) can be eaten by the
+    /// link; arm a watchdog so the chase is re-issued instead of wedging
+    /// the buffered messages forever.
+    fn arm_fir_watchdog(&mut self, net: &mut dyn NetOut, key: AddrKey) {
+        if self.chaos_on() {
+            net.schedule(
+                self.clock + self.cfg.faults.fir_timeout,
+                self.cfg.me,
+                AmEnvelope::Timer(KMsg::FirTimer { key }),
+            );
         }
     }
 
@@ -1012,7 +1318,14 @@ impl Kernel {
         requester: NodeId,
     ) {
         self.charge(self.cfg.cost.remote_creation_work);
-        let b = self.registry.create(behavior, &init);
+        let Some(b) = self.registry.try_create(behavior, &init) else {
+            self.recycle_args(init);
+            self.fail(MachineError::UnknownBehavior {
+                behavior,
+                node: self.cfg.me,
+            });
+            return;
+        };
         self.recycle_args(init);
         let (aid, addr) = self.install_actor(b);
         // Register the alias alongside the ordinary address ("registers
@@ -1347,7 +1660,14 @@ impl Kernel {
             args.push(Value::Group(group));
             args.push(Value::Int(idx as i64));
             args.push(Value::Int(count as i64));
-            let b = self.registry.create(behavior, &args);
+            let Some(b) = self.registry.try_create(behavior, &args) else {
+                self.recycle_args(args);
+                self.fail(MachineError::UnknownBehavior {
+                    behavior,
+                    node: self.cfg.me,
+                });
+                return;
+            };
             self.recycle_args(args);
             let (aid, addr) = self.install_actor(b);
             self.actors.get_mut(aid).expect("just installed").group = Some((group, idx));
@@ -1699,6 +2019,9 @@ impl Kernel {
     /// ready actor for up to a quantum of messages. Returns `true` if any
     /// work was done.
     pub fn step(&mut self, net: &mut dyn NetOut) -> bool {
+        if !self.pauses.is_empty() {
+            self.clock = self.pause_shift(self.clock);
+        }
         if !self.loopback.is_empty() {
             self.drain_loopback(net);
             return true;

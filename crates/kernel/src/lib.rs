@@ -35,6 +35,7 @@ pub mod balance;
 pub mod cost;
 pub mod descriptor;
 pub mod dispatch;
+pub mod error;
 mod executor;
 pub mod fir;
 pub mod gc;
@@ -56,8 +57,10 @@ pub use addr::{
     ActorId, AddrKey, BehaviorId, DescriptorId, GroupId, JcId, MailAddr, Mapping, Selector,
 };
 pub use cost::CostModel;
+pub use error::{ConfigError, MachineError};
 pub use kernel::{Ctx, Kernel, KernelConfig, NetOut, OptFlags};
-pub use machine::{MachineConfig, SimMachine, SimReport};
+pub use machine::{MachineConfig, MachineConfigBuilder, SimMachine, SimReport};
+pub use hal_am::{FaultPlan, LinkOutage, NodePause};
 pub use message::{ContRef, Msg, Target, Value};
 pub use registry::{BehaviorRegistry, FactoryFn};
 pub use thread_machine::{run_threaded, ThreadReport};

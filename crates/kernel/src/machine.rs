@@ -7,18 +7,19 @@
 //! reproduces the paper's tables.
 
 use crate::cost::CostModel;
+use crate::error::{ConfigError, MachineError};
 use crate::gc::GcReport;
 use crate::timeline::{SpanKind, Timeline};
 use crate::kernel::{with_system_ctx, Ctx, Kernel, KernelConfig, NetOut};
 use crate::message::Value;
 use crate::registry::BehaviorRegistry;
 use crate::wire::KMsg;
-use hal_am::{LinkModel, NodeId, SimNetwork};
+use hal_am::{FaultPlan, LinkModel, NodeId, SimNetwork};
 use hal_des::{StatSet, VirtualTime};
 use std::sync::Arc;
 
 /// Machine-wide configuration.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Partition size (number of nodes).
     pub nodes: usize,
@@ -51,6 +52,11 @@ pub struct MachineConfig {
     /// `k` shards (clamped to the node count). The report is
     /// bit-identical for every value.
     pub parallelism: usize,
+    /// Seeded fault plan (chaos subsystem): per-link drop / duplicate /
+    /// reorder probabilities, timed link outages, node pause windows.
+    /// [`FaultPlan::none`] (the default) is the byte-identical
+    /// fault-free fast path.
+    pub faults: FaultPlan,
 }
 
 impl MachineConfig {
@@ -70,40 +76,92 @@ impl MachineConfig {
             record_timeline: false,
             record_trace: false,
             parallelism: 1,
+            faults: FaultPlan::none(),
         }
     }
 
+    /// Start a validating builder from the CM-5 defaults for `nodes`
+    /// nodes. Unlike the deprecated `with_*` setters, the builder's
+    /// [`MachineConfigBuilder::build`] rejects impossible configurations
+    /// with a typed [`ConfigError`] instead of panicking mid-run.
+    pub fn builder(nodes: usize) -> MachineConfigBuilder {
+        MachineConfigBuilder {
+            cfg: MachineConfig::new(nodes),
+        }
+    }
+
+    /// Check the configuration's invariants (the builder's `build` gate;
+    /// also run by [`SimMachine::new`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.nodes == 0 {
+            return Err(ConfigError::ZeroNodes);
+        }
+        if self.nodes > u16::MAX as usize {
+            return Err(ConfigError::TooManyNodes { nodes: self.nodes });
+        }
+        if self.quantum == 0 {
+            return Err(ConfigError::ZeroQuantum);
+        }
+        for (which, p) in [
+            ("drop", self.faults.drop),
+            ("duplicate", self.faults.duplicate),
+            ("reorder", self.faults.reorder),
+        ] {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(ConfigError::BadFaultRate { which });
+            }
+        }
+        if self.faults.link_faults() {
+            let min_ns = crate::executor::lookahead_ns(&self.link).max(1);
+            for (which, d) in [
+                ("rto", self.faults.rto),
+                ("fir_timeout", self.faults.fir_timeout),
+            ] {
+                if d.as_nanos() < min_ns {
+                    return Err(ConfigError::TimeoutTooShort { which, min_ns });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Enable load balancing (builder style).
+    #[deprecated(note = "use MachineConfig::builder(..).load_balancing(..)")]
     pub fn with_load_balancing(mut self, on: bool) -> Self {
         self.load_balancing = on;
         self
     }
 
     /// Enable/disable bulk flow control (builder style).
+    #[deprecated(note = "use MachineConfig::builder(..).flow_control(..)")]
     pub fn with_flow_control(mut self, on: bool) -> Self {
         self.flow_control = on;
         self
     }
 
     /// Set the seed (builder style).
+    #[deprecated(note = "use MachineConfig::builder(..).seed(..)")]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Set the ablation flags (builder style).
+    #[deprecated(note = "use MachineConfig::builder(..).opt(..)")]
     pub fn with_opt(mut self, opt: crate::kernel::OptFlags) -> Self {
         self.opt = opt;
         self
     }
 
     /// Record busy spans for timeline rendering (builder style).
+    #[deprecated(note = "use MachineConfig::builder(..).timeline()")]
     pub fn with_timeline(mut self) -> Self {
         self.record_timeline = true;
         self
     }
 
     /// Record flight-recorder events on every kernel (builder style).
+    #[deprecated(note = "use MachineConfig::builder(..).trace()")]
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
         self
@@ -113,9 +171,103 @@ impl MachineConfig {
     /// style): `0` = all available cores, otherwise exactly `k` worker
     /// threads (clamped to the node count at run time). Reports are
     /// bit-identical across all values of `k`.
+    #[deprecated(note = "use MachineConfig::builder(..).parallelism(..)")]
     pub fn with_parallelism(mut self, k: usize) -> Self {
         self.parallelism = k;
         self
+    }
+}
+
+/// Validating builder for [`MachineConfig`] — see
+/// [`MachineConfig::builder`].
+#[derive(Clone)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl MachineConfigBuilder {
+    /// Set the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Set the cost model.
+    pub fn cost(mut self, cost: CostModel) -> Self {
+        self.cfg.cost = cost;
+        self
+    }
+
+    /// Set the link model.
+    pub fn link(mut self, link: LinkModel) -> Self {
+        self.cfg.link = link;
+        self
+    }
+
+    /// Enable/disable random-polling load balancing (§7.2).
+    pub fn load_balancing(mut self, on: bool) -> Self {
+        self.cfg.load_balancing = on;
+        self
+    }
+
+    /// Enable/disable three-phase bulk flow control (§6.5).
+    pub fn flow_control(mut self, on: bool) -> Self {
+        self.cfg.flow_control = on;
+        self
+    }
+
+    /// Messages per actor scheduling quantum (must be positive).
+    pub fn quantum(mut self, quantum: usize) -> Self {
+        self.cfg.quantum = quantum;
+        self
+    }
+
+    /// Stack-based inline dispatch depth bound (§6.3).
+    pub fn max_stack_depth(mut self, depth: u32) -> Self {
+        self.cfg.max_stack_depth = depth;
+        self
+    }
+
+    /// Abort after this many simulation events (0 = off).
+    pub fn max_events(mut self, n: u64) -> Self {
+        self.cfg.max_events = n;
+        self
+    }
+
+    /// Set the ablation flags.
+    pub fn opt(mut self, opt: crate::kernel::OptFlags) -> Self {
+        self.cfg.opt = opt;
+        self
+    }
+
+    /// Record per-node busy spans for timeline rendering.
+    pub fn timeline(mut self) -> Self {
+        self.cfg.record_timeline = true;
+        self
+    }
+
+    /// Record flight-recorder events on every kernel.
+    pub fn trace(mut self) -> Self {
+        self.cfg.record_trace = true;
+        self
+    }
+
+    /// Host parallelism of the windowed executor (`0` = all cores).
+    pub fn parallelism(mut self, k: usize) -> Self {
+        self.cfg.parallelism = k;
+        self
+    }
+
+    /// Install a seeded fault plan (chaos subsystem).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<MachineConfig, ConfigError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
     }
 }
 
@@ -178,12 +330,15 @@ pub struct SimMachine {
 
 impl SimMachine {
     /// Build a machine over a registry of behaviors.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration. Use
+    /// [`MachineConfig::builder`] to catch those as [`ConfigError`]
+    /// values instead.
     pub fn new(cfg: MachineConfig, registry: Arc<BehaviorRegistry>) -> Self {
-        assert!(cfg.nodes >= 1, "a partition needs at least one node");
-        assert!(
-            cfg.nodes <= u16::MAX as usize,
-            "partition exceeds the 16-bit node id space"
-        );
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         let kernels = (0..cfg.nodes)
             .map(|i| {
                 let kcfg = KernelConfig {
@@ -197,6 +352,7 @@ impl SimMachine {
                     seed: cfg.seed,
                     opt: cfg.opt,
                     trace: cfg.record_trace,
+                    faults: cfg.faults.clone(),
                 };
                 Kernel::new(kcfg, Arc::clone(&registry))
             })
@@ -204,7 +360,8 @@ impl SimMachine {
         // Pre-size the packet heap: fan-out workloads keep O(nodes)
         // packets in flight, and growing a BinaryHeap mid-run moves
         // every entry.
-        let net = SimNetwork::with_capacity(cfg.nodes, cfg.link, (cfg.nodes * 64).max(1024));
+        let mut net = SimNetwork::with_capacity(cfg.nodes, cfg.link, (cfg.nodes * 64).max(1024));
+        net.set_fault_plan(&cfg.faults, cfg.seed);
         SimMachine {
             cfg,
             kernels,
@@ -245,7 +402,7 @@ impl SimMachine {
     /// zero-lookahead link ([`LinkModel::instant`]) falls back to the
     /// sequential instant-network loop, which remains the reference for
     /// that regime.
-    pub fn run(&mut self) -> SimReport {
+    pub fn run(&mut self) -> Result<SimReport, MachineError> {
         if crate::executor::lookahead_ns(&self.cfg.link) == 0 {
             return self.run_instant();
         }
@@ -258,9 +415,14 @@ impl SimMachine {
         self.run_windowed(k.clamp(1, self.cfg.nodes))
     }
 
+    /// First typed failure recorded by any kernel, in node order.
+    fn take_failure(&mut self) -> Option<MachineError> {
+        self.kernels.iter_mut().find_map(|k| k.failed.take())
+    }
+
     /// The windowed executor: disassemble the network, run the engine
     /// over `k` shards, reassemble.
-    fn run_windowed(&mut self, k: usize) -> SimReport {
+    fn run_windowed(&mut self, k: usize) -> Result<SimReport, MachineError> {
         let net = std::mem::replace(&mut self.net, SimNetwork::new(0, self.cfg.link));
         let (link, pending) = net.into_parts();
         let kernels = std::mem::take(&mut self.kernels);
@@ -280,20 +442,25 @@ impl SimMachine {
         for (node, start, end, kind) in out.spans {
             self.timeline.push(node, start, end, kind);
         }
-        self.report()
+        if let Some(e) = out.error {
+            return Err(e);
+        }
+        if let Some(e) = self.take_failure() {
+            return Err(e);
+        }
+        Ok(self.report())
     }
 
     /// Sequential reference loop for zero-lookahead links.
-    fn run_instant(&mut self) -> SimReport {
+    fn run_instant(&mut self) -> Result<SimReport, MachineError> {
         loop {
             if self.kernels.iter().any(|k| k.stopped) {
                 break;
             }
             if self.cfg.max_events > 0 && self.events >= self.cfg.max_events {
-                panic!(
-                    "SimMachine exceeded max_events = {} (livelock?)",
-                    self.cfg.max_events
-                );
+                return Err(MachineError::MaxEvents {
+                    limit: self.cfg.max_events,
+                });
             }
             let Some(action) = self.next_action() else {
                 break; // fully drained
@@ -352,7 +519,10 @@ impl SimMachine {
                 }
             }
         }
-        self.report()
+        if let Some(e) = self.take_failure() {
+            return Err(e);
+        }
+        Ok(self.report())
     }
 
     /// Deliver one packet with interrupt semantics (§3): the node
@@ -361,17 +531,14 @@ impl SimMachine {
     /// (mid-method), the handler logically runs AT the arrival time —
     /// its outbound packets (acks, relays, grants) leave immediately —
     /// while the interrupted method's completion slips by the handler's
-    /// CPU time.
+    /// CPU time. Stale chaos timers are retired for free.
     fn deliver_packet(&mut self, t: VirtualTime, pkt: hal_am::Packet<KMsg>) {
         let node = pkt.dst;
         let k = &mut self.kernels[node as usize];
-        let busy_until = k.clock;
-        k.clock = t;
-        k.handle_packet(&mut self.net, pkt);
-        let handler_time = k.clock.since(t);
-        k.clock = k.clock.max(busy_until + handler_time);
-        if self.cfg.record_timeline {
-            self.timeline.push(node, t, t + handler_time, SpanKind::Handler);
+        if let Some((start, end)) = k.deliver(&mut self.net, t, pkt) {
+            if self.cfg.record_timeline {
+                self.timeline.push(node, start, end, SpanKind::Handler);
+            }
         }
     }
 
@@ -465,18 +632,15 @@ impl SimMachine {
 
     /// Run a distributed garbage collection (§9 future work): the
     /// machine must be quiescent (no ready work, empty network — i.e.
-    /// right after [`SimMachine::run`] drained). Returns what was freed.
-    ///
-    /// # Panics
-    /// Panics if the machine is not quiescent or join continuations are
-    /// still pending (a stuck program, not a collectable state).
-    pub fn collect_garbage(&mut self) -> GcReport {
-        assert!(
-            self.net.in_flight() == 0 && self.kernels.iter().all(|k| !k.has_work()),
-            "collect_garbage requires a quiescent machine"
-        );
+    /// right after [`SimMachine::run`] drained). Returns what was freed,
+    /// [`MachineError::NotQuiescent`] when called mid-computation, or
+    /// [`MachineError::GcIncomplete`] if the protocol never converged.
+    pub fn collect_garbage(&mut self) -> Result<GcReport, MachineError> {
+        if self.net.in_flight() != 0 || self.kernels.iter().any(|k| k.has_work()) {
+            return Err(MachineError::NotQuiescent);
+        }
         self.kernels[0].start_gc(&mut self.net);
-        self.run();
+        self.run()?;
         // The coordinator posted gc_freed / gc_rounds / gc_live as its
         // most recent reports.
         let reports = &self.kernels[0].reports;
@@ -486,12 +650,14 @@ impl SimMachine {
                 .rev()
                 .find(|(k, _)| k == key)
                 .map(|(_, v)| v.as_int())
-                .unwrap_or_else(|| panic!("GC did not complete: missing {key}"))
+                .ok_or_else(|| MachineError::GcIncomplete {
+                    missing: key.to_string(),
+                })
         };
-        GcReport {
-            freed: find_last("gc_freed") as u64,
-            rounds: find_last("gc_rounds") as u32,
-            live: find_last("gc_live") as u64,
-        }
+        Ok(GcReport {
+            freed: find_last("gc_freed")? as u64,
+            rounds: find_last("gc_rounds")? as u32,
+            live: find_last("gc_live")? as u64,
+        })
     }
 }

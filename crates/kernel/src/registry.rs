@@ -48,17 +48,21 @@ impl BehaviorRegistry {
         );
     }
 
+    /// Instantiate behavior `id` with `args`, or `None` for unknown ids.
+    /// The kernel's network paths use this to turn a bad creation
+    /// request into a typed [`crate::MachineError::UnknownBehavior`].
+    pub fn try_create(&self, id: BehaviorId, args: &[Value]) -> Option<Box<dyn Behavior>> {
+        self.factories.get(&id.0).map(|(_, factory)| factory(args))
+    }
+
     /// Instantiate behavior `id` with `args`.
     ///
     /// # Panics
     /// Panics on unknown ids — a creation request for an unloaded
     /// behavior is a protocol error.
     pub fn create(&self, id: BehaviorId, args: &[Value]) -> Box<dyn Behavior> {
-        let (_, factory) = self
-            .factories
-            .get(&id.0)
-            .unwrap_or_else(|| panic!("unknown behavior id {}", id.0));
-        factory(args)
+        self.try_create(id, args)
+            .unwrap_or_else(|| panic!("unknown behavior id {}", id.0))
     }
 
     /// Debug name of a behavior id.

@@ -141,6 +141,29 @@ pub enum KernelEvent {
         /// Actors still live on this node.
         live: u64,
     },
+    /// The reliable layer discarded an inbound packet as a duplicate
+    /// (retransmit racing an ack, or a fabric-duplicated copy).
+    Drop {
+        /// The sending node.
+        src: NodeId,
+        /// The duplicate's per-link sequence number.
+        seq: u64,
+    },
+    /// The reliable layer re-sent an unacked packet after its
+    /// retransmit timeout.
+    Retransmit {
+        /// The peer the packet is addressed to.
+        peer: NodeId,
+        /// The re-sent packet's per-link sequence number.
+        seq: u64,
+    },
+    /// The FIR watchdog re-issued a chase whose reply never arrived.
+    FirTimeout {
+        /// The chased identity key.
+        key: AddrKey,
+        /// How many times this chase has been re-issued.
+        retries: u32,
+    },
 }
 
 impl KernelEvent {
@@ -160,6 +183,9 @@ impl KernelEvent {
             KernelEvent::StealRequest { .. } => "StealRequest",
             KernelEvent::StealGrant { .. } => "StealGrant",
             KernelEvent::GcSweep { .. } => "GcSweep",
+            KernelEvent::Drop { .. } => "Drop",
+            KernelEvent::Retransmit { .. } => "Retransmit",
+            KernelEvent::FirTimeout { .. } => "FirTimeout",
         }
     }
 }
@@ -427,6 +453,15 @@ impl TraceReport {
                         KernelEvent::StealGrant { thief } => format!("{{\"thief\":{thief}}}"),
                         KernelEvent::GcSweep { freed, live } => {
                             format!("{{\"freed\":{freed},\"live\":{live}}}")
+                        }
+                        KernelEvent::Drop { src, seq } => {
+                            format!("{{\"src\":{src},\"seq\":{seq}}}")
+                        }
+                        KernelEvent::Retransmit { peer, seq } => {
+                            format!("{{\"peer\":{peer},\"seq\":{seq}}}")
+                        }
+                        KernelEvent::FirTimeout { key, retries } => {
+                            format!("{{\"key\":\"{key:?}\",\"retries\":{retries}}}")
                         }
                         KernelEvent::MessageDelivered { .. } => unreachable!("handled above"),
                     };

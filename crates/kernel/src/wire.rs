@@ -186,6 +186,18 @@ pub enum KMsg {
     /// Stop the machine (thread mode shutdown; also honored by the
     /// simulator).
     Halt,
+    /// Self-addressed timer: the reliable-delivery retransmit timeout
+    /// for one peer fired (chaos subsystem only; never crosses a link).
+    RetxTimer {
+        /// The peer whose unacked queue should be inspected.
+        peer: NodeId,
+    },
+    /// Self-addressed timer: the FIR watchdog for one chased actor
+    /// fired (chaos subsystem only; never crosses a link).
+    FirTimer {
+        /// The actor key whose FIR may need re-issuing.
+        key: AddrKey,
+    },
 }
 
 impl KMsg {
@@ -210,6 +222,9 @@ impl KMsg {
             KMsg::GcBegin { .. } | KMsg::GcRoundGo { .. } | KMsg::GcSweepCmd { .. } => 8,
             KMsg::GcMark { keys } => 4 + keys.len() * 16,
             KMsg::GcRoundDone { .. } | KMsg::GcSwept { .. } => 12,
+            // Timers never cross a link; they have no wire cost.
+            KMsg::RetxTimer { .. } => 4,
+            KMsg::FirTimer { .. } => KEY,
         }
     }
 }
@@ -239,6 +254,8 @@ impl std::fmt::Debug for KMsg {
             KMsg::GcRoundDone { activity } => write!(f, "GcRoundDone({activity})"),
             KMsg::GcSweepCmd { .. } => write!(f, "GcSweepCmd"),
             KMsg::GcSwept { freed, live } => write!(f, "GcSwept(freed {freed}, live {live})"),
+            KMsg::RetxTimer { peer } => write!(f, "RetxTimer(peer {peer})"),
+            KMsg::FirTimer { key } => write!(f, "FirTimer({key:?})"),
         }
     }
 }

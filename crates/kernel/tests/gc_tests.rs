@@ -48,8 +48,8 @@ fn unreferenced_actors_are_collected() {
         let kept = new_holder(ctx);
         ctx.pin(kept);
     });
-    m.run();
-    let r = m.collect_garbage();
+    m.run().unwrap();
+    let r = m.collect_garbage().unwrap();
     assert_eq!(r.freed, 10);
     assert_eq!(r.live, 1);
 }
@@ -81,8 +81,8 @@ fn reference_chains_keep_actors_alive_across_nodes() {
         ctx.pin(a);
         new_holder(ctx); // garbage on node 0
     });
-    m.run();
-    let r = m.collect_garbage();
+    m.run().unwrap();
+    let r = m.collect_garbage().unwrap();
     assert_eq!(r.freed, 1, "only the unreferenced actor is freed");
     assert_eq!(r.live, 3, "the pinned chain a->b->c survives");
     assert!(r.rounds >= 1, "cross-node marks need at least one extra round");
@@ -100,13 +100,13 @@ fn unpinning_makes_a_whole_chain_collectable() {
         ctx.pin(a);
         a
     });
-    m.run();
-    let r1 = m.collect_garbage();
+    m.run().unwrap();
+    let r1 = m.collect_garbage().unwrap();
     assert_eq!(r1.freed, 0);
     assert_eq!(r1.live, 3);
 
     m.with_ctx(0, |ctx| ctx.unpin(a));
-    let r2 = m.collect_garbage();
+    let r2 = m.collect_garbage().unwrap();
     assert_eq!(r2.freed, 3, "dropping the root frees the whole chain");
     assert_eq!(r2.live, 0);
 }
@@ -137,13 +137,13 @@ fn actors_with_queued_messages_are_roots() {
         ctx.send(g, 1, vec![]);
         g
     });
-    m.run();
-    let r = m.collect_garbage();
+    m.run().unwrap();
+    let r = m.collect_garbage().unwrap();
     assert_eq!(r.freed, 0, "actor with a pending message is a root");
 
     // Open the gate; the parked probe fires; everything still works.
     m.with_ctx(0, |ctx| ctx.send(g, 0, vec![]));
-    let rep = m.run();
+    let rep = m.run().unwrap();
     assert_eq!(rep.value("gate_alive"), Some(&Value::Int(1)));
 }
 
@@ -156,8 +156,8 @@ fn group_members_survive_collection() {
         ctx.grpnew(BehaviorId(0), 12, vec![]);
         new_holder(ctx); // garbage
     });
-    m.run();
-    let r = m.collect_garbage();
+    m.run().unwrap();
+    let r = m.collect_garbage().unwrap();
     assert_eq!(r.freed, 1);
     assert_eq!(r.live, 12, "group members stay reachable via the group id");
 }
@@ -172,10 +172,10 @@ fn collection_is_stable_under_repetition() {
             new_holder(ctx);
         }
     });
-    m.run();
-    assert_eq!(m.collect_garbage().freed, 5);
-    assert_eq!(m.collect_garbage().freed, 0, "second collection finds nothing");
-    assert_eq!(m.collect_garbage().live, 1);
+    m.run().unwrap();
+    assert_eq!(m.collect_garbage().unwrap().freed, 5);
+    assert_eq!(m.collect_garbage().unwrap().freed, 0, "second collection finds nothing");
+    assert_eq!(m.collect_garbage().unwrap().live, 1);
 }
 
 #[test]
@@ -194,8 +194,8 @@ fn migrated_actors_are_traced_at_their_current_home() {
         ctx.send(holder, 0, vec![Value::Addr(mover)]); // holder -> mover
         ctx.pin(holder);
     });
-    m.run();
-    let r = m.collect_garbage();
+    m.run().unwrap();
+    let r = m.collect_garbage().unwrap();
     assert_eq!(r.freed, 0, "the migrated referent is found via its forward chain");
     assert_eq!(r.live, 2);
 }
@@ -207,8 +207,8 @@ fn sending_to_a_collected_actor_fails_loudly() {
     // collection is a program error and must not be silent.
     let mut m = SimMachine::new(MachineConfig::new(1), registry());
     let ghost = m.with_ctx(0, new_holder);
-    m.run();
-    assert_eq!(m.collect_garbage().freed, 1);
+    m.run().unwrap();
+    assert_eq!(m.collect_garbage().unwrap().freed, 1);
     m.with_ctx(0, |ctx| ctx.send(ghost, 0, vec![]));
-    m.run();
+    m.run().unwrap();
 }

@@ -181,7 +181,7 @@ fn local_ping_pong_on_one_node() {
         let b = ctx.create_local(Box::new(Pinger { limit: 10 }));
         ctx.send(a, 0, vec![Value::Int(0), Value::Addr(b)]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("rounds"), Some(&Value::Int(10)));
     assert!(r.makespan.as_nanos() > 0);
 }
@@ -194,7 +194,7 @@ fn cross_node_ping_pong() {
         let b = ctx.create_on(1, BehaviorId(2), vec![Value::Int(20)]);
         ctx.send(a, 0, vec![Value::Int(0), Value::Addr(b)]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("rounds"), Some(&Value::Int(20)));
     assert!(r.stats.get("msgs.remote") >= 19, "messages crossed nodes");
     assert!(r.stats.get("net.packets") > 0);
@@ -221,7 +221,7 @@ fn remote_creation_uses_alias_and_hides_latency() {
         "requester pays exactly 5.83us (request + injection), creation happens in the background"
     );
     assert_eq!(apparent.as_nanos(), 5_830, "the paper's 5.83us apparent cost");
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.stats.get("actors.remote_created"), 1);
     // The actual creation completed at ~20.83us on the remote node (§5).
     let actual = r
@@ -249,7 +249,7 @@ fn messages_to_alias_before_creation_are_delivered() {
         );
         ctx.request(remote, 0, vec![Value::Int(41)], ctx.cont_slot(jc, 0));
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("echoed"), Some(&Value::Int(42)));
 }
 
@@ -274,7 +274,7 @@ fn join_continuation_collects_multiple_replies() {
             ctx.request(*s, 0, vec![Value::Int(i as i64)], ctx.cont_slot(jc, (i + 1) as u16));
         }
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     // 100 + (0+1) + (1+1) + (2+1) = 106
     assert_eq!(r.value("join_sum"), Some(&Value::Int(106)));
     assert_eq!(r.stats.get("joins.fired"), 1);
@@ -295,7 +295,7 @@ fn synchronization_constraint_defers_until_enabled() {
             ctx.send(c, 0, vec![]);
         }
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("gated_count"), Some(&Value::Int(3)));
     assert!(r.stats.get("sync.deferred") >= 1, "get was deferred");
     assert!(r.stats.get("sync.resumed") >= 1, "get was resumed from pendq");
@@ -314,7 +314,7 @@ fn migration_chain_is_chased_by_fir() {
         ctx.send(nomad, 0, vec![]); // start walking
         nomad
     });
-    let _walk = m.run(); // run until the nomad settles on node 3
+    let _walk = m.run().unwrap(); // run until the nomad settles on node 3
 
     // Now probe from node 0 — its descriptor may be stale.
     let mut probes = 0;
@@ -322,7 +322,7 @@ fn migration_chain_is_chased_by_fir() {
         ctx.send(nomad, 1, vec![]);
         probes += 1;
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(probes, 1);
     assert_eq!(
         r.value("nomad_settled_on"),
@@ -355,7 +355,7 @@ fn probes_racing_migration_are_chased_and_delivered_exactly_once() {
         let spray = ctx.create_on(1, BehaviorId(4), vec![Value::Addr(nomad), Value::Int(5)]);
         ctx.send(spray, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(
         r.values("nomad_probed_on").len(),
         5,
@@ -384,11 +384,11 @@ fn birthplace_learns_migrations_so_later_sends_skip_the_chain() {
         ctx.send(nomad, 0, vec![]);
         nomad
     });
-    let walk = m.run();
+    let walk = m.run().unwrap();
     let fir_during_walk = walk.stats.get("fir.sent");
 
     m.with_ctx(0, |ctx| ctx.send(nomad, 1, vec![]));
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("nomad_probed_on"), Some(&Value::Int(3)));
     assert_eq!(
         r.stats.get("fir.sent"),
@@ -406,7 +406,7 @@ fn group_broadcast_reaches_every_member() {
         let g = ctx.grpnew(BehaviorId(3), count, vec![]);
         ctx.broadcast(g, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     let mut indices: Vec<i64> = r
         .values("member_saw_bcast")
         .into_iter()
@@ -438,7 +438,7 @@ fn group_member_point_to_point_via_home_node() {
         ctx.request_member(g, 3, 1, vec![], ctx.cont_slot(jc, 0));
         ctx.request_member(g, 7, 1, vec![], ctx.cont_slot(jc, 1));
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("m3"), Some(&Value::Int(30)));
     assert_eq!(r.value("m7"), Some(&Value::Int(70)));
 }
@@ -456,7 +456,7 @@ fn load_balancing_spreads_ready_work() {
             ctx.report("worker_ran_on", Value::Int(ctx.node() as i64));
         }
     }
-    let cfg = MachineConfig::new(4).with_load_balancing(true);
+    let cfg = MachineConfig::builder(4).load_balancing(true).build().unwrap();
     let mut m = SimMachine::new(cfg, registry());
     m.with_ctx(0, |ctx| {
         for _ in 0..64 {
@@ -464,7 +464,7 @@ fn load_balancing_spreads_ready_work() {
             ctx.send(w, 0, vec![]);
         }
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     let nodes_used: std::collections::HashSet<i64> = r
         .values("worker_ran_on")
         .into_iter()
@@ -482,14 +482,14 @@ fn load_balancing_spreads_ready_work() {
 #[test]
 fn determinism_same_seed_same_everything() {
     let run = |seed: u64| {
-        let cfg = MachineConfig::new(4).with_load_balancing(true).with_seed(seed);
+        let cfg = MachineConfig::builder(4).load_balancing(true).seed(seed).build().unwrap();
         let mut m = SimMachine::new(cfg, registry());
         m.with_ctx(0, |ctx| {
             let a = ctx.create_local(Box::new(Pinger { limit: 50 }));
             let b = ctx.create_on(2, BehaviorId(2), vec![Value::Int(50)]);
             ctx.send(a, 0, vec![Value::Int(0), Value::Addr(b)]);
         });
-        let r = m.run();
+        let r = m.run().unwrap();
         (r.makespan, r.events, r.stats.get("net.packets"))
     };
     let a = run(7);
@@ -523,7 +523,7 @@ fn fast_path_inline_dispatch_executes_on_senders_stack() {
         let caller = ctx.create_local(Box::new(Caller { target: sink }));
         ctx.send(caller, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("fast"), Some(&Value::Int(1)), "fast path taken");
     assert_eq!(r.value("sink_got"), Some(&Value::Int(5)));
     assert_eq!(r.stats.get("fast.inline"), 1);
@@ -551,7 +551,7 @@ fn become_changes_behavior() {
         ctx.send(a, 0, vec![]);
         ctx.send(a, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     let phases: Vec<i64> = r.values("phase").into_iter().map(|v| v.as_int()).collect();
     assert_eq!(phases, vec![1, 2], "become swapped the behavior");
 }
@@ -572,7 +572,7 @@ fn bulk_messages_use_three_phase_protocol() {
         let payload = hal_am::Bytes::from(vec![7u8; 100_000]);
         ctx.send(sink, 0, vec![Value::Bytes(payload)]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("bytes"), Some(&Value::Int(100_000)));
     assert!(
         r.stats.get("net.bulk_requests") >= 1,
@@ -595,6 +595,6 @@ fn makespan_reflects_network_latency() {
     }
     let a = m.with_ctx(1, |ctx| ctx.create_local(Box::new(Stop)));
     m.with_ctx(0, |ctx| ctx.send(a, 0, vec![]));
-    let r = m.run();
+    let r = m.run().unwrap();
     assert!(r.makespan.as_nanos() >= latency.as_nanos());
 }

@@ -3,7 +3,8 @@
 
 use hal_kernel::kernel::{Ctx, OptFlags};
 use hal_kernel::{
-    Behavior, BehaviorId, BehaviorRegistry, MachineConfig, MailAddr, Msg, SimMachine, Value,
+    Behavior, BehaviorId, BehaviorRegistry, MachineConfig, MachineError, MailAddr, Msg,
+    SimMachine, Value,
 };
 use std::sync::Arc;
 
@@ -34,7 +35,7 @@ fn quantum_bounds_one_actors_monopoly() {
         }
         ctx.send(b, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     let order: Vec<i64> = r.values("order").into_iter().map(|v| v.as_int()).collect();
     assert_eq!(order.len(), 11);
     let b_pos = order.iter().position(|&t| t == 2).unwrap();
@@ -73,7 +74,7 @@ fn fast_path_depth_bound_falls_back_to_queueing() {
         }
         ctx.send(next.unwrap(), 0, vec![Value::Int(0)]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(
         r.value("chain_depth"),
         Some(&Value::Int(99)),
@@ -111,7 +112,7 @@ fn send_fast_to_remote_actor_degrades_to_generic_send() {
         let caller = ctx.create_local(Box::new(Caller { target: remote }));
         ctx.send(caller, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("inline"), Some(&Value::Int(0)), "remote: no inline");
     assert_eq!(r.value("got_on"), Some(&Value::Int(1)), "delivered remotely");
 }
@@ -153,7 +154,7 @@ fn broadcast_racing_group_creation_is_buffered() {
         // Tell the far node about the group right away.
         ctx.send(echoer, 0, vec![Value::Group(g)]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     let mut hits: Vec<i64> = r.values("member_hit").into_iter().map(|v| v.as_int()).collect();
     hits.sort_unstable();
     assert_eq!(hits, (0..16).collect::<Vec<_>>(), "every member hit exactly once");
@@ -191,7 +192,7 @@ fn group_member_migrates_and_stays_addressable_by_index() {
         // …and must still answer when addressed by (group, 2).
         ctx.send_member(g, 2, 1, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(
         r.value("member_answered_from"),
         Some(&Value::Int(2)), // node 0 * 100 + index 2
@@ -214,10 +215,10 @@ fn aliases_off_still_computes_but_blocks() {
     let registry = Arc::new(reg);
 
     let run = |aliases: bool| {
-        let cfg = MachineConfig::new(2).with_opt(OptFlags {
+        let cfg = MachineConfig::builder(2).opt(OptFlags {
             aliases,
             ..OptFlags::default()
-        });
+        }).build().unwrap();
         let mut m = SimMachine::new(cfg, Arc::clone(&registry));
         let before = m.kernel(0).clock;
         m.with_ctx(0, |ctx| {
@@ -226,7 +227,7 @@ fn aliases_off_still_computes_but_blocks() {
             }
         });
         let requester_cost = (m.kernel(0).clock - before).as_nanos();
-        m.run();
+        m.run().unwrap();
         requester_cost
     };
     let with = run(true);
@@ -277,14 +278,14 @@ fn reply_to_actor_continuation_roundtrips() {
         let client = ctx.create_local(Box::new(Client { server }));
         ctx.send(client, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.value("answer"), Some(&Value::Int(42)));
 }
 
 #[test]
-#[should_panic(expected = "max_events")]
 fn event_valve_catches_livelock() {
-    // An actor that endlessly messages itself: the safety valve fires.
+    // An actor that endlessly messages itself: the safety valve fires
+    // and surfaces as a typed error rather than a panic.
     struct Spinner;
     impl Behavior for Spinner {
         fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
@@ -292,14 +293,17 @@ fn event_valve_catches_livelock() {
             ctx.send(me, 0, vec![]);
         }
     }
-    let mut cfg = MachineConfig::new(1);
-    cfg.max_events = 1000;
+    let cfg = MachineConfig::builder(1).max_events(1000).build().unwrap();
     let mut m = SimMachine::new(cfg, empty_registry());
     m.with_ctx(0, |ctx| {
         let s = ctx.create_local(Box::new(Spinner));
         ctx.send(s, 0, vec![]);
     });
-    m.run();
+    let err = m.run().unwrap_err();
+    assert!(
+        matches!(err, MachineError::MaxEvents { limit: 1000 }),
+        "expected the livelock valve, got: {err}"
+    );
 }
 
 #[test]
@@ -323,7 +327,7 @@ fn become_then_migrate_in_one_method() {
         ctx.send(a, 0, vec![]);
         ctx.send(a, 0, vec![]); // travels with the migration
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(
         r.value("second_on"),
         Some(&Value::Int(1)),

@@ -105,7 +105,7 @@ fn threaded_load_balancing_steals() {
     }
     let n_workers = 32;
     let r = run_threaded(
-        MachineConfig::new(4).with_load_balancing(true),
+        MachineConfig::builder(4).load_balancing(true).build().unwrap(),
         registry(),
         Duration::from_secs(30),
         |ctx| {
@@ -151,7 +151,7 @@ fn sim_and_thread_agree_on_results() {
     };
     let mut sim = SimMachine::new(MachineConfig::new(2), registry());
     sim.with_ctx(0, boot);
-    let rs = sim.run();
+    let rs = sim.run().unwrap();
     let rt = run_threaded(
         MachineConfig::new(2),
         registry(),

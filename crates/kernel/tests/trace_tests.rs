@@ -62,7 +62,7 @@ fn chase_run(chain: usize, probes: i64) -> (hal_kernel::SimReport, TraceReport) 
     let mut registry = BehaviorRegistry::new();
     registry.register(SPRAY, "spray", make_spray);
     let mut m = SimMachine::new(
-        MachineConfig::new(p).with_seed(5).with_trace(),
+        MachineConfig::builder(p).seed(5).trace().build().unwrap(),
         Arc::new(registry),
     );
     m.with_ctx(0, |ctx| {
@@ -72,7 +72,7 @@ fn chase_run(chain: usize, probes: i64) -> (hal_kernel::SimReport, TraceReport) 
         let s = ctx.create_on(4, SPRAY, vec![Value::Addr(nomad), Value::Int(probes)]);
         ctx.send(s, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     let trace = r.trace.clone().expect("tracing was enabled");
     (r, trace)
 }
@@ -158,14 +158,14 @@ fn tracing_disabled_records_nothing() {
     let p = 4usize;
     let mut registry = BehaviorRegistry::new();
     registry.register(SPRAY, "spray", make_spray);
-    let mut m = SimMachine::new(MachineConfig::new(p).with_seed(5), Arc::new(registry));
+    let mut m = SimMachine::new(MachineConfig::builder(p).seed(5).build().unwrap(), Arc::new(registry));
     m.with_ctx(0, |ctx| {
         let nomad = ctx.create_local(Box::new(Nomad { hops: vec![1, 2], probes: 0 }));
         ctx.send(nomad, 0, vec![]);
         let s = ctx.create_on(2, SPRAY, vec![Value::Addr(nomad), Value::Int(5)]);
         ctx.send(s, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert!(r.trace.is_none(), "no recorder when record_trace is off");
     for n in 0..p {
         assert!(m.kernel(n as u16).recorder().is_none());

@@ -253,7 +253,7 @@ mod tests {
     fn load_balancing_beats_no_balancing_on_multiple_nodes() {
         let n = 16;
         let no_lb = run_sim(
-            MachineConfig::new(4).with_seed(1),
+            MachineConfig::builder(4).seed(1).build().unwrap(),
             FibConfig {
                 n,
                 grain: 6,
@@ -261,7 +261,7 @@ mod tests {
             },
         );
         let lb = run_sim(
-            MachineConfig::new(4).with_load_balancing(true).with_seed(1),
+            MachineConfig::builder(4).load_balancing(true).seed(1).build().unwrap(),
             FibConfig {
                 n,
                 grain: 6,
@@ -285,8 +285,8 @@ mod tests {
             grain: 4,
             placement: Placement::Random,
         };
-        let a = run_sim(MachineConfig::new(4).with_seed(9), cfg);
-        let b = run_sim(MachineConfig::new(4).with_seed(9), cfg);
+        let a = run_sim(MachineConfig::builder(4).seed(9).build().unwrap(), cfg);
+        let b = run_sim(MachineConfig::builder(4).seed(9).build().unwrap(), cfg);
         assert_eq!(a.0, b.0);
         assert_eq!(a.1.makespan, b.1.makespan);
         assert_eq!(a.1.events, b.1.events);

@@ -234,7 +234,7 @@ mod tests {
         for seed in [1u64, 2, 3] {
             let cfg = tiny(seed);
             let expect = sequential_size(&cfg);
-            let (size, _) = run_sim(MachineConfig::new(2).with_load_balancing(true), cfg);
+            let (size, _) = run_sim(MachineConfig::builder(2).load_balancing(true).build().unwrap(), cfg);
             assert_eq!(size, expect, "seed {seed}");
         }
     }
@@ -260,9 +260,9 @@ mod tests {
     #[test]
     fn load_balancing_helps_on_irregular_trees() {
         let cfg = tiny(5);
-        let (s1, no_lb) = run_sim(MachineConfig::new(8).with_seed(1), cfg);
+        let (s1, no_lb) = run_sim(MachineConfig::builder(8).seed(1).build().unwrap(), cfg);
         let (s2, lb) = run_sim(
-            MachineConfig::new(8).with_seed(1).with_load_balancing(true),
+            MachineConfig::builder(8).seed(1).load_balancing(true).build().unwrap(),
             cfg,
         );
         assert_eq!(s1, s2);

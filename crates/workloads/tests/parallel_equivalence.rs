@@ -41,10 +41,10 @@ fn fib_with_load_balancing_is_identical() {
                 grain: 3,
                 placement: fib::Placement::Local,
             };
-            let machine = MachineConfig::new(8)
-                .with_seed(seed)
-                .with_load_balancing(true)
-                .with_parallelism(k);
+            let machine = MachineConfig::builder(8)
+                .seed(seed)
+                .load_balancing(true)
+                .parallelism(k).build().unwrap();
             let (v, report) = fib::run_sim(machine, cfg);
             assert_eq!(v, 233, "fib(13) wrong");
             report
@@ -62,10 +62,10 @@ fn fib_static_placement_with_trace_is_identical() {
             grain: 2,
             placement: fib::Placement::RoundRobin,
         };
-        let machine = MachineConfig::new(8)
-            .with_seed(0x5EED)
-            .with_trace()
-            .with_parallelism(k);
+        let machine = MachineConfig::builder(8)
+            .seed(0x5EED)
+            .trace()
+            .parallelism(k).build().unwrap();
         let (v, report) = fib::run_sim(machine, cfg);
         assert_eq!(v, 144, "fib(12) wrong");
         assert!(
@@ -86,7 +86,7 @@ fn cholesky_is_identical() {
                 per_flop_ns: 50,
                 seed,
             };
-            let machine = MachineConfig::new(6).with_seed(seed).with_parallelism(k);
+            let machine = MachineConfig::builder(6).seed(seed).parallelism(k).build().unwrap();
             let (fro, report) = cholesky::run_sim(machine, cfg, false);
             assert!(fro.is_finite() && fro > 0.0, "factorization failed");
             report
@@ -144,10 +144,10 @@ fn run_chase(seed: u64, k: usize) -> SimReport {
         }) as Box<dyn Behavior>
     });
     let mut m = SimMachine::new(
-        MachineConfig::new(p)
-            .with_seed(seed)
-            .with_trace()
-            .with_parallelism(k),
+        MachineConfig::builder(p)
+            .seed(seed)
+            .trace()
+            .parallelism(k).build().unwrap(),
         program.build(),
     );
     m.with_ctx(0, |ctx| {
@@ -160,7 +160,7 @@ fn run_chase(seed: u64, k: usize) -> SimReport {
         let s = ctx.create_on(4, spray, vec![Value::Addr(nomad), Value::Int(PROBES)]);
         ctx.send(s, 0, vec![]);
     });
-    let report = m.run();
+    let report = m.run().unwrap();
     assert_eq!(
         report.values("probe_delivered").len(),
         20,

@@ -17,7 +17,7 @@ fn main() {
     let fib_id = fib::register(&mut program);
 
     let report = hal::thread_run(
-        MachineConfig::new(nodes).with_load_balancing(true),
+        MachineConfig::builder(nodes).load_balancing(true).build().unwrap(),
         program,
         Duration::from_secs(60),
         move |ctx| {

@@ -94,10 +94,10 @@ fn main() {
         }
         registry
     });
-    m.run();
+    m.run().unwrap();
 
     let before: usize = (0..6u16).map(|n| m.kernel(n).actor_count()).sum();
-    let report = m.collect_garbage();
+    let report = m.collect_garbage().unwrap();
     let after: usize = (0..6u16).map(|n| m.kernel(n).actor_count()).sum();
 
     println!("actors before collection : {before}");

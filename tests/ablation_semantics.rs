@@ -31,10 +31,10 @@ fn fib_result_invariant_under_all_ablations() {
     for (i, opt) in all_flag_variants().into_iter().enumerate() {
         for flow in [true, false] {
             let (v, _) = fib::run_sim(
-                MachineConfig::new(4)
-                    .with_opt(opt)
-                    .with_flow_control(flow)
-                    .with_load_balancing(true),
+                MachineConfig::builder(4)
+                    .opt(opt)
+                    .flow_control(flow)
+                    .load_balancing(true).build().unwrap(),
                 FibConfig {
                     n: 15,
                     grain: 4,
@@ -61,7 +61,7 @@ fn cholesky_result_invariant_under_all_ablations() {
     };
     for (i, opt) in all_flag_variants().into_iter().enumerate() {
         let (fro, _) = cholesky::run_sim(
-            MachineConfig::new(4).with_opt(opt),
+            MachineConfig::builder(4).opt(opt).build().unwrap(),
             CholeskyConfig {
                 n: 16,
                 variant: Variant::BP,
@@ -79,7 +79,7 @@ fn matmul_result_invariant_under_all_ablations() {
     let mut expect = None;
     for (i, opt) in all_flag_variants().into_iter().enumerate() {
         let (fro, _) = matmul::run_sim(
-            MachineConfig::new(4).with_opt(opt),
+            MachineConfig::builder(4).opt(opt).build().unwrap(),
             MatmulConfig {
                 grid: 2,
                 block: 6,
@@ -145,14 +145,14 @@ fn migration_chases_deliver_exactly_once_without_fir() {
         fir_chase: false,
         ..OptFlags::default()
     };
-    let mut m = SimMachine::new(MachineConfig::new(6).with_opt(opt), program.build());
+    let mut m = SimMachine::new(MachineConfig::builder(6).opt(opt).build().unwrap(), program.build());
     m.with_ctx(0, |ctx| {
         let nomad = ctx.create_local(Box::new(Nomad { hops: 12, probes: 0 }));
         ctx.send(nomad, 0, vec![]);
         let s = ctx.create_on(3, spray, vec![Value::Addr(nomad)]);
         ctx.send(s, 0, vec![]);
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     assert_eq!(r.values("probe").len(), 10, "exactly-once even when forwarding whole messages");
     assert!(r.stats.get("fir.sent") == 0, "no FIRs in the ablated mode");
 }
@@ -162,7 +162,7 @@ fn timeline_recording_is_consistent_with_makespan() {
     let mut program = Program::new();
     let id = fib::register(&mut program);
     let mut m = SimMachine::new(
-        MachineConfig::new(4).with_timeline().with_load_balancing(true),
+        MachineConfig::builder(4).timeline().load_balancing(true).build().unwrap(),
         program.build(),
     );
     m.with_ctx(0, |ctx| {
@@ -176,7 +176,7 @@ fn timeline_recording_is_consistent_with_makespan() {
             },
         )
     });
-    let r = m.run();
+    let r = m.run().unwrap();
     let tl = m.timeline();
     assert!(!tl.spans.is_empty(), "spans were recorded");
     for s in &tl.spans {

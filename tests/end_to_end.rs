@@ -11,7 +11,7 @@ use std::time::Duration;
 fn fib_correct_across_partition_sizes() {
     for p in [1usize, 2, 5, 16] {
         let (v, _) = fib::run_sim(
-            MachineConfig::new(p).with_load_balancing(p > 1),
+            MachineConfig::builder(p).load_balancing(p > 1).build().unwrap(),
             FibConfig {
                 n: 15,
                 grain: 4,
@@ -110,7 +110,7 @@ fn cholesky_result_independent_of_partition_size() {
 fn matmul_result_independent_of_seed_machine_and_grid_shape() {
     // Same matrices via (grid, block) pairs with equal n must agree.
     let f_a = matmul::run_sim(
-        MachineConfig::new(4).with_seed(1),
+        MachineConfig::builder(4).seed(1).build().unwrap(),
         MatmulConfig {
             grid: 2,
             block: 12,
@@ -122,7 +122,7 @@ fn matmul_result_independent_of_seed_machine_and_grid_shape() {
     )
     .0;
     let f_b = matmul::run_sim(
-        MachineConfig::new(16).with_seed(77),
+        MachineConfig::builder(16).seed(77).build().unwrap(),
         MatmulConfig {
             grid: 2,
             block: 12,
@@ -164,7 +164,7 @@ fn pipelined_cholesky_beats_global_sync_at_scale() {
 fn load_balancing_scales_fib_with_partition_size() {
     let run = |p| {
         fib::run_sim(
-            MachineConfig::new(p).with_load_balancing(true).with_seed(3),
+            MachineConfig::builder(p).load_balancing(true).seed(3).build().unwrap(),
             FibConfig {
                 n: 20,
                 grain: 8,
@@ -233,7 +233,7 @@ fn fib_33_reproduces_the_papers_849_seconds_on_one_node() {
 #[test]
 fn fib_33_scales_on_64_nodes_with_load_balancing() {
     let (v, r) = fib::run_sim(
-        MachineConfig::new(64).with_load_balancing(true),
+        MachineConfig::builder(64).load_balancing(true).build().unwrap(),
         FibConfig {
             n: 33,
             grain: 20,

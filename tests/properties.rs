@@ -77,7 +77,7 @@ fn exactly_once_delivery_under_arbitrary_migration() {
 
         let mut program = Program::new();
         let spray = program.behavior("spray", make_spray);
-        let mut m = SimMachine::new(MachineConfig::new(6).with_seed(seed), program.build());
+        let mut m = SimMachine::new(MachineConfig::builder(6).seed(seed).build().unwrap(), program.build());
         m.with_ctx(0, |ctx| {
             let nomad = ctx.create_local(Box::new(Nomad {
                 hops: hops.clone(),
@@ -91,7 +91,7 @@ fn exactly_once_delivery_under_arbitrary_migration() {
             );
             ctx.send(s, 0, vec![]);
         });
-        let r = m.run();
+        let r = m.run().unwrap();
         assert_eq!(r.values("got").len() as i64, probes, "case {case}");
         // Drained: no FIRs left outstanding anywhere.
         for node in 0..6u16 {
@@ -113,7 +113,7 @@ fn machine_is_deterministic() {
             let mut program = Program::new();
             let spray = program.behavior("spray", make_spray);
             let mut m = SimMachine::new(
-                MachineConfig::new(4).with_seed(seed).with_load_balancing(true),
+                MachineConfig::builder(4).seed(seed).load_balancing(true).build().unwrap(),
                 program.build(),
             );
             m.with_ctx(0, |ctx| {
@@ -122,7 +122,7 @@ fn machine_is_deterministic() {
                 let s = ctx.create_on(1, spray, vec![Value::Addr(nomad), Value::Int(5)]);
                 ctx.send(s, 0, vec![]);
             });
-            let r = m.run();
+            let r = m.run().unwrap();
             (r.makespan, r.events, r.stats.get("net.packets"))
         };
         assert_eq!(run(), run(), "case {case}");
@@ -277,7 +277,7 @@ fn fib_matches_reference() {
         let placement =
             [Placement::Local, Placement::RoundRobin, Placement::Random][range(&mut rng, 0, 3) as usize];
         let (v, _) = run_sim(
-            MachineConfig::new(p).with_load_balancing(lb),
+            MachineConfig::builder(p).load_balancing(lb).build().unwrap(),
             FibConfig { n, grain, placement },
         );
         assert_eq!(v, hal_baselines::fib_iter(n), "case {case}");
