@@ -15,6 +15,22 @@ cargo test -q --workspace
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy pedantic (kernel + check) =="
+# The protocol-critical crates additionally hold a pedantic bar. The
+# allow list below is the accepted legacy noise (cast styles, must_use
+# candidates, doc completeness); anything pedantic outside it fails.
+cargo clippy -p hal-kernel -p hal-check --all-targets -- -D warnings -W clippy::pedantic \
+  -A clippy::cast_possible_truncation -A clippy::cast_lossless -A clippy::cast_sign_loss \
+  -A clippy::cast_precision_loss -A clippy::cast_possible_wrap -A clippy::must_use_candidate \
+  -A clippy::return_self_not_must_use -A clippy::missing_panics_doc -A clippy::missing_errors_doc \
+  -A clippy::doc_markdown -A clippy::redundant_closure_for_method_calls -A clippy::unnested_or_patterns \
+  -A clippy::uninlined_format_args -A clippy::too_many_lines -A clippy::single_match_else \
+  -A clippy::semicolon_if_nothing_returned -A clippy::match_same_arms -A clippy::map_unwrap_or \
+  -A clippy::if_not_else -A clippy::format_push_string -A clippy::unreadable_literal \
+  -A clippy::struct_excessive_bools -A clippy::similar_names -A clippy::needless_pass_by_value \
+  -A clippy::many_single_char_names -A clippy::items_after_statements -A clippy::float_cmp \
+  -A clippy::enum_glob_use -A clippy::elidable_lifetime_names -A clippy::checked_conversions
+
 echo "== parallel-equivalence smoke =="
 # The windowed executor must produce byte-identical results at any host
 # parallelism. Run two representative harnesses quick, sequential vs
@@ -38,6 +54,19 @@ echo "== chaos smoke =="
 # asserts exactly-once delivery internally, and its stdout (fault
 # decisions included) must not depend on executor parallelism.
 smoke chaos_delivery
+
+echo "== protocol checker sweep (repro_all --quick --check) =="
+# Every harness under the hal-check protocol invariant checker, both
+# sequentially (HAL_PARALLEL=1) and on the windowed executor
+# (HAL_PARALLEL=7) — repro_all runs each bin at both levels when
+# --check is on, and fails if any verdict is dirty. Run from the
+# scratch dir so committed results/ stay untouched.
+repo_root="$PWD"
+(cd "$smoke_dir" && "$repo_root/target/release/repro_all" --quick --check 2>&1 | tail -n 20) \
+  || { echo "ci: protocol checker sweep failed"; exit 1; }
+grep -q '"clean": true' "$smoke_dir/results/CHECK_repro_all.json" \
+  || { echo "ci: CHECK_repro_all.json is not clean"; exit 1; }
+echo "   repro_all --check: CLEAN at K in {1, 7}"
 
 echo "== cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

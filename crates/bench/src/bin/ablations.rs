@@ -54,7 +54,10 @@ fn make_spawner(args: &[Value]) -> Box<dyn Behavior> {
 static RUN_NO: AtomicUsize = AtomicUsize::new(0);
 
 fn run(opt: OptFlags, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {
-    run_cfg(MachineConfig::builder(8).opt(opt).seed(2), f)
+    run_cfg(
+        MachineConfig::builder(8).opt(opt).seed(2).trace_if(out::check_enabled()),
+        f,
+    )
 }
 
 fn run_cfg(cfg: MachineConfigBuilder, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {

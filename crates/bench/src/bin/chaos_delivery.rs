@@ -75,6 +75,7 @@ fn run(rate: f64, chain: usize, probes: i64) -> ChaosRun {
     let cfg = MachineConfig::builder(p)
         .seed(5)
         .faults(FaultPlan::chaos(rate))
+        .trace_if(out::check_enabled())
         .parallelism(out::parallelism())
         .build()
         .unwrap();

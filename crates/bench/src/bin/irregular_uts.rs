@@ -12,6 +12,7 @@ use hal_bench::{banner, cell, header, out, row};
 use hal_workloads::uts::{run_sim, sequential_size, UtsConfig};
 
 fn main() {
+    out::note_tags("uts", hal_workloads::uts::UtsMsg::TAGS);
     banner(
         "Extension: unbalanced tree search (UTS), virtual ms",
         "all actors created locally; only \u{a7}7.2 random polling distributes the tree",
@@ -30,6 +31,7 @@ fn main() {
                 run_sim(
                     MachineConfig::builder(p)
                         .seed(1)
+                        .trace_if(out::check_enabled())
                         .parallelism(out::parallelism()).build().unwrap(),
                     cfg,
                 )
@@ -42,6 +44,7 @@ fn main() {
                         MachineConfig::builder(p)
                             .seed(1)
                             .load_balancing(true)
+                            .trace_if(out::check_enabled())
                             .parallelism(out::parallelism()).build().unwrap(),
                         cfg,
                     )

@@ -11,9 +11,17 @@
 //! sequential-vs-parallel speedup table written to
 //! `results/BENCH_repro_all.json`.
 //!
+//! With `--check`, every bin additionally runs the `hal-check` protocol
+//! invariant checker over its simulations (a bin that finds violations
+//! exits nonzero and fails the whole sweep), the parallel pass is pinned
+//! to `HAL_PARALLEL=7` so the checker covers K in {1, 7}, and the
+//! per-bin `results/CHECK_<bin>.json` verdicts are folded into
+//! `results/CHECK_repro_all.json`.
+//!
 //! ```bash
 //! cargo run --release -p hal-bench --bin repro_all            # full
 //! cargo run --release -p hal-bench --bin repro_all -- --quick # smoke
+//! cargo run --release -p hal-bench --bin repro_all -- --check # + checker
 //! ```
 
 use hal_bench::out;
@@ -26,6 +34,7 @@ const BINS: &[&str] = &[
     "table4_fib",
     "table5_matmul",
     "fig3_delivery",
+    "chaos_delivery",
     "ablations",
     "irregular_uts",
     "now_cluster",
@@ -83,13 +92,30 @@ fn parse_benchlines(stderr: &str) -> Vec<(String, f64)> {
     v
 }
 
-fn run_bin(bin: &str, parallel: &str, quick: bool) -> std::process::Output {
-    let mut cmd = Command::new(env!("CARGO"));
-    cmd.args(["run", "--release", "-p", "hal-bench", "--bin", bin]);
+fn run_bin(bin: &str, parallel: &str, quick: bool, check: bool) -> std::process::Output {
+    // Prefer the sibling executable next to this one: it lets CI run
+    // the whole sweep from a scratch directory (results/ under that
+    // directory, committed files untouched). Fall back to cargo for
+    // ad-hoc source-tree runs where the bins may not be built yet.
+    let sibling = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join(bin)))
+        .filter(|p| p.is_file());
+    let mut cmd = match sibling {
+        Some(exe) => Command::new(exe),
+        None => {
+            let mut c = Command::new(env!("CARGO"));
+            c.args(["run", "--release", "-p", "hal-bench", "--bin", bin, "--"]);
+            c
+        }
+    };
     if quick {
-        cmd.args(["--", "--quick"]);
+        cmd.arg("--quick");
     }
     cmd.env("HAL_PARALLEL", parallel);
+    if check {
+        cmd.env("HAL_CHECK", "1");
+    }
     let out = cmd
         .output()
         .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
@@ -105,21 +131,38 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// One bin's checker verdicts: (bin, sequential clean, parallel clean).
+fn check_clean(bin: &str) -> bool {
+    std::fs::read_to_string(format!("results/CHECK_{bin}.json"))
+        .map(|s| s.contains("\"clean\": true"))
+        .unwrap_or(false)
+}
+
 fn main() {
     let quick = out::quick();
+    let check = out::check_enabled();
     std::fs::create_dir_all("results").expect("create results/");
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Under --check the parallel executor level is pinned so the checker
+    // verdict covers a reproducible K pair (1 and 7) rather than
+    // whatever the host happens to have.
+    let par_level = if check { "7" } else { "auto" };
     let mut results = Vec::new();
+    let mut checks: Vec<(&str, bool, bool)> = Vec::new();
 
     for bin in BINS {
         eprintln!("== running {bin} (sequential) ==");
-        let seq = run_bin(bin, "1", quick);
+        let seq = run_bin(bin, "1", quick, check);
         let path = format!("results/{bin}.txt");
         std::fs::write(&path, &seq.stdout).expect("write results file");
         eprintln!("   -> {path} ({} bytes)", seq.stdout.len());
+        let seq_clean = check && check_clean(bin);
 
-        eprintln!("== running {bin} (parallel, {cores} cores) ==");
-        let par = run_bin(bin, "auto", quick);
+        eprintln!("== running {bin} (parallel, HAL_PARALLEL={par_level}, {cores} cores) ==");
+        let par = run_bin(bin, par_level, quick, check);
+        if check {
+            checks.push((bin, seq_clean, check_clean(bin)));
+        }
         if !HOST_TIMED_STDOUT.contains(bin) {
             assert!(
                 seq.stdout == par.stdout,
@@ -203,5 +246,33 @@ fn main() {
         "{{\n  \"bench\": \"repro_all\",\n  \"host_cores\": {cores},\n  \"quick\": {quick},\n  \"bins\": [\n{bins_json}\n  ],\n  \"total_seq_wall_ms\": {seq_total:.3},\n  \"total_par_wall_ms\": {par_total:.3},\n  \"total_speedup\": {total_speedup:.3}\n}}\n"
     );
     std::fs::write("results/BENCH_repro_all.json", json).expect("write BENCH_repro_all.json");
+
+    // Fold the per-bin checker verdicts into one machine-readable file.
+    // Each bin already exits nonzero on violations (killing the sweep
+    // above), so reaching this point with a dirty verdict means the
+    // CHECK file is stale or missing — flagged as clean=false.
+    if check {
+        let all_clean = checks.iter().all(|&(_, s, p)| s && p);
+        let mut bins_json = String::new();
+        for (i, (bin, seq_clean, par_clean)) in checks.iter().enumerate() {
+            if i > 0 {
+                bins_json.push_str(",\n");
+            }
+            bins_json.push_str(&format!(
+                "    {{\"bin\": \"{bin}\", \"seq_clean\": {seq_clean}, \"par_clean\": {par_clean}, \"detail\": \"results/CHECK_{bin}.json\"}}"
+            ));
+        }
+        let check_json = format!(
+            "{{\n  \"subject\": \"repro_all\",\n  \"clean\": {all_clean},\n  \"parallel_levels\": [1, 7],\n  \"bins\": [\n{bins_json}\n  ]\n}}\n"
+        );
+        std::fs::write("results/CHECK_repro_all.json", check_json)
+            .expect("write CHECK_repro_all.json");
+        eprintln!(
+            "protocol checker: {} across {} bin(s), K in {{1, 7}} (results/CHECK_repro_all.json)",
+            if all_clean { "CLEAN" } else { "VIOLATIONS" },
+            checks.len()
+        );
+        assert!(all_clean, "protocol checker verdicts incomplete or dirty");
+    }
     eprintln!("all harnesses completed; see results/ (speedups in results/BENCH_repro_all.json)");
 }

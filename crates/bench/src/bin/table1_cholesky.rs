@@ -27,6 +27,7 @@ fn run(n: usize, p: usize, variant: Variant, flow: bool) -> f64 {
     let machine = MachineConfig::builder(p)
         .flow_control(flow)
         .seed(7)
+        .trace_if(out::check_enabled())
         .parallelism(out::parallelism()).build().unwrap();
     let label = format!("cholesky n={n} p={p} {variant:?} fc={flow}");
     let (_, report) = out::timed(label, || run_sim(machine, cfg, false));
@@ -34,6 +35,7 @@ fn run(n: usize, p: usize, variant: Variant, flow: bool) -> f64 {
 }
 
 fn main() {
+    out::note_tags("cholesky", hal_workloads::cholesky::ChMsg::TAGS);
     banner(
         "Table 1: Cholesky decomposition (msec) on the simulated CM-5",
         "BP/CP = pipelined with local synchronization (block/cyclic mapping);\n\

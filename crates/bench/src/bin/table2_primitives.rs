@@ -34,7 +34,9 @@ fn main() {
 
     let fresh = || {
         SimMachine::new(
-            MachineConfig::builder(4).parallelism(out::parallelism()).build().unwrap(),
+            MachineConfig::builder(4)
+                .trace_if(out::check_enabled())
+                .parallelism(out::parallelism()).build().unwrap(),
             registry.clone(),
         )
     };

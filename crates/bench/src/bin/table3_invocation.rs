@@ -30,6 +30,7 @@ impl Behavior for Sink {
 }
 
 fn main() {
+    out::note_tags("synth", SynthMsg::TAGS);
     banner(
         "Table 3: comparable method-invocation costs",
         "generic send vs compiler fast path (locality check + static dispatch) vs plain call.\n\

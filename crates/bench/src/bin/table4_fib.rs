@@ -22,6 +22,7 @@ fn sim(n: u64, grain: u64, p: usize, lb: bool, placement: Placement) -> (u64, f6
     let machine = MachineConfig::builder(p)
         .load_balancing(lb)
         .seed(1234)
+        .trace_if(out::check_enabled())
         .parallelism(out::parallelism()).build().unwrap();
     let cfg = FibConfig { n, grain, placement };
     let label = format!("fib n={n} p={p} lb={lb} {placement:?}");
@@ -30,6 +31,7 @@ fn sim(n: u64, grain: u64, p: usize, lb: bool, placement: Placement) -> (u64, f6
 }
 
 fn main() {
+    out::note_tags("fib", hal_workloads::fib::FibMsg::TAGS);
     banner(
         "Table 4: Fibonacci execution times (virtual seconds, simulated CM-5)",
         "noLB = no balancing, work stays where it is created (the paper's\n\

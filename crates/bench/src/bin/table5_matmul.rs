@@ -10,6 +10,7 @@ use hal_bench::{banner, cell, header, out, row, secs};
 use hal_workloads::matmul::{run_sim, MatmulConfig};
 
 fn main() {
+    out::note_tags("matmul", hal_workloads::matmul::MmMsg::TAGS);
     banner(
         "Table 5: systolic matrix multiplication (virtual seconds / MFLOPS)",
         "Cannon's algorithm, one block actor per grid cell, block = n / sqrt(P);\n\
@@ -38,6 +39,7 @@ fn main() {
             };
             let machine = MachineConfig::builder(p)
                 .seed(99)
+                .trace_if(out::check_enabled())
                 .parallelism(out::parallelism()).build().unwrap();
             let label = format!("matmul n={n} p={p}");
             let (_fro, report) = out::timed(label, || run_sim(machine, cfg, false));

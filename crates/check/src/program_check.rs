@@ -1,0 +1,139 @@
+//! Static program checks and the end-of-run quiescence audit pass.
+//!
+//! The trace pass ([`crate::trace_check`]) sees what happened; this
+//! module checks what a program *is* (behavior-id determinism §3,
+//! message-tag coverage) and what a finished machine *left behind*
+//! (§6.1 pending queues, §6.2 joins, §4.3 chases, §5 parked alias
+//! traffic). The audit pass reads [`MachineAudit`] — computed from live
+//! kernel tables, so it stays exact even when the bounded trace ring
+//! wrapped.
+
+use crate::report::{CheckReport, ViolationKind};
+use hal_kernel::{BehaviorRegistry, MachineAudit, Selector};
+use std::collections::BTreeMap;
+
+/// Check the behavior-id image for determinism: ids must be dense
+/// `0..n` (so every node that registered the same program in the same
+/// order agrees on them) and debug names must be unique (so the
+/// id↔name mapping is unambiguous across program versions).
+pub fn check_behavior_image(behaviors: &[(u32, String)], out: &mut CheckReport) {
+    out.passes.push("program".to_string());
+    let mut ids: Vec<u32> = behaviors.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    for (expect, &got) in (0u32..).zip(ids.iter()) {
+        if got != expect {
+            out.violation(
+                ViolationKind::BehaviorIdGap,
+                format!(
+                    "behavior ids are not dense 0..{}: expected id {expect}, found {got}",
+                    behaviors.len()
+                ),
+            );
+            break;
+        }
+    }
+    let mut by_name: BTreeMap<&str, Vec<u32>> = BTreeMap::new();
+    for (id, name) in behaviors {
+        by_name.entry(name.as_str()).or_default().push(*id);
+    }
+    for (name, ids) in by_name {
+        if ids.len() > 1 {
+            out.violation(
+                ViolationKind::DuplicateBehaviorName,
+                format!("behavior name {name:?} registered under ids {ids:?}"),
+            );
+        }
+    }
+}
+
+/// [`check_behavior_image`] over a live registry (before the program is
+/// consumed by a machine — see `Program::registry`).
+pub fn check_registry(registry: &BehaviorRegistry, out: &mut CheckReport) {
+    let image: Vec<(u32, String)> = registry
+        .entries()
+        .into_iter()
+        .map(|(id, name)| (id.0, name.to_string()))
+        .collect();
+    check_behavior_image(&image, out);
+}
+
+/// Check one message protocol's `(variant, selector)` table (the
+/// `TAGS` const the `messages!` macro generates): selectors must be
+/// unique (decode would otherwise be ambiguous) and cover `0..=max`
+/// (a hole is an encodable tag no dispatch arm handles).
+pub fn check_tags(protocol: &str, tags: &[(&str, Selector)], out: &mut CheckReport) {
+    out.passes.push(format!("tags:{protocol}"));
+    let mut by_sel: BTreeMap<Selector, Vec<&str>> = BTreeMap::new();
+    for (variant, sel) in tags {
+        by_sel.entry(*sel).or_default().push(variant);
+    }
+    for (sel, variants) in &by_sel {
+        if variants.len() > 1 {
+            out.violation(
+                ViolationKind::DuplicateMessageTag,
+                format!("protocol {protocol}: selector {sel} shared by {variants:?}"),
+            );
+        }
+    }
+    if let Some((&max, _)) = by_sel.iter().next_back() {
+        for sel in 0..=max {
+            if !by_sel.contains_key(&sel) {
+                out.violation(
+                    ViolationKind::MessageTagGap,
+                    format!(
+                        "protocol {protocol}: selectors do not cover 0..={max} \
+                         (selector {sel} has no variant)"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// The end-of-run liveness audit: a drained machine owes the protocol
+/// nothing. Every nonzero counter is a wedged invariant — a §6.1
+/// constraint that never re-enabled, a §6.2 join that never fired, a
+/// §4.3 chase that never closed, or §5 alias traffic parked forever.
+/// Also runs [`check_behavior_image`] over the audit's program image.
+pub fn check_audit(audit: &MachineAudit, out: &mut CheckReport) {
+    out.passes.push("audit".to_string());
+    for n in &audit.nodes {
+        if n.stranded_pending > 0 {
+            out.violation(
+                ViolationKind::StrandedPending,
+                format!(
+                    "node {}: {} message(s) stranded in pending queues (actors: {:?})",
+                    n.node, n.stranded_pending, n.stranded_keys
+                ),
+            );
+        }
+        if n.unresolved_joins > 0 {
+            out.violation(
+                ViolationKind::UnresolvedJoin,
+                format!(
+                    "node {}: {} join continuation(s) never resumed",
+                    n.node, n.unresolved_joins
+                ),
+            );
+        }
+        if n.outstanding_firs > 0 {
+            out.violation(
+                ViolationKind::UnansweredFir,
+                format!(
+                    "node {}: {} FIR chase(s) still open at end of run",
+                    n.node, n.outstanding_firs
+                ),
+            );
+        }
+        if n.unknown_buffered > 0 {
+            out.violation(
+                ViolationKind::UndeliverableParked,
+                format!(
+                    "node {}: {} message(s) parked for names the node never learned",
+                    n.node, n.unknown_buffered
+                ),
+            );
+        }
+    }
+    check_behavior_image(&audit.behaviors, out);
+}

@@ -1,0 +1,440 @@
+//! The trace-analysis pass: protocol invariants over a [`TraceReport`],
+//! mechanized as a *causal replay* with per-node vector clocks.
+//!
+//! Within one node, recorded virtual timestamps are **not** an
+//! execution order: a handler that charges simulated cost advances the
+//! local clock past the timestamps of events already queued behind it
+//! (a group member installed mid-handler at a charged t=54300 really
+//! executed before a delivery stamped t=54000). Each [`TraceEvent`]
+//! therefore carries a per-node sequence number assigned at record
+//! time, and the checker replays each node's events in `seq` order —
+//! the order the node actually executed them. Across nodes the replay
+//! interleaves lanes by picking, among the enabled lane heads, the
+//! least `(time, node, seq)`, with a delivery *gated* until its
+//! matching send has been replayed. The gate only applies when that
+//! send exists somewhere in the trace, so a wrapped ring (or a corrupt
+//! synthetic trace) cannot deadlock the replay; if every remaining head
+//! is gated the least head is forced through. The result is a
+//! linearization that extends each node's real execution order and
+//! every traced message edge.
+//!
+//! Ordering invariants ride the replay directly: "creation
+//! happens-before first delivery" and "alias encode happens-before
+//! resolution" hold exactly when the creation/mint event has already
+//! been replayed (both anchors execute on the node that hosts the name,
+//! so lane order is authoritative). Vector clocks — one per node,
+//! ticked on every replayed event, joined across traced send→delivery
+//! edges and the §5 creation round trip (mint → install → resolve) —
+//! back those checks with an explicit happens-before order: an event
+//! whose clock is strictly dominated by its anchor's snapshot landed
+//! causally before the name existed.
+//!
+//! Structural invariants (FIR chains acyclic, duplicate chases
+//! suppressed, exactly-once per (link, seq), pending-queue liveness)
+//! ride the same replay as set/counting checks.
+//!
+//! A trace ring that wrapped ([`TraceReport::dropped`] > 0) cannot
+//! support absence-based checks — a "missing" send may simply have been
+//! overwritten — so those downgrade to pair-present-only checks and the
+//! report is marked `trace_truncated`. The quiescence audit
+//! ([`crate::program_check::check_audit`]) stays exact regardless.
+
+use crate::report::{CheckReport, ViolationKind};
+use hal_am::NodeId;
+use hal_kernel::trace::{KernelEvent, TraceEvent, TraceReport};
+use hal_kernel::AddrKey;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
+
+/// A vector clock: one logical-time component per node.
+type Vc = Vec<u64>;
+
+/// `a` strictly dominated by `b`: `a ≤ b` componentwise and `a ≠ b`.
+/// Reading "event A's clock strictly dominated by event B's" as "A
+/// happens-before B", a *later* replay event whose clock is dominated
+/// by an *earlier* one exposes a causal-order violation.
+fn dominated(a: &Vc, b: &Vc) -> bool {
+    a != b && a.iter().zip(b.iter()).all(|(x, y)| x <= y)
+}
+
+fn join(into: &mut Vc, other: &Vc) {
+    for (x, y) in into.iter_mut().zip(other.iter()) {
+        *x = (*x).max(*y);
+    }
+}
+
+/// Where a replayed event lives: (node lane, position in lane).
+type Site = (usize, usize);
+
+/// Render the lane window around `site` (±2 events in that node's
+/// execution order) for a report.
+fn window(lanes: &[Vec<&TraceEvent>], site: Site) -> Vec<String> {
+    let (node, i) = site;
+    let lane = &lanes[node];
+    let lo = i.saturating_sub(2);
+    let hi = (i + 3).min(lane.len());
+    lane[lo..hi]
+        .iter()
+        .map(|e| format!("t={} node={} seq={} {:?}", e.time.as_nanos(), e.node, e.seq, e.event))
+        .collect()
+}
+
+/// Run the full trace-analysis pass, appending violations to `out`.
+#[allow(clippy::too_many_lines)] // one replay loop over one state table
+pub fn check_trace(trace: &TraceReport, out: &mut CheckReport) {
+    out.passes.push("trace".to_string());
+    out.events_checked += trace.events.len() as u64;
+    let truncated = trace.dropped > 0;
+    if truncated {
+        out.trace_truncated = true;
+    }
+
+    // One lane per node, in that node's execution (seq) order. The
+    // merged report is (time, node, seq)-sorted, which can permute a
+    // node's non-monotone-time events — re-sorting by seq recovers the
+    // real order.
+    let n = trace
+        .events
+        .iter()
+        .map(|e| e.node as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut lanes: Vec<Vec<&TraceEvent>> = vec![Vec::new(); n];
+    for e in &trace.events {
+        lanes[e.node as usize].push(e);
+    }
+    for lane in &mut lanes {
+        lane.sort_by_key(|e| e.seq);
+    }
+
+    // Pre-pass: which message ids have a send anywhere in the trace.
+    // Deliveries gate only on these — a send lost to ring wraparound
+    // must not wedge the replay.
+    let mut sends_in_trace: HashSet<u64> = HashSet::new();
+    for e in &trace.events {
+        if let KernelEvent::MessageSent { id, .. } = &e.event {
+            sends_in_trace.insert(*id);
+        }
+    }
+
+    let mut vc: Vec<Vc> = vec![vec![0; n]; n];
+
+    // Message pairing: send snapshots are consumed by the first
+    // delivery so the map tracks only in-flight traffic.
+    let mut send_vc: HashMap<u64, Vc> = HashMap::new();
+    let mut send_key: HashMap<u64, AddrKey> = HashMap::new();
+    let mut sent_replayed: HashSet<u64> = HashSet::new();
+    let mut delivered: HashSet<u64> = HashSet::new();
+    let mut first_delivery_at: HashMap<u64, Site> = HashMap::new();
+
+    // Name existence: creation clock per key at the time it was
+    // replayed (alias mint, actor install, or arrival by migration),
+    // plus the target-side install clock for the §5 resolve edge.
+    let mut created: HashMap<AddrKey, Vc> = HashMap::new();
+    let mut alias_minted: HashMap<AddrKey, Vc> = HashMap::new();
+    let mut installed: HashMap<AddrKey, Vc> = HashMap::new();
+    let mut created_here: HashSet<(NodeId, AddrKey)> = HashSet::new();
+
+    // FIR protocol state. The hop sets accumulate per key between
+    // replies: a request path may *revisit* a node (unknown keys fall
+    // back to the birthplace) because duplicate suppression parks the
+    // request there, but re-traversing the same directed hop with no
+    // reply in between means the chase is orbiting a cycle that
+    // suppression failed to break.
+    let mut fir_open: HashMap<(NodeId, AddrKey), Site> = HashMap::new();
+    let mut fir_edges: HashMap<AddrKey, HashSet<(NodeId, NodeId)>> = HashMap::new();
+    let mut repaired_epoch: HashMap<(NodeId, AddrKey), u32> = HashMap::new();
+    let mut migrated_epoch: HashMap<(NodeId, AddrKey), u32> = HashMap::new();
+    // (node expected to learn, key, epoch, site of the migration event)
+    let mut expected_repairs: Vec<(NodeId, AddrKey, u32, Site)> = Vec::new();
+
+    // Reliable layer: released (src, dst, seq) triples.
+    let mut rel_seen: HashSet<(NodeId, NodeId, u64)> = HashSet::new();
+
+    // Pending-queue liveness: enqueues minus rescans per message id.
+    let mut pend_balance: HashMap<u64, (i64, Site)> = HashMap::new();
+
+    let mut cursor = vec![0usize; n];
+    let total = trace.events.len();
+    let mut replayed = 0usize;
+    while replayed < total {
+        // Pick the enabled head with the least (time, node, seq); if
+        // every remaining head is gated (only possible for corrupt or
+        // synthetic traces), force the least head through.
+        let mut best: Option<(u64, usize, u64)> = None;
+        let mut fallback: Option<(u64, usize, u64)> = None;
+        for (node, lane) in lanes.iter().enumerate() {
+            let Some(e) = lane.get(cursor[node]) else {
+                continue;
+            };
+            let k = (e.time.as_nanos(), node, e.seq);
+            if fallback.is_none_or(|f| k < f) {
+                fallback = Some(k);
+            }
+            let gated = matches!(&e.event, KernelEvent::MessageDelivered { id, .. }
+                if sends_in_trace.contains(id) && !sent_replayed.contains(id));
+            if !gated && best.is_none_or(|b| k < b) {
+                best = Some(k);
+            }
+        }
+        let Some((_, node, _)) = best.or(fallback) else {
+            break; // unreachable: `replayed < total` means some lane has a head
+        };
+        let i = cursor[node];
+        cursor[node] += 1;
+        replayed += 1;
+        let ev = lanes[node][i];
+        let site: Site = (node, i);
+        let me = ev.node;
+
+        // Receive-type events join the causal sender's clock first.
+        match &ev.event {
+            KernelEvent::MessageDelivered { id, .. } => {
+                if let Some(snap) = send_vc.remove(id) {
+                    join(&mut vc[node], &snap);
+                }
+            }
+            KernelEvent::ActorCreated { key } => {
+                // The remote side of a §5 creation: the Create request
+                // carries the requester's clock.
+                if let Some(mint) = alias_minted.get(key) {
+                    let mint = mint.clone();
+                    join(&mut vc[node], &mint);
+                }
+            }
+            KernelEvent::AliasResolved { key, .. } => {
+                // The background NameInfo carries the target's clock.
+                if let Some(inst) = installed.get(key) {
+                    let inst = inst.clone();
+                    join(&mut vc[node], &inst);
+                }
+            }
+            _ => {}
+        }
+        vc[node][node] += 1;
+
+        match &ev.event {
+            KernelEvent::MessageSent { id, key, .. } => {
+                send_key.insert(*id, *key);
+                send_vc.insert(*id, vc[node].clone());
+                sent_replayed.insert(*id);
+            }
+            KernelEvent::MessageDelivered { id, .. } => {
+                if delivered.insert(*id) {
+                    first_delivery_at.insert(*id, site);
+                } else {
+                    let first = first_delivery_at.get(id).copied();
+                    let mut w = window(&lanes, site);
+                    if let Some(f) = first {
+                        w.splice(0..0, window(&lanes, f));
+                    }
+                    out.violation_with_window(
+                        ViolationKind::DoubleDelivery,
+                        format!("message id {id} enqueued more than once"),
+                        w,
+                    );
+                }
+                if !sends_in_trace.contains(id) {
+                    if !truncated {
+                        out.violation_with_window(
+                            ViolationKind::DeliveryWithoutSend,
+                            format!("message id {id} delivered but never sent"),
+                            window(&lanes, site),
+                        );
+                    }
+                } else if let Some(key) = send_key.get(id) {
+                    match created.get(key) {
+                        None => {
+                            if !truncated {
+                                out.violation_with_window(
+                                    ViolationKind::DeliveryBeforeCreation,
+                                    format!(
+                                        "message id {id} delivered through {key:?} \
+                                         before any creation event for that key executed"
+                                    ),
+                                    window(&lanes, site),
+                                );
+                            }
+                        }
+                        Some(cvc) => {
+                            if dominated(&vc[node], cvc) {
+                                out.violation_with_window(
+                                    ViolationKind::DeliveryBeforeCreation,
+                                    format!(
+                                        "message id {id} delivered through {key:?} \
+                                         causally before the key was created"
+                                    ),
+                                    window(&lanes, site),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            KernelEvent::ActorCreated { key } => {
+                created.entry(*key).or_insert_with(|| vc[node].clone());
+                installed.entry(*key).or_insert_with(|| vc[node].clone());
+                created_here.insert((me, *key));
+            }
+            KernelEvent::AliasCreated { key, .. } => {
+                alias_minted.insert(*key, vc[node].clone());
+                created.entry(*key).or_insert_with(|| vc[node].clone());
+            }
+            KernelEvent::AliasResolved { key, .. } => match alias_minted.get(key) {
+                None => {
+                    if !truncated {
+                        out.violation_with_window(
+                            ViolationKind::AliasResolvedWithoutCreate,
+                            format!("alias {key:?} resolved but was never minted"),
+                            window(&lanes, site),
+                        );
+                    }
+                }
+                Some(mvc) => {
+                    if dominated(&vc[node], mvc) {
+                        out.violation_with_window(
+                            ViolationKind::AliasResolvedWithoutCreate,
+                            format!("alias {key:?} resolved causally before its mint"),
+                            window(&lanes, site),
+                        );
+                    }
+                }
+            },
+            KernelEvent::FirSent { key, to } => {
+                match fir_open.entry((me, *key)) {
+                    Entry::Occupied(_) => out.violation_with_window(
+                        ViolationKind::DuplicateFirNotSuppressed,
+                        format!(
+                            "node {me} sent a second FIR for {key:?} while one was outstanding"
+                        ),
+                        window(&lanes, site),
+                    ),
+                    Entry::Vacant(e) => {
+                        e.insert(site);
+                    }
+                }
+                let edges = fir_edges.entry(*key).or_default();
+                if !edges.insert((me, *to)) && !truncated {
+                    let mut chain: Vec<_> = edges.iter().copied().collect();
+                    chain.sort_unstable();
+                    out.violation_with_window(
+                        ViolationKind::ForwardChainCycle,
+                        format!(
+                            "FIR chase for {key:?} re-traversed hop {me} -> {to} with no \
+                             reply in between — the forward chain loops (hops so far: {chain:?})"
+                        ),
+                        window(&lanes, site),
+                    );
+                }
+            }
+            KernelEvent::FirReplyPropagated { key, node: loc, .. } => {
+                fir_open.remove(&(me, *key));
+                fir_edges.remove(key);
+                // §4.3: the reply repairs the local name table. The
+                // terminal form — the actor arrived here while we were
+                // chasing it — repairs by installing the actor instead.
+                let locally_installed = *loc == me
+                    && (migrated_epoch.contains_key(&(me, *key))
+                        || created_here.contains(&(me, *key)));
+                if !truncated
+                    && !locally_installed
+                    && !repaired_epoch.contains_key(&(me, *key))
+                {
+                    out.violation_with_window(
+                        ViolationKind::NameTableNotRepaired,
+                        format!(
+                            "FIR reply for {key:?} propagated at node {me} \
+                             without a name-table repair there"
+                        ),
+                        window(&lanes, site),
+                    );
+                }
+            }
+            KernelEvent::NameRepaired { key, epoch, .. } => {
+                let e = repaired_epoch.entry((me, *key)).or_insert(*epoch);
+                *e = (*e).max(*epoch);
+            }
+            KernelEvent::ActorMigrated { key, from, epoch } => {
+                // Arrival by migration witnesses the name's existence on
+                // this node (deliveries here follow in lane order).
+                created.entry(*key).or_insert_with(|| vc[node].clone());
+                let e = migrated_epoch.entry((me, *key)).or_insert(*epoch);
+                *e = (*e).max(*epoch);
+                // §4.3: the new location is "cached in its birthplace
+                // node as well as in the old node".
+                if key.birthplace != me {
+                    expected_repairs.push((key.birthplace, *key, *epoch, site));
+                }
+                if *from != me && *from != key.birthplace {
+                    expected_repairs.push((*from, *key, *epoch, site));
+                }
+            }
+            KernelEvent::RelDelivered { src, seq } => {
+                let fresh = rel_seen.insert((*src, me, *seq));
+                if !fresh {
+                    out.violation_with_window(
+                        ViolationKind::DuplicateRelDelivery,
+                        format!(
+                            "reliable layer released seq {seq} on link {src} -> {me} twice"
+                        ),
+                        window(&lanes, site),
+                    );
+                }
+            }
+            KernelEvent::PendingEnqueued { id } => {
+                let e = pend_balance.entry(*id).or_insert((0, site));
+                e.0 += 1;
+                e.1 = site;
+            }
+            KernelEvent::PendingRescanned { id, .. } => {
+                pend_balance.entry(*id).or_insert((0, site)).0 -= 1;
+            }
+            _ => {}
+        }
+    }
+
+    // End-of-trace liveness: only meaningful over a complete window.
+    if !truncated {
+        for (&(node, key), &opened_at) in &fir_open {
+            out.violation_with_window(
+                ViolationKind::UnansweredFir,
+                format!("node {node} opened an FIR chase for {key:?} that was never answered"),
+                window(&lanes, opened_at),
+            );
+        }
+        for (id, &(balance, last_at)) in &pend_balance {
+            if balance > 0 {
+                out.violation_with_window(
+                    ViolationKind::StrandedPending,
+                    format!(
+                        "message id {id} entered a pending queue and was never re-enabled"
+                    ),
+                    window(&lanes, last_at),
+                );
+            }
+        }
+        for &(node, key, epoch, at) in &expected_repairs {
+            let repaired = repaired_epoch
+                .get(&(node, key))
+                .is_some_and(|&e| e >= epoch);
+            let moved_there = migrated_epoch
+                .get(&(node, key))
+                .is_some_and(|&e| e >= epoch);
+            if !repaired && !moved_there {
+                out.violation_with_window(
+                    ViolationKind::NameTableNotRepaired,
+                    format!(
+                        "migration of {key:?} (epoch {epoch}) never repaired the \
+                         name table on node {node}"
+                    ),
+                    window(&lanes, at),
+                );
+            }
+        }
+    }
+
+    // Deterministic report order regardless of hash-map iteration.
+    out.violations.sort_by(|a, b| {
+        (a.kind, &a.detail, &a.window).cmp(&(b.kind, &b.detail, &b.window))
+    });
+}

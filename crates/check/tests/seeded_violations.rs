@@ -1,0 +1,240 @@
+//! Seeded-violation tests: hand-built traces with one protocol bug
+//! injected each, asserting the checker reports exactly the right
+//! [`ViolationKind`] — and that known-benign shapes (charged-clock
+//! skew, ring truncation) stay clean.
+
+use hal_check::{check_events, check_trace, CheckReport, KernelEvent, TraceEvent, ViolationKind};
+use hal_des::VirtualTime;
+use hal_kernel::trace::TraceReport;
+use hal_kernel::{AddrKey, DeliveryPath, DescriptorId};
+
+fn ev(ns: u64, node: u16, event: KernelEvent) -> TraceEvent {
+    TraceEvent {
+        time: VirtualTime::from_nanos(ns),
+        node,
+        seq: 0, // check_events assigns per-node seqs in list order
+        event,
+    }
+}
+
+fn key(i: u32) -> AddrKey {
+    AddrKey { birthplace: 0, index: DescriptorId(i) }
+}
+
+fn kinds(report: &CheckReport) -> Vec<ViolationKind> {
+    report.violations.iter().map(|v| v.kind).collect()
+}
+
+fn delivered(id: u64) -> KernelEvent {
+    KernelEvent::MessageDelivered {
+        id,
+        latency_ns: 1_000,
+        path: DeliveryPath::Remote,
+    }
+}
+
+#[test]
+fn injected_forward_chain_cycle_is_flagged() {
+    // A chase for key 7 walks 0 -> 1 -> 2 -> 0, then node 0 re-sends
+    // along the already-walked hop 0 -> 1: suppression failed and the
+    // chase is orbiting. (The re-send is also a duplicate FIR from node
+    // 0's point of view — both kinds must fire.)
+    let k = key(7);
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![
+            ev(100, 0, KernelEvent::FirSent { key: k, to: 1 }),
+            ev(200, 1, KernelEvent::FirSent { key: k, to: 2 }),
+            ev(300, 2, KernelEvent::FirSent { key: k, to: 0 }),
+            ev(400, 0, KernelEvent::FirSent { key: k, to: 1 }),
+        ],
+        &mut r,
+    );
+    let ks = kinds(&r);
+    assert!(ks.contains(&ViolationKind::ForwardChainCycle), "{ks:?}");
+    assert!(ks.contains(&ViolationKind::DuplicateFirNotSuppressed), "{ks:?}");
+    assert!(
+        r.violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::ForwardChainCycle && !v.window.is_empty()),
+        "cycle violation must carry its event window"
+    );
+}
+
+#[test]
+fn dropped_fir_reply_leaves_unanswered_chase() {
+    // One chase opened, reply lost in the fabric, nothing else wrong.
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![ev(100, 1, KernelEvent::FirSent { key: key(3), to: 0 })],
+        &mut r,
+    );
+    assert_eq!(kinds(&r), vec![ViolationKind::UnansweredFir]);
+}
+
+#[test]
+fn answered_chase_with_repair_is_clean() {
+    // The same chase, but the reply lands and repairs the table first —
+    // the healthy shape the previous test breaks.
+    let k = key(3);
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![
+            ev(100, 1, KernelEvent::FirSent { key: k, to: 0 }),
+            ev(200, 1, KernelEvent::NameRepaired { key: k, node: 2, epoch: 1 }),
+            ev(210, 1, KernelEvent::FirReplyPropagated { key: k, node: 2, askers: 0, released: 1 }),
+        ],
+        &mut r,
+    );
+    assert!(r.is_clean(), "{}", r.summary());
+}
+
+#[test]
+fn reply_without_name_table_repair_is_flagged() {
+    // A reply propagated at node 1 but node 1's table never learned the
+    // location (no NameRepaired, no local install): §4.3 says every
+    // chain node repairs its table from the reply.
+    let k = key(3);
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![
+            ev(100, 1, KernelEvent::FirSent { key: k, to: 0 }),
+            ev(210, 1, KernelEvent::FirReplyPropagated { key: k, node: 2, askers: 0, released: 1 }),
+        ],
+        &mut r,
+    );
+    assert_eq!(kinds(&r), vec![ViolationKind::NameTableNotRepaired]);
+}
+
+#[test]
+fn stranded_pending_message_is_flagged() {
+    // id 9 parks and never re-enables; id 4 parks and is rescanned —
+    // only the stranded one may be reported.
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![
+            ev(100, 2, KernelEvent::PendingEnqueued { id: 4 }),
+            ev(150, 2, KernelEvent::PendingEnqueued { id: 9 }),
+            ev(300, 2, KernelEvent::PendingRescanned { id: 4, residency_ns: 200 }),
+        ],
+        &mut r,
+    );
+    assert_eq!(kinds(&r), vec![ViolationKind::StrandedPending]);
+    assert!(r.violations[0].detail.contains("id 9"), "{}", r.violations[0].detail);
+}
+
+#[test]
+fn double_delivery_is_flagged() {
+    let k = key(5);
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![
+            ev(50, 1, KernelEvent::ActorCreated { key: k }),
+            ev(100, 0, KernelEvent::MessageSent { id: 5, key: k, remote: true }),
+            ev(200, 1, delivered(5)),
+            ev(250, 1, delivered(5)),
+        ],
+        &mut r,
+    );
+    assert_eq!(kinds(&r), vec![ViolationKind::DoubleDelivery]);
+}
+
+#[test]
+fn delivery_without_send_and_before_creation() {
+    let k = key(6);
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![
+            // id 7: no send anywhere in a complete trace.
+            ev(100, 1, delivered(7)),
+            // id 8: sent through a key no creation event ever made.
+            ev(200, 0, KernelEvent::MessageSent { id: 8, key: k, remote: true }),
+            ev(300, 1, delivered(8)),
+        ],
+        &mut r,
+    );
+    let mut ks = kinds(&r);
+    ks.sort();
+    let mut expected = vec![
+        ViolationKind::DeliveryWithoutSend,
+        ViolationKind::DeliveryBeforeCreation,
+    ];
+    expected.sort();
+    assert_eq!(ks, expected);
+}
+
+#[test]
+fn alias_resolved_without_mint_is_flagged() {
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![ev(100, 0, KernelEvent::AliasResolved { key: key(2), latency_ns: 900 })],
+        &mut r,
+    );
+    assert_eq!(kinds(&r), vec![ViolationKind::AliasResolvedWithoutCreate]);
+}
+
+#[test]
+fn duplicate_reliable_release_is_flagged() {
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![
+            ev(100, 3, KernelEvent::RelDelivered { src: 1, seq: 4 }),
+            ev(200, 3, KernelEvent::RelDelivered { src: 1, seq: 4 }),
+            // Same seq on a *different* link is fine.
+            ev(300, 3, KernelEvent::RelDelivered { src: 2, seq: 4 }),
+        ],
+        &mut r,
+    );
+    assert_eq!(kinds(&r), vec![ViolationKind::DuplicateRelDelivery]);
+}
+
+#[test]
+fn charged_clock_skew_is_not_a_violation() {
+    // The shape that broke the naive time-sorted scan: a handler
+    // charges simulated cost, so the install it records is *stamped*
+    // t=54300 while a delivery already queued behind it is stamped
+    // t=54000 — yet the install executed first (it is earlier in the
+    // node's seq order). The replay must follow execution order and
+    // stay clean.
+    let k = key(11);
+    let mut r = CheckReport::new("seeded");
+    check_events(
+        vec![
+            ev(53_900, 0, KernelEvent::MessageSent { id: 3, key: k, remote: true }),
+            // Node 1's list order (= execution order): install, then
+            // delivery, despite the inverted timestamps.
+            ev(54_300, 1, KernelEvent::ActorCreated { key: k }),
+            ev(54_000, 1, delivered(3)),
+        ],
+        &mut r,
+    );
+    assert!(r.is_clean(), "{}", r.summary());
+}
+
+#[test]
+fn truncated_traces_downgrade_absence_checks() {
+    // With ring wraparound, "never sent", "never created", "never
+    // answered" and "never rescanned" are unknowable — but set-based
+    // duplicate checks still hold.
+    let k = key(5);
+    let mk = |seq: u64, ns: u64, event: KernelEvent| TraceEvent {
+        time: VirtualTime::from_nanos(ns),
+        node: 1,
+        seq,
+        event,
+    };
+    let trace = TraceReport {
+        events: vec![
+            mk(10, 100, delivered(7)), // send lost to wraparound
+            mk(11, 150, KernelEvent::PendingEnqueued { id: 9 }),
+            mk(12, 200, KernelEvent::FirSent { key: k, to: 0 }),
+            mk(13, 300, delivered(8)),
+            mk(14, 350, delivered(8)), // still a hard duplicate
+        ],
+        dropped: 3,
+    };
+    let mut r = CheckReport::new("seeded");
+    check_trace(&trace, &mut r);
+    assert!(r.trace_truncated);
+    assert_eq!(kinds(&r), vec![ViolationKind::DoubleDelivery]);
+}

@@ -13,6 +13,7 @@
 //! stats                          counters from the last run
 //! trace on|off                   toggle the kernel flight recorder
 //! trace dump [path]              export the last run's Chrome trace
+//! check                          run the protocol checker on the last run
 //! gc                             collect garbage on the last partition
 //! quit
 //! ```
@@ -70,6 +71,8 @@ pub enum Command {
     /// Export the last run's trace: Chrome JSON to the given path, or a
     /// summary to the console when no path is given.
     TraceDump(Option<String>),
+    /// Run the protocol invariant checker over the last run.
+    Check,
     /// Collect garbage on the last run's (quiescent) partition.
     Gc,
     /// Exit the console.
@@ -91,6 +94,7 @@ pub fn parse(line: &str) -> Result<Command, String> {
         "quit" | "exit" => Ok(Command::Quit),
         "programs" => Ok(Command::Programs),
         "stats" => Ok(Command::Stats),
+        "check" => Ok(Command::Check),
         "gc" => Ok(Command::Gc),
         "nodes" => {
             let n: usize = words
@@ -161,6 +165,7 @@ mod tests {
         assert_eq!(parse("trace on").unwrap(), Command::Trace(true));
         assert_eq!(parse("trace off").unwrap(), Command::Trace(false));
         assert_eq!(parse("trace dump").unwrap(), Command::TraceDump(None));
+        assert_eq!(parse("check").unwrap(), Command::Check);
         assert_eq!(
             parse("trace dump /tmp/t.json").unwrap(),
             Command::TraceDump(Some("/tmp/t.json".into()))

@@ -138,6 +138,22 @@ impl Console {
                     },
                 }
             }
+            Command::Check => match &self.last {
+                None => "no run to check (run something first)".into(),
+                Some(r) => {
+                    let mut report = hal_check::CheckReport::new("console");
+                    hal_check::check_sim_report("last", r, &mut report);
+                    let mut out = report.summary().trim_end().to_string();
+                    if r.trace.is_none() {
+                        let _ = write!(
+                            out,
+                            "\n(no trace recorded: audit checks only — \
+                             `trace on` before running for the full trace pass)"
+                        );
+                    }
+                    out
+                }
+            },
             Command::Gc => match &mut self.machine {
                 None => "no partition to collect (run something first)".into(),
                 Some(m) => {
@@ -292,6 +308,7 @@ commands:
   stats                     counters from the last run
   trace on|off              kernel flight recorder for subsequent runs
   trace dump [path]         last run's trace: summary, or Chrome JSON to path
+  check                     protocol invariant checker on the last run
   gc                        collect garbage on the last partition
   quit                      exit
 "#;
@@ -385,6 +402,23 @@ mod tests {
         let body = std::fs::read_to_string(&path).expect("dump file exists");
         assert!(body.starts_with("{\"traceEvents\":["), "{body}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn check_command_reports_clean_runs() {
+        let mut c = Console::new();
+        assert!(c.execute("check").contains("no run to check"));
+        c.execute("nodes 2");
+        c.execute("run fib n=10 grain=3");
+        let out = c.execute("check");
+        assert!(out.contains("CLEAN"), "{out}");
+        assert!(out.contains("audit checks only"), "{out}");
+        // With the flight recorder on, the trace pass joins in.
+        c.execute("trace on");
+        c.execute("run fib n=10 grain=3");
+        let out = c.execute("check");
+        assert!(out.contains("CLEAN"), "{out}");
+        assert!(!out.contains("audit checks only"), "{out}");
     }
 
     #[test]

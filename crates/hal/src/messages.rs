@@ -51,6 +51,12 @@ macro_rules! messages {
         }
 
         impl $name {
+            /// The protocol's tag table: `(variant name, selector)` for
+            /// every variant, in declaration order. The protocol
+            /// checker's static pass verifies tags are unique and dense.
+            pub const TAGS: &'static [(&'static str, $crate::Selector)] =
+                &[ $( (stringify!($variant), $sel) ),* ];
+
             /// The wire selector of this message.
             #[allow(unused_variables)]
             pub fn selector(&self) -> $crate::Selector {
@@ -189,6 +195,14 @@ mod tests {
         assert_eq!(sel, 0);
         assert!(args.is_empty());
         assert_eq!(TestMsg::decode(&Msg::new(0, vec![])), TestMsg::Ping {});
+    }
+
+    #[test]
+    fn tag_table_is_dense_and_in_declaration_order() {
+        assert_eq!(
+            TestMsg::TAGS,
+            &[("Ping", 0), ("Work", 1), ("Blob", 2)]
+        );
     }
 
     #[test]

@@ -39,6 +39,13 @@ impl Program {
         id
     }
 
+    /// The registry built so far — the protocol checker's static
+    /// program pass (`hal-check::check_registry`) reads this before the
+    /// program is consumed by a machine.
+    pub fn registry(&self) -> &BehaviorRegistry {
+        &self.registry
+    }
+
     /// Freeze into a shareable registry.
     pub fn build(self) -> Arc<BehaviorRegistry> {
         Arc::new(self.registry)

@@ -119,6 +119,7 @@ mod tests {
         TraceEvent {
             time: VirtualTime::from_nanos(ns),
             node: 0,
+            seq: 0,
             event,
         }
     }

@@ -367,6 +367,36 @@ impl Kernel {
         self.recorder.as_deref()
     }
 
+    /// The shared behavior registry (the loaded program image).
+    pub fn registry(&self) -> &BehaviorRegistry {
+        &self.registry
+    }
+
+    /// Audit this node's leftover protocol state — see [`crate::audit`].
+    /// Exact (computed from live kernel tables, not the bounded trace
+    /// ring) and meaningful at any time, though the interesting moment
+    /// is after a run drained.
+    pub fn quiescence_audit(&self) -> crate::audit::NodeAudit {
+        let mut stranded_pending = 0u64;
+        let mut stranded_keys = Vec::new();
+        for aid in self.actors.live_ids() {
+            if let Some(rec) = self.actors.get(aid) {
+                if !rec.pendq.is_empty() {
+                    stranded_pending += rec.pendq.len() as u64;
+                    stranded_keys.push(rec.addr.key);
+                }
+            }
+        }
+        crate::audit::NodeAudit {
+            node: self.cfg.me,
+            stranded_pending,
+            stranded_keys,
+            unresolved_joins: self.joins.pending() as u64,
+            outstanding_firs: self.firs.outstanding() as u64,
+            unknown_buffered: self.unknown_buffer.values().map(|v| v.len() as u64).sum(),
+        }
+    }
+
     /// Record one trace event at the current clock. Callers on hot
     /// paths guard with `self.recorder.is_some()` so event construction
     /// is skipped entirely when tracing is off.
@@ -375,7 +405,7 @@ impl Kernel {
         if let Some(r) = self.recorder.as_deref_mut() {
             let time = self.clock;
             let node = self.cfg.me;
-            r.ring.push(TraceEvent { time, node, event });
+            r.ring.push(TraceEvent { time, node, seq: 0, event });
         }
     }
 
@@ -400,6 +430,7 @@ impl Kernel {
                 r.ring.push(TraceEvent {
                     time,
                     node,
+                    seq: 0,
                     event: KernelEvent::MessageSent { id, key, remote },
                 });
             }
@@ -549,12 +580,26 @@ impl Kernel {
                 self.stats.bump("net.recvs");
                 match body {
                     AmEnvelope::Rel { seq, body, bytes } => {
+                        let cum_before = self.rel_rx.cum(pkt.src);
                         match self.rel_rx.on_data(pkt.src, seq, body, bytes) {
                             RxOutcome::Duplicate => {
                                 self.stats.bump("rel.dup_dropped");
                                 self.trace_event(KernelEvent::Drop { src: pkt.src, seq });
                             }
                             RxOutcome::Deliver(envs) => {
+                                if self.recorder.is_some() {
+                                    // The holdback released the in-order
+                                    // prefix (cum_before, cum_after]: one
+                                    // exactly-once point per sequence
+                                    // number on this link.
+                                    let cum_after = self.rel_rx.cum(pkt.src);
+                                    for s in (cum_before + 1)..=cum_after {
+                                        self.trace_event(KernelEvent::RelDelivered {
+                                            src: pkt.src,
+                                            seq: s,
+                                        });
+                                    }
+                                }
                                 for env in envs {
                                     self.stats.bump("rel.delivered");
                                     self.handle_envelope(net, pkt.src, env);
@@ -741,6 +786,7 @@ impl Kernel {
                         r.ring.push(TraceEvent {
                             time,
                             node: me,
+                            seq: 0,
                             event: KernelEvent::AliasResolved { key, latency_ns },
                         });
                     }
@@ -1198,11 +1244,11 @@ impl Kernel {
     /// forward chains strictly epoch-increasing, so FIR chases terminate
     /// even under arbitrarily reordered gossip.
     fn repair_descriptor(&mut self, key: AddrKey, node: NodeId, index: DescriptorId, epoch: u32) {
-        match self.names.descriptor_for(key) {
+        let repaired = match self.names.descriptor_for(key) {
             Some(d) => {
                 let desc = self.names.descriptor_mut(d);
                 match desc.locality {
-                    Locality::Local(_) => { /* authoritative; ignore gossip */ }
+                    Locality::Local(_) => false, // authoritative; ignore gossip
                     Locality::Remote { .. } => {
                         if epoch >= desc.epoch {
                             desc.locality = Locality::Remote {
@@ -1210,6 +1256,9 @@ impl Kernel {
                                 remote_index: Some(index),
                             };
                             desc.epoch = epoch;
+                            true
+                        } else {
+                            false
                         }
                     }
                 }
@@ -1217,7 +1266,11 @@ impl Kernel {
             None => {
                 let d = self.names.alloc_remote(node, Some(index), epoch);
                 self.names.bind(key, d);
+                true
             }
+        };
+        if repaired && self.recorder.is_some() {
+            self.trace_event(KernelEvent::NameRepaired { key, node, epoch });
         }
     }
 
@@ -1253,6 +1306,9 @@ impl Kernel {
         rec.addr = addr;
         rec.keys.push(addr.key);
         self.stats.bump("actors.created");
+        if self.recorder.is_some() {
+            self.trace_event(KernelEvent::ActorCreated { key: addr.key });
+        }
         (aid, addr)
     }
 
@@ -1292,6 +1348,7 @@ impl Kernel {
             r.ring.push(TraceEvent {
                 time,
                 node: me,
+                seq: 0,
                 event: KernelEvent::AliasCreated { key: alias.key, target: node },
             });
         }
@@ -1332,6 +1389,11 @@ impl Kernel {
         // the actor in its local name table with the received alias").
         let d = addr.key.index;
         self.names.bind(alias, d);
+        if self.recorder.is_some() {
+            // The alias key now names a live actor too — deliveries
+            // through it are legitimate from this point on.
+            self.trace_event(KernelEvent::ActorCreated { key: alias });
+        }
         self.actors
             .get_mut(aid)
             .expect("just installed")
@@ -1379,6 +1441,15 @@ impl Kernel {
     ) {
         if let Some(pending) = self.firs.complete(key) {
             let me = self.cfg.me;
+            // The chase ends here because the actor became local: same
+            // terminal event as a reply arriving, so the checker sees
+            // every opened chase close.
+            self.trace_event(KernelEvent::FirReplyPropagated {
+                key,
+                node: me,
+                askers: pending.askers.len() as u32,
+                released: pending.buffered.len() as u32,
+            });
             for asker in pending.askers {
                 self.net_send(net, asker, KMsg::FirFound { key, node: me, index, epoch });
             }
@@ -1760,13 +1831,28 @@ impl Kernel {
             self.charge(self.cfg.cost.constraint_check);
             // The last member takes the message itself; only the first
             // `len - 1` deliveries pay for a clone.
-            let m = if i == last {
+            let mut m = if i == last {
                 msg.take().expect("taken once")
             } else {
                 msg.as_ref().expect("not yet taken").clone()
             };
             match self.names.resolve(addr.key) {
                 Resolution::Local(aid) => {
+                    // Collective deliveries bypass send_to_addr, so each
+                    // member's copy is stamped here — a broadcast is N
+                    // logical sends, one fresh id per member, keeping the
+                    // checker's exactly-once pass meaningful.
+                    if self.recorder.is_some() && m.trace.is_none() {
+                        self.trace_stamp_send(&mut m, addr.key, false);
+                        if let Some(tag) = m.trace {
+                            let latency_ns = self.trace_latency_ns(&tag);
+                            self.trace_event(KernelEvent::MessageDelivered {
+                                id: tag.id,
+                                latency_ns,
+                                path: tag.path(),
+                            });
+                        }
+                    }
                     if self.actors.enqueue(aid, m) {
                         self.dispatcher.push(aid);
                     }
@@ -2079,6 +2165,7 @@ impl Kernel {
                         r.ring.push(TraceEvent {
                             time,
                             node: me,
+                            seq: 0,
                             event: KernelEvent::PendingEnqueued { id: tag.id },
                         });
                     }
@@ -2143,20 +2230,32 @@ impl Kernel {
                     self.stats.bump("sync.resumed");
                     if let Some(r) = self.recorder.as_deref_mut() {
                         if let Some(tag) = msg.trace {
-                            if let Some(parked) = r.pending_since.remove(&tag.id) {
-                                let residency_ns =
-                                    self.clock.as_nanos().saturating_sub(parked.as_nanos());
-                                let time = self.clock;
-                                let me = self.cfg.me;
-                                r.ring.push(TraceEvent {
-                                    time,
-                                    node: me,
-                                    event: KernelEvent::PendingRescanned {
-                                        id: tag.id,
-                                        residency_ns,
-                                    },
-                                });
-                            }
+                            // A message parked on another node can be
+                            // re-enabled here after its actor migrated
+                            // with its pending queue: the park time
+                            // lives in the other node's recorder, so
+                            // residency falls back to zero. The event
+                            // itself must still fire — the checker's
+                            // liveness pass pairs every PendingEnqueued
+                            // with a PendingRescanned.
+                            let residency_ns = r
+                                .pending_since
+                                .remove(&tag.id)
+                                .map(|parked| {
+                                    self.clock.as_nanos().saturating_sub(parked.as_nanos())
+                                })
+                                .unwrap_or(0);
+                            let time = self.clock;
+                            let me = self.cfg.me;
+                            r.ring.push(TraceEvent {
+                                time,
+                                node: me,
+                                seq: 0,
+                                event: KernelEvent::PendingRescanned {
+                                    id: tag.id,
+                                    residency_ns,
+                                },
+                            });
                         }
                     }
                     fired = true;

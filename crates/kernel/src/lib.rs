@@ -31,6 +31,7 @@
 
 pub mod actor;
 pub mod addr;
+pub mod audit;
 pub mod balance;
 pub mod cost;
 pub mod descriptor;
@@ -53,6 +54,7 @@ pub mod trace;
 pub mod wire;
 
 pub use actor::{ActorRecord, Behavior};
+pub use audit::{MachineAudit, NodeAudit};
 pub use addr::{
     ActorId, AddrKey, BehaviorId, DescriptorId, GroupId, JcId, MailAddr, Mapping, Selector,
 };

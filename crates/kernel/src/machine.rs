@@ -81,9 +81,9 @@ impl MachineConfig {
     }
 
     /// Start a validating builder from the CM-5 defaults for `nodes`
-    /// nodes. Unlike the deprecated `with_*` setters, the builder's
-    /// [`MachineConfigBuilder::build`] rejects impossible configurations
-    /// with a typed [`ConfigError`] instead of panicking mid-run.
+    /// nodes. The builder's [`MachineConfigBuilder::build`] rejects
+    /// impossible configurations with a typed [`ConfigError`] instead of
+    /// panicking mid-run.
     pub fn builder(nodes: usize) -> MachineConfigBuilder {
         MachineConfigBuilder {
             cfg: MachineConfig::new(nodes),
@@ -125,57 +125,6 @@ impl MachineConfig {
         Ok(())
     }
 
-    /// Enable load balancing (builder style).
-    #[deprecated(note = "use MachineConfig::builder(..).load_balancing(..)")]
-    pub fn with_load_balancing(mut self, on: bool) -> Self {
-        self.load_balancing = on;
-        self
-    }
-
-    /// Enable/disable bulk flow control (builder style).
-    #[deprecated(note = "use MachineConfig::builder(..).flow_control(..)")]
-    pub fn with_flow_control(mut self, on: bool) -> Self {
-        self.flow_control = on;
-        self
-    }
-
-    /// Set the seed (builder style).
-    #[deprecated(note = "use MachineConfig::builder(..).seed(..)")]
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Set the ablation flags (builder style).
-    #[deprecated(note = "use MachineConfig::builder(..).opt(..)")]
-    pub fn with_opt(mut self, opt: crate::kernel::OptFlags) -> Self {
-        self.opt = opt;
-        self
-    }
-
-    /// Record busy spans for timeline rendering (builder style).
-    #[deprecated(note = "use MachineConfig::builder(..).timeline()")]
-    pub fn with_timeline(mut self) -> Self {
-        self.record_timeline = true;
-        self
-    }
-
-    /// Record flight-recorder events on every kernel (builder style).
-    #[deprecated(note = "use MachineConfig::builder(..).trace()")]
-    pub fn with_trace(mut self) -> Self {
-        self.record_trace = true;
-        self
-    }
-
-    /// Set the host parallelism of the windowed executor (builder
-    /// style): `0` = all available cores, otherwise exactly `k` worker
-    /// threads (clamped to the node count at run time). Reports are
-    /// bit-identical across all values of `k`.
-    #[deprecated(note = "use MachineConfig::builder(..).parallelism(..)")]
-    pub fn with_parallelism(mut self, k: usize) -> Self {
-        self.parallelism = k;
-        self
-    }
 }
 
 /// Validating builder for [`MachineConfig`] — see
@@ -252,6 +201,13 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Record flight-recorder events when `on` — the conditional form
+    /// bench bins use to enable tracing only under `--check`.
+    pub fn trace_if(mut self, on: bool) -> Self {
+        self.cfg.record_trace |= on;
+        self
+    }
+
     /// Host parallelism of the windowed executor (`0` = all cores).
     pub fn parallelism(mut self, k: usize) -> Self {
         self.cfg.parallelism = k;
@@ -292,6 +248,9 @@ pub struct SimReport {
     /// Merged flight-recorder events, present when
     /// [`MachineConfig::record_trace`] was set.
     pub trace: Option<crate::trace::TraceReport>,
+    /// End-of-run quiescence audit plus the behavior-registry image —
+    /// the protocol checker's ground truth ([`crate::audit`]).
+    pub audit: crate::audit::MachineAudit,
 }
 
 impl SimReport {
@@ -616,6 +575,27 @@ impl SimMachine {
             events: self.events,
             actors_created: actors,
             trace,
+            audit: self.quiescence_audit(),
+        }
+    }
+
+    /// Audit leftover protocol state on every node — see
+    /// [`crate::audit`]. Also embedded in every [`SimReport`].
+    pub fn quiescence_audit(&self) -> crate::audit::MachineAudit {
+        let behaviors = self
+            .kernels
+            .first()
+            .map(|k| {
+                k.registry()
+                    .entries()
+                    .into_iter()
+                    .map(|(id, name)| (id.0, name.to_string()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        crate::audit::MachineAudit {
+            nodes: self.kernels.iter().map(|k| k.quiescence_audit()).collect(),
+            behaviors,
         }
     }
 

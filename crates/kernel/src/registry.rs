@@ -70,6 +70,18 @@ impl BehaviorRegistry {
         self.factories.get(&id.0).map(|(n, _)| *n)
     }
 
+    /// Every `(id, name)` pair, sorted by id — the loaded program image
+    /// the protocol checker's static pass inspects.
+    pub fn entries(&self) -> Vec<(BehaviorId, &'static str)> {
+        let mut out: Vec<_> = self
+            .factories
+            .iter()
+            .map(|(id, (name, _))| (BehaviorId(*id), *name))
+            .collect();
+        out.sort_by_key(|(id, _)| id.0);
+        out
+    }
+
     /// Number of registered behaviors.
     pub fn len(&self) -> usize {
         self.factories.len()

@@ -3,7 +3,7 @@
 //! The paper argues about *mechanism costs* — FIR chases, alias
 //! round trips, pending-queue stalls — but its tables only show
 //! aggregate times. The flight recorder makes the mechanisms visible:
-//! when enabled (via [`crate::MachineConfig::with_trace`]), every kernel
+//! when enabled (via [`crate::MachineConfigBuilder::trace`]), every kernel
 //! records a typed [`KernelEvent`] stream into a bounded per-node
 //! [`TraceRing`], stamped with the node's virtual clock. At report time
 //! the machine merges the rings into one time-ordered [`TraceReport`]
@@ -164,6 +164,34 @@ pub enum KernelEvent {
         /// How many times this chase has been re-issued.
         retries: u32,
     },
+    /// An actor was installed in this node's name table under `key`
+    /// (local creation, the remote side of a §5 creation, or a group
+    /// member install). The protocol checker anchors its
+    /// creation-happens-before-delivery pass here.
+    ActorCreated {
+        /// The identity key registered for the new actor.
+        key: AddrKey,
+    },
+    /// This node's name table gained newer locality information for
+    /// `key` — an FIR reply or §4.3 location gossip (NameInfo) landed
+    /// and actually advanced the descriptor's epoch. Stale gossip that
+    /// is ignored does not produce this event.
+    NameRepaired {
+        /// The repaired identity key.
+        key: AddrKey,
+        /// Where the actor is now believed to live.
+        node: NodeId,
+        /// The descriptor's new location epoch.
+        epoch: u32,
+    },
+    /// The reliable layer released one in-order packet to the kernel
+    /// (exactly-once delivery point of the (link, seq) stream).
+    RelDelivered {
+        /// The sending node.
+        src: NodeId,
+        /// The released per-link sequence number.
+        seq: u64,
+    },
 }
 
 impl KernelEvent {
@@ -186,6 +214,9 @@ impl KernelEvent {
             KernelEvent::Drop { .. } => "Drop",
             KernelEvent::Retransmit { .. } => "Retransmit",
             KernelEvent::FirTimeout { .. } => "FirTimeout",
+            KernelEvent::ActorCreated { .. } => "ActorCreated",
+            KernelEvent::NameRepaired { .. } => "NameRepaired",
+            KernelEvent::RelDelivered { .. } => "RelDelivered",
         }
     }
 }
@@ -197,6 +228,15 @@ pub struct TraceEvent {
     pub time: VirtualTime,
     /// The recording node.
     pub node: NodeId,
+    /// Per-node execution order, assigned by [`TraceRing::push`].
+    ///
+    /// Virtual time alone cannot recover a node's execution order: a
+    /// handler that `charge`s cost advances the local clock past the
+    /// timestamps of events already queued behind it, so a node's
+    /// timestamps are not monotone in execution order. Consumers that
+    /// care about causality (the protocol checker's replay) sort each
+    /// node's events by `seq`, never by `time`.
+    pub seq: u64,
     /// What happened.
     pub event: KernelEvent,
 }
@@ -243,6 +283,8 @@ pub struct TraceRing {
     head: usize,
     /// Events overwritten after the ring filled.
     dropped: u64,
+    /// Next [`TraceEvent::seq`] — total pushes so far.
+    next_seq: u64,
 }
 
 impl TraceRing {
@@ -254,11 +296,16 @@ impl TraceRing {
             capacity,
             head: 0,
             dropped: 0,
+            next_seq: 0,
         }
     }
 
-    /// Record an event, overwriting the oldest if full.
-    pub fn push(&mut self, ev: TraceEvent) {
+    /// Record an event, overwriting the oldest if full. The event's
+    /// `seq` is assigned here (callers leave it 0): rings are per-node,
+    /// so push order *is* the node's execution order.
+    pub fn push(&mut self, mut ev: TraceEvent) {
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
         if self.buf.len() < self.capacity {
             self.buf.push(ev);
         } else {
@@ -345,7 +392,7 @@ impl TraceReport {
             events.extend(r.ring.iter().cloned());
             dropped += r.ring.dropped();
         }
-        events.sort_by_key(|e| (e.time, e.node));
+        events.sort_by_key(|e| (e.time, e.node, e.seq));
         TraceReport { events, dropped }
     }
 
@@ -463,6 +510,13 @@ impl TraceReport {
                         KernelEvent::FirTimeout { key, retries } => {
                             format!("{{\"key\":\"{key:?}\",\"retries\":{retries}}}")
                         }
+                        KernelEvent::ActorCreated { key } => format!("{{\"key\":\"{key:?}\"}}"),
+                        KernelEvent::NameRepaired { key, node, epoch } => format!(
+                            "{{\"key\":\"{key:?}\",\"node\":{node},\"epoch\":{epoch}}}"
+                        ),
+                        KernelEvent::RelDelivered { src, seq } => {
+                            format!("{{\"src\":{src},\"seq\":{seq}}}")
+                        }
                         KernelEvent::MessageDelivered { .. } => unreachable!("handled above"),
                     };
                     format!(
@@ -500,6 +554,7 @@ mod tests {
         TraceEvent {
             time: VirtualTime::from_nanos(ns),
             node,
+            seq: 0,
             event: KernelEvent::StealRequest { victim: 0 },
         }
     }
@@ -577,6 +632,7 @@ mod tests {
         r.ring.push(TraceEvent {
             time: VirtualTime::from_nanos(2_000),
             node: 0,
+            seq: 0,
             event: KernelEvent::MessageDelivered {
                 id: 7,
                 latency_ns: 1_000,
@@ -586,6 +642,7 @@ mod tests {
         r.ring.push(TraceEvent {
             time: VirtualTime::from_nanos(2_500),
             node: 0,
+            seq: 0,
             event: KernelEvent::FirSent {
                 key: AddrKey { birthplace: 0, index: DescriptorId(1) },
                 to: 3,

@@ -1,6 +1,5 @@
 //! Chaos-subsystem tests at the kernel level: the FIR watchdog under a
-//! link outage, typed machine errors, config validation, and the
-//! one-PR deprecation shims.
+//! link outage, typed machine errors, and config validation.
 
 use hal_kernel::kernel::Ctx;
 use hal_kernel::{
@@ -151,25 +150,24 @@ fn config_error_converts_into_machine_error() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_with_shims_build_the_same_config() {
-    // The old `with_*` chain survives for one PR as thin shims over the
-    // builder; both spellings must produce identical configs.
-    let old = MachineConfig::new(4)
-        .with_seed(9)
-        .with_load_balancing(true)
-        .with_flow_control(false)
-        .with_parallelism(3);
-    let new = MachineConfig::builder(4)
+fn builder_matches_hand_built_config() {
+    // The builder is the only config spelling left after the PR-3 shim
+    // deprecation window: it must agree with direct field assignment.
+    let mut by_hand = MachineConfig::new(4);
+    by_hand.seed = 9;
+    by_hand.load_balancing = true;
+    by_hand.flow_control = false;
+    by_hand.parallelism = 3;
+    let built = MachineConfig::builder(4)
         .seed(9)
         .load_balancing(true)
         .flow_control(false)
         .parallelism(3)
         .build()
         .unwrap();
-    assert_eq!(old.seed, new.seed);
-    assert_eq!(old.load_balancing, new.load_balancing);
-    assert_eq!(old.flow_control, new.flow_control);
-    assert_eq!(old.parallelism, new.parallelism);
-    assert_eq!(old.nodes, new.nodes);
+    assert_eq!(by_hand.seed, built.seed);
+    assert_eq!(by_hand.load_balancing, built.load_balancing);
+    assert_eq!(by_hand.flow_control, built.flow_control);
+    assert_eq!(by_hand.parallelism, built.parallelism);
+    assert_eq!(by_hand.nodes, built.nodes);
 }
