@@ -15,11 +15,11 @@ cargo test -q --workspace
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy pedantic (kernel + check) =="
+echo "== cargo clippy pedantic (kernel + check + profile) =="
 # The protocol-critical crates additionally hold a pedantic bar. The
 # allow list below is the accepted legacy noise (cast styles, must_use
 # candidates, doc completeness); anything pedantic outside it fails.
-cargo clippy -p hal-kernel -p hal-check --all-targets -- -D warnings -W clippy::pedantic \
+cargo clippy -p hal-kernel -p hal-check -p hal-profile --all-targets -- -D warnings -W clippy::pedantic \
   -A clippy::cast_possible_truncation -A clippy::cast_lossless -A clippy::cast_sign_loss \
   -A clippy::cast_precision_loss -A clippy::cast_possible_wrap -A clippy::must_use_candidate \
   -A clippy::return_self_not_must_use -A clippy::missing_panics_doc -A clippy::missing_errors_doc \
@@ -55,18 +55,48 @@ echo "== chaos smoke =="
 # decisions included) must not depend on executor parallelism.
 smoke chaos_delivery
 
-echo "== protocol checker sweep (repro_all --quick --check) =="
+echo "== spans/metrics smoke (table4_fib --spans --metrics) =="
+# The observability exports are derived from virtual-time facts only:
+# SPANS_/METRICS_ JSON must be byte-identical across executor
+# parallelism, and the in-process assert guarantees the critical path
+# never exceeds the makespan. Two runs, K=1 vs K=4, byte-compared.
+obs() {
+  local k="$1" tag="$2" exe="$PWD/target/release/table4_fib"
+  (cd "$smoke_dir" && HAL_PARALLEL=$k HAL_SPANS=1 HAL_METRICS=1 "$exe" --quick \
+     >"obs.$tag.out" 2>/dev/null)
+  for f in SPANS_table4_fib.json METRICS_table4_fib.json; do
+    [ -s "$smoke_dir/results/$f" ] || { echo "ci: $f missing/empty at K=$k"; exit 1; }
+    cp "$smoke_dir/results/$f" "$smoke_dir/$tag.$f"
+  done
+}
+obs 1 seq
+obs 4 par
+for f in SPANS_table4_fib.json METRICS_table4_fib.json; do
+  cmp -s "$smoke_dir/seq.$f" "$smoke_dir/par.$f" \
+    || { echo "ci: $f differs between HAL_PARALLEL=1 and 4"; exit 1; }
+done
+grep -q '"critical_path"' "$smoke_dir/results/SPANS_table4_fib.json" \
+  || { echo "ci: SPANS_table4_fib.json has no critical_path section"; exit 1; }
+grep -q '"samples"' "$smoke_dir/results/METRICS_table4_fib.json" \
+  || { echo "ci: METRICS_table4_fib.json has no timeseries samples"; exit 1; }
+echo "   table4_fib: spans+metrics present, byte-identical across parallelism"
+
+echo "== protocol checker + observability sweep (repro_all --quick --check --spans --metrics) =="
 # Every harness under the hal-check protocol invariant checker, both
 # sequentially (HAL_PARALLEL=1) and on the windowed executor
 # (HAL_PARALLEL=7) — repro_all runs each bin at both levels when
-# --check is on, and fails if any verdict is dirty. Run from the
-# scratch dir so committed results/ stay untouched.
+# --check is on, fails if any verdict is dirty, byte-compares every
+# span/metrics export across the two levels, and writes a manifest of
+# expected artifacts. Run from the scratch dir so committed results/
+# stay untouched.
 repo_root="$PWD"
-(cd "$smoke_dir" && "$repo_root/target/release/repro_all" --quick --check 2>&1 | tail -n 20) \
+(cd "$smoke_dir" && "$repo_root/target/release/repro_all" --quick --check --spans --metrics 2>&1 | tail -n 20) \
   || { echo "ci: protocol checker sweep failed"; exit 1; }
 grep -q '"clean": true' "$smoke_dir/results/CHECK_repro_all.json" \
   || { echo "ci: CHECK_repro_all.json is not clean"; exit 1; }
-echo "   repro_all --check: CLEAN at K in {1, 7}"
+grep -q 'SPANS_table5_matmul.json' "$smoke_dir/results/MANIFEST_repro_all.json" \
+  || { echo "ci: MANIFEST_repro_all.json is missing span artifacts"; exit 1; }
+echo "   repro_all --check --spans --metrics: CLEAN at K in {1, 7}"
 
 echo "== cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

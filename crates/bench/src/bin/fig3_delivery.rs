@@ -61,7 +61,7 @@ fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64, Option<TraceRepor
     let mut m = SimMachine::new(
         MachineConfig::builder(p)
             .seed(5)
-            .trace()
+            .trace().metrics_if(out::metrics_enabled())
             .parallelism(out::parallelism()).build().unwrap(),
         program.build(),
     );

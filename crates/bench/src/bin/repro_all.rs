@@ -18,10 +18,24 @@
 //! per-bin `results/CHECK_<bin>.json` verdicts are folded into
 //! `results/CHECK_repro_all.json`.
 //!
+//! With `--spans` / `--metrics`, every bin also exports lifecycle spans
+//! with critical-path analysis (`results/SPANS_<bin>.json`) and the live
+//! metrics timeseries (`results/METRICS_<bin>.json`). Both artifacts
+//! carry only virtual-time facts, so the parallel pass is pinned to
+//! `HAL_PARALLEL=7` and each file is asserted **byte-identical**
+//! between the K=1 and K=7 runs.
+//!
+//! Artifact hygiene: stale derived files (`*_trace.json`, `SPANS_*`,
+//! `METRICS_*`, `CHECK_*`) are deleted before the sweep, and
+//! `results/MANIFEST_repro_all.json` records every artifact this sweep
+//! was expected to (and did) regenerate — a file in `results/` but not
+//! in the manifest is leftover from an older tree.
+//!
 //! ```bash
 //! cargo run --release -p hal-bench --bin repro_all            # full
 //! cargo run --release -p hal-bench --bin repro_all -- --quick # smoke
 //! cargo run --release -p hal-bench --bin repro_all -- --check # + checker
+//! cargo run --release -p hal-bench --bin repro_all -- --spans --metrics
 //! ```
 
 use hal_bench::out;
@@ -45,6 +59,9 @@ const BINS: &[&str] = &[
 /// legitimately differ between the two runs. Everything else must be
 /// byte-identical across parallelism levels.
 const HOST_TIMED_STDOUT: &[&str] = &["table3_invocation"];
+
+/// Bins that always export a Chrome trace to `results/<bin>_trace.json`.
+const TRACE_EXPORTS: &[&str] = &["fig3_delivery", "ablations", "table3_invocation"];
 
 struct BinResult {
     bin: &'static str,
@@ -93,6 +110,8 @@ fn parse_benchlines(stderr: &str) -> Vec<(String, f64)> {
 }
 
 fn run_bin(bin: &str, parallel: &str, quick: bool, check: bool) -> std::process::Output {
+    let spans = out::spans_enabled();
+    let metrics = out::metrics_enabled();
     // Prefer the sibling executable next to this one: it lets CI run
     // the whole sweep from a scratch directory (results/ under that
     // directory, committed files untouched). Fall back to cargo for
@@ -116,6 +135,12 @@ fn run_bin(bin: &str, parallel: &str, quick: bool, check: bool) -> std::process:
     if check {
         cmd.env("HAL_CHECK", "1");
     }
+    if spans {
+        cmd.env("HAL_SPANS", "1");
+    }
+    if metrics {
+        cmd.env("HAL_METRICS", "1");
+    }
     let out = cmd
         .output()
         .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
@@ -138,17 +163,62 @@ fn check_clean(bin: &str) -> bool {
         .unwrap_or(false)
 }
 
+/// Derived artifacts a bin regenerates this sweep, given the flags.
+fn bin_artifacts(bin: &str, check: bool, spans: bool, metrics: bool) -> Vec<String> {
+    let mut v = vec![format!("results/{bin}.txt"), format!("results/BENCH_{bin}.json")];
+    if TRACE_EXPORTS.contains(&bin) {
+        v.push(format!("results/{bin}_trace.json"));
+    }
+    if check {
+        v.push(format!("results/CHECK_{bin}.json"));
+    }
+    if spans {
+        v.push(format!("results/SPANS_{bin}.json"));
+    }
+    if metrics {
+        v.push(format!("results/METRICS_{bin}.json"));
+    }
+    v
+}
+
+/// Delete derived files a previous sweep (or an older tree) left in
+/// `results/` that this sweep may not overwrite — otherwise a stale
+/// `*_trace.json` from a removed bin looks exactly like fresh output.
+fn remove_stale_artifacts() {
+    let Ok(dir) = std::fs::read_dir("results") else {
+        return;
+    };
+    for entry in dir.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let stale = name.ends_with("_trace.json")
+            || name.starts_with("SPANS_")
+            || name.starts_with("METRICS_")
+            || name.starts_with("CHECK_")
+            || name.starts_with("MANIFEST_");
+        if stale {
+            if let Err(e) = std::fs::remove_file(entry.path()) {
+                eprintln!("repro_all: could not remove stale results/{name}: {e}");
+            }
+        }
+    }
+}
+
 fn main() {
     let quick = out::quick();
     let check = out::check_enabled();
+    let spans = out::spans_enabled();
+    let metrics = out::metrics_enabled();
     std::fs::create_dir_all("results").expect("create results/");
+    remove_stale_artifacts();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    // Under --check the parallel executor level is pinned so the checker
-    // verdict covers a reproducible K pair (1 and 7) rather than
-    // whatever the host happens to have.
-    let par_level = if check { "7" } else { "auto" };
+    // Under --check / --spans / --metrics the parallel executor level is
+    // pinned so the determinism assertions cover a reproducible K pair
+    // (1 and 7) rather than whatever the host happens to have.
+    let par_level = if check || spans || metrics { "7" } else { "auto" };
     let mut results = Vec::new();
     let mut checks: Vec<(&str, bool, bool)> = Vec::new();
+    let mut manifest: Vec<String> = Vec::new();
 
     for bin in BINS {
         eprintln!("== running {bin} (sequential) ==");
@@ -157,6 +227,20 @@ fn main() {
         std::fs::write(&path, &seq.stdout).expect("write results file");
         eprintln!("   -> {path} ({} bytes)", seq.stdout.len());
         let seq_clean = check && check_clean(bin);
+        // Snapshot the K=1 span/metrics artifacts before the parallel
+        // run overwrites them.
+        let det_files: Vec<String> = bin_artifacts(bin, false, spans, metrics)
+            .into_iter()
+            .filter(|p| p.contains("SPANS_") || p.contains("METRICS_"))
+            .collect();
+        let seq_artifacts: Vec<(String, Vec<u8>)> = det_files
+            .iter()
+            .map(|p| {
+                let bytes = std::fs::read(p)
+                    .unwrap_or_else(|e| panic!("{bin}: expected artifact {p} after K=1 run: {e}"));
+                (p.clone(), bytes)
+            })
+            .collect();
 
         eprintln!("== running {bin} (parallel, HAL_PARALLEL={par_level}, {cores} cores) ==");
         let par = run_bin(bin, par_level, quick, check);
@@ -169,6 +253,22 @@ fn main() {
                 "{bin}: stdout differs between sequential and parallel runs — \
                  the windowed executor broke determinism"
             );
+        }
+        for (path, seq_bytes) in &seq_artifacts {
+            let par_bytes = std::fs::read(path)
+                .unwrap_or_else(|e| panic!("{bin}: expected artifact {path} after K={par_level} run: {e}"));
+            assert!(
+                *seq_bytes == par_bytes,
+                "{bin}: {path} differs between K=1 and K={par_level} — \
+                 span/metrics export leaked host-dependent state"
+            );
+        }
+        for p in bin_artifacts(bin, check, spans, metrics) {
+            assert!(
+                std::path::Path::new(&p).is_file(),
+                "{bin}: expected artifact {p} was not produced"
+            );
+            manifest.push(p);
         }
 
         let seq_err = String::from_utf8_lossy(&seq.stderr);
@@ -274,5 +374,29 @@ fn main() {
         );
         assert!(all_clean, "protocol checker verdicts incomplete or dirty");
     }
+
+    // Manifest of everything this sweep regenerated (existence already
+    // asserted per bin above).
+    manifest.push("results/BENCH_repro_all.json".to_string());
+    if check {
+        manifest.push("results/CHECK_repro_all.json".to_string());
+    }
+    let mut files_json = String::new();
+    for (i, p) in manifest.iter().enumerate() {
+        if i > 0 {
+            files_json.push_str(",\n");
+        }
+        files_json.push_str(&format!("    \"{}\"", json_escape(p)));
+    }
+    let manifest_json = format!(
+        "{{\n  \"subject\": \"repro_all\",\n  \"quick\": {quick},\n  \"check\": {check},\n  \
+         \"spans\": {spans},\n  \"metrics\": {metrics},\n  \"artifacts\": [\n{files_json}\n  ]\n}}\n"
+    );
+    std::fs::write("results/MANIFEST_repro_all.json", manifest_json)
+        .expect("write MANIFEST_repro_all.json");
+    eprintln!(
+        "manifest: {} artifact(s) regenerated (results/MANIFEST_repro_all.json)",
+        manifest.len() + 1
+    );
     eprintln!("all harnesses completed; see results/ (speedups in results/BENCH_repro_all.json)");
 }

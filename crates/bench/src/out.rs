@@ -15,17 +15,29 @@
 //!   finishes in seconds (CI smoke).
 //! * `--check` / `HAL_CHECK=1` — run the `hal-check` protocol invariant
 //!   checker over every recorded run. Bins opt their machines into the
-//!   flight recorder with `.trace_if(out::check_enabled())`; [`finish`]
+//!   flight recorder with `.trace_if(out::trace_wanted())`; [`finish`]
 //!   then writes `results/CHECK_<bin>.json` and **exits nonzero** on any
 //!   violation.
+//! * `--spans` / `HAL_SPANS=1` — reconstruct message-lifecycle spans
+//!   ([`hal_kernel::span`]) and the critical path (`hal-profile`) for
+//!   every recorded run, asserting the critical path never exceeds the
+//!   makespan, and write `results/SPANS_<bin>.json`. Implies tracing
+//!   via [`trace_wanted`].
+//! * `--metrics` / `HAL_METRICS=1` — enable the live metrics registry
+//!   ([`hal_kernel::metrics`], via `.metrics_if(out::metrics_enabled())`)
+//!   and write `results/METRICS_<bin>.json`.
 //!
 //! Timing lines go to **stderr**: stdout stays byte-identical across
 //! parallelism levels so `ci.sh` can diff sequential vs parallel runs.
-//! The checker writes only to stderr and the JSON file, so `--check`
-//! preserves that identity too.
+//! The checker, span, and metrics passes write only to stderr and their
+//! JSON files, so all three switches preserve that identity too — and
+//! the JSON artifacts themselves carry only virtual-time facts, so they
+//! are byte-identical across `--parallel K` as well.
 
 use hal_check::CheckReport;
+use hal_kernel::span::SpanReport;
 use hal_kernel::{Selector, SimReport};
+use hal_profile::critical_paths;
 use std::io::Write;
 use std::sync::Mutex;
 use std::time::Duration;
@@ -45,6 +57,13 @@ static RUNS: Mutex<Vec<Run>> = Mutex::new(Vec::new());
 
 /// Violations accumulated across this process's checked runs.
 static CHECK: Mutex<Option<CheckReport>> = Mutex::new(None);
+
+/// Per-run JSON fragments accumulated for `results/SPANS_<bin>.json`
+/// (label, composed span + critical-path object).
+static SPANS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Per-run JSON fragments accumulated for `results/METRICS_<bin>.json`.
+static METRICS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
 
 /// The executor parallelism requested for this process: `--parallel`
 /// (bare or `--parallel=K`) on the command line, else the
@@ -88,6 +107,26 @@ pub fn check_enabled() -> bool {
     std::env::args().skip(1).any(|a| a == "--check") || std::env::var("HAL_CHECK").is_ok()
 }
 
+/// True when lifecycle spans + critical-path analysis should run over
+/// every recorded run: `--spans` on the command line or `HAL_SPANS`
+/// set.
+pub fn spans_enabled() -> bool {
+    std::env::args().skip(1).any(|a| a == "--spans") || std::env::var("HAL_SPANS").is_ok()
+}
+
+/// True when the live metrics registry should be enabled: `--metrics`
+/// on the command line or `HAL_METRICS` set. Bins pass this to
+/// [`hal_kernel::MachineConfigBuilder::metrics_if`].
+pub fn metrics_enabled() -> bool {
+    std::env::args().skip(1).any(|a| a == "--metrics") || std::env::var("HAL_METRICS").is_ok()
+}
+
+/// True when the flight recorder is needed by any enabled pass — what
+/// bins feed to [`hal_kernel::MachineConfigBuilder::trace_if`].
+pub fn trace_wanted() -> bool {
+    check_enabled() || spans_enabled()
+}
+
 fn with_check(f: impl FnOnce(&mut CheckReport)) {
     let mut guard = CHECK.lock().expect("bench check lock");
     f(guard.get_or_insert_with(|| CheckReport::new("bench")));
@@ -120,6 +159,53 @@ pub fn note_run_with(
     let label = label.into();
     if check_enabled() {
         with_check(|c| hal_check::check_sim_report(&label, report, c));
+    }
+    if let Some(trace) = &report.trace {
+        if trace.dropped > 0 {
+            eprintln!(
+                "WARNING {label}: trace ring dropped {} event(s) — spans and histograms are partial",
+                trace.dropped
+            );
+        }
+    }
+    if spans_enabled() {
+        if let Some(trace) = &report.trace {
+            let spans = SpanReport::build(trace);
+            let cp = critical_paths(&spans, 5);
+            let makespan_ns = report.makespan.as_nanos();
+            if let Some(c) = cp.critical() {
+                assert!(
+                    c.total_ns <= makespan_ns,
+                    "{label}: critical path ({} ns) exceeds the makespan ({makespan_ns} ns) — \
+                     span reconstruction is broken",
+                    c.total_ns
+                );
+            }
+            eprintln!(
+                "SPANLINE {label} msgs={} critical_ns={} serial_fraction={:.3} chains={}",
+                spans.msgs.len(),
+                cp.critical().map_or(0, |c| c.total_ns),
+                cp.ratio(makespan_ns),
+                cp.chains.len()
+            );
+            let obj = format!(
+                "{{\"label\": \"{}\", \"spans\": {}, \"critical_path\": {}}}",
+                json_escape(&label),
+                spans.to_json().trim_end(),
+                cp.to_json(makespan_ns).trim_end()
+            );
+            SPANS.lock().expect("bench spans lock").push((label.clone(), obj));
+        }
+    }
+    if metrics_enabled() {
+        if let Some(m) = &report.metrics {
+            let obj = format!(
+                "{{\"label\": \"{}\", \"metrics\": {}}}",
+                json_escape(&label),
+                m.to_json(report.makespan.as_nanos()).trim_end()
+            );
+            METRICS.lock().expect("bench metrics lock").push((label.clone(), obj));
+        }
     }
     let run = Run {
         label,
@@ -214,6 +300,15 @@ pub fn finish(bin: &str) {
         eps = events_per_sec(total_events, total_wall),
     );
 
+    if spans_enabled() {
+        let runs = std::mem::take(&mut *SPANS.lock().expect("bench spans lock"));
+        write_artifact(&format!("results/SPANS_{bin}.json"), "SPANSFILE", bin, &runs);
+    }
+    if metrics_enabled() {
+        let runs = std::mem::take(&mut *METRICS.lock().expect("bench metrics lock"));
+        write_artifact(&format!("results/METRICS_{bin}.json"), "METRICSFILE", bin, &runs);
+    }
+
     if check_enabled() {
         let mut report = CHECK
             .lock()
@@ -232,6 +327,32 @@ pub fn finish(bin: &str) {
             std::process::exit(1);
         }
     }
+}
+
+/// Write one per-run JSON artifact (`SPANS_*` / `METRICS_*`) and print
+/// its stderr marker line.
+fn write_artifact(path: &str, marker: &str, bin: &str, runs: &[(String, String)]) {
+    let mut body = String::new();
+    for (i, (_, obj)) in runs.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str("    ");
+        body.push_str(obj);
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"{}\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_escape(bin),
+        body
+    );
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::File::create(path))
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        eprintln!("bench out: writing {path} failed: {e}");
+        return;
+    }
+    eprintln!("{marker} {path}");
 }
 
 /// Time `f` and record its report under `label` — the common wrapper

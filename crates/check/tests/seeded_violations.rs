@@ -13,6 +13,8 @@ fn ev(ns: u64, node: u16, event: KernelEvent) -> TraceEvent {
         time: VirtualTime::from_nanos(ns),
         node,
         seq: 0, // check_events assigns per-node seqs in list order
+        span: 0,
+        parent: 0,
         event,
     }
 }
@@ -221,6 +223,8 @@ fn truncated_traces_downgrade_absence_checks() {
         time: VirtualTime::from_nanos(ns),
         node: 1,
         seq,
+        span: 0,
+        parent: 0,
         event,
     };
     let trace = TraceReport {

@@ -136,6 +136,14 @@ impl Histogram {
         }
     }
 
+    /// The raw log2 bucket counts: bucket `i` counts values `v` with
+    /// `2^(i-1) <= v < 2^i` (bucket 0 counts zeros). Exposed so
+    /// exporters (spans/metrics JSON) can serialize the distribution,
+    /// not just its moments.
+    pub fn bucket_counts(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
     /// Merge another histogram's samples into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {

@@ -13,6 +13,8 @@
 //! stats                          counters from the last run
 //! trace on|off                   toggle the kernel flight recorder
 //! trace dump [path]              export the last run's Chrome trace
+//! metrics on|off                 toggle the live metrics registry
+//! top                            gauge/utilization summary of the last run
 //! check                          run the protocol checker on the last run
 //! gc                             collect garbage on the last partition
 //! quit
@@ -71,6 +73,11 @@ pub enum Command {
     /// Export the last run's trace: Chrome JSON to the given path, or a
     /// summary to the console when no path is given.
     TraceDump(Option<String>),
+    /// Toggle the live metrics registry for subsequent runs.
+    Metrics(bool),
+    /// Print the last run's metrics summary (per-node utilization and
+    /// final gauges) — the console's `top`.
+    Top,
     /// Run the protocol invariant checker over the last run.
     Check,
     /// Collect garbage on the last run's (quiescent) partition.
@@ -96,6 +103,12 @@ pub fn parse(line: &str) -> Result<Command, String> {
         "stats" => Ok(Command::Stats),
         "check" => Ok(Command::Check),
         "gc" => Ok(Command::Gc),
+        "top" => Ok(Command::Top),
+        "metrics" => match words.next() {
+            Some("on") => Ok(Command::Metrics(true)),
+            Some("off") => Ok(Command::Metrics(false)),
+            _ => Err("usage: metrics on|off".into()),
+        },
         "nodes" => {
             let n: usize = words
                 .next()
@@ -165,6 +178,9 @@ mod tests {
         assert_eq!(parse("trace on").unwrap(), Command::Trace(true));
         assert_eq!(parse("trace off").unwrap(), Command::Trace(false));
         assert_eq!(parse("trace dump").unwrap(), Command::TraceDump(None));
+        assert_eq!(parse("metrics on").unwrap(), Command::Metrics(true));
+        assert_eq!(parse("metrics off").unwrap(), Command::Metrics(false));
+        assert_eq!(parse("top").unwrap(), Command::Top);
         assert_eq!(parse("check").unwrap(), Command::Check);
         assert_eq!(
             parse("trace dump /tmp/t.json").unwrap(),
@@ -205,6 +221,7 @@ mod tests {
         assert!(parse("run fib n").is_err());
         assert!(parse("lb maybe").is_err());
         assert!(parse("trace maybe").is_err());
+        assert!(parse("metrics maybe").is_err());
         assert!(parse("run").is_err());
     }
 }

@@ -12,6 +12,7 @@ pub struct Console {
     seed: u64,
     lb: bool,
     trace: bool,
+    metrics: bool,
     last: Option<SimReport>,
     machine: Option<SimMachine>,
     done: bool,
@@ -24,6 +25,7 @@ impl Default for Console {
             seed: 0x5EED,
             lb: false,
             trace: false,
+            metrics: false,
             last: None,
             machine: None,
             done: false,
@@ -138,6 +140,32 @@ impl Console {
                     },
                 }
             }
+            Command::Metrics(on) => {
+                self.metrics = on;
+                format!("metrics registry = {}", if on { "on" } else { "off" })
+            }
+            Command::Top => {
+                let Some(r) = &self.last else {
+                    return "no run yet (enable with `metrics on`, then run)".into();
+                };
+                let Some(m) = &r.metrics else {
+                    return "no metrics recorded (enable with `metrics on`, then run)".into();
+                };
+                let makespan_ns = r.makespan.as_nanos();
+                let mut out = m.summary(makespan_ns).trim_end().to_string();
+                if let Some(trace) = &r.trace {
+                    let spans = hal_kernel::span::SpanReport::build(trace);
+                    let cp = hal_profile::critical_paths(&spans, 3);
+                    let _ = write!(out, "\n{}", cp.summary(makespan_ns).trim_end());
+                } else {
+                    let _ = write!(
+                        out,
+                        "\n(no trace recorded: `trace on` before running adds \
+                         the critical-path breakdown)"
+                    );
+                }
+                out
+            }
             Command::Check => match &self.last {
                 None => "no run to check (run something first)".into(),
                 Some(r) => {
@@ -248,6 +276,9 @@ impl Console {
         if self.trace {
             builder = builder.trace();
         }
+        if self.metrics {
+            builder = builder.metrics();
+        }
         let machine = match builder.build() {
             Ok(cfg) => cfg,
             Err(e) => return format!("error: {e}"),
@@ -308,6 +339,8 @@ commands:
   stats                     counters from the last run
   trace on|off              kernel flight recorder for subsequent runs
   trace dump [path]         last run's trace: summary, or Chrome JSON to path
+  metrics on|off            live metrics registry for subsequent runs
+  top                       per-node utilization + gauges from the last run
   check                     protocol invariant checker on the last run
   gc                        collect garbage on the last partition
   quit                      exit
@@ -402,6 +435,33 @@ mod tests {
         let body = std::fs::read_to_string(&path).expect("dump file exists");
         assert!(body.starts_with("{\"traceEvents\":["), "{body}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn top_requires_a_metrics_run() {
+        let mut c = Console::new();
+        assert!(c.execute("top").contains("no run yet"));
+        c.execute("nodes 2");
+        c.execute("run fib n=10 grain=3");
+        assert!(c.execute("top").contains("no metrics recorded"));
+    }
+
+    #[test]
+    fn metrics_records_and_top_summarizes() {
+        let mut c = Console::new();
+        c.execute("nodes 2");
+        assert!(c.execute("metrics on").contains("on"));
+        c.execute("run fib n=10 grain=3");
+        let top = c.execute("top");
+        assert!(top.contains("util%"), "{top}");
+        // Metrics alone give gauges but no span DAG.
+        assert!(top.contains("no trace recorded"), "{top}");
+        // With the flight recorder on too, `top` adds the critical path.
+        c.execute("trace on");
+        c.execute("run fib n=10 grain=3");
+        let top = c.execute("top");
+        assert!(top.contains("critical path"), "{top}");
+        assert!(!top.contains("no trace recorded"), "{top}");
     }
 
     #[test]

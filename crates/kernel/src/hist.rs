@@ -120,6 +120,8 @@ mod tests {
             time: VirtualTime::from_nanos(ns),
             node: 0,
             seq: 0,
+            span: 0,
+            parent: 0,
             event,
         }
     }

@@ -29,6 +29,7 @@ use crate::gc::{CoordState, GcState, MarkBatches};
 use crate::group::{home_node, members_on, GroupTable};
 use crate::join::{JoinFn, JoinTable};
 use crate::message::{ContRef, Msg, Target, Value};
+use crate::metrics::{Metrics, Sample};
 use crate::name_server::{NameServer, Resolution};
 use crate::registry::BehaviorRegistry;
 use crate::trace::{KernelEvent, Recorder, TraceEvent, TraceTag};
@@ -160,6 +161,9 @@ pub struct KernelConfig {
     /// Enable the flight recorder ([`crate::trace`]). Off by default;
     /// the disabled path is a single pointer test per hook.
     pub trace: bool,
+    /// Enable the live metrics registry ([`crate::metrics`]). Off by
+    /// default; like tracing, the disabled path is one pointer test.
+    pub metrics: bool,
     /// Seeded fault plan (chaos subsystem). [`FaultPlan::none`] runs the
     /// byte-identical fault-free fast path.
     pub faults: FaultPlan,
@@ -179,6 +183,7 @@ impl KernelConfig {
             seed: 0x5EED,
             opt: OptFlags::default(),
             trace: false,
+            metrics: false,
             faults: FaultPlan::none(),
         }
     }
@@ -232,6 +237,9 @@ pub struct Kernel {
     /// Flight recorder ([`crate::trace`]); `None` when tracing is off,
     /// boxed so the common case carries one cold pointer.
     recorder: Option<Box<Recorder>>,
+    /// Live metrics registry ([`crate::metrics`]); `None` when metrics
+    /// are off, boxed like the recorder.
+    metrics: Option<Box<Metrics>>,
     /// Reliable-delivery sender state (per-peer unacked queues). Only
     /// touched when the fault plan is active and `reliable` is on.
     rel_tx: RelSender<KMsg>,
@@ -251,8 +259,10 @@ impl Kernel {
         let recorder = cfg
             .trace
             .then(|| Box::new(Recorder::new(cfg.me, Recorder::DEFAULT_CAPACITY)));
+        let metrics = cfg.metrics.then(|| Box::new(Metrics::new(cfg.me)));
         Kernel {
             recorder,
+            metrics,
             names: NameServer::new(cfg.me),
             actors: ActorSlab::new(),
             joins: JoinTable::new(),
@@ -302,6 +312,9 @@ impl Kernel {
     #[inline]
     fn charge(&mut self, d: VirtualDuration) {
         self.clock += d;
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.busy_ns += d.as_nanos();
+        }
     }
 
     /// Bound on [`Kernel::args_pool`]: beyond this, spent buffers are
@@ -367,6 +380,43 @@ impl Kernel {
         self.recorder.as_deref()
     }
 
+    /// The live metrics registry, if metrics are enabled.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_deref()
+    }
+
+    /// Sample the metrics gauges if a cadence boundary was crossed.
+    /// Called from the two points where per-node state settles — the
+    /// end of `step` and the end of `deliver` — whose sequence is
+    /// identical at any executor parallelism, so the timeseries is too.
+    #[inline]
+    fn metrics_tick(&mut self) {
+        if self.metrics.is_none() {
+            return;
+        }
+        let template = Sample {
+            at_ns: 0,
+            pending_depth: 0, // filled from the live gauge below
+            name_entries: self.names.table_entries() as u32,
+            inflight_firs: self.firs.outstanding() as u32,
+            ready: self.dispatcher.len() as u32,
+            unknown_buffered: self.unknown_buffer.values().map(Vec::len).sum::<usize>() as u32,
+        };
+        let now = self.clock.as_nanos();
+        let m = self.metrics.as_deref_mut().expect("checked above");
+        let template = Sample { pending_depth: m.pending_depth, ..template };
+        m.advance(now, template);
+    }
+
+    /// Adjust the live pending-queue-depth gauge (park/rescan/migration
+    /// sites).
+    #[inline]
+    fn metrics_pending(&mut self, delta: i64) {
+        if let Some(m) = self.metrics.as_deref_mut() {
+            m.pending_depth = (i64::from(m.pending_depth) + delta).max(0) as u32;
+        }
+    }
+
     /// The shared behavior registry (the loaded program image).
     pub fn registry(&self) -> &BehaviorRegistry {
         &self.registry
@@ -402,10 +452,17 @@ impl Kernel {
     /// is skipped entirely when tracing is off.
     #[inline]
     fn trace_event(&mut self, event: KernelEvent) {
+        self.trace_event_span(event, 0, 0);
+    }
+
+    /// Record one trace event with lifecycle-span attribution (see
+    /// [`TraceEvent::span`]).
+    #[inline]
+    fn trace_event_span(&mut self, event: KernelEvent, span: u64, parent: u64) {
         if let Some(r) = self.recorder.as_deref_mut() {
             let time = self.clock;
             let node = self.cfg.me;
-            r.ring.push(TraceEvent { time, node, seq: 0, event });
+            r.ring.push(TraceEvent { time, node, seq: 0, span, parent, event });
         }
     }
 
@@ -422,6 +479,10 @@ impl Kernel {
                 let id = r.next_msg_id();
                 let time = self.clock;
                 let node = self.cfg.me;
+                // The causal parent: the message whose handler is
+                // executing right now (0 at bootstrap / between
+                // dispatches). This edge is what makes spans a DAG.
+                let parent = r.current_span;
                 msg.trace = Some(TraceTag {
                     id,
                     sent_at: time,
@@ -431,6 +492,8 @@ impl Kernel {
                     time,
                     node,
                     seq: 0,
+                    span: id,
+                    parent,
                     event: KernelEvent::MessageSent { id, key, remote },
                 });
             }
@@ -522,7 +585,25 @@ impl Kernel {
             net.inject(self.clock, self.cfg.me, dst, env, wire);
             return;
         }
+        // Note which message span (if any) rides this reliable packet,
+        // so a later retransmit shows up as a retry on that span.
+        let span = if self.recorder.is_some() {
+            match &env {
+                AmEnvelope::Small(KMsg::Deliver { msg, .. })
+                | AmEnvelope::BulkData { body: KMsg::Deliver { msg, .. }, .. } => {
+                    msg.trace.map_or(0, |t| t.id)
+                }
+                _ => 0,
+            }
+        } else {
+            0
+        };
         let ticket = self.rel_tx.register(dst, env, wire);
+        if span != 0 {
+            if let Some(r) = self.recorder.as_deref_mut() {
+                r.rel_span.insert((dst, ticket.seq), span);
+            }
+        }
         net.inject(
             self.clock,
             self.cfg.me,
@@ -612,6 +693,9 @@ impl Kernel {
                         let cum = self.rel_rx.cum(pkt.src);
                         self.charge(self.cfg.cost.net_send_overhead);
                         self.stats.bump("rel.acks");
+                        if let Some(m) = self.metrics.as_deref_mut() {
+                            m.link_ack(pkt.src);
+                        }
                         net.inject(
                             self.clock,
                             self.cfg.me,
@@ -713,7 +797,15 @@ impl Kernel {
                     for (seq, payload, bytes) in copies {
                         self.charge(self.cfg.cost.net_send_overhead);
                         self.stats.bump("rel.retransmits");
-                        self.trace_event(KernelEvent::Retransmit { peer, seq });
+                        if let Some(m) = self.metrics.as_deref_mut() {
+                            m.link_retransmit(peer);
+                        }
+                        let span = self
+                            .recorder
+                            .as_deref()
+                            .and_then(|r| r.rel_span.get(&(peer, seq)).copied())
+                            .unwrap_or(0);
+                        self.trace_event_span(KernelEvent::Retransmit { peer, seq }, span, 0);
                         net.inject(
                             self.clock,
                             self.cfg.me,
@@ -739,7 +831,12 @@ impl Kernel {
                 }
                 let retries = self.firs.note_reissue(key);
                 self.stats.bump("fir.reissued");
-                self.trace_event(KernelEvent::FirTimeout { key, retries });
+                let span = self
+                    .recorder
+                    .as_deref()
+                    .and_then(|r| r.chase_span.get(&key).copied())
+                    .unwrap_or(0);
+                self.trace_event_span(KernelEvent::FirTimeout { key, retries }, span, 0);
                 // Re-chase from current knowledge: our best guess if we
                 // have one, else the birthplace (which always learns of
                 // migrations, §4.3).
@@ -749,7 +846,7 @@ impl Kernel {
                     Resolution::Unknown => key.birthplace,
                 };
                 if next != self.cfg.me {
-                    self.net_send(net, next, KMsg::Fir { key });
+                    self.net_send(net, next, KMsg::Fir { key, span });
                     net.schedule(
                         self.clock + self.cfg.faults.fir_timeout,
                         self.cfg.me,
@@ -781,12 +878,15 @@ impl Kernel {
                     if let Some(born) = r.alias_born.remove(&key) {
                         let latency_ns =
                             self.clock.as_nanos().saturating_sub(born.as_nanos());
+                        let span = r.alias_span.remove(&key).unwrap_or(0);
                         let time = self.clock;
                         let me = self.cfg.me;
                         r.ring.push(TraceEvent {
                             time,
                             node: me,
                             seq: 0,
+                            span,
+                            parent: 0,
                             event: KernelEvent::AliasResolved { key, latency_ns },
                         });
                     }
@@ -798,12 +898,13 @@ impl Kernel {
                 behavior,
                 init,
                 requester,
-            } => self.handle_create(net, alias, behavior, init, requester),
-            KMsg::Fir { key } => self.handle_fir(net, src, key),
+                span,
+            } => self.handle_create(net, alias, behavior, init, requester, span),
+            KMsg::Fir { key, span } => self.handle_fir(net, src, key, span),
             KMsg::FirFound { key, node, index, epoch } => {
                 self.handle_fir_found(net, key, node, index, epoch)
             }
-            KMsg::Reply { jc, slot, value } => self.fill_join(net, jc, slot, value),
+            KMsg::Reply { jc, slot, value, span } => self.fill_join(net, jc, slot, value, span),
             KMsg::MigrateArrive { image, from, stolen } => {
                 self.handle_migrate_arrive(net, image, from, stolen)
             }
@@ -871,6 +972,7 @@ impl Kernel {
         self.handle_packet(net, pkt);
         let handler_time = self.clock.since(t);
         self.clock = self.clock.max(busy_until + handler_time);
+        self.metrics_tick();
         Some((t, t + handler_time))
     }
 
@@ -1075,7 +1177,12 @@ impl Kernel {
         if self.firs.is_pending(key) {
             // A chase is already running; join it.
             self.stats.bump("fir.suppressed");
-            self.trace_event(KernelEvent::FirSuppressed { key });
+            let span = self
+                .recorder
+                .as_deref()
+                .and_then(|r| r.chase_span.get(&key).copied())
+                .unwrap_or(0);
+            self.trace_event_span(KernelEvent::FirSuppressed { key }, span, 0);
             self.firs.buffer(key, msg);
             return;
         }
@@ -1109,18 +1216,36 @@ impl Kernel {
         self.charge(self.cfg.cost.fir_handle);
         if self.firs.need_location(key) {
             self.stats.bump("fir.sent");
-            self.trace_event(KernelEvent::FirSent { key, to: next_hop });
-            self.net_send(net, next_hop, KMsg::Fir { key });
+            // Open a chase span: every hop of this episode (here and on
+            // relaying nodes) shares it, parented by the message that
+            // triggered the chase.
+            let (span, parent) = match self.recorder.as_deref_mut() {
+                Some(r) => {
+                    let span = r.next_msg_id();
+                    r.chase_span.insert(key, span);
+                    (span, msg.trace.map_or(0, |t| t.id))
+                }
+                None => (0, 0),
+            };
+            self.trace_event_span(KernelEvent::FirSent { key, to: next_hop }, span, parent);
+            self.net_send(net, next_hop, KMsg::Fir { key, span });
             self.arm_fir_watchdog(net, key);
         } else {
             self.stats.bump("fir.suppressed");
-            self.trace_event(KernelEvent::FirSuppressed { key });
+            let span = self
+                .recorder
+                .as_deref()
+                .and_then(|r| r.chase_span.get(&key).copied())
+                .unwrap_or(0);
+            self.trace_event_span(KernelEvent::FirSuppressed { key }, span, 0);
         }
         self.firs.buffer(key, msg);
     }
 
-    /// An FIR arrived from `src` looking for `key`.
-    fn handle_fir(&mut self, net: &mut dyn NetOut, src: NodeId, key: AddrKey) {
+    /// An FIR arrived from `src` looking for `key`. `span` is the chase
+    /// episode's span id, adopted by every relay so all hops of one
+    /// chase share a single span.
+    fn handle_fir(&mut self, net: &mut dyn NetOut, src: NodeId, key: AddrKey, span: u64) {
         if std::env::var("HAL_FIR_TRACE").is_ok() {
             eprintln!("[{}] node {} handle_fir key={key:?} from={src} resolve={:?}", self.clock, self.cfg.me, self.names.resolve(key));
         }
@@ -1147,8 +1272,13 @@ impl Kernel {
                 } else {
                     self.firs.need_location(key);
                     self.firs.add_asker(key, src);
-                    self.trace_event(KernelEvent::FirSent { key, to: node });
-                    self.net_send(net, node, KMsg::Fir { key });
+                    if span != 0 {
+                        if let Some(r) = self.recorder.as_deref_mut() {
+                            r.chase_span.insert(key, span);
+                        }
+                    }
+                    self.trace_event_span(KernelEvent::FirSent { key, to: node }, span, 0);
+                    self.net_send(net, node, KMsg::Fir { key, span });
                     self.arm_fir_watchdog(net, key);
                 }
             }
@@ -1166,8 +1296,17 @@ impl Kernel {
                 } else {
                     self.firs.need_location(key);
                     self.firs.add_asker(key, src);
-                    self.trace_event(KernelEvent::FirSent { key, to: key.birthplace });
-                    self.net_send(net, key.birthplace, KMsg::Fir { key });
+                    if span != 0 {
+                        if let Some(r) = self.recorder.as_deref_mut() {
+                            r.chase_span.insert(key, span);
+                        }
+                    }
+                    self.trace_event_span(
+                        KernelEvent::FirSent { key, to: key.birthplace },
+                        span,
+                        0,
+                    );
+                    self.net_send(net, key.birthplace, KMsg::Fir { key, span });
                     self.arm_fir_watchdog(net, key);
                 }
             }
@@ -1203,13 +1342,27 @@ impl Kernel {
         self.charge(self.cfg.cost.fir_handle);
         self.stats.bump("fir.found");
         self.repair_descriptor(key, node, index, epoch);
+        if let Some(m) = self.metrics.as_deref_mut() {
+            // The located epoch is the forward-chain length behind this
+            // chase — the paper's "how far did the actor get" number.
+            m.chain_epochs.observe(u64::from(epoch));
+        }
         if let Some(pending) = self.firs.complete(key) {
-            self.trace_event(KernelEvent::FirReplyPropagated {
-                key,
-                node,
-                askers: pending.askers.len() as u32,
-                released: pending.buffered.len() as u32,
-            });
+            let span = self
+                .recorder
+                .as_deref_mut()
+                .and_then(|r| r.chase_span.remove(&key))
+                .unwrap_or(0);
+            self.trace_event_span(
+                KernelEvent::FirReplyPropagated {
+                    key,
+                    node,
+                    askers: pending.askers.len() as u32,
+                    released: pending.buffered.len() as u32,
+                },
+                span,
+                0,
+            );
             for asker in pending.askers {
                 self.net_send(net, asker, KMsg::FirFound { key, node, index, epoch });
             }
@@ -1280,11 +1433,19 @@ impl Kernel {
         if self.recorder.is_some() {
             if let Some(tag) = msg.trace {
                 let latency_ns = self.trace_latency_ns(&tag);
-                self.trace_event(KernelEvent::MessageDelivered {
-                    id: tag.id,
-                    latency_ns,
-                    path: tag.path(),
-                });
+                if let Some(r) = self.recorder.as_deref_mut() {
+                    // Enqueue time, for MessageExecuted's queued_ns.
+                    r.delivered_at.insert(tag.id, self.clock);
+                }
+                self.trace_event_span(
+                    KernelEvent::MessageDelivered {
+                        id: tag.id,
+                        latency_ns,
+                        path: tag.path(),
+                    },
+                    tag.id,
+                    0,
+                );
             }
         }
         if self.actors.enqueue(aid, msg) {
@@ -1341,14 +1502,23 @@ impl Kernel {
         self.stats.bump("actors.remote_requests");
         let d = self.names.alloc_remote(node, None, 0);
         let alias = MailAddr::alias(self.cfg.me, d, node, behavior);
+        let mut span = 0;
         if let Some(r) = self.recorder.as_deref_mut() {
+            // Open an alias-creation span: mint (here) → install (at
+            // the target) → resolve (the NameInfo landing back here),
+            // parented by the requesting handler's message.
+            span = r.next_msg_id();
+            let parent = r.current_span;
             r.alias_born.insert(alias.key, self.clock);
+            r.alias_span.insert(alias.key, span);
             let time = self.clock;
             let me = self.cfg.me;
             r.ring.push(TraceEvent {
                 time,
                 node: me,
                 seq: 0,
+                span,
+                parent,
                 event: KernelEvent::AliasCreated { key: alias.key, target: node },
             });
         }
@@ -1360,12 +1530,14 @@ impl Kernel {
                 behavior,
                 init,
                 requester: self.cfg.me,
+                span,
             },
         );
         alias
     }
 
-    /// Remote side of a creation request.
+    /// Remote side of a creation request. `span` is the requester's
+    /// alias-creation span (0 when tracing is off there).
     fn handle_create(
         &mut self,
         net: &mut dyn NetOut,
@@ -1373,6 +1545,7 @@ impl Kernel {
         behavior: BehaviorId,
         init: Vec<Value>,
         requester: NodeId,
+        span: u64,
     ) {
         self.charge(self.cfg.cost.remote_creation_work);
         let Some(b) = self.registry.try_create(behavior, &init) else {
@@ -1391,8 +1564,10 @@ impl Kernel {
         self.names.bind(alias, d);
         if self.recorder.is_some() {
             // The alias key now names a live actor too — deliveries
-            // through it are legitimate from this point on.
-            self.trace_event(KernelEvent::ActorCreated { key: alias });
+            // through it are legitimate from this point on. Carries the
+            // requester's span: this is the "install" leg of the alias
+            // lifecycle (mint → install → resolve).
+            self.trace_event_span(KernelEvent::ActorCreated { key: alias }, span, 0);
         }
         self.actors
             .get_mut(aid)
@@ -1441,15 +1616,24 @@ impl Kernel {
     ) {
         if let Some(pending) = self.firs.complete(key) {
             let me = self.cfg.me;
+            let span = self
+                .recorder
+                .as_deref_mut()
+                .and_then(|r| r.chase_span.remove(&key))
+                .unwrap_or(0);
             // The chase ends here because the actor became local: same
             // terminal event as a reply arriving, so the checker sees
             // every opened chase close.
-            self.trace_event(KernelEvent::FirReplyPropagated {
-                key,
-                node: me,
-                askers: pending.askers.len() as u32,
-                released: pending.buffered.len() as u32,
-            });
+            self.trace_event_span(
+                KernelEvent::FirReplyPropagated {
+                    key,
+                    node: me,
+                    askers: pending.askers.len() as u32,
+                    released: pending.buffered.len() as u32,
+                },
+                span,
+                0,
+            );
             for asker in pending.askers {
                 self.net_send(net, asker, KMsg::FirFound { key, node: me, index, epoch });
             }
@@ -1469,12 +1653,22 @@ impl Kernel {
     // Join continuations (§6.2)
     // ------------------------------------------------------------------
 
-    /// Fill a join slot; fire the continuation if complete.
-    fn fill_join(&mut self, net: &mut dyn NetOut, jc: JcId, slot: u16, value: Value) {
+    /// Fill a join slot; fire the continuation if complete. `span` is
+    /// the span of the message whose handler produced the reply; sends
+    /// issued by the fired continuation are parented by it so the
+    /// causal chain survives the join.
+    fn fill_join(&mut self, net: &mut dyn NetOut, jc: JcId, slot: u16, value: Value, span: u64) {
         self.charge(self.cfg.cost.join_fill);
         if let Some(fired) = self.joins.fill(jc, slot, value) {
             self.charge(self.cfg.cost.join_fire);
             self.stats.bump("joins.fired");
+            let saved = if let Some(r) = self.recorder.as_deref_mut() {
+                let saved = r.current_span;
+                r.current_span = span;
+                saved
+            } else {
+                0
+            };
             let mut ctx = Ctx {
                 k: self,
                 net,
@@ -1486,18 +1680,22 @@ impl Kernel {
             (fired.func)(&mut ctx, fired.values);
             debug_assert!(ctx.become_to.is_none(), "continuations cannot become");
             debug_assert!(ctx.migrate_to.is_none(), "continuations cannot migrate");
+            if let Some(r) = self.recorder.as_deref_mut() {
+                r.current_span = saved;
+            }
         }
     }
 
     /// Route a reply to a continuation reference.
     fn send_reply(&mut self, net: &mut dyn NetOut, cont: ContRef, value: Value) {
+        let span = self.recorder.as_deref().map_or(0, |r| r.current_span);
         match cont {
             ContRef::Join { node, jc, slot } => {
                 if node == self.cfg.me {
-                    self.fill_join(net, jc, slot, value);
+                    self.fill_join(net, jc, slot, value, span);
                 } else {
                     self.stats.bump("replies.remote");
-                    self.net_send(net, node, KMsg::Reply { jc, slot, value });
+                    self.net_send(net, node, KMsg::Reply { jc, slot, value, span });
                 }
             }
             ContRef::Actor { addr, selector } => {
@@ -1531,6 +1729,7 @@ impl Kernel {
             }
         }
         self.stats.bump("migrations.out");
+        self.metrics_pending(-(rec.pendq.len() as i64));
         let image = ActorImage {
             behavior: rec.behavior,
             mailq: rec.mailq.into(),
@@ -1568,6 +1767,7 @@ impl Kernel {
         if self.recorder.is_some() {
             self.trace_event(KernelEvent::ActorMigrated { key: primary, from, epoch });
         }
+        self.metrics_pending(image.pendq.len() as i64);
         let aid = self.actors.insert(ActorRecord {
             behavior: image.behavior,
             addr: MailAddr::ordinary(primary.birthplace, primary.index),
@@ -1846,11 +2046,18 @@ impl Kernel {
                         self.trace_stamp_send(&mut m, addr.key, false);
                         if let Some(tag) = m.trace {
                             let latency_ns = self.trace_latency_ns(&tag);
-                            self.trace_event(KernelEvent::MessageDelivered {
-                                id: tag.id,
-                                latency_ns,
-                                path: tag.path(),
-                            });
+                            if let Some(r) = self.recorder.as_deref_mut() {
+                                r.delivered_at.insert(tag.id, self.clock);
+                            }
+                            self.trace_event_span(
+                                KernelEvent::MessageDelivered {
+                                    id: tag.id,
+                                    latency_ns,
+                                    path: tag.path(),
+                                },
+                                tag.id,
+                                0,
+                            );
                         }
                     }
                     if self.actors.enqueue(aid, m) {
@@ -2110,6 +2317,7 @@ impl Kernel {
         }
         if !self.loopback.is_empty() {
             self.drain_loopback(net);
+            self.metrics_tick();
             return true;
         }
         let Some(aid) = self.dispatcher.pop() else {
@@ -2118,6 +2326,7 @@ impl Kernel {
         self.charge(self.cfg.cost.dispatch);
         self.run_actor(net, aid);
         self.drain_loopback(net);
+        self.metrics_tick();
         true
     }
 
@@ -2157,6 +2366,7 @@ impl Kernel {
                 }
             } else {
                 self.stats.bump("sync.deferred");
+                self.metrics_pending(1);
                 if let Some(r) = self.recorder.as_deref_mut() {
                     if let Some(tag) = msg.trace {
                         r.pending_since.insert(tag.id, self.clock);
@@ -2166,6 +2376,8 @@ impl Kernel {
                             time,
                             node: me,
                             seq: 0,
+                            span: tag.id,
+                            parent: 0,
                             event: KernelEvent::PendingEnqueued { id: tag.id },
                         });
                     }
@@ -2228,6 +2440,7 @@ impl Kernel {
                 if enabled {
                     let msg = rec.pendq.remove(i).expect("index in range");
                     self.stats.bump("sync.resumed");
+                    self.metrics_pending(-1);
                     if let Some(r) = self.recorder.as_deref_mut() {
                         if let Some(tag) = msg.trace {
                             // A message parked on another node can be
@@ -2251,6 +2464,8 @@ impl Kernel {
                                 time,
                                 node: me,
                                 seq: 0,
+                                span: tag.id,
+                                parent: 0,
                                 event: KernelEvent::PendingRescanned {
                                     id: tag.id,
                                     residency_ns,
@@ -2284,6 +2499,17 @@ impl Kernel {
     ) -> Option<NodeId> {
         self.charge(self.cfg.cost.method_invoke);
         self.stats.bump("msgs.processed");
+        // Span bookkeeping: the dispatched message becomes the current
+        // span, so every send the handler issues is parented by it.
+        let tag = msg.trace;
+        let exec_start = self.clock;
+        let saved = if let Some(r) = self.recorder.as_deref_mut() {
+            let saved = r.current_span;
+            r.current_span = tag.map_or(0, |t| t.id);
+            saved
+        } else {
+            0
+        };
         let mut ctx = Ctx {
             ident: Ident::Actor {
                 aid,
@@ -2300,6 +2526,24 @@ impl Kernel {
         let migrate_to = ctx.migrate_to.take();
         if let Some(b) = become_to {
             rec.behavior = b;
+        }
+        if self.recorder.is_some() {
+            if let Some(tag) = tag {
+                let run_ns = self.clock.since(exec_start).as_nanos();
+                let queued_ns = self
+                    .recorder
+                    .as_deref_mut()
+                    .and_then(|r| r.delivered_at.remove(&tag.id))
+                    .map_or(0, |at| exec_start.since(at).as_nanos());
+                self.trace_event_span(
+                    KernelEvent::MessageExecuted { id: tag.id, queued_ns, run_ns },
+                    tag.id,
+                    0,
+                );
+            }
+            if let Some(r) = self.recorder.as_deref_mut() {
+                r.current_span = saved;
+            }
         }
         migrate_to
     }

@@ -22,6 +22,7 @@
 //! | minimal flow control (§6.5) | `hal-am` + [`kernel`] |
 //! | random-polling load balancing (§7.2) | [`balance`] |
 //! | flight recorder (observability) | [`trace`] + [`hist`] |
+//! | lifecycle spans & live metrics (observability) | [`span`] + [`metrics`] |
 //! | node manager (§3) | [`kernel`] (`handle_*`) |
 //! | program load module (§3) | [`registry`] |
 //! | CM-5 cost calibration | [`cost`] |
@@ -46,8 +47,10 @@ pub mod join;
 pub mod kernel;
 pub mod machine;
 pub mod message;
+pub mod metrics;
 pub mod name_server;
 pub mod registry;
+pub mod span;
 pub mod thread_machine;
 pub mod timeline;
 pub mod trace;
@@ -68,5 +71,7 @@ pub use registry::{BehaviorRegistry, FactoryFn};
 pub use thread_machine::{run_threaded, ThreadReport};
 pub use gc::GcReport;
 pub use hist::TraceHists;
+pub use metrics::{Metrics, MetricsReport};
+pub use span::{AliasSpan, ChaseSpan, MsgSpan, SpanReport};
 pub use trace::{DeliveryPath, KernelEvent, TraceEvent, TraceReport};
 pub use wire::{ActorImage, KMsg};

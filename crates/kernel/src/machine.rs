@@ -47,6 +47,9 @@ pub struct MachineConfig {
     pub record_timeline: bool,
     /// Record flight-recorder events on every kernel ([`crate::trace`]).
     pub record_trace: bool,
+    /// Record live metrics timeseries on every kernel
+    /// ([`crate::metrics`]).
+    pub record_metrics: bool,
     /// Host worker threads for the windowed executor: `1` = single
     /// shard (the reference), `0` = all available cores, `k` = exactly
     /// `k` shards (clamped to the node count). The report is
@@ -75,6 +78,7 @@ impl MachineConfig {
             opt: crate::kernel::OptFlags::default(),
             record_timeline: false,
             record_trace: false,
+            record_metrics: false,
             parallelism: 1,
             faults: FaultPlan::none(),
         }
@@ -208,6 +212,19 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Record live metrics timeseries on every kernel.
+    pub fn metrics(mut self) -> Self {
+        self.cfg.record_metrics = true;
+        self
+    }
+
+    /// Record metrics when `on` — the conditional form bench bins use
+    /// to enable the registry only under `--metrics`.
+    pub fn metrics_if(mut self, on: bool) -> Self {
+        self.cfg.record_metrics |= on;
+        self
+    }
+
     /// Host parallelism of the windowed executor (`0` = all cores).
     pub fn parallelism(mut self, k: usize) -> Self {
         self.cfg.parallelism = k;
@@ -248,6 +265,9 @@ pub struct SimReport {
     /// Merged flight-recorder events, present when
     /// [`MachineConfig::record_trace`] was set.
     pub trace: Option<crate::trace::TraceReport>,
+    /// Merged metrics timeseries, present when
+    /// [`MachineConfig::record_metrics`] was set.
+    pub metrics: Option<crate::metrics::MetricsReport>,
     /// End-of-run quiescence audit plus the behavior-registry image —
     /// the protocol checker's ground truth ([`crate::audit`]).
     pub audit: crate::audit::MachineAudit,
@@ -311,6 +331,7 @@ impl SimMachine {
                     seed: cfg.seed,
                     opt: cfg.opt,
                     trace: cfg.record_trace,
+                    metrics: cfg.record_metrics,
                     faults: cfg.faults.clone(),
                 };
                 Kernel::new(kcfg, Arc::clone(&registry))
@@ -567,6 +588,17 @@ impl SimMachine {
         let trace = self.cfg.record_trace.then(|| {
             crate::trace::TraceReport::merge(self.kernels.iter().filter_map(|k| k.recorder()))
         });
+        let metrics = self.cfg.record_metrics.then(|| {
+            let mut report = crate::metrics::MetricsReport::merge(
+                self.kernels.iter().filter_map(|k| k.metrics()),
+            );
+            // Fold trace-ring truncation in as a counter so the loss is
+            // visible in the metrics artifact, not just on stderr.
+            if let Some(t) = &trace {
+                report.set_counter("trace.dropped_events", t.dropped);
+            }
+            report
+        });
         SimReport {
             makespan,
             node_clocks,
@@ -575,6 +607,7 @@ impl SimMachine {
             events: self.events,
             actors_created: actors,
             trace,
+            metrics,
             audit: self.quiescence_audit(),
         }
     }

@@ -74,8 +74,9 @@ pub fn run_threaded(
                 seed: cfg.seed,
                 opt: cfg.opt,
                 trace: cfg.record_trace,
-                // Thread mode has no virtual clock; fault injection is
-                // simulation-only.
+                // Thread mode has no virtual clock: metrics sampling and
+                // fault injection are simulation-only.
+                metrics: false,
                 faults: hal_am::FaultPlan::none(),
             };
             Kernel::new(kcfg, Arc::clone(&registry))

@@ -110,6 +110,20 @@ pub enum KernelEvent {
         /// Virtual nanoseconds from mint to resolution.
         latency_ns: u64,
     },
+    /// A message's handler finished executing (recorded at the end of
+    /// dispatch, stamped with the handler's charged cost). Together
+    /// with [`KernelEvent::MessageSent`] and
+    /// [`KernelEvent::MessageDelivered`] this closes the message
+    /// lifecycle span: send → wire → queue → execute.
+    MessageExecuted {
+        /// Id stamped at send time.
+        id: u64,
+        /// Virtual nanoseconds between mail-queue enqueue and dispatch
+        /// (0 for inline fast-path dispatch, which never enqueues).
+        queued_ns: u64,
+        /// Charged virtual nanoseconds of handler execution.
+        run_ns: u64,
+    },
     /// A message failed its synchronization constraint and was parked
     /// in the pending queue (§6.1).
     PendingEnqueued {
@@ -200,6 +214,7 @@ impl KernelEvent {
         match self {
             KernelEvent::MessageSent { .. } => "MessageSent",
             KernelEvent::MessageDelivered { .. } => "MessageDelivered",
+            KernelEvent::MessageExecuted { .. } => "MessageExecuted",
             KernelEvent::FirSent { .. } => "FirSent",
             KernelEvent::FirSuppressed { .. } => "FirSuppressed",
             KernelEvent::FirReplyPropagated { .. } => "FirReplyPropagated",
@@ -237,8 +252,40 @@ pub struct TraceEvent {
     /// care about causality (the protocol checker's replay) sort each
     /// node's events by `seq`, never by `time`.
     pub seq: u64,
+    /// Lifecycle span this event belongs to (0 = none). Message events
+    /// use the message's trace id; FIR-chase events share one span per
+    /// chase episode; alias events share one span per remote creation.
+    pub span: u64,
+    /// Causal parent span (0 = none): for a [`KernelEvent::MessageSent`]
+    /// the span of the message whose handler issued the send, for an
+    /// opening chase/alias event the message or handler that triggered
+    /// it. Spans plus parents form the causal DAG walked by the
+    /// critical-path analyzer (`hal-profile`).
+    pub parent: u64,
     /// What happened.
     pub event: KernelEvent,
+}
+
+impl TraceEvent {
+    /// Event at `time` on `node` with no span attribution (seq is
+    /// assigned by [`TraceRing::push`]).
+    pub fn at(time: VirtualTime, node: NodeId, event: KernelEvent) -> Self {
+        TraceEvent { time, node, seq: 0, span: 0, parent: 0, event }
+    }
+
+    /// Attach a span id.
+    #[must_use]
+    pub fn with_span(mut self, span: u64) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// Attach a causal parent span.
+    #[must_use]
+    pub fn with_parent(mut self, parent: u64) -> Self {
+        self.parent = parent;
+        self
+    }
 }
 
 /// Per-message metadata riding inside [`crate::Msg`] while tracing is
@@ -350,6 +397,22 @@ pub struct Recorder {
     pub(crate) alias_born: HashMap<AddrKey, VirtualTime>,
     /// Trace id -> park time (for [`KernelEvent::PendingRescanned`]).
     pub(crate) pending_since: HashMap<u64, VirtualTime>,
+    /// Span of the message whose handler is currently executing on this
+    /// node (0 between dispatches). Sends stamp it as their causal
+    /// parent.
+    pub(crate) current_span: u64,
+    /// Trace id -> enqueue time (for
+    /// [`KernelEvent::MessageExecuted::queued_ns`]).
+    pub(crate) delivered_at: HashMap<u64, VirtualTime>,
+    /// Chased key -> the chase episode's span id (minted when the chase
+    /// opens, shared by every hop, popped when the reply propagates).
+    pub(crate) chase_span: HashMap<AddrKey, u64>,
+    /// Alias key -> the remote-creation span id (mint → install →
+    /// resolve).
+    pub(crate) alias_span: HashMap<AddrKey, u64>,
+    /// (peer, link seq) -> the message span riding that reliable-layer
+    /// packet, so retransmits show up as retry sub-events of the span.
+    pub(crate) rel_span: HashMap<(NodeId, u64), u64>,
 }
 
 impl Recorder {
@@ -364,6 +427,11 @@ impl Recorder {
             node_bits: (node as u64) << 48,
             alias_born: HashMap::new(),
             pending_since: HashMap::new(),
+            current_span: 0,
+            delivered_at: HashMap::new(),
+            chase_span: HashMap::new(),
+            alias_span: HashMap::new(),
+            rel_span: HashMap::new(),
         }
     }
 
@@ -428,7 +496,11 @@ impl TraceReport {
     /// Serialize as Chrome trace-event JSON (the `chrome://tracing` /
     /// Perfetto format): one `pid` per machine, one `tid` per node,
     /// deliveries as duration slices (`ph:"X"` spanning send→enqueue),
-    /// everything else as thread-scoped instants (`ph:"i"`).
+    /// everything else as thread-scoped instants (`ph:"i"`). Message
+    /// lifecycle spans additionally render as an async track (`ph:"b"`
+    /// at send, `ph:"e"` at handler completion, keyed by span id) so
+    /// Perfetto draws each message's whole life as one arc even when it
+    /// crosses nodes.
     pub fn chrome_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::from("{\"traceEvents\":[\n");
@@ -456,6 +528,36 @@ impl TraceReport {
         for e in &self.events {
             let ts_us = e.time.as_nanos() as f64 / 1e3;
             let tid = e.node;
+            // The async "message lifecycle" track: one begin/end pair
+            // per span id, opened at send and closed at handler
+            // completion. Unbalanced pairs (ring wrap, still-in-flight
+            // messages) are tolerated by the viewers.
+            match &e.event {
+                KernelEvent::MessageSent { id, .. } => {
+                    let start_us = ts_us;
+                    push(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"msg\",\"cat\":\"span\",\"ph\":\"b\",\"id\":{id},\
+                             \"pid\":0,\"tid\":{tid},\"ts\":{start_us:.3},\
+                             \"args\":{{\"parent\":{}}}}}",
+                            e.parent
+                        ),
+                    );
+                }
+                KernelEvent::MessageExecuted { id, .. } => {
+                    push(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"msg\",\"cat\":\"span\",\"ph\":\"e\",\"id\":{id},\
+                             \"pid\":0,\"tid\":{tid},\"ts\":{ts_us:.3}}}"
+                        ),
+                    );
+                }
+                _ => {}
+            }
             let line = match &e.event {
                 KernelEvent::MessageDelivered { id, latency_ns, path } => {
                     // A slice spanning the delivery latency, ending at
@@ -489,6 +591,9 @@ impl TraceReport {
                         }
                         KernelEvent::AliasResolved { key, latency_ns } => {
                             format!("{{\"key\":\"{key:?}\",\"latency_ns\":{latency_ns}}}")
+                        }
+                        KernelEvent::MessageExecuted { id, queued_ns, run_ns } => {
+                            format!("{{\"id\":{id},\"queued_ns\":{queued_ns},\"run_ns\":{run_ns}}}")
                         }
                         KernelEvent::PendingEnqueued { id } => format!("{{\"id\":{id}}}"),
                         KernelEvent::PendingRescanned { id, residency_ns } => {
@@ -551,12 +656,11 @@ mod tests {
     use crate::addr::DescriptorId;
 
     fn ev(ns: u64, node: NodeId) -> TraceEvent {
-        TraceEvent {
-            time: VirtualTime::from_nanos(ns),
+        TraceEvent::at(
+            VirtualTime::from_nanos(ns),
             node,
-            seq: 0,
-            event: KernelEvent::StealRequest { victim: 0 },
-        }
+            KernelEvent::StealRequest { victim: 0 },
+        )
     }
 
     #[test]
@@ -629,31 +733,55 @@ mod tests {
     #[test]
     fn chrome_json_is_well_formed_enough() {
         let mut r = Recorder::new(0, 16);
-        r.ring.push(TraceEvent {
-            time: VirtualTime::from_nanos(2_000),
-            node: 0,
-            seq: 0,
-            event: KernelEvent::MessageDelivered {
-                id: 7,
-                latency_ns: 1_000,
-                path: DeliveryPath::Remote,
-            },
-        });
-        r.ring.push(TraceEvent {
-            time: VirtualTime::from_nanos(2_500),
-            node: 0,
-            seq: 0,
-            event: KernelEvent::FirSent {
+        r.ring.push(
+            TraceEvent::at(
+                VirtualTime::from_nanos(1_000),
+                0,
+                KernelEvent::MessageSent {
+                    id: 7,
+                    key: AddrKey { birthplace: 0, index: DescriptorId(1) },
+                    remote: true,
+                },
+            )
+            .with_span(7),
+        );
+        r.ring.push(
+            TraceEvent::at(
+                VirtualTime::from_nanos(2_000),
+                0,
+                KernelEvent::MessageDelivered {
+                    id: 7,
+                    latency_ns: 1_000,
+                    path: DeliveryPath::Remote,
+                },
+            )
+            .with_span(7),
+        );
+        r.ring.push(
+            TraceEvent::at(
+                VirtualTime::from_nanos(2_300),
+                0,
+                KernelEvent::MessageExecuted { id: 7, queued_ns: 100, run_ns: 200 },
+            )
+            .with_span(7),
+        );
+        r.ring.push(TraceEvent::at(
+            VirtualTime::from_nanos(2_500),
+            0,
+            KernelEvent::FirSent {
                 key: AddrKey { birthplace: 0, index: DescriptorId(1) },
                 to: 3,
             },
-        });
+        ));
         let report = TraceReport::merge([&r].into_iter());
         let json = report.chrome_json();
         assert!(json.starts_with("{\"traceEvents\":["));
         assert!(json.contains("\"ph\":\"X\""), "{json}");
         assert!(json.contains("\"dur\":1.000"), "{json}");
         assert!(json.contains("FirSent"), "{json}");
+        // The async lifecycle track: a begin at send, an end at execute.
+        assert!(json.contains("\"ph\":\"b\",\"id\":7"), "{json}");
+        assert!(json.contains("\"ph\":\"e\",\"id\":7"), "{json}");
         assert!(json.ends_with("\"displayTimeUnit\":\"ns\"}"));
         // Balanced braces — cheap structural sanity check.
         let open = json.matches('{').count();

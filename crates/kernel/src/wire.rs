@@ -81,12 +81,18 @@ pub enum KMsg {
         init: Vec<Value>,
         /// Requesting node (for the NameInfo cache reply).
         requester: NodeId,
+        /// Lifecycle span of this creation (diagnostic only, like
+        /// [`crate::trace::TraceTag`]: excluded from `wire_bytes`).
+        span: u64,
     },
     /// Forwarding-information request (§4.3). The asker is the packet's
     /// source; each relay records it for the reply path.
     Fir {
         /// The actor being located.
         key: AddrKey,
+        /// The chase episode's span, shared by every hop (diagnostic
+        /// only: excluded from `wire_bytes`).
+        span: u64,
     },
     /// FIR reply propagating back along the forward chain.
     FirFound {
@@ -107,6 +113,10 @@ pub enum KMsg {
         slot: u16,
         /// The reply value.
         value: Value,
+        /// Span of the replying message's handler, adopted by sends the
+        /// fired continuation issues (diagnostic only: excluded from
+        /// `wire_bytes`).
+        span: u64,
     },
     /// An actor arriving by migration (or by work stealing).
     MigrateArrive {
@@ -237,7 +247,7 @@ impl std::fmt::Debug for KMsg {
             }
             KMsg::NameInfo { key, node, .. } => write!(f, "NameInfo({key:?} on {node})"),
             KMsg::Create { alias, .. } => write!(f, "Create(alias {alias:?})"),
-            KMsg::Fir { key } => write!(f, "Fir({key:?})"),
+            KMsg::Fir { key, .. } => write!(f, "Fir({key:?})"),
             KMsg::FirFound { key, node, .. } => write!(f, "FirFound({key:?} on {node})"),
             KMsg::Reply { jc, slot, .. } => write!(f, "Reply(jc{} slot{slot})", jc.0),
             KMsg::MigrateArrive { from, stolen, .. } => {
@@ -279,7 +289,8 @@ mod tests {
                 key: AddrKey {
                     birthplace: 0,
                     index: DescriptorId(0)
-                }
+                },
+                span: 0
             }
             .wire_bytes()
                 <= hal_am::MAX_SMALL_BYTES

@@ -1,0 +1,169 @@
+//! Observability determinism: the span report, the metrics timeseries,
+//! and the critical-path analysis are all derived from virtual-time
+//! facts, so their JSON serializations must be **byte-identical** at
+//! every executor parallelism. `K = 1` is the reference; `K = 2` and
+//! `K = 7` must match it exactly, across seeds, on both a
+//! join-continuation workload (fib) and a migration chase (FIRs +
+//! forward chains + racing probes).
+
+use hal::prelude::*;
+use hal_kernel::span::SpanReport;
+use hal_kernel::SimReport;
+use hal_profile::critical_paths;
+use hal_workloads::fib;
+
+const PARALLELISMS: [usize; 2] = [2, 7];
+const SEEDS: [u64; 3] = [1, 0x5EED, 42];
+
+/// The three observability artifacts of one run, as serialized bytes.
+fn artifacts(label: &str, report: &SimReport) -> (String, String, String) {
+    let trace = report
+        .trace
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: tracing was enabled"));
+    let spans = SpanReport::build(trace);
+    assert!(!spans.msgs.is_empty(), "{label}: no message spans");
+    let makespan_ns = report.makespan.as_nanos();
+    let cp = critical_paths(&spans, 5);
+    if let Some(c) = cp.critical() {
+        assert!(
+            c.total_ns <= makespan_ns,
+            "{label}: critical path {} ns exceeds makespan {} ns",
+            c.total_ns,
+            makespan_ns
+        );
+    }
+    let metrics = report
+        .metrics
+        .as_ref()
+        .unwrap_or_else(|| panic!("{label}: metrics were enabled"));
+    (
+        spans.to_json(),
+        metrics.to_json(makespan_ns),
+        cp.to_json(makespan_ns),
+    )
+}
+
+/// Run `build` at K = 1 and each parallelism level; every serialized
+/// artifact must equal the reference byte-for-byte.
+fn assert_byte_identical(label: &str, build: impl Fn(usize) -> SimReport) {
+    let reference = build(1);
+    let (spans1, metrics1, cp1) = artifacts(label, &reference);
+    for k in PARALLELISMS {
+        let parallel = build(k);
+        let lk = format!("{label} K={k}");
+        let (spans_k, metrics_k, cp_k) = artifacts(&lk, &parallel);
+        assert_eq!(spans1, spans_k, "{lk}: span JSON diverged from K=1");
+        assert_eq!(metrics1, metrics_k, "{lk}: metrics JSON diverged from K=1");
+        assert_eq!(cp1, cp_k, "{lk}: critical-path JSON diverged from K=1");
+    }
+}
+
+#[test]
+fn fib_spans_and_metrics_are_byte_identical() {
+    for seed in SEEDS {
+        assert_byte_identical(&format!("fib seed={seed}"), |k| {
+            let cfg = fib::FibConfig {
+                n: 13,
+                grain: 3,
+                placement: fib::Placement::Local,
+            };
+            let machine = MachineConfig::builder(8)
+                .seed(seed)
+                .load_balancing(true)
+                .trace()
+                .metrics()
+                .parallelism(k)
+                .build()
+                .unwrap();
+            let (v, report) = fib::run_sim(machine, cfg);
+            assert_eq!(v, 233, "fib(13) wrong");
+            report
+        });
+    }
+}
+
+// ---- migration chase: FIR chases and forward chains give the span
+// reconstructor its hardest inputs (chase spans spanning nodes, parked
+// probes, Migrated-path deliveries) ----
+
+struct Nomad {
+    hops: Vec<u16>,
+    probes: i64,
+}
+impl Behavior for Nomad {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg.selector {
+            0 => {
+                if let Some(next) = self.hops.pop() {
+                    let me = ctx.me();
+                    ctx.send(me, 0, vec![]);
+                    ctx.migrate(next);
+                }
+            }
+            1 => {
+                self.probes += 1;
+                ctx.report("probe_delivered", Value::Int(self.probes));
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+struct Spray {
+    target: MailAddr,
+    n: i64,
+}
+impl Behavior for Spray {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        for _ in 0..self.n {
+            ctx.send(self.target, 1, vec![]);
+        }
+    }
+}
+
+fn run_chase(seed: u64, k: usize) -> SimReport {
+    const CHAIN: usize = 8;
+    const PROBES: i64 = 20;
+    let p = 8usize;
+    let mut program = Program::new();
+    let spray = program.behavior("spray", |args: &[Value]| {
+        Box::new(Spray {
+            target: args[0].as_addr(),
+            n: args[1].as_int(),
+        }) as Box<dyn Behavior>
+    });
+    let mut m = SimMachine::new(
+        MachineConfig::builder(p)
+            .seed(seed)
+            .trace()
+            .metrics()
+            .parallelism(k)
+            .build()
+            .unwrap(),
+        program.build(),
+    );
+    m.with_ctx(0, |ctx| {
+        let hops: Vec<u16> = (0..CHAIN).rev().map(|i| ((i % (p - 1)) + 1) as u16).collect();
+        let nomad = ctx.create_local(Box::new(Nomad { hops, probes: 0 }));
+        ctx.send(nomad, 0, vec![]);
+        let s = ctx.create_on(4, spray, vec![Value::Addr(nomad), Value::Int(PROBES)]);
+        ctx.send(s, 0, vec![]);
+    });
+    let report = m.run().unwrap();
+    assert_eq!(
+        report.values("probe_delivered").len(),
+        PROBES as usize,
+        "exactly-once delivery violated"
+    );
+    report
+}
+
+#[test]
+fn migration_chase_spans_and_metrics_are_byte_identical() {
+    for seed in SEEDS {
+        assert_byte_identical(&format!("migration-chase seed={seed}"), |k| {
+            run_chase(seed, k)
+        });
+    }
+}
