@@ -15,11 +15,11 @@ cargo test -q --workspace
 echo "== cargo clippy -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== cargo clippy pedantic (kernel + check + profile) =="
+echo "== cargo clippy pedantic (kernel + check + profile + perf) =="
 # The protocol-critical crates additionally hold a pedantic bar. The
 # allow list below is the accepted legacy noise (cast styles, must_use
 # candidates, doc completeness); anything pedantic outside it fails.
-cargo clippy -p hal-kernel -p hal-check -p hal-profile --all-targets -- -D warnings -W clippy::pedantic \
+cargo clippy -p hal-kernel -p hal-check -p hal-profile -p hal-perf --all-targets -- -D warnings -W clippy::pedantic \
   -A clippy::cast_possible_truncation -A clippy::cast_lossless -A clippy::cast_sign_loss \
   -A clippy::cast_precision_loss -A clippy::cast_possible_wrap -A clippy::must_use_candidate \
   -A clippy::return_self_not_must_use -A clippy::missing_panics_doc -A clippy::missing_errors_doc \
@@ -97,6 +97,53 @@ grep -q '"clean": true' "$smoke_dir/results/CHECK_repro_all.json" \
 grep -q 'SPANS_table5_matmul.json' "$smoke_dir/results/MANIFEST_repro_all.json" \
   || { echo "ci: MANIFEST_repro_all.json is missing span artifacts"; exit 1; }
 echo "   repro_all --check --spans --metrics: CLEAN at K in {1, 7}"
+
+echo "== perf-gate (hal-perf diff vs results/baselines) =="
+# Host-time attribution + throughput rot gate. Two representative bins
+# run quick at K=7 with the profiler on; hal-perf then (a) summarizes
+# the PROF_ artifacts as a smoke test and (b) diffs the fresh BENCH_/
+# PROF_ artifacts against the committed baselines with generous
+# thresholds (deterministic virtual facts exactly; host throughput may
+# drop to 25% of baseline before failing — the CI container is 1-core
+# and noisy). `./ci.sh --update-baselines` regenerates the committed
+# files instead of diffing.
+perf_bins="table4_fib fig3_delivery"
+for bin in $perf_bins; do
+  (cd "$smoke_dir" && HAL_PARALLEL=7 HAL_PROF=1 "$repo_root/target/release/$bin" --quick \
+     >/dev/null 2>"$bin.prof.err")
+  for f in "BENCH_$bin.json" "PROF_$bin.json" "PROF_${bin}_hosttrace.json"; do
+    [ -s "$smoke_dir/results/$f" ] || { echo "ci: $f missing/empty after --prof run"; exit 1; }
+  done
+done
+"$repo_root/target/release/hal-perf" summarize \
+  "$smoke_dir/results/PROF_table4_fib.json" "$smoke_dir/results/PROF_fig3_delivery.json" \
+  | grep -q "top overhead source:" \
+  || { echo "ci: hal-perf summarize produced no verdict"; exit 1; }
+if [ "${1:-}" = "--update-baselines" ]; then
+  mkdir -p results/baselines
+  for bin in $perf_bins; do
+    cp "$smoke_dir/results/BENCH_$bin.json" "$smoke_dir/results/PROF_$bin.json" results/baselines/
+  done
+  echo "   baselines regenerated under results/baselines/ — review and commit"
+else
+  "$repo_root/target/release/hal-perf" diff \
+    --baselines results/baselines --fresh "$smoke_dir/results" \
+    || { echo "ci: perf gate failed against committed baselines"; exit 1; }
+  # The gate must also FAIL when pointed at a genuinely regressed
+  # baseline: inflate the committed throughput 10000x so the fresh run
+  # looks collapsed, and require a nonzero exit.
+  mkdir -p "$smoke_dir/regressed_baselines"
+  for f in results/baselines/*.json; do
+    sed 's/"events_per_sec": \([0-9][0-9]*\)/"events_per_sec": \19999/g' "$f" \
+      >"$smoke_dir/regressed_baselines/$(basename "$f")"
+  done
+  if "$repo_root/target/release/hal-perf" diff \
+       --baselines "$smoke_dir/regressed_baselines" --fresh "$smoke_dir/results" >/dev/null 2>&1; then
+    echo "ci: hal-perf diff passed on a synthetically regressed baseline — the gate is inert"
+    exit 1
+  fi
+  echo "   perf gate: committed baselines pass, synthetic regression caught"
+fi
 
 echo "== cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet

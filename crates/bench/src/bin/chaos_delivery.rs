@@ -75,7 +75,7 @@ fn run(rate: f64, chain: usize, probes: i64) -> ChaosRun {
     let cfg = MachineConfig::builder(p)
         .seed(5)
         .faults(FaultPlan::chaos(rate))
-        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled())
+        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
         .parallelism(out::parallelism())
         .build()
         .unwrap();

@@ -61,7 +61,7 @@ fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64, Option<TraceRepor
     let mut m = SimMachine::new(
         MachineConfig::builder(p)
             .seed(5)
-            .trace().metrics_if(out::metrics_enabled())
+            .trace().metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
             .parallelism(out::parallelism()).build().unwrap(),
         program.build(),
     );

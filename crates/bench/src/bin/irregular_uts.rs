@@ -31,7 +31,7 @@ fn main() {
                 run_sim(
                     MachineConfig::builder(p)
                         .seed(1)
-                        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled())
+                        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
                         .parallelism(out::parallelism()).build().unwrap(),
                     cfg,
                 )
@@ -44,7 +44,7 @@ fn main() {
                         MachineConfig::builder(p)
                             .seed(1)
                             .load_balancing(true)
-                            .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled())
+                            .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
                             .parallelism(out::parallelism()).build().unwrap(),
                         cfg,
                     )

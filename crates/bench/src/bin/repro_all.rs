@@ -25,6 +25,12 @@
 //! `HAL_PARALLEL=7` and each file is asserted **byte-identical**
 //! between the K=1 and K=7 runs.
 //!
+//! With `--prof`, every bin also records the host-time executor profile
+//! (`results/PROF_<bin>.json` + `_hosttrace.json`). Those carry *host*
+//! facts — they are exempt from the byte-identity assertions and each
+//! leg overwrites them, so the surviving files describe the parallel
+//! leg.
+//!
 //! Artifact hygiene: stale derived files (`*_trace.json`, `SPANS_*`,
 //! `METRICS_*`, `CHECK_*`) are deleted before the sweep, and
 //! `results/MANIFEST_repro_all.json` records every artifact this sweep
@@ -112,6 +118,7 @@ fn parse_benchlines(stderr: &str) -> Vec<(String, f64)> {
 fn run_bin(bin: &str, parallel: &str, quick: bool, check: bool) -> std::process::Output {
     let spans = out::spans_enabled();
     let metrics = out::metrics_enabled();
+    let prof = out::prof_enabled();
     // Prefer the sibling executable next to this one: it lets CI run
     // the whole sweep from a scratch directory (results/ under that
     // directory, committed files untouched). Fall back to cargo for
@@ -141,6 +148,9 @@ fn run_bin(bin: &str, parallel: &str, quick: bool, check: bool) -> std::process:
     if metrics {
         cmd.env("HAL_METRICS", "1");
     }
+    if prof {
+        cmd.env("HAL_PROF", "1");
+    }
     let out = cmd
         .output()
         .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
@@ -164,7 +174,7 @@ fn check_clean(bin: &str) -> bool {
 }
 
 /// Derived artifacts a bin regenerates this sweep, given the flags.
-fn bin_artifacts(bin: &str, check: bool, spans: bool, metrics: bool) -> Vec<String> {
+fn bin_artifacts(bin: &str, check: bool, spans: bool, metrics: bool, prof: bool) -> Vec<String> {
     let mut v = vec![format!("results/{bin}.txt"), format!("results/BENCH_{bin}.json")];
     if TRACE_EXPORTS.contains(&bin) {
         v.push(format!("results/{bin}_trace.json"));
@@ -177,6 +187,10 @@ fn bin_artifacts(bin: &str, check: bool, spans: bool, metrics: bool) -> Vec<Stri
     }
     if metrics {
         v.push(format!("results/METRICS_{bin}.json"));
+    }
+    if prof {
+        v.push(format!("results/PROF_{bin}.json"));
+        v.push(format!("results/PROF_{bin}_hosttrace.json"));
     }
     v
 }
@@ -195,6 +209,7 @@ fn remove_stale_artifacts() {
             || name.starts_with("SPANS_")
             || name.starts_with("METRICS_")
             || name.starts_with("CHECK_")
+            || name.starts_with("PROF_")
             || name.starts_with("MANIFEST_");
         if stale {
             if let Err(e) = std::fs::remove_file(entry.path()) {
@@ -209,6 +224,7 @@ fn main() {
     let check = out::check_enabled();
     let spans = out::spans_enabled();
     let metrics = out::metrics_enabled();
+    let prof = out::prof_enabled();
     std::fs::create_dir_all("results").expect("create results/");
     remove_stale_artifacts();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -216,6 +232,14 @@ fn main() {
     // pinned so the determinism assertions cover a reproducible K pair
     // (1 and 7) rather than whatever the host happens to have.
     let par_level = if check || spans || metrics { "7" } else { "auto" };
+    // The K the parallel leg actually runs at — `auto` means one shard
+    // per visible core. Recorded separately from `host_cores` so the
+    // JSON never again conflates "cores the host has" with "shards the
+    // parallel leg used".
+    let par_parallelism = match par_level {
+        "auto" => cores,
+        k => k.parse::<usize>().expect("par level is a number"),
+    };
     let mut results = Vec::new();
     let mut checks: Vec<(&str, bool, bool)> = Vec::new();
     let mut manifest: Vec<String> = Vec::new();
@@ -229,7 +253,7 @@ fn main() {
         let seq_clean = check && check_clean(bin);
         // Snapshot the K=1 span/metrics artifacts before the parallel
         // run overwrites them.
-        let det_files: Vec<String> = bin_artifacts(bin, false, spans, metrics)
+        let det_files: Vec<String> = bin_artifacts(bin, false, spans, metrics, false)
             .into_iter()
             .filter(|p| p.contains("SPANS_") || p.contains("METRICS_"))
             .collect();
@@ -263,7 +287,7 @@ fn main() {
                  span/metrics export leaked host-dependent state"
             );
         }
-        for p in bin_artifacts(bin, check, spans, metrics) {
+        for p in bin_artifacts(bin, check, spans, metrics, prof) {
             assert!(
                 std::path::Path::new(&p).is_file(),
                 "{bin}: expected artifact {p} was not produced"
@@ -343,7 +367,7 @@ fn main() {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"repro_all\",\n  \"host_cores\": {cores},\n  \"quick\": {quick},\n  \"bins\": [\n{bins_json}\n  ],\n  \"total_seq_wall_ms\": {seq_total:.3},\n  \"total_par_wall_ms\": {par_total:.3},\n  \"total_speedup\": {total_speedup:.3}\n}}\n"
+        "{{\n  \"bench\": \"repro_all\",\n  \"host_cores\": {cores},\n  \"seq_parallelism\": 1,\n  \"par_parallelism\": {par_parallelism},\n  \"quick\": {quick},\n  \"bins\": [\n{bins_json}\n  ],\n  \"total_seq_wall_ms\": {seq_total:.3},\n  \"total_par_wall_ms\": {par_total:.3},\n  \"total_speedup\": {total_speedup:.3}\n}}\n"
     );
     std::fs::write("results/BENCH_repro_all.json", json).expect("write BENCH_repro_all.json");
 

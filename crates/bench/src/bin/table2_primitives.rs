@@ -35,7 +35,7 @@ fn main() {
     let fresh = || {
         SimMachine::new(
             MachineConfig::builder(4)
-                .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled())
+                .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
                 .parallelism(out::parallelism()).build().unwrap(),
             registry.clone(),
         )

@@ -136,7 +136,7 @@ fn main() {
     let mut program = Program::new();
     let _probe = synth::register(&mut program);
     let mut m = SimMachine::new(
-        MachineConfig::builder(1).trace().metrics_if(out::metrics_enabled()).build().unwrap(),
+        MachineConfig::builder(1).trace().metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled()).build().unwrap(),
         program.build(),
     );
     let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink { hits: 0 })));

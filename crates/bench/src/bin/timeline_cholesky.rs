@@ -24,7 +24,7 @@ fn show(variant: Variant) {
         MachineConfig::builder(p)
             .seed(9)
             .timeline()
-            .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled())
+            .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
             .parallelism(out::parallelism()).build().unwrap(),
         program.build(),
     );

@@ -26,6 +26,12 @@
 //! * `--metrics` / `HAL_METRICS=1` — enable the live metrics registry
 //!   ([`hal_kernel::metrics`], via `.metrics_if(out::metrics_enabled())`)
 //!   and write `results/METRICS_<bin>.json`.
+//! * `--prof` / `HAL_PROF=1` — enable the host-time executor profiler
+//!   ([`hal_kernel::prof`], via `.prof_if(out::prof_enabled())`) and
+//!   write `results/PROF_<bin>.json` plus a Chrome-trace host timeline
+//!   `results/PROF_<bin>_hosttrace.json` (one track per shard thread).
+//!   Host-time facts live only in these two artifacts — unlike every
+//!   other artifact family they are *expected* to differ run to run.
 //!
 //! Timing lines go to **stderr**: stdout stays byte-identical across
 //! parallelism levels so `ci.sh` can diff sequential vs parallel runs.
@@ -64,6 +70,14 @@ static SPANS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
 
 /// Per-run JSON fragments accumulated for `results/METRICS_<bin>.json`.
 static METRICS: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Per-run JSON fragments accumulated for `results/PROF_<bin>.json`
+/// (label, [`hal_kernel::ProfReport::to_json`] object).
+static PROF: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+
+/// Per-run Chrome trace-event fragments for
+/// `results/PROF_<bin>_hosttrace.json` (one `pid` per run).
+static PROF_TRACE: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
 /// The executor parallelism requested for this process: `--parallel`
 /// (bare or `--parallel=K`) on the command line, else the
@@ -121,6 +135,13 @@ pub fn metrics_enabled() -> bool {
     std::env::args().skip(1).any(|a| a == "--metrics") || std::env::var("HAL_METRICS").is_ok()
 }
 
+/// True when the host-time executor profiler should be enabled:
+/// `--prof` on the command line or `HAL_PROF` set. Bins pass this to
+/// [`hal_kernel::MachineConfigBuilder::prof_if`].
+pub fn prof_enabled() -> bool {
+    std::env::args().skip(1).any(|a| a == "--prof") || std::env::var("HAL_PROF").is_ok()
+}
+
 /// True when the flight recorder is needed by any enabled pass — what
 /// bins feed to [`hal_kernel::MachineConfigBuilder::trace_if`].
 pub fn trace_wanted() -> bool {
@@ -167,6 +188,38 @@ pub fn note_run_with(
                 trace.dropped
             );
         }
+    }
+    if let Some(m) = &report.metrics {
+        let dropped = m.counter("metrics.dropped_samples");
+        if dropped > 0 {
+            eprintln!(
+                "WARNING {label}: metrics sampler dropped {dropped} gauge sample(s) — timeseries are partial"
+            );
+        }
+    }
+    if let Some(prof) = &report.prof {
+        let (top, frac) = prof.top_overhead();
+        eprintln!(
+            "PROFLINE {label} mode={} k={} wall_ms={:.3} top_overhead={top} top_overhead_pct={:.1}",
+            prof.mode,
+            prof.k,
+            prof.wall_ns as f64 / 1e6,
+            100.0 * frac
+        );
+        let mut runs = PROF.lock().expect("bench prof lock");
+        let pid = runs.len();
+        runs.push((
+            label.clone(),
+            format!(
+                "{{\"label\": \"{}\", \"prof\": {}}}",
+                json_escape(&label),
+                prof.to_json()
+            ),
+        ));
+        PROF_TRACE
+            .lock()
+            .expect("bench prof trace lock")
+            .push(prof.chrome_events(pid, &label));
     }
     if spans_enabled() {
         if let Some(trace) = &report.trace {
@@ -308,6 +361,9 @@ pub fn finish(bin: &str) {
         let runs = std::mem::take(&mut *METRICS.lock().expect("bench metrics lock"));
         write_artifact(&format!("results/METRICS_{bin}.json"), "METRICSFILE", bin, &runs);
     }
+    if prof_enabled() {
+        write_prof_artifacts(bin);
+    }
 
     if check_enabled() {
         let mut report = CHECK
@@ -327,6 +383,51 @@ pub fn finish(bin: &str) {
             std::process::exit(1);
         }
     }
+}
+
+/// Write the two host-time profile artifacts: `results/PROF_<bin>.json`
+/// (per-run [`hal_kernel::ProfReport`] objects under a host header) and
+/// `results/PROF_<bin>_hosttrace.json` (a Chrome trace-event array, one
+/// `pid` per run, one `tid` per shard thread — load in
+/// `chrome://tracing` / Perfetto).
+fn write_prof_artifacts(bin: &str) {
+    let runs = std::mem::take(&mut *PROF.lock().expect("bench prof lock"));
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut body = String::new();
+    for (i, (_, obj)) in runs.iter().enumerate() {
+        if i > 0 {
+            body.push_str(",\n");
+        }
+        body.push_str("    ");
+        body.push_str(obj);
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"{}\",\n  \"parallelism\": {},\n  \"host_cores\": {},\n  \"runs\": [\n{}\n  ]\n}}\n",
+        json_escape(bin),
+        parallelism(),
+        host_cores,
+        body
+    );
+    let path = format!("results/PROF_{bin}.json");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|_| std::fs::File::create(&path))
+        .and_then(|mut f| f.write_all(json.as_bytes()))
+    {
+        eprintln!("bench out: writing {path} failed: {e}");
+        return;
+    }
+    eprintln!("PROFFILE {path}");
+
+    let traces = std::mem::take(&mut *PROF_TRACE.lock().expect("bench prof trace lock"));
+    let trace_path = format!("results/PROF_{bin}_hosttrace.json");
+    let trace_json = format!("[{}]\n", traces.join(",\n"));
+    if let Err(e) = std::fs::File::create(&trace_path)
+        .and_then(|mut f| f.write_all(trace_json.as_bytes()))
+    {
+        eprintln!("bench out: writing {trace_path} failed: {e}");
+        return;
+    }
+    eprintln!("PROFTRACE {trace_path}");
 }
 
 /// Write one per-run JSON artifact (`SPANS_*` / `METRICS_*`) and print

@@ -13,6 +13,7 @@ pub struct Console {
     lb: bool,
     trace: bool,
     metrics: bool,
+    prof: bool,
     last: Option<SimReport>,
     machine: Option<SimMachine>,
     done: bool,
@@ -26,6 +27,7 @@ impl Default for Console {
             lb: false,
             trace: false,
             metrics: false,
+            prof: false,
             last: None,
             machine: None,
             done: false,
@@ -143,6 +145,16 @@ impl Console {
             Command::Metrics(on) => {
                 self.metrics = on;
                 format!("metrics registry = {}", if on { "on" } else { "off" })
+            }
+            Command::Prof(Some(on)) => {
+                self.prof = on;
+                format!("host-time profiler = {}", if on { "on" } else { "off" })
+            }
+            Command::Prof(None) => {
+                match self.last.as_ref().and_then(|r| r.prof.as_ref()) {
+                    None => "no profile recorded (enable with `prof on`, then run)".into(),
+                    Some(p) => p.summary().trim_end().to_string(),
+                }
             }
             Command::Top => {
                 let Some(r) = &self.last else {
@@ -279,6 +291,9 @@ impl Console {
         if self.metrics {
             builder = builder.metrics();
         }
+        if self.prof {
+            builder = builder.prof();
+        }
         let machine = match builder.build() {
             Ok(cfg) => cfg,
             Err(e) => return format!("error: {e}"),
@@ -340,6 +355,8 @@ commands:
   trace on|off              kernel flight recorder for subsequent runs
   trace dump [path]         last run's trace: summary, or Chrome JSON to path
   metrics on|off            live metrics registry for subsequent runs
+  prof on|off               host-time executor profiler for subsequent runs
+  prof                      host-time phase breakdown of the last run
   top                       per-node utilization + gauges from the last run
   check                     protocol invariant checker on the last run
   gc                        collect garbage on the last partition
@@ -462,6 +479,22 @@ mod tests {
         let top = c.execute("top");
         assert!(top.contains("critical path"), "{top}");
         assert!(!top.contains("no trace recorded"), "{top}");
+    }
+
+    #[test]
+    fn prof_records_and_summarizes() {
+        let mut c = Console::new();
+        assert!(c.execute("prof").contains("no profile recorded"));
+        c.execute("nodes 2");
+        // A run without `prof on` records nothing.
+        c.execute("run fib n=10 grain=3");
+        assert!(c.execute("prof").contains("no profile recorded"));
+        assert!(c.execute("prof on").contains("on"));
+        c.execute("run fib n=10 grain=3");
+        let out = c.execute("prof");
+        assert!(out.contains("host-time profile:"), "{out}");
+        assert!(out.contains("top overhead:"), "{out}");
+        assert!(c.execute("prof off").contains("off"));
     }
 
     #[test]

@@ -30,11 +30,13 @@
 
 use crate::error::MachineError;
 use crate::kernel::{Kernel, NetOut};
+use crate::prof::{CoordClock, ProfReport, ShardClock, ShardProf};
 use crate::timeline::SpanKind;
 use crate::wire::KMsg;
 use hal_am::{AmEnvelope, Fate, LinkModel, LinkState, NodeId, Packet};
 use hal_des::{EventQueue, VirtualTime};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Lookahead of a link model in nanoseconds: no injection at `now` can
 /// arrive before `now + inject_overhead + latency` (transmission time
@@ -192,10 +194,15 @@ impl Shard {
     }
 
     /// Execute every action of this shard with `t < cmd.end`, staging
-    /// all sends, then summarize the new frontier.
-    fn run_window(&mut self, cmd: WindowCmd) -> Summary {
+    /// all sends, then summarize the new frontier. When profiling, the
+    /// window's host time is attributed phase by phase into `clock`.
+    fn run_window(&mut self, cmd: WindowCmd, clock: &mut Option<ShardClock>) -> Summary {
+        let arrivals = cmd.arrivals.len() as u64;
         for (t, seq, pkt) in cmd.arrivals {
             self.queue.push_at(t, seq, pkt);
+        }
+        if let Some(c) = clock.as_mut() {
+            c.inject(arrivals, self.queue.len() as u64);
         }
         let end = cmd.end;
         let mut events = 0u64;
@@ -312,8 +319,15 @@ impl Shard {
                 }
             }
         }
+        if let Some(c) = clock.as_mut() {
+            c.execute(events);
+        }
         let mut s = self.summarize();
         s.events = events;
+        if let Some(c) = clock.as_mut() {
+            c.queue(s.staged.len() as u64);
+            c.window();
+        }
         s
     }
 
@@ -354,6 +368,8 @@ pub(crate) struct EngineOut {
     /// Engine-level failure (the event valve), surfaced as a typed error
     /// instead of a cross-thread panic.
     pub error: Option<MachineError>,
+    /// Host-time profile of the run, when profiling was requested.
+    pub prof: Option<ProfReport>,
 }
 
 /// Barrier-side state: the shared link resources plus window planning.
@@ -379,7 +395,14 @@ impl Coordinator {
     /// order, and plan the next window. `None` means the run is over
     /// (drained, a kernel stopped the machine, or the event valve blew
     /// — see [`Coordinator::error`]).
-    fn barrier(&mut self, summaries: &mut [Summary]) -> Option<Vec<WindowCmd>> {
+    fn barrier(
+        &mut self,
+        summaries: &mut [Summary],
+        clock: &mut Option<CoordClock>,
+    ) -> Option<Vec<WindowCmd>> {
+        if let Some(c) = clock.as_mut() {
+            c.enter();
+        }
         for s in summaries.iter() {
             self.events += s.events;
         }
@@ -392,6 +415,7 @@ impl Coordinator {
             staged.append(&mut s.staged);
         }
         staged.sort_by_key(|s| s.key);
+        let staged_count = staged.len() as u64;
         for st in staged {
             match st.op {
                 StagedOp::Send {
@@ -435,13 +459,22 @@ impl Coordinator {
                 }
             }
         }
+        if let Some(c) = clock.as_mut() {
+            c.replay(staged_count);
+        }
         if summaries.iter().any(|s| s.stopped) {
+            if let Some(c) = clock.as_mut() {
+                c.plan();
+            }
             return None;
         }
         if self.max_events > 0 && self.events >= self.max_events {
             self.error = Some(MachineError::MaxEvents {
                 limit: self.max_events,
             });
+            if let Some(c) = clock.as_mut() {
+                c.plan();
+            }
             return None;
         }
         // Earliest pending action anywhere decides the next window.
@@ -475,7 +508,13 @@ impl Coordinator {
                 }
             }
         }
-        let t_next = t_next?; // nothing pending: drained
+        let Some(t_next) = t_next else {
+            // Nothing pending anywhere: the run has drained.
+            if let Some(c) = clock.as_mut() {
+                c.plan();
+            }
+            return None;
+        };
         let m = (t_next.as_nanos() / self.window_ns).max(self.next_window);
         self.next_window = m + 1;
         let start = VirtualTime::from_nanos(m * self.window_ns);
@@ -507,6 +546,9 @@ impl Coordinator {
             for c in &mut cmds {
                 c.polls.sort_unstable();
             }
+        }
+        if let Some(c) = clock.as_mut() {
+            c.plan();
         }
         Some(cmds)
     }
@@ -569,6 +611,7 @@ fn assemble(mut shards: Vec<Shard>, link: LinkState, events: u64) -> EngineOut {
             .map(|(_, n, a, b, kind)| (n, a, b, kind))
             .collect(),
         error: None,
+        prof: None,
     }
 }
 
@@ -587,12 +630,18 @@ pub(crate) fn run(
     lb: bool,
     max_events: u64,
     record_timeline: bool,
+    record_prof: bool,
 ) -> EngineOut {
     let window_ns = lookahead_ns(&link.model());
     assert!(window_ns > 0, "windowed executor needs nonzero lookahead");
     let nodes = kernels.len();
     let k = k.clamp(1, nodes.max(1));
     let lb = lb && nodes > 1;
+    // Shared monotonic anchor: every shard ledger and the Chrome host
+    // timeline stamp times relative to this instant, so the per-thread
+    // tracks line up.
+    let anchor = Instant::now();
+    let mut coord_clock = record_prof.then(|| CoordClock::new(anchor));
     let mut coord = Coordinator {
         link,
         window_ns,
@@ -607,69 +656,114 @@ pub(crate) fn run(
     let mut shards = make_shards(kernels, pending, k, record_timeline);
     if k == 1 {
         // Inline driver — this is the reference the threaded path must
-        // match bit for bit.
+        // match bit for bit. Everything runs on one thread, so from the
+        // shard ledger's perspective the coordinator's barrier work is
+        // the window-barrier stall, exactly like a worker blocked on
+        // its command channel.
+        let mut clock = record_prof.then(|| ShardClock::new(0, anchor));
         let mut summaries = vec![shards[0].summarize()];
-        while let Some(mut cmds) = coord.barrier(&mut summaries) {
-            summaries = vec![shards[0].run_window(cmds.pop().expect("one shard"))];
+        if let Some(c) = clock.as_mut() {
+            c.queue(0); // initial frontier probe
+        }
+        loop {
+            let Some(mut cmds) = coord.barrier(&mut summaries, &mut coord_clock) else {
+                break;
+            };
+            if let Some(c) = clock.as_mut() {
+                c.stall();
+            }
+            summaries = vec![shards[0].run_window(cmds.pop().expect("one shard"), &mut clock)];
         }
         let events = coord.events;
         let mut out = assemble(shards, coord.link, events);
         out.pending.extend(drain_inbox(&mut coord.inbox));
         out.error = coord.error;
+        out.prof = clock.map(|c| ProfReport {
+            mode: "windowed",
+            k: 1,
+            host_cores: host_cores(),
+            wall_ns: anchor.elapsed().as_nanos() as u64,
+            coordinator: coord_clock.map(CoordClock::finish),
+            shards: vec![c.finish()],
+        });
         return out;
     }
 
-    let shards: Vec<Shard> = std::thread::scope(|scope| {
-        let mut cmd_txs = Vec::with_capacity(k);
-        let (sum_tx, sum_rx) = mpsc::channel::<(usize, Summary)>();
-        let mut handles = Vec::with_capacity(k);
-        for (id, mut shard) in shards.into_iter().enumerate() {
-            let (cmd_tx, cmd_rx) = mpsc::channel::<WindowCmd>();
-            cmd_txs.push(cmd_tx);
-            let sum_tx = sum_tx.clone();
-            handles.push(scope.spawn(move || {
-                // Initial probe so the coordinator can plan window 0.
-                if sum_tx.send((id, shard.summarize())).is_err() {
-                    return shard;
-                }
-                while let Ok(cmd) = cmd_rx.recv() {
-                    let s = shard.run_window(cmd);
-                    if sum_tx.send((id, s)).is_err() {
-                        break;
+    let (shards, shard_profs): (Vec<Shard>, Vec<Option<ShardProf>>) =
+        std::thread::scope(|scope| {
+            let mut cmd_txs = Vec::with_capacity(k);
+            let (sum_tx, sum_rx) = mpsc::channel::<(usize, Summary)>();
+            let mut handles = Vec::with_capacity(k);
+            for (id, mut shard) in shards.into_iter().enumerate() {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<WindowCmd>();
+                cmd_txs.push(cmd_tx);
+                let sum_tx = sum_tx.clone();
+                handles.push(scope.spawn(move || {
+                    let mut clock = record_prof.then(|| ShardClock::new(id, anchor));
+                    // Initial probe so the coordinator can plan window 0.
+                    let s0 = shard.summarize();
+                    if let Some(c) = clock.as_mut() {
+                        c.queue(0);
                     }
+                    if sum_tx.send((id, s0)).is_err() {
+                        return (shard, clock.map(ShardClock::finish));
+                    }
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        if let Some(c) = clock.as_mut() {
+                            c.stall();
+                        }
+                        let s = shard.run_window(cmd, &mut clock);
+                        if sum_tx.send((id, s)).is_err() {
+                            break;
+                        }
+                    }
+                    (shard, clock.map(ShardClock::finish))
+                }));
+            }
+            drop(sum_tx);
+            let collect = |rx: &mpsc::Receiver<(usize, Summary)>| -> Vec<Summary> {
+                let mut slots: Vec<Option<Summary>> = (0..k).map(|_| None).collect();
+                for _ in 0..k {
+                    let (id, s) = rx.recv().expect("shard died mid-window");
+                    slots[id] = Some(s);
                 }
-                shard
-            }));
-        }
-        drop(sum_tx);
-        let collect = |rx: &mpsc::Receiver<(usize, Summary)>| -> Vec<Summary> {
-            let mut slots: Vec<Option<Summary>> = (0..k).map(|_| None).collect();
-            for _ in 0..k {
-                let (id, s) = rx.recv().expect("shard died mid-window");
-                slots[id] = Some(s);
+                slots.into_iter().map(|s| s.expect("summary")).collect()
+            };
+            let mut summaries = collect(&sum_rx);
+            while let Some(cmds) = coord.barrier(&mut summaries, &mut coord_clock) {
+                for (tx, cmd) in cmd_txs.iter().zip(cmds) {
+                    tx.send(cmd).expect("shard hung up");
+                }
+                summaries = collect(&sum_rx);
             }
-            slots.into_iter().map(|s| s.expect("summary")).collect()
-        };
-        let mut summaries = collect(&sum_rx);
-        while let Some(cmds) = coord.barrier(&mut summaries) {
-            for (tx, cmd) in cmd_txs.iter().zip(cmds) {
-                tx.send(cmd).expect("shard hung up");
-            }
-            summaries = collect(&sum_rx);
-        }
-        // Closing the command channels tells the workers to exit with
-        // their shard state.
-        drop(cmd_txs);
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("shard panicked"))
-            .collect()
-    });
+            // Closing the command channels tells the workers to exit with
+            // their shard state.
+            drop(cmd_txs);
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard panicked"))
+                .unzip()
+        });
     let events = coord.events;
     let mut out = assemble(shards, coord.link, events);
     out.pending.extend(drain_inbox(&mut coord.inbox));
     out.error = coord.error;
+    if record_prof {
+        out.prof = Some(ProfReport {
+            mode: "windowed",
+            k,
+            host_cores: host_cores(),
+            wall_ns: anchor.elapsed().as_nanos() as u64,
+            coordinator: coord_clock.map(CoordClock::finish),
+            shards: shard_profs.into_iter().flatten().collect(),
+        });
+    }
     out
+}
+
+/// Host cores visible to this process (affinity/cgroup aware).
+pub(crate) fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
 /// Arrivals replayed at the final barrier but never delivered (the run

@@ -23,6 +23,7 @@
 //! | random-polling load balancing (§7.2) | [`balance`] |
 //! | flight recorder (observability) | [`trace`] + [`hist`] |
 //! | lifecycle spans & live metrics (observability) | [`span`] + [`metrics`] |
+//! | host-time executor profiling (observability) | [`prof`] |
 //! | node manager (§3) | [`kernel`] (`handle_*`) |
 //! | program load module (§3) | [`registry`] |
 //! | CM-5 cost calibration | [`cost`] |
@@ -49,6 +50,7 @@ pub mod machine;
 pub mod message;
 pub mod metrics;
 pub mod name_server;
+pub mod prof;
 pub mod registry;
 pub mod span;
 pub mod thread_machine;
@@ -72,6 +74,7 @@ pub use thread_machine::{run_threaded, ThreadReport};
 pub use gc::GcReport;
 pub use hist::TraceHists;
 pub use metrics::{Metrics, MetricsReport};
+pub use prof::{CoordProf, ProfReport, ProfTotals, ShardProf, WindowRec};
 pub use span::{AliasSpan, ChaseSpan, MsgSpan, SpanReport};
 pub use trace::{DeliveryPath, KernelEvent, TraceEvent, TraceReport};
 pub use wire::{ActorImage, KMsg};

@@ -50,6 +50,10 @@ pub struct MachineConfig {
     /// Record live metrics timeseries on every kernel
     /// ([`crate::metrics`]).
     pub record_metrics: bool,
+    /// Record the host-time executor profile ([`crate::prof`]): per-shard
+    /// monotonic-clock attribution of where the wall time went. Off by
+    /// default; never affects the deterministic report surface.
+    pub record_prof: bool,
     /// Host worker threads for the windowed executor: `1` = single
     /// shard (the reference), `0` = all available cores, `k` = exactly
     /// `k` shards (clamped to the node count). The report is
@@ -79,6 +83,7 @@ impl MachineConfig {
             record_timeline: false,
             record_trace: false,
             record_metrics: false,
+            record_prof: false,
             parallelism: 1,
             faults: FaultPlan::none(),
         }
@@ -225,6 +230,19 @@ impl MachineConfigBuilder {
         self
     }
 
+    /// Record the host-time executor profile ([`crate::prof`]).
+    pub fn prof(mut self) -> Self {
+        self.cfg.record_prof = true;
+        self
+    }
+
+    /// Record the host-time profile when `on` — the conditional form
+    /// bench bins use under `--prof`/`HAL_PROF`.
+    pub fn prof_if(mut self, on: bool) -> Self {
+        self.cfg.record_prof |= on;
+        self
+    }
+
     /// Host parallelism of the windowed executor (`0` = all cores).
     pub fn parallelism(mut self, k: usize) -> Self {
         self.cfg.parallelism = k;
@@ -246,9 +264,11 @@ impl MachineConfigBuilder {
 
 /// Result of running a simulated machine to completion.
 ///
-/// `PartialEq` compares every field — the parallel-equivalence tests
-/// assert bit-identical reports across executor parallelism levels.
-#[derive(Debug, PartialEq)]
+/// `PartialEq` compares every field *except* [`SimReport::prof`] — the
+/// parallel-equivalence tests assert bit-identical reports across
+/// executor parallelism levels, and host-time facts are by design not
+/// part of that deterministic surface.
+#[derive(Debug)]
 pub struct SimReport {
     /// Maximum node clock at completion — the parallel execution time.
     pub makespan: VirtualTime,
@@ -271,6 +291,26 @@ pub struct SimReport {
     /// End-of-run quiescence audit plus the behavior-registry image —
     /// the protocol checker's ground truth ([`crate::audit`]).
     pub audit: crate::audit::MachineAudit,
+    /// Host-time executor profile, present when
+    /// [`MachineConfig::record_prof`] was set. Excluded from `PartialEq`:
+    /// host wall-clock facts differ run to run and must never leak into
+    /// the deterministic comparison surface.
+    pub prof: Option<crate::prof::ProfReport>,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        // `prof` deliberately omitted — see the field doc.
+        self.makespan == other.makespan
+            && self.node_clocks == other.node_clocks
+            && self.stats == other.stats
+            && self.reports == other.reports
+            && self.events == other.events
+            && self.actors_created == other.actors_created
+            && self.trace == other.trace
+            && self.metrics == other.metrics
+            && self.audit == other.audit
+    }
 }
 
 impl SimReport {
@@ -305,6 +345,7 @@ pub struct SimMachine {
     net: SimNetwork<KMsg>,
     events: u64,
     timeline: Timeline,
+    last_prof: Option<crate::prof::ProfReport>,
 }
 
 impl SimMachine {
@@ -348,6 +389,7 @@ impl SimMachine {
             net,
             events: 0,
             timeline: Timeline::default(),
+            last_prof: None,
         }
     }
 
@@ -415,10 +457,14 @@ impl SimMachine {
             self.cfg.load_balancing,
             self.cfg.max_events,
             self.cfg.record_timeline,
+            self.cfg.record_prof,
         );
         self.kernels = out.kernels;
         self.net = SimNetwork::from_parts(out.link, out.pending);
         self.events = out.events;
+        if out.prof.is_some() {
+            self.last_prof = out.prof;
+        }
         for (node, start, end, kind) in out.spans {
             self.timeline.push(node, start, end, kind);
         }
@@ -432,7 +478,17 @@ impl SimMachine {
     }
 
     /// Sequential reference loop for zero-lookahead links.
+    ///
+    /// Under [`MachineConfig::record_prof`] it keeps the same host-time
+    /// ledger as an executor shard — one track, with the per-event
+    /// candidate scan charged as *queue* and dispatch as *execute*,
+    /// chunked into synthetic windows every
+    /// [`crate::prof::SEQ_CHUNK_EVENTS`] events — so seq/par attribution
+    /// is directly comparable.
     fn run_instant(&mut self) -> Result<SimReport, MachineError> {
+        use crate::prof::{ProfReport, ShardClock, SEQ_CHUNK_EVENTS};
+        let anchor = std::time::Instant::now();
+        let mut clock = self.cfg.record_prof.then(|| ShardClock::new(0, anchor));
         loop {
             if self.kernels.iter().any(|k| k.stopped) {
                 break;
@@ -442,7 +498,12 @@ impl SimMachine {
                     limit: self.cfg.max_events,
                 });
             }
-            let Some(action) = self.next_action() else {
+            let events_before = self.events;
+            let action = self.next_action();
+            if let Some(c) = clock.as_mut() {
+                c.queue(0); // candidate scan = frontier maintenance
+            }
+            let Some(action) = action else {
                 break; // fully drained
             };
             self.events += 1;
@@ -498,6 +559,22 @@ impl SimMachine {
                     k.send_steal_poll(&mut self.net);
                 }
             }
+            if let Some(c) = clock.as_mut() {
+                c.execute(self.events - events_before);
+                if c.window_events() >= SEQ_CHUNK_EVENTS {
+                    c.window();
+                }
+            }
+        }
+        if let Some(c) = clock {
+            self.last_prof = Some(ProfReport {
+                mode: "sequential",
+                k: 1,
+                host_cores: crate::executor::host_cores(),
+                wall_ns: anchor.elapsed().as_nanos() as u64,
+                coordinator: None,
+                shards: vec![c.finish()],
+            });
         }
         if let Some(e) = self.take_failure() {
             return Err(e);
@@ -597,6 +674,13 @@ impl SimMachine {
             if let Some(t) = &trace {
                 report.set_counter("trace.dropped_events", t.dropped);
             }
+            // Mirror of the flight-recorder warning for the sampler
+            // itself: cadence crossings beyond per-node capacity. Only
+            // set when nonzero so complete runs keep their exact bytes.
+            let dropped: u64 = report.nodes.iter().map(|n| n.samples_dropped).sum();
+            if dropped > 0 {
+                report.set_counter("metrics.dropped_samples", dropped);
+            }
             report
         });
         SimReport {
@@ -609,6 +693,7 @@ impl SimMachine {
             trace,
             metrics,
             audit: self.quiescence_audit(),
+            prof: self.last_prof.clone(),
         }
     }
 

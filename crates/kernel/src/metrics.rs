@@ -267,6 +267,13 @@ impl MetricsReport {
                 self.counter("trace.dropped_events")
             );
         }
+        if self.counter("metrics.dropped_samples") > 0 {
+            let _ = writeln!(
+                out,
+                "metrics sampler dropped {} gauge sample(s) — timeseries are partial",
+                self.counter("metrics.dropped_samples")
+            );
+        }
         let chains: Histogram = self.nodes.iter().fold(Histogram::default(), |mut h, n| {
             h.merge(&n.chain_epochs);
             h

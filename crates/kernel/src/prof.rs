@@ -1,0 +1,683 @@
+//! Host-time executor profiler: where do the *host* milliseconds go?
+//!
+//! Everything else in the observability stack ([`crate::trace`],
+//! [`crate::span`], [`crate::metrics`]) is driven by virtual time, so it
+//! is bit-identical across `--parallel K` — and therefore constitutionally
+//! unable to say why the windowed executor is slow on a given host. This
+//! module is the complement: when [`crate::MachineConfig::record_prof`]
+//! is set, every shard thread of the windowed executor (and the
+//! sequential instant-network loop, as a single track) keeps a
+//! monotonic-clock ledger of where its wall time went, split into the
+//! executor's four structural phases:
+//!
+//! * **stall** — blocked at the window barrier waiting for the
+//!   coordinator's next `WindowCmd` (for the inline
+//!   `K = 1` driver: the time spent inside the barrier itself);
+//! * **inject** — staging cross-shard arrivals into the local event
+//!   queue at window start;
+//! * **execute** — running handler/dispatcher/poll events;
+//! * **queue** — queue and frontier maintenance (the end-of-window
+//!   `summarize` scan, and for the sequential loop the per-event
+//!   candidate scan).
+//!
+//! The ledger's phases are contiguous by construction (each phase is
+//! closed by a single clock read that also opens the next), so per shard
+//! `stall + inject + execute + queue + other == wall` exactly, where
+//! *other* is the unattributed remainder (thread spawn/teardown, channel
+//! sends). Per-window records additionally capture events/window,
+//! staged-injection counts and the maximum local queue depth, bounded by
+//! [`MAX_WINDOW_RECS`] so pathological runs cannot allocate without
+//! limit.
+//!
+//! Host-time facts are deliberately kept **out** of the deterministic
+//! report surface: [`ProfReport`] lives in
+//! [`crate::SimReport::prof`], which is excluded from the report's
+//! `PartialEq`, never printed to bench stdout, and serialized only into
+//! the `PROF_<bin>.json` / `PROF_<bin>_hosttrace.json` artifacts — the
+//! byte-identical-across-K guarantees of `SimReport`/`SPANS_`/
+//! `METRICS_`/`CHECK_` are untouched.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Per-window records kept per shard; windows beyond this are folded
+/// into the aggregate totals only (counted in
+/// [`ShardProf::windows_truncated`]).
+pub const MAX_WINDOW_RECS: usize = 16_384;
+
+/// Events per synthetic "window" of the sequential instant-network
+/// loop, which has no barriers of its own — chunking gives its single
+/// track the same per-window resolution as a shard.
+pub const SEQ_CHUNK_EVENTS: u64 = 4096;
+
+/// One window's host-time ledger on one shard. `start_ns` is relative
+/// to the run's shared clock anchor, so window records from different
+/// shard threads line up on one timeline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WindowRec {
+    /// Host ns (anchor-relative) when this window's stall phase began.
+    pub start_ns: u64,
+    /// Blocked waiting for the window command (the barrier).
+    pub stall_ns: u64,
+    /// Staging cross-shard arrivals into the local queue.
+    pub inject_ns: u64,
+    /// Executing events.
+    pub execute_ns: u64,
+    /// Queue/frontier maintenance (the summarize scan).
+    pub queue_ns: u64,
+    /// Events executed in this window.
+    pub events: u64,
+    /// Sends/timers staged for the barrier during this window.
+    pub injections: u64,
+    /// Maximum local event-queue depth (right after arrival staging).
+    pub queue_depth: u64,
+}
+
+impl WindowRec {
+    fn active_ns(&self) -> u64 {
+        self.stall_ns + self.inject_ns + self.execute_ns + self.queue_ns
+    }
+}
+
+/// One shard thread's finished host-time profile. The sequential loop
+/// reports exactly one of these (shard 0 of 1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardProf {
+    /// Shard id (round-robin node owner, matches the executor).
+    pub shard: usize,
+    /// Total thread wall time, from ledger start to finish.
+    pub wall_ns: u64,
+    /// Total barrier-stall time.
+    pub stall_ns: u64,
+    /// Total cross-shard arrival staging time.
+    pub inject_ns: u64,
+    /// Total event-execution time.
+    pub execute_ns: u64,
+    /// Total queue/frontier maintenance time.
+    pub queue_ns: u64,
+    /// Windows this shard ran.
+    pub windows: u64,
+    /// Events this shard executed.
+    pub events: u64,
+    /// Sends/timers this shard staged for the barrier.
+    pub injections: u64,
+    /// Maximum local event-queue depth over the whole run.
+    pub max_queue_depth: u64,
+    /// Largest single-window event count.
+    pub max_window_events: u64,
+    /// Windows beyond [`MAX_WINDOW_RECS`] (aggregated but not recorded).
+    pub windows_truncated: u64,
+    /// Per-window records, oldest first, capped at [`MAX_WINDOW_RECS`].
+    pub recs: Vec<WindowRec>,
+}
+
+impl ShardProf {
+    /// Wall time not attributed to any phase (thread spawn/teardown,
+    /// summary channel sends). By construction
+    /// `stall + inject + execute + queue + other == wall`.
+    pub fn other_ns(&self) -> u64 {
+        self.wall_ns
+            .saturating_sub(self.stall_ns + self.inject_ns + self.execute_ns + self.queue_ns)
+    }
+
+    /// Mean events per window (0 when no window ran).
+    pub fn events_per_window(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.events as f64 / self.windows as f64
+        }
+    }
+}
+
+/// The live per-shard ledger the executor drives. Phases are closed in
+/// order by [`ShardClock::stall`] / [`ShardClock::inject`] /
+/// [`ShardClock::execute`] / [`ShardClock::queue`]; every close reads
+/// the clock once and opens the next phase, so no host time between
+/// ledger start and the last close can escape attribution.
+pub(crate) struct ShardClock {
+    anchor: Instant,
+    start_ns: u64,
+    mark: u64,
+    win: WindowRec,
+    rec: ShardProf,
+}
+
+impl ShardClock {
+    /// Open a ledger for `shard` against the run's shared `anchor`.
+    pub(crate) fn new(shard: usize, anchor: Instant) -> Self {
+        let now = anchor.elapsed().as_nanos() as u64;
+        ShardClock {
+            anchor,
+            start_ns: now,
+            mark: now,
+            win: WindowRec {
+                start_ns: now,
+                ..WindowRec::default()
+            },
+            rec: ShardProf {
+                shard,
+                ..ShardProf::default()
+            },
+        }
+    }
+
+    fn phase(&mut self) -> u64 {
+        let now = self.anchor.elapsed().as_nanos() as u64;
+        let dt = now.saturating_sub(self.mark);
+        self.mark = now;
+        dt
+    }
+
+    /// Close a barrier-stall phase.
+    pub(crate) fn stall(&mut self) {
+        let dt = self.phase();
+        self.win.stall_ns += dt;
+    }
+
+    /// Close an arrival-staging phase; `depth` is the local queue depth
+    /// right after staging.
+    pub(crate) fn inject(&mut self, arrivals: u64, depth: u64) {
+        let dt = self.phase();
+        self.win.inject_ns += dt;
+        let _ = arrivals;
+        self.win.queue_depth = self.win.queue_depth.max(depth);
+    }
+
+    /// Close an execution phase covering `events` events.
+    pub(crate) fn execute(&mut self, events: u64) {
+        let dt = self.phase();
+        self.win.execute_ns += dt;
+        self.win.events += events;
+    }
+
+    /// Close a queue-maintenance phase; `staged` counts the injections
+    /// parked for the barrier during the window.
+    pub(crate) fn queue(&mut self, staged: u64) {
+        let dt = self.phase();
+        self.win.queue_ns += dt;
+        self.win.injections += staged;
+    }
+
+    /// Events accumulated in the window under assembly (the sequential
+    /// loop uses this to close synthetic windows every
+    /// [`SEQ_CHUNK_EVENTS`]).
+    pub(crate) fn window_events(&self) -> u64 {
+        self.win.events
+    }
+
+    /// Fold the window under assembly into the shard totals and start
+    /// the next one.
+    pub(crate) fn window(&mut self) {
+        let win = std::mem::replace(
+            &mut self.win,
+            WindowRec {
+                start_ns: self.mark,
+                ..WindowRec::default()
+            },
+        );
+        self.rec.windows += 1;
+        self.rec.stall_ns += win.stall_ns;
+        self.rec.inject_ns += win.inject_ns;
+        self.rec.execute_ns += win.execute_ns;
+        self.rec.queue_ns += win.queue_ns;
+        self.rec.events += win.events;
+        self.rec.injections += win.injections;
+        self.rec.max_queue_depth = self.rec.max_queue_depth.max(win.queue_depth);
+        self.rec.max_window_events = self.rec.max_window_events.max(win.events);
+        if self.rec.recs.len() < MAX_WINDOW_RECS {
+            self.rec.recs.push(win);
+        } else {
+            self.rec.windows_truncated += 1;
+        }
+    }
+
+    /// Close the ledger: fold a non-empty partial window and stamp the
+    /// thread wall time.
+    pub(crate) fn finish(mut self) -> ShardProf {
+        if self.win.active_ns() > 0 || self.win.events > 0 {
+            self.window();
+        }
+        let now = self.anchor.elapsed().as_nanos() as u64;
+        self.rec.wall_ns = now.saturating_sub(self.start_ns);
+        self.rec
+    }
+}
+
+/// The coordinator's (barrier-side) host-time profile: the cost of
+/// replaying staged injections against the shared link state and of
+/// planning the next window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoordProf {
+    /// Replaying staged sends/timers in canonical order (sort + admit).
+    pub replay_ns: u64,
+    /// Window planning (frontier merge, poll gating, command build).
+    pub plan_ns: u64,
+    /// Barriers executed.
+    pub windows: u64,
+    /// Staged operations replayed.
+    pub injections: u64,
+}
+
+/// The live coordinator ledger.
+pub(crate) struct CoordClock {
+    anchor: Instant,
+    mark: u64,
+    rec: CoordProf,
+}
+
+impl CoordClock {
+    pub(crate) fn new(anchor: Instant) -> Self {
+        CoordClock {
+            anchor,
+            mark: anchor.elapsed().as_nanos() as u64,
+            rec: CoordProf::default(),
+        }
+    }
+
+    /// Re-arm the phase mark at barrier entry (the time since the last
+    /// barrier belongs to the shards, not the coordinator).
+    pub(crate) fn enter(&mut self) {
+        self.mark = self.anchor.elapsed().as_nanos() as u64;
+    }
+
+    fn phase(&mut self) -> u64 {
+        let now = self.anchor.elapsed().as_nanos() as u64;
+        let dt = now.saturating_sub(self.mark);
+        self.mark = now;
+        dt
+    }
+
+    /// Close the replay phase covering `injections` staged operations.
+    pub(crate) fn replay(&mut self, injections: u64) {
+        let dt = self.phase();
+        self.rec.replay_ns += dt;
+        self.rec.injections += injections;
+    }
+
+    /// Close the planning phase (one barrier done).
+    pub(crate) fn plan(&mut self) {
+        let dt = self.phase();
+        self.rec.plan_ns += dt;
+        self.rec.windows += 1;
+    }
+
+    pub(crate) fn finish(self) -> CoordProf {
+        self.rec
+    }
+}
+
+/// A whole run's host-time profile: one [`ShardProf`] per executor
+/// shard thread (or a single one for the sequential loop), plus the
+/// coordinator ledger for windowed runs.
+///
+/// Carried in [`crate::SimReport::prof`] but excluded from the
+/// report's `PartialEq` — host facts must never leak into the
+/// deterministic comparison surface.
+#[derive(Clone, Debug)]
+pub struct ProfReport {
+    /// `"windowed"` or `"sequential"` (the instant-network loop).
+    pub mode: &'static str,
+    /// Shard count of the run (1 for the sequential loop).
+    pub k: usize,
+    /// Host cores visible to this process when the run started.
+    pub host_cores: usize,
+    /// End-to-end engine wall time (host ns).
+    pub wall_ns: u64,
+    /// Barrier-side ledger (windowed runs only).
+    pub coordinator: Option<CoordProf>,
+    /// Per-shard ledgers, ordered by shard id.
+    pub shards: Vec<ShardProf>,
+}
+
+/// Aggregate phase totals over every shard of a [`ProfReport`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProfTotals {
+    /// Summed shard wall time (denominator of every fraction).
+    pub wall_ns: u64,
+    /// Summed barrier-stall time.
+    pub stall_ns: u64,
+    /// Summed arrival-staging time.
+    pub inject_ns: u64,
+    /// Summed event-execution time.
+    pub execute_ns: u64,
+    /// Summed queue-maintenance time.
+    pub queue_ns: u64,
+    /// Summed unattributed time.
+    pub other_ns: u64,
+}
+
+impl ProfTotals {
+    fn frac(&self, part: u64) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            part as f64 / self.wall_ns as f64
+        }
+    }
+}
+
+impl ProfReport {
+    /// Sum the per-shard ledgers.
+    pub fn totals(&self) -> ProfTotals {
+        let mut t = ProfTotals::default();
+        for s in &self.shards {
+            t.wall_ns += s.wall_ns;
+            t.stall_ns += s.stall_ns;
+            t.inject_ns += s.inject_ns;
+            t.execute_ns += s.execute_ns;
+            t.queue_ns += s.queue_ns;
+            t.other_ns += s.other_ns();
+        }
+        t
+    }
+
+    /// The dominant *overhead* phase (execute is the useful work):
+    /// whichever of stall/inject/queue/other ate the most shard time.
+    pub fn top_overhead(&self) -> (&'static str, f64) {
+        let t = self.totals();
+        let cands = [
+            ("stall", t.stall_ns),
+            ("inject", t.inject_ns),
+            ("queue", t.queue_ns),
+            ("other", t.other_ns),
+        ];
+        let (name, ns) = cands
+            .into_iter()
+            .max_by_key(|&(_, ns)| ns)
+            .unwrap_or(("stall", 0));
+        (name, t.frac(ns))
+    }
+
+    /// One-screen human summary — what the console's `prof` command and
+    /// `hal-perf summarize` print.
+    pub fn summary(&self) -> String {
+        let t = self.totals();
+        let mut out = format!(
+            "host-time profile: mode={} k={} cores={} wall={:.3} ms\n\
+             phase      time(ms)   share\n\
+             stall    {:>10.3}  {:>5.1}%\n\
+             inject   {:>10.3}  {:>5.1}%\n\
+             execute  {:>10.3}  {:>5.1}%\n\
+             queue    {:>10.3}  {:>5.1}%\n\
+             other    {:>10.3}  {:>5.1}%\n",
+            self.mode,
+            self.k,
+            self.host_cores,
+            self.wall_ns as f64 / 1e6,
+            t.stall_ns as f64 / 1e6,
+            100.0 * t.frac(t.stall_ns),
+            t.inject_ns as f64 / 1e6,
+            100.0 * t.frac(t.inject_ns),
+            t.execute_ns as f64 / 1e6,
+            100.0 * t.frac(t.execute_ns),
+            t.queue_ns as f64 / 1e6,
+            100.0 * t.frac(t.queue_ns),
+            t.other_ns as f64 / 1e6,
+            100.0 * t.frac(t.other_ns),
+        );
+        let (top, frac) = self.top_overhead();
+        let _ = writeln!(
+            out,
+            "top overhead: {top} ({:.1}% of shard wall time)",
+            100.0 * frac
+        );
+        let _ = writeln!(
+            out,
+            "shard  wall(ms)  stall%  inject%  exec%  queue%  windows  events  ev/win  inj  maxq"
+        );
+        for s in &self.shards {
+            let w = s.wall_ns.max(1) as f64;
+            let _ = writeln!(
+                out,
+                "{:<5} {:>9.3} {:>7.1} {:>8.1} {:>6.1} {:>7.1} {:>8} {:>7} {:>7.1} {:>4} {:>5}",
+                s.shard,
+                s.wall_ns as f64 / 1e6,
+                100.0 * s.stall_ns as f64 / w,
+                100.0 * s.inject_ns as f64 / w,
+                100.0 * s.execute_ns as f64 / w,
+                100.0 * s.queue_ns as f64 / w,
+                s.windows,
+                s.events,
+                s.events_per_window(),
+                s.injections,
+                s.max_queue_depth
+            );
+        }
+        if let Some(c) = &self.coordinator {
+            let _ = writeln!(
+                out,
+                "coordinator: replay {:.3} ms, plan {:.3} ms over {} window(s), {} injection(s)",
+                c.replay_ns as f64 / 1e6,
+                c.plan_ns as f64 / 1e6,
+                c.windows,
+                c.injections
+            );
+        }
+        out
+    }
+
+    /// Serialize as JSON (dependency-free, like every other artifact).
+    /// Host-time facts only — this is the one artifact family that is
+    /// *expected* to differ between runs and hosts.
+    pub fn to_json(&self) -> String {
+        let t = self.totals();
+        let (top, top_frac) = self.top_overhead();
+        let mut shards = String::new();
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                shards.push_str(",\n");
+            }
+            let _ = write!(
+                shards,
+                "      {{\"shard\": {}, \"wall_ns\": {}, \"stall_ns\": {}, \"inject_ns\": {}, \
+                 \"execute_ns\": {}, \"queue_ns\": {}, \"other_ns\": {}, \"windows\": {}, \
+                 \"events\": {}, \"events_per_window\": {:.3}, \"injections\": {}, \
+                 \"max_queue_depth\": {}, \"max_window_events\": {}, \"windows_truncated\": {}}}",
+                s.shard,
+                s.wall_ns,
+                s.stall_ns,
+                s.inject_ns,
+                s.execute_ns,
+                s.queue_ns,
+                s.other_ns(),
+                s.windows,
+                s.events,
+                s.events_per_window(),
+                s.injections,
+                s.max_queue_depth,
+                s.max_window_events,
+                s.windows_truncated
+            );
+        }
+        let coord = match &self.coordinator {
+            None => "null".to_string(),
+            Some(c) => format!(
+                "{{\"replay_ns\": {}, \"plan_ns\": {}, \"windows\": {}, \"injections\": {}}}",
+                c.replay_ns, c.plan_ns, c.windows, c.injections
+            ),
+        };
+        format!(
+            "{{\n      \"mode\": \"{}\", \"k\": {}, \"host_cores\": {}, \"wall_ns\": {},\n      \
+             \"totals\": {{\"wall_ns\": {}, \"stall_frac\": {:.6}, \"inject_frac\": {:.6}, \
+             \"execute_frac\": {:.6}, \"queue_frac\": {:.6}, \"other_frac\": {:.6}, \
+             \"top_overhead\": \"{}\", \"top_overhead_frac\": {:.6}}},\n      \
+             \"coordinator\": {},\n      \"shards\": [\n{}\n      ]\n    }}",
+            self.mode,
+            self.k,
+            self.host_cores,
+            self.wall_ns,
+            t.wall_ns,
+            t.frac(t.stall_ns),
+            t.frac(t.inject_ns),
+            t.frac(t.execute_ns),
+            t.frac(t.queue_ns),
+            t.frac(t.other_ns),
+            top,
+            top_frac,
+            coord,
+            shards
+        )
+    }
+
+    /// Chrome trace-event objects (comma-separated, no enclosing
+    /// brackets) for this run's host timeline: one track (`tid`) per
+    /// shard thread under process `pid`, each window rendered as its
+    /// stall/inject/execute/queue slices. Load the wrapping artifact in
+    /// `chrome://tracing` or Perfetto.
+    pub fn chrome_events(&self, pid: usize, process_name: &str) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{}\"}}}}",
+            esc(process_name)
+        );
+        for s in &self.shards {
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{},\"args\":{{\"name\":\"{} shard {}\"}}}}",
+                s.shard, self.mode, s.shard
+            );
+            for w in &s.recs {
+                let mut ts = w.start_ns;
+                for (name, dur) in [
+                    ("stall", w.stall_ns),
+                    ("inject", w.inject_ns),
+                    ("execute", w.execute_ns),
+                    ("queue", w.queue_ns),
+                ] {
+                    if dur == 0 {
+                        ts += dur;
+                        continue;
+                    }
+                    let _ = write!(
+                        out,
+                        ",\n{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{pid},\"tid\":{},\
+                         \"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"events\":{},\"injections\":{},\"queue_depth\":{}}}}}",
+                        s.shard,
+                        ts as f64 / 1e3,
+                        dur as f64 / 1e3,
+                        w.events,
+                        w.injections,
+                        w.queue_depth
+                    );
+                    ts += dur;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_phases_are_contiguous_and_sum_to_wall() {
+        let anchor = Instant::now();
+        let mut c = ShardClock::new(3, anchor);
+        c.stall();
+        c.inject(2, 7);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        c.execute(10);
+        c.queue(4);
+        c.window();
+        c.stall();
+        c.execute(5);
+        c.queue(0);
+        c.window();
+        let p = c.finish();
+        assert_eq!(p.shard, 3);
+        assert_eq!(p.windows, 2);
+        assert_eq!(p.events, 15);
+        assert_eq!(p.injections, 4);
+        assert_eq!(p.max_queue_depth, 7);
+        assert_eq!(p.max_window_events, 10);
+        assert_eq!(p.recs.len(), 2);
+        let sum = p.stall_ns + p.inject_ns + p.execute_ns + p.queue_ns + p.other_ns();
+        assert_eq!(sum, p.wall_ns, "attribution must telescope to wall");
+        assert!(p.execute_ns >= 2_000_000, "sleep charged to execute");
+    }
+
+    #[test]
+    fn window_records_are_bounded() {
+        let anchor = Instant::now();
+        let mut c = ShardClock::new(0, anchor);
+        for _ in 0..(MAX_WINDOW_RECS + 5) {
+            c.execute(1);
+            c.window();
+        }
+        let p = c.finish();
+        assert_eq!(p.recs.len(), MAX_WINDOW_RECS);
+        assert_eq!(p.windows_truncated, 5);
+        assert_eq!(p.windows, (MAX_WINDOW_RECS + 5) as u64);
+    }
+
+    #[test]
+    fn report_json_and_chrome_are_well_formed_enough() {
+        let anchor = Instant::now();
+        let mut c = ShardClock::new(0, anchor);
+        c.stall();
+        c.execute(3);
+        c.queue(1);
+        c.window();
+        let mut cc = CoordClock::new(anchor);
+        cc.enter();
+        cc.replay(1);
+        cc.plan();
+        let rep = ProfReport {
+            mode: "windowed",
+            k: 1,
+            host_cores: 1,
+            wall_ns: 1000,
+            coordinator: Some(cc.finish()),
+            shards: vec![c.finish()],
+        };
+        let json = rep.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+        assert!(json.contains("\"top_overhead\""), "{json}");
+        assert!(json.contains("\"stall_frac\""), "{json}");
+        let chrome = format!("[{}]", rep.chrome_events(0, "test \"run\""));
+        assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
+        assert!(chrome.contains("thread_name"), "{chrome}");
+        assert!(chrome.contains("\\\"run\\\""), "label must be escaped");
+        let s = rep.summary();
+        assert!(s.contains("top overhead:"), "{s}");
+    }
+
+    #[test]
+    fn totals_and_top_overhead() {
+        let rep = ProfReport {
+            mode: "windowed",
+            k: 2,
+            host_cores: 8,
+            wall_ns: 200,
+            coordinator: None,
+            shards: vec![
+                ShardProf {
+                    shard: 0,
+                    wall_ns: 100,
+                    stall_ns: 60,
+                    execute_ns: 30,
+                    ..ShardProf::default()
+                },
+                ShardProf {
+                    shard: 1,
+                    wall_ns: 100,
+                    stall_ns: 50,
+                    execute_ns: 40,
+                    ..ShardProf::default()
+                },
+            ],
+        };
+        let t = rep.totals();
+        assert_eq!(t.wall_ns, 200);
+        assert_eq!(t.stall_ns, 110);
+        assert_eq!(t.other_ns, 20);
+        let (top, frac) = rep.top_overhead();
+        assert_eq!(top, "stall");
+        assert!((frac - 0.55).abs() < 1e-9);
+    }
+}

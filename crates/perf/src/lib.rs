@@ -1,0 +1,791 @@
+//! # hal-perf — perf-artifact summarizing and regression gating
+//!
+//! The benchmark bins leave two artifact families behind:
+//!
+//! * `BENCH_<bin>.json` — per-run virtual time, event counts, and host
+//!   throughput (`events_per_sec`);
+//! * `PROF_<bin>.json` — the host-time executor profile (where the wall
+//!   milliseconds went: barrier stall, injection staging, execution,
+//!   queue maintenance), written under `--prof`/`HAL_PROF`.
+//!
+//! This crate reads both (with its own dependency-free JSON parser — the
+//! workspace has no serde) and provides the two operations the `hal-perf`
+//! binary and `ci.sh`'s `perf-gate` step are built on:
+//!
+//! * [`summarize_prof`] — reduce a `PROF_` file to a phase breakdown per
+//!   run, naming the top overhead source;
+//! * [`diff_dirs`] — compare fresh artifacts against committed baselines
+//!   under `results/baselines/` with per-metric thresholds
+//!   ([`Thresholds`]), returning the list of [`Regression`]s.
+//!
+//! The comparison philosophy matches the repo's determinism split:
+//! virtual facts (`events`, `virtual_ns`) are deterministic, so any
+//! drift is a correctness change and is flagged **exactly**; host facts
+//! (`events_per_sec`, stall fractions) are noisy — especially on the
+//! 1-core CI container — so they get generous ratio thresholds that only
+//! catch order-of-magnitude rot, not jitter.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value + parser
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Numbers are kept as `f64` — every artifact
+/// number this crate compares fits without precision loss at the
+/// tolerances involved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parse a complete JSON document.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut p = Parser { b, i: 0 };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Number accessor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at offset {}, found {:?}",
+                c as char,
+                self.i,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.i
+            )),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.ws();
+            self.expect(b':')?;
+            self.ws();
+            let v = self.value()?;
+            fields.push((k, v));
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at offset {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at offset {}, found {:?}",
+                        self.i,
+                        other.map(|b| b as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (artifacts contain em
+                    // dashes and arrows in labels).
+                    let rest = std::str::from_utf8(&self.b[self.i..])
+                        .map_err(|e| format!("invalid utf-8 in string: {e}"))?;
+                    let c = rest.chars().next().ok_or("empty")?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at offset {start}: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regression gating
+// ---------------------------------------------------------------------
+
+/// Per-metric thresholds for [`diff_dirs`]. The defaults are tuned for
+/// the 1-core CI container, where host throughput can swing wildly
+/// between runs: only order-of-magnitude rot trips the gate.
+#[derive(Clone, Copy, Debug)]
+pub struct Thresholds {
+    /// Maximum tolerated fractional drop in `events_per_sec` versus the
+    /// baseline (`0.75` = fail only below 25% of baseline throughput).
+    pub max_drop: f64,
+    /// Maximum tolerated absolute rise in a `PROF_` run's stall or
+    /// other fraction (e.g. `0.30` = stall may grow by 30 percentage
+    /// points of shard wall time before failing).
+    pub max_stall_rise: f64,
+    /// Compare the deterministic virtual facts (`events`, `virtual_ns`)
+    /// exactly. Drift there is a simulation-semantics change, not noise.
+    pub sim_exact: bool,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            max_drop: 0.75,
+            max_stall_rise: 0.30,
+            sim_exact: true,
+        }
+    }
+}
+
+/// One detected regression (or comparison failure).
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// Artifact file name (e.g. `BENCH_table4_fib.json`).
+    pub artifact: String,
+    /// Run label inside the artifact, or `"<file>"` for file-level
+    /// problems.
+    pub run: String,
+    /// Metric that tripped.
+    pub metric: String,
+    /// Baseline value (display form).
+    pub baseline: String,
+    /// Fresh value (display form).
+    pub fresh: String,
+    /// What rule failed.
+    pub detail: String,
+}
+
+impl Regression {
+    fn file(artifact: &str, detail: impl Into<String>) -> Self {
+        Regression {
+            artifact: artifact.to_string(),
+            run: "<file>".to_string(),
+            metric: "artifact".to_string(),
+            baseline: String::new(),
+            fresh: String::new(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.baseline.is_empty() && self.fresh.is_empty() {
+            write!(f, "{} [{}] {}: {}", self.artifact, self.run, self.metric, self.detail)
+        } else {
+            write!(
+                f,
+                "{} [{}] {}: baseline {} -> fresh {} ({})",
+                self.artifact, self.run, self.metric, self.baseline, self.fresh, self.detail
+            )
+        }
+    }
+}
+
+fn runs_by_label(doc: &Json) -> BTreeMap<String, Json> {
+    let mut map = BTreeMap::new();
+    if let Some(runs) = doc.get("runs").and_then(Json::as_arr) {
+        for r in runs {
+            if let Some(label) = r.get("label").and_then(Json::as_str) {
+                map.insert(label.to_string(), r.clone());
+            }
+        }
+    }
+    map
+}
+
+fn num(v: &Json, key: &str) -> Option<f64> {
+    v.get(key).and_then(Json::as_f64)
+}
+
+/// Compare one fresh `BENCH_` document against its baseline.
+pub fn diff_bench(artifact: &str, baseline: &Json, fresh: &Json, thr: &Thresholds) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let base_runs = runs_by_label(baseline);
+    let fresh_runs = runs_by_label(fresh);
+    for (label, b) in &base_runs {
+        let Some(f) = fresh_runs.get(label) else {
+            out.push(Regression {
+                artifact: artifact.to_string(),
+                run: label.clone(),
+                metric: "run".to_string(),
+                baseline: "present".to_string(),
+                fresh: "missing".to_string(),
+                detail: "baseline run disappeared from the fresh artifact".to_string(),
+            });
+            continue;
+        };
+        if thr.sim_exact {
+            for metric in ["events", "virtual_ns"] {
+                let (bv, fv) = (num(b, metric), num(f, metric));
+                if bv != fv {
+                    out.push(Regression {
+                        artifact: artifact.to_string(),
+                        run: label.clone(),
+                        metric: metric.to_string(),
+                        baseline: format!("{}", bv.unwrap_or(f64::NAN)),
+                        fresh: format!("{}", fv.unwrap_or(f64::NAN)),
+                        detail: "deterministic virtual fact changed (exact match required)"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        if let (Some(bv), Some(fv)) = (num(b, "events_per_sec"), num(f, "events_per_sec")) {
+            if bv > 0.0 && fv < bv * (1.0 - thr.max_drop) {
+                out.push(Regression {
+                    artifact: artifact.to_string(),
+                    run: label.clone(),
+                    metric: "events_per_sec".to_string(),
+                    baseline: format!("{bv:.0}"),
+                    fresh: format!("{fv:.0}"),
+                    detail: format!(
+                        "throughput fell below {:.0}% of baseline",
+                        100.0 * (1.0 - thr.max_drop)
+                    ),
+                });
+            }
+        }
+    }
+    if let (Some(bv), Some(fv)) = (
+        num(baseline, "total_events_per_sec"),
+        num(fresh, "total_events_per_sec"),
+    ) {
+        if bv > 0.0 && fv < bv * (1.0 - thr.max_drop) {
+            out.push(Regression {
+                artifact: artifact.to_string(),
+                run: "<total>".to_string(),
+                metric: "total_events_per_sec".to_string(),
+                baseline: format!("{bv:.0}"),
+                fresh: format!("{fv:.0}"),
+                detail: format!(
+                    "total throughput fell below {:.0}% of baseline",
+                    100.0 * (1.0 - thr.max_drop)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Compare one fresh `PROF_` document against its baseline: the stall
+/// and other (unattributed) fractions may not *rise* by more than
+/// [`Thresholds::max_stall_rise`] absolute. Falling is always fine —
+/// that's the direction the ROADMAP wants.
+pub fn diff_prof(artifact: &str, baseline: &Json, fresh: &Json, thr: &Thresholds) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let base_runs = runs_by_label(baseline);
+    let fresh_runs = runs_by_label(fresh);
+    for (label, b) in &base_runs {
+        let Some(f) = fresh_runs.get(label) else {
+            out.push(Regression {
+                artifact: artifact.to_string(),
+                run: label.clone(),
+                metric: "run".to_string(),
+                baseline: "present".to_string(),
+                fresh: "missing".to_string(),
+                detail: "baseline run disappeared from the fresh artifact".to_string(),
+            });
+            continue;
+        };
+        let totals = |v: &Json| v.get("prof").and_then(|p| p.get("totals")).cloned();
+        let (Some(bt), Some(ft)) = (totals(b), totals(f)) else {
+            continue;
+        };
+        for metric in ["stall_frac", "other_frac"] {
+            if let (Some(bv), Some(fv)) = (num(&bt, metric), num(&ft, metric)) {
+                if fv > bv + thr.max_stall_rise {
+                    out.push(Regression {
+                        artifact: artifact.to_string(),
+                        run: label.clone(),
+                        metric: metric.to_string(),
+                        baseline: format!("{bv:.3}"),
+                        fresh: format!("{fv:.3}"),
+                        detail: format!(
+                            "overhead fraction rose by more than {:.0} points",
+                            100.0 * thr.max_stall_rise
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Diff every `BENCH_*.json` / `PROF_*.json` baseline in `baseline_dir`
+/// against its counterpart in `fresh_dir`. A baseline without a fresh
+/// counterpart, or either side failing to parse, is itself a
+/// regression — the gate must not silently pass on missing data.
+/// `PROF_*_hosttrace.json` files (Chrome traces) are skipped.
+pub fn diff_dirs(baseline_dir: &Path, fresh_dir: &Path, thr: &Thresholds) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let entries = match std::fs::read_dir(baseline_dir) {
+        Ok(d) => d,
+        Err(e) => {
+            return vec![Regression::file(
+                &baseline_dir.display().to_string(),
+                format!("cannot read baseline directory: {e}"),
+            )]
+        }
+    };
+    let mut names: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| {
+            (n.starts_with("BENCH_") || n.starts_with("PROF_"))
+                && std::path::Path::new(n)
+                    .extension()
+                    .is_some_and(|ext| ext.eq_ignore_ascii_case("json"))
+                && !n.ends_with("_hosttrace.json")
+        })
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        out.push(Regression::file(
+            &baseline_dir.display().to_string(),
+            "no BENCH_/PROF_ baselines found",
+        ));
+        return out;
+    }
+    for name in names {
+        let base_path = baseline_dir.join(&name);
+        let fresh_path = fresh_dir.join(&name);
+        let baseline = match std::fs::read_to_string(&base_path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| Json::parse(&s))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                out.push(Regression::file(&name, format!("baseline unreadable: {e}")));
+                continue;
+            }
+        };
+        let fresh = match std::fs::read_to_string(&fresh_path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| Json::parse(&s))
+        {
+            Ok(v) => v,
+            Err(e) => {
+                out.push(Regression::file(
+                    &name,
+                    format!("fresh artifact missing or unreadable ({}): {e}", fresh_path.display()),
+                ));
+                continue;
+            }
+        };
+        if name.starts_with("BENCH_") {
+            out.extend(diff_bench(&name, &baseline, &fresh, thr));
+        } else {
+            out.extend(diff_prof(&name, &baseline, &fresh, thr));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// PROF summarizing
+// ---------------------------------------------------------------------
+
+/// Render a `PROF_<bin>.json` document as a per-run phase breakdown,
+/// naming the top overhead source of each run — `hal-perf summarize`.
+pub fn summarize_prof(doc: &Json) -> Result<String, String> {
+    let bench = doc.get("bench").and_then(Json::as_str).unwrap_or("?");
+    let cores = doc.get("host_cores").and_then(Json::as_f64).unwrap_or(0.0);
+    let runs = doc
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("PROF file has no runs array")?;
+    let mut out = format!("{bench}: {} profiled run(s), host_cores={cores:.0}\n", runs.len());
+    let _ = writeln!(
+        out,
+        "{:<44} {:>4} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}  top",
+        "run", "k", "wall(ms)", "stall%", "inject%", "exec%", "queue%", "other%"
+    );
+    for r in runs {
+        let label = r.get("label").and_then(Json::as_str).unwrap_or("?");
+        let p = r.get("prof").ok_or("run without prof object")?;
+        let t = p.get("totals").ok_or("prof without totals")?;
+        let k = p.get("k").and_then(Json::as_f64).unwrap_or(0.0);
+        let wall = p.get("wall_ns").and_then(Json::as_f64).unwrap_or(0.0) / 1e6;
+        let pct = |m: &str| 100.0 * num(t, m).unwrap_or(0.0);
+        let top = t.get("top_overhead").and_then(Json::as_str).unwrap_or("?");
+        let top_frac = 100.0 * num(t, "top_overhead_frac").unwrap_or(0.0);
+        let mut l = label.to_string();
+        if l.chars().count() > 44 {
+            l = l.chars().take(41).collect::<String>() + "...";
+        }
+        let _ = writeln!(
+            out,
+            "{l:<44} {k:>4.0} {wall:>9.3} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}  {top} ({top_frac:.1}%)",
+            pct("stall_frac"),
+            pct("inject_frac"),
+            pct("execute_frac"),
+            pct("queue_frac"),
+            pct("other_frac"),
+        );
+    }
+    // Whole-file verdict: the phase that dominates overhead across runs,
+    // weighted by shard wall time.
+    let mut sums: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut wall_total = 0.0;
+    for r in runs {
+        let Some(t) = r.get("prof").and_then(|p| p.get("totals")) else {
+            continue;
+        };
+        let w = num(t, "wall_ns").unwrap_or(0.0);
+        wall_total += w;
+        for m in ["stall_frac", "inject_frac", "queue_frac", "other_frac"] {
+            *sums.entry(m).or_default() += w * num(t, m).unwrap_or(0.0);
+        }
+    }
+    if wall_total > 0.0 {
+        let (top, ns) = sums
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(k, v)| (*k, *v))
+            .unwrap_or(("stall_frac", 0.0));
+        let _ = writeln!(
+            out,
+            "top overhead source: {} ({:.1}% of summed shard wall time)",
+            top.trim_end_matches("_frac"),
+            100.0 * ns / wall_total
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH: &str = r#"{
+      "bench": "t", "parallelism": 7,
+      "runs": [
+        {"label": "a", "virtual_ns": 100, "events": 50, "wall_ns": 1000, "events_per_sec": 50000},
+        {"label": "b", "virtual_ns": 200, "events": 80, "wall_ns": 2000, "events_per_sec": 40000}
+      ],
+      "total_events": 130, "total_wall_ns": 3000, "total_events_per_sec": 43333
+    }"#;
+
+    const PROF: &str = r#"{
+      "bench": "t", "parallelism": 7, "host_cores": 1,
+      "runs": [
+        {"label": "a", "prof": {
+          "mode": "windowed", "k": 7, "host_cores": 1, "wall_ns": 5000000,
+          "totals": {"wall_ns": 30000000, "stall_frac": 0.60, "inject_frac": 0.05,
+                     "execute_frac": 0.20, "queue_frac": 0.05, "other_frac": 0.10,
+                     "top_overhead": "stall", "top_overhead_frac": 0.60},
+          "coordinator": {"replay_ns": 10, "plan_ns": 10, "windows": 3, "injections": 4},
+          "shards": []
+        }}
+      ]
+    }"#;
+
+    fn patched(src: &str, from: &str, to: &str) -> Json {
+        Json::parse(&src.replace(from, to)).unwrap()
+    }
+
+    #[test]
+    fn parser_round_trips_artifact_shapes() {
+        let v = Json::parse(BENCH).unwrap();
+        assert_eq!(v.get("bench").and_then(Json::as_str), Some("t"));
+        assert_eq!(v.get("parallelism").and_then(Json::as_f64), Some(7.0));
+        let runs = v.get("runs").and_then(Json::as_arr).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].get("label").and_then(Json::as_str), Some("a"));
+        // Escapes and unicode survive.
+        let s = Json::parse(r#"{"x": "a→b — \"q\""}"#).unwrap();
+        assert_eq!(s.get("x").and_then(Json::as_str), Some("a→b — \"q\""));
+        assert!(Json::parse("{\"x\": 1,}").is_err(), "trailing comma rejected");
+        assert!(Json::parse("[1, 2] junk").is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let b = Json::parse(BENCH).unwrap();
+        let p = Json::parse(PROF).unwrap();
+        let thr = Thresholds::default();
+        assert!(diff_bench("BENCH_t.json", &b, &b, &thr).is_empty());
+        assert!(diff_prof("PROF_t.json", &p, &p, &thr).is_empty());
+    }
+
+    #[test]
+    fn throughput_collapse_is_flagged_but_noise_is_not() {
+        let base = Json::parse(BENCH).unwrap();
+        let thr = Thresholds::default();
+        // 2x slower than baseline: within the generous 75% drop budget.
+        let noisy = patched(BENCH, "\"events_per_sec\": 50000", "\"events_per_sec\": 25000");
+        assert!(diff_bench("BENCH_t.json", &base, &noisy, &thr).is_empty());
+        // 100x slower: synthetic regression must trip the gate.
+        let dead = patched(BENCH, "\"events_per_sec\": 50000", "\"events_per_sec\": 500");
+        let regs = diff_bench("BENCH_t.json", &base, &dead, &thr);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "events_per_sec");
+        assert_eq!(regs[0].run, "a");
+    }
+
+    #[test]
+    fn virtual_fact_drift_is_exact() {
+        let base = Json::parse(BENCH).unwrap();
+        let thr = Thresholds::default();
+        let drifted = patched(BENCH, "\"events\": 50", "\"events\": 51");
+        let regs = diff_bench("BENCH_t.json", &base, &drifted, &thr);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "events");
+        // With sim_exact off it passes.
+        let lax = Thresholds { sim_exact: false, ..thr };
+        assert!(diff_bench("BENCH_t.json", &base, &drifted, &lax).is_empty());
+    }
+
+    #[test]
+    fn missing_run_is_a_regression() {
+        let base = Json::parse(BENCH).unwrap();
+        let fresh = patched(BENCH, "\"label\": \"b\"", "\"label\": \"renamed\"");
+        let regs = diff_bench("BENCH_t.json", &base, &fresh, &Thresholds::default());
+        assert!(regs.iter().any(|r| r.run == "b" && r.metric == "run"), "{regs:?}");
+    }
+
+    #[test]
+    fn stall_rise_is_flagged_only_beyond_threshold() {
+        let base = Json::parse(PROF).unwrap();
+        let thr = Thresholds::default();
+        // +20 points: tolerated.
+        let up20 = patched(PROF, "\"stall_frac\": 0.60", "\"stall_frac\": 0.80");
+        assert!(diff_prof("PROF_t.json", &base, &up20, &thr).is_empty());
+        // +35 points: flagged.
+        let up35 = patched(PROF, "\"stall_frac\": 0.60", "\"stall_frac\": 0.95");
+        let regs = diff_prof("PROF_t.json", &base, &up35, &thr);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "stall_frac");
+        // Falling stall is never a regression.
+        let down = patched(PROF, "\"stall_frac\": 0.60", "\"stall_frac\": 0.01");
+        assert!(diff_prof("PROF_t.json", &base, &down, &thr).is_empty());
+    }
+
+    #[test]
+    fn diff_dirs_end_to_end_with_synthetic_regression() {
+        let dir = std::env::temp_dir().join(format!("hal-perf-test-{}", std::process::id()));
+        let bdir = dir.join("baselines");
+        let fdir = dir.join("fresh");
+        std::fs::create_dir_all(&bdir).unwrap();
+        std::fs::create_dir_all(&fdir).unwrap();
+        std::fs::write(bdir.join("BENCH_t.json"), BENCH).unwrap();
+        std::fs::write(bdir.join("PROF_t.json"), PROF).unwrap();
+        // Hosttrace files must be ignored even when malformed-for-diff.
+        std::fs::write(bdir.join("PROF_t_hosttrace.json"), "[]").unwrap();
+        std::fs::write(fdir.join("BENCH_t.json"), BENCH).unwrap();
+        std::fs::write(fdir.join("PROF_t.json"), PROF).unwrap();
+        let thr = Thresholds::default();
+        assert!(diff_dirs(&bdir, &fdir, &thr).is_empty());
+        // Inflate the baseline throughput 100x — the fresh run now looks
+        // collapsed, exactly what ci.sh's synthetic-regression check does.
+        std::fs::write(
+            bdir.join("BENCH_t.json"),
+            BENCH.replace("\"events_per_sec\": 50000", "\"events_per_sec\": 5000000"),
+        )
+        .unwrap();
+        let regs = diff_dirs(&bdir, &fdir, &thr);
+        assert!(
+            regs.iter().any(|r| r.metric == "events_per_sec"),
+            "synthetic regression must be caught: {regs:?}"
+        );
+        // Missing fresh artifact is a regression, not a silent pass.
+        std::fs::remove_file(fdir.join("PROF_t.json")).unwrap();
+        std::fs::write(bdir.join("BENCH_t.json"), BENCH).unwrap();
+        let regs = diff_dirs(&bdir, &fdir, &thr);
+        assert!(regs.iter().any(|r| r.artifact == "PROF_t.json"), "{regs:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn summarize_names_the_top_overhead() {
+        let p = Json::parse(PROF).unwrap();
+        let s = summarize_prof(&p).unwrap();
+        assert!(s.contains("stall"), "{s}");
+        assert!(s.contains("top overhead source: stall"), "{s}");
+        assert!(s.contains('7'), "{s}");
+    }
+}

@@ -1,0 +1,112 @@
+//! `hal-perf` — summarize host-time profiles and gate perf artifacts.
+//!
+//! ```bash
+//! hal-perf summarize results/PROF_table4_fib.json [...]
+//! hal-perf diff --baselines results/baselines --fresh scratch/results \
+//!          [--max-drop 0.75] [--max-stall-rise 0.30] [--no-sim-exact]
+//! ```
+//!
+//! `diff` exits nonzero when any regression is found — `ci.sh`'s
+//! `perf-gate` step is built on that.
+
+use hal_perf::{diff_dirs, summarize_prof, Json, Thresholds};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  hal-perf summarize <PROF_file.json>...
+  hal-perf diff --baselines <dir> --fresh <dir> [--max-drop X] [--max-stall-rise X] [--no-sim-exact]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summarize") => summarize(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn summarize(files: &[String]) -> ExitCode {
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for (i, path) in files.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        let summary = std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|s| Json::parse(&s))
+            .and_then(|doc| summarize_prof(&doc));
+        match summary {
+            Ok(s) => print!("{s}"),
+            Err(e) => {
+                eprintln!("hal-perf: {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn diff(args: &[String]) -> ExitCode {
+    let mut baselines: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut thr = Thresholds::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| panic!("{flag} needs a value\n{USAGE}"))
+        };
+        match a.as_str() {
+            "--baselines" => baselines = Some(PathBuf::from(val("--baselines"))),
+            "--fresh" => fresh = Some(PathBuf::from(val("--fresh"))),
+            "--max-drop" => {
+                thr.max_drop = val("--max-drop").parse().expect("--max-drop: a fraction in [0,1)")
+            }
+            "--max-stall-rise" => {
+                thr.max_stall_rise = val("--max-stall-rise")
+                    .parse()
+                    .expect("--max-stall-rise: a fraction in [0,1)")
+            }
+            "--no-sim-exact" => thr.sim_exact = false,
+            other => {
+                eprintln!("hal-perf: unknown flag {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let (Some(baselines), Some(fresh)) = (baselines, fresh) else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let regs = diff_dirs(&baselines, &fresh, &thr);
+    if regs.is_empty() {
+        println!(
+            "perf gate: OK — {} vs {} (max_drop={:.2}, max_stall_rise={:.2}, sim_exact={})",
+            fresh.display(),
+            baselines.display(),
+            thr.max_drop,
+            thr.max_stall_rise,
+            thr.sim_exact
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf gate: {} regression(s) vs {}:", regs.len(), baselines.display());
+        for r in &regs {
+            eprintln!("  REGRESSION {r}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,134 @@
+//! Host-time profiler invariants (PR 6):
+//!
+//! * profiling is **invisible** to the deterministic surface — reports,
+//!   span exports, and metrics exports are identical with the profiler
+//!   on or off, at K = 1 and K = 7;
+//! * with profiling on, every shard's ledger telescopes exactly:
+//!   `stall + inject + execute + queue + other == wall` (well inside the
+//!   5% acceptance bound — the ledger is contiguous by construction);
+//! * the sequential instant-network loop produces the same profile
+//!   shape as a single shard, so seq/par attribution is comparable.
+
+use hal::prelude::*;
+use hal_am::LinkModel;
+use hal_kernel::ProfReport;
+use hal_workloads::fib::{self, FibConfig, Placement};
+
+fn fib_cfg() -> FibConfig {
+    FibConfig {
+        n: 16,
+        grain: 4,
+        placement: Placement::Random,
+    }
+}
+
+fn machine(k: usize, prof: bool) -> MachineConfig {
+    MachineConfig::builder(8)
+        .seed(7)
+        .parallelism(k)
+        .trace()
+        .metrics()
+        .prof_if(prof)
+        .build()
+        .unwrap()
+}
+
+/// Every deterministic export, rendered to its artifact bytes.
+fn deterministic_bytes(r: &SimReport) -> (String, String) {
+    let spans = hal_kernel::span::SpanReport::build(r.trace.as_ref().expect("trace on"));
+    let metrics = r
+        .metrics
+        .as_ref()
+        .expect("metrics on")
+        .to_json(r.makespan.as_nanos());
+    (spans.to_json(), metrics)
+}
+
+#[test]
+fn profiling_does_not_perturb_the_deterministic_surface() {
+    for k in [1usize, 7] {
+        let (v_off, off) = fib::run_sim(machine(k, false), fib_cfg());
+        let (v_on, on) = fib::run_sim(machine(k, true), fib_cfg());
+        assert_eq!(v_off, v_on, "K={k}");
+        assert!(off.prof.is_none(), "K={k}: prof off must record nothing");
+        assert!(on.prof.is_some(), "K={k}: prof on must record a profile");
+        // SimReport equality deliberately ignores `prof`.
+        assert_eq!(off, on, "K={k}: reports must be identical modulo prof");
+        let (spans_off, metrics_off) = deterministic_bytes(&off);
+        let (spans_on, metrics_on) = deterministic_bytes(&on);
+        assert_eq!(spans_off, spans_on, "K={k}: span artifact bytes changed");
+        assert_eq!(metrics_off, metrics_on, "K={k}: metrics artifact bytes changed");
+    }
+}
+
+fn assert_ledger_telescopes(p: &ProfReport, what: &str) {
+    assert!(!p.shards.is_empty(), "{what}: no shard ledgers");
+    for s in &p.shards {
+        let attributed = s.stall_ns + s.inject_ns + s.execute_ns + s.queue_ns;
+        assert!(
+            attributed <= s.wall_ns,
+            "{what} shard {}: phases ({attributed} ns) exceed wall ({} ns)",
+            s.shard,
+            s.wall_ns
+        );
+        let sum = attributed + s.other_ns();
+        assert_eq!(
+            sum, s.wall_ns,
+            "{what} shard {}: attribution must telescope to wall exactly",
+            s.shard
+        );
+        assert!(s.windows > 0, "{what} shard {}: no windows recorded", s.shard);
+        assert_eq!(
+            s.recs.len() as u64 + s.windows_truncated,
+            s.windows,
+            "{what} shard {}: window records inconsistent",
+            s.shard
+        );
+    }
+    let events: u64 = p.shards.iter().map(|s| s.events).sum();
+    assert!(events > 0, "{what}: profiled run executed no events");
+    let t = p.totals();
+    let parts = t.stall_ns + t.inject_ns + t.execute_ns + t.queue_ns + t.other_ns;
+    assert_eq!(parts, t.wall_ns, "{what}: totals must telescope too");
+}
+
+#[test]
+fn windowed_shard_ledgers_sum_to_wall_time() {
+    for k in [1usize, 2, 7] {
+        let (_, r) = fib::run_sim(machine(k, true), fib_cfg());
+        let p = r.prof.as_ref().expect("prof on");
+        assert_eq!(p.mode, "windowed", "K={k}");
+        assert_eq!(p.k, k, "K={k}");
+        assert_eq!(p.shards.len(), k, "K={k}: one ledger per shard");
+        for (i, s) in p.shards.iter().enumerate() {
+            assert_eq!(s.shard, i, "K={k}: ledgers ordered by shard id");
+        }
+        assert_ledger_telescopes(p, &format!("K={k}"));
+        if k > 1 {
+            let c = p.coordinator.as_ref().expect("windowed runs have a coordinator ledger");
+            assert!(c.windows > 0, "K={k}: coordinator saw no barriers");
+        }
+    }
+}
+
+#[test]
+fn sequential_instant_loop_records_a_single_comparable_track() {
+    let cfg = MachineConfig::builder(4)
+        .seed(7)
+        .link(LinkModel::instant())
+        .prof()
+        .build()
+        .unwrap();
+    let (v, r) = fib::run_sim(cfg, fib_cfg());
+    assert_eq!(v, hal_baselines::fib_iter(16));
+    let p = r.prof.as_ref().expect("prof on");
+    assert_eq!(p.mode, "sequential");
+    assert_eq!(p.k, 1);
+    assert!(p.coordinator.is_none(), "no barrier ledger in the sequential loop");
+    assert_eq!(p.shards.len(), 1);
+    assert_ledger_telescopes(p, "sequential");
+    // The summary names a top overhead source like any windowed profile.
+    let s = p.summary();
+    assert!(s.contains("top overhead:"), "{s}");
+    assert!(s.contains("mode=sequential"), "{s}");
+}
