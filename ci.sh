@@ -35,13 +35,16 @@ echo "== parallel-equivalence smoke =="
 # The windowed executor must produce byte-identical results at any host
 # parallelism. Run two representative harnesses quick, sequential vs
 # 4 threads, and diff their stdout (timing goes to stderr only).
+# HAL_PARALLEL_FORCE keeps K=4 honest on small hosts: the bench bins cap
+# requested K at the visible cores otherwise, and this smoke exists to
+# exercise the threaded paths even on 1-core CI.
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 mkdir -p "$smoke_dir/results"   # run from here so quick runs don't clobber committed results/
 smoke() {
   local bin="$1" exe="$PWD/target/release/$1"
   (cd "$smoke_dir" && HAL_PARALLEL=1 "$exe" --quick >"$bin.seq.out" 2>/dev/null)
-  (cd "$smoke_dir" && HAL_PARALLEL=4 "$exe" --quick >"$bin.par.out" 2>/dev/null)
+  (cd "$smoke_dir" && HAL_PARALLEL=4 HAL_PARALLEL_FORCE=1 "$exe" --quick >"$bin.par.out" 2>/dev/null)
   diff "$smoke_dir/$bin.seq.out" "$smoke_dir/$bin.par.out" \
     || { echo "ci: $bin output differs between HAL_PARALLEL=1 and 4"; exit 1; }
   echo "   $bin: identical across parallelism"
@@ -62,7 +65,7 @@ echo "== spans/metrics smoke (table4_fib --spans --metrics) =="
 # never exceeds the makespan. Two runs, K=1 vs K=4, byte-compared.
 obs() {
   local k="$1" tag="$2" exe="$PWD/target/release/table4_fib"
-  (cd "$smoke_dir" && HAL_PARALLEL=$k HAL_SPANS=1 HAL_METRICS=1 "$exe" --quick \
+  (cd "$smoke_dir" && HAL_PARALLEL=$k HAL_PARALLEL_FORCE=1 HAL_SPANS=1 HAL_METRICS=1 "$exe" --quick \
      >"obs.$tag.out" 2>/dev/null)
   for f in SPANS_table4_fib.json METRICS_table4_fib.json; do
     [ -s "$smoke_dir/results/$f" ] || { echo "ci: $f missing/empty at K=$k"; exit 1; }
@@ -83,12 +86,12 @@ echo "   table4_fib: spans+metrics present, byte-identical across parallelism"
 
 echo "== protocol checker + observability sweep (repro_all --quick --check --spans --metrics) =="
 # Every harness under the hal-check protocol invariant checker, both
-# sequentially (HAL_PARALLEL=1) and on the windowed executor
-# (HAL_PARALLEL=7) — repro_all runs each bin at both levels when
-# --check is on, fails if any verdict is dirty, byte-compares every
-# span/metrics export across the two levels, and writes a manifest of
-# expected artifacts. Run from the scratch dir so committed results/
-# stay untouched.
+# sequentially (HAL_PARALLEL=1) and on the windowed executor at a
+# host-derived pinned K (available_parallelism clamped to [2, 7]) —
+# repro_all runs each bin at both levels when --check is on, fails if
+# any verdict is dirty, byte-compares every span/metrics export across
+# the two levels, and writes a manifest of expected artifacts. Run from
+# the scratch dir so committed results/ stay untouched.
 repo_root="$PWD"
 (cd "$smoke_dir" && "$repo_root/target/release/repro_all" --quick --check --spans --metrics 2>&1 | tail -n 20) \
   || { echo "ci: protocol checker sweep failed"; exit 1; }
@@ -96,7 +99,7 @@ grep -q '"clean": true' "$smoke_dir/results/CHECK_repro_all.json" \
   || { echo "ci: CHECK_repro_all.json is not clean"; exit 1; }
 grep -q 'SPANS_table5_matmul.json' "$smoke_dir/results/MANIFEST_repro_all.json" \
   || { echo "ci: MANIFEST_repro_all.json is missing span artifacts"; exit 1; }
-echo "   repro_all --check --spans --metrics: CLEAN at K in {1, 7}"
+echo "   repro_all --check --spans --metrics: CLEAN at K=1 and the host-derived pinned K"
 
 echo "== perf-gate (hal-perf diff vs results/baselines) =="
 # Host-time attribution + throughput rot gate. Two representative bins
@@ -109,21 +112,29 @@ echo "== perf-gate (hal-perf diff vs results/baselines) =="
 # files instead of diffing.
 perf_bins="table4_fib fig3_delivery"
 for bin in $perf_bins; do
-  (cd "$smoke_dir" && HAL_PARALLEL=7 HAL_PROF=1 "$repo_root/target/release/$bin" --quick \
+  (cd "$smoke_dir" && HAL_PARALLEL=7 HAL_PARALLEL_FORCE=1 HAL_PROF=1 "$repo_root/target/release/$bin" --quick \
      >/dev/null 2>"$bin.prof.err")
   for f in "BENCH_$bin.json" "PROF_$bin.json" "PROF_${bin}_hosttrace.json"; do
     [ -s "$smoke_dir/results/$f" ] || { echo "ci: $f missing/empty after --prof run"; exit 1; }
   done
 done
+# Capture to a file rather than piping into `grep -q`: -q closes the
+# pipe at the first match and the second summary's print would EPIPE.
 "$repo_root/target/release/hal-perf" summarize \
   "$smoke_dir/results/PROF_table4_fib.json" "$smoke_dir/results/PROF_fig3_delivery.json" \
-  | grep -q "top overhead source:" \
+  > "$smoke_dir/perf_summary.txt" \
+  || { echo "ci: hal-perf summarize failed"; exit 1; }
+grep -q "top overhead source:" "$smoke_dir/perf_summary.txt" \
   || { echo "ci: hal-perf summarize produced no verdict"; exit 1; }
 if [ "${1:-}" = "--update-baselines" ]; then
   mkdir -p results/baselines
   for bin in $perf_bins; do
     cp "$smoke_dir/results/BENCH_$bin.json" "$smoke_dir/results/PROF_$bin.json" results/baselines/
   done
+  # The repro_all sweep above left its sequential-vs-parallel speedup
+  # table in the scratch results/ — baseline it so `hal-perf diff` can
+  # gate per-bin speedup regressions (the `speedup` check).
+  cp "$smoke_dir/results/BENCH_repro_all.json" results/baselines/
   echo "   baselines regenerated under results/baselines/ — review and commit"
 else
   "$repo_root/target/release/hal-perf" diff \

@@ -122,6 +122,24 @@ pub enum Fate {
     },
 }
 
+/// A chaos duplication whose copy could not be materialized because the
+/// envelope is not clonable (opaque one-shot payloads). Recorded — with
+/// a stats counter — instead of silently dropping the duplicate, so
+/// trace consumers (hal-check, metrics) can see it happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DupCloneFailed {
+    /// Virtual arrival time the duplicate would have had.
+    pub t: VirtualTime,
+    /// Source node of the duplicated packet.
+    pub src: NodeId,
+    /// Destination node of the duplicated packet.
+    pub dst: NodeId,
+}
+
+/// Recorded [`DupCloneFailed`] events are bounded; the stats counter
+/// `net.fault_dup_unclonable` keeps the exact total.
+pub const MAX_DUP_CLONE_RECORDS: usize = 64;
+
 /// The network's resource state machine, separated from the event queue
 /// so parallel executors can replay staged injections against it at
 /// window barriers: per-(src,dst) FIFO links, per-source NI
@@ -149,6 +167,9 @@ pub struct LinkState {
     eject_busy: Vec<(VirtualTime, VirtualTime)>,
     /// Next admission sequence number.
     seq: u64,
+    /// Chaos duplications whose copy could not be cloned (bounded at
+    /// [`MAX_DUP_CLONE_RECORDS`]; exact count in the stats).
+    dup_unclonable: Vec<DupCloneFailed>,
     stats: StatSet,
     /// Fault machinery; `None` (the default) keeps the exact legacy
     /// admission path — zero RNG draws, byte-identical behavior.
@@ -164,6 +185,7 @@ impl LinkState {
             ni_free: vec![(VirtualTime::ZERO, VirtualTime::ZERO); nodes],
             eject_busy: vec![(VirtualTime::ZERO, VirtualTime::ZERO); nodes],
             seq: 0,
+            dup_unclonable: Vec::new(),
             stats: StatSet::new(),
             faults: None,
         }
@@ -321,6 +343,24 @@ impl LinkState {
         }
     }
 
+    /// Record a chaos duplication whose copy could not be materialized:
+    /// the envelope is a one-shot payload with no [`AmEnvelope::try_clone`]
+    /// representation. Counted in `net.fault_dup_unclonable` and kept
+    /// (bounded) for the trace-warning surface — the admission order is
+    /// canonical, so the record list is deterministic across parallel K.
+    pub fn note_dup_clone_failed(&mut self, t: VirtualTime, src: NodeId, dst: NodeId) {
+        self.stats.bump("net.fault_dup_unclonable");
+        if self.dup_unclonable.len() < MAX_DUP_CLONE_RECORDS {
+            self.dup_unclonable.push(DupCloneFailed { t, src, dst });
+        }
+    }
+
+    /// The recorded unclonable-duplicate events (bounded; see
+    /// [`LinkState::note_dup_clone_failed`]).
+    pub fn dup_clone_failures(&self) -> &[DupCloneFailed] {
+        &self.dup_unclonable
+    }
+
     /// Allocate a sequence number for a scheduler-level event (a timer)
     /// that bypasses the admission arithmetic entirely: no resources,
     /// no faults, no packet stats — just a deterministic tie-breaker
@@ -388,8 +428,11 @@ impl<P> SimNetwork<P> {
                     .push_at(adm.arrival, adm.seq, Packet { src, dst, body });
             }
             Fate::Duplicated { arrival, seq } => {
-                if let Some(copy) = body.try_clone() {
-                    self.queue.push_at(arrival, seq, Packet { src, dst, body: copy });
+                match body.try_clone() {
+                    Some(copy) => {
+                        self.queue.push_at(arrival, seq, Packet { src, dst, body: copy });
+                    }
+                    None => self.link.note_dup_clone_failed(arrival, src, dst),
                 }
                 self.queue
                     .push_at(adm.arrival, adm.seq, Packet { src, dst, body });
@@ -449,6 +492,11 @@ impl<P> SimNetwork<P> {
     /// Network statistics (packet/byte counters).
     pub fn stats(&self) -> &StatSet {
         self.link.stats()
+    }
+
+    /// The underlying resource state (fault records, admission counters).
+    pub fn link(&self) -> &LinkState {
+        &self.link
     }
 
     /// Disassemble into the resource state and the pending packets
@@ -573,9 +621,14 @@ mod tests {
         let plan = crate::fault::FaultPlan::none().with_duplicate(1.0);
         let mut net = SimNetwork::new(2, LinkModel::cm5());
         net.set_fault_plan(&plan, 1);
-        // An opaque Small payload cannot be copied…
+        // An opaque Small payload cannot be copied — the lost duplicate
+        // is counted and recorded, not silently dropped…
         net.inject(VirtualTime::ZERO, 0, 1, small(1), 8);
         assert_eq!(net.in_flight(), 1);
+        assert_eq!(net.stats().get("net.fault_dup_unclonable"), 1);
+        assert_eq!(net.link.dup_clone_failures().len(), 1);
+        assert_eq!(net.link.dup_clone_failures()[0].src, 0);
+        assert_eq!(net.link.dup_clone_failures()[0].dst, 1);
         // …but a Rel packet can.
         let rel = AmEnvelope::Rel {
             seq: 1,

@@ -14,16 +14,17 @@
 //! With `--check`, every bin additionally runs the `hal-check` protocol
 //! invariant checker over its simulations (a bin that finds violations
 //! exits nonzero and fails the whole sweep), the parallel pass is pinned
-//! to `HAL_PARALLEL=7` so the checker covers K in {1, 7}, and the
-//! per-bin `results/CHECK_<bin>.json` verdicts are folded into
+//! to a host-derived K (`available_parallelism().clamp(2, 7)`) so the
+//! checker covers K in {1, K}, and the per-bin
+//! `results/CHECK_<bin>.json` verdicts are folded into
 //! `results/CHECK_repro_all.json`.
 //!
 //! With `--spans` / `--metrics`, every bin also exports lifecycle spans
 //! with critical-path analysis (`results/SPANS_<bin>.json`) and the live
 //! metrics timeseries (`results/METRICS_<bin>.json`). Both artifacts
-//! carry only virtual-time facts, so the parallel pass is pinned to
-//! `HAL_PARALLEL=7` and each file is asserted **byte-identical**
-//! between the K=1 and K=7 runs.
+//! carry only virtual-time facts, so the parallel pass is pinned to the
+//! same host-derived K and each file is asserted **byte-identical**
+//! between the K=1 and pinned-K runs.
 //!
 //! With `--prof`, every bin also records the host-time executor profile
 //! (`results/PROF_<bin>.json` + `_hosttrace.json`). Those carry *host*
@@ -115,7 +116,7 @@ fn parse_benchlines(stderr: &str) -> Vec<(String, f64)> {
     v
 }
 
-fn run_bin(bin: &str, parallel: &str, quick: bool, check: bool) -> std::process::Output {
+fn run_bin(bin: &str, parallel: &str, quick: bool, check: bool, force: bool) -> std::process::Output {
     let spans = out::spans_enabled();
     let metrics = out::metrics_enabled();
     let prof = out::prof_enabled();
@@ -139,6 +140,12 @@ fn run_bin(bin: &str, parallel: &str, quick: bool, check: bool) -> std::process:
         cmd.arg("--quick");
     }
     cmd.env("HAL_PARALLEL", parallel);
+    if force {
+        // A pinned K may exceed the visible cores (at least 2 shards
+        // even on 1-core CI); tell the child to run it anyway instead
+        // of capping at the host width.
+        cmd.env("HAL_PARALLEL_FORCE", "1");
+    }
     if check {
         cmd.env("HAL_CHECK", "1");
     }
@@ -229,9 +236,18 @@ fn main() {
     remove_stale_artifacts();
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     // Under --check / --spans / --metrics the parallel executor level is
-    // pinned so the determinism assertions cover a reproducible K pair
-    // (1 and 7) rather than whatever the host happens to have.
-    let par_level = if check || spans || metrics { "7" } else { "auto" };
+    // pinned so the determinism assertions cover a stable K pair for
+    // this host. The K is derived from the visible cores — at least 2
+    // so the threaded executor paths are exercised even on 1-core CI,
+    // at most 7 (one shard per simulated node) — rather than a
+    // hardcoded count that oversubscribes small hosts.
+    let pinned = check || spans || metrics;
+    let par_level = if pinned {
+        cores.clamp(2, 7).to_string()
+    } else {
+        "auto".to_string()
+    };
+    let par_level = par_level.as_str();
     // The K the parallel leg actually runs at — `auto` means one shard
     // per visible core. Recorded separately from `host_cores` so the
     // JSON never again conflates "cores the host has" with "shards the
@@ -246,7 +262,7 @@ fn main() {
 
     for bin in BINS {
         eprintln!("== running {bin} (sequential) ==");
-        let seq = run_bin(bin, "1", quick, check);
+        let seq = run_bin(bin, "1", quick, check, false);
         let path = format!("results/{bin}.txt");
         std::fs::write(&path, &seq.stdout).expect("write results file");
         eprintln!("   -> {path} ({} bytes)", seq.stdout.len());
@@ -267,7 +283,7 @@ fn main() {
             .collect();
 
         eprintln!("== running {bin} (parallel, HAL_PARALLEL={par_level}, {cores} cores) ==");
-        let par = run_bin(bin, par_level, quick, check);
+        let par = run_bin(bin, par_level, quick, check, pinned);
         if check {
             checks.push((bin, seq_clean, check_clean(bin)));
         }
@@ -387,12 +403,12 @@ fn main() {
             ));
         }
         let check_json = format!(
-            "{{\n  \"subject\": \"repro_all\",\n  \"clean\": {all_clean},\n  \"parallel_levels\": [1, 7],\n  \"bins\": [\n{bins_json}\n  ]\n}}\n"
+            "{{\n  \"subject\": \"repro_all\",\n  \"clean\": {all_clean},\n  \"parallel_levels\": [1, {par_parallelism}],\n  \"bins\": [\n{bins_json}\n  ]\n}}\n"
         );
         std::fs::write("results/CHECK_repro_all.json", check_json)
             .expect("write CHECK_repro_all.json");
         eprintln!(
-            "protocol checker: {} across {} bin(s), K in {{1, 7}} (results/CHECK_repro_all.json)",
+            "protocol checker: {} across {} bin(s), K in {{1, {par_parallelism}}} (results/CHECK_repro_all.json)",
             if all_clean { "CLEAN" } else { "VIOLATIONS" },
             checks.len()
         );

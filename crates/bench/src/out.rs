@@ -84,7 +84,30 @@ static PROF_TRACE: Mutex<Vec<String>> = Mutex::new(Vec::new());
 /// `HAL_PARALLEL` environment variable (`auto` or a thread count),
 /// else `1` (sequential reference). `0` means "all available cores"
 /// (the [`hal_kernel::MachineConfigBuilder::parallelism`] convention).
+///
+/// A K above `std::thread::available_parallelism()` is capped to it
+/// (with a stderr note): oversubscribed shard threads only measure
+/// scheduler churn, not the executor. Set `HAL_PARALLEL_FORCE=1` to run
+/// the requested K anyway — the equivalence tests use real thread
+/// counts regardless of host width, and CI smokes force specific K to
+/// exercise the threaded paths on 1-core containers.
 pub fn parallelism() -> usize {
+    let requested = raw_parallelism();
+    if requested <= 1 || std::env::var("HAL_PARALLEL_FORCE").is_ok() {
+        return requested;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if requested > cores {
+        eprintln!(
+            "note: requested parallelism {requested} exceeds the {cores} available core(s); \
+             capping at {cores} (set HAL_PARALLEL_FORCE=1 to oversubscribe anyway)"
+        );
+        return cores;
+    }
+    requested
+}
+
+fn raw_parallelism() -> usize {
     for arg in std::env::args().skip(1) {
         if arg == "--parallel" {
             return 0;

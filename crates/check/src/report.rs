@@ -122,6 +122,10 @@ pub struct CheckReport {
     /// True when any examined trace had ring wraparound: liveness and
     /// pairing checks that need a complete window were downgraded.
     pub trace_truncated: bool,
+    /// Non-fatal anomalies surfaced by the checked runs (e.g. a chaos
+    /// duplicate of an unclonable payload that could not be
+    /// materialized). Warnings never make a report unclean.
+    pub warnings: Vec<String>,
 }
 
 impl CheckReport {
@@ -156,7 +160,12 @@ impl CheckReport {
         });
     }
 
-    /// True when no invariant broke.
+    /// Record a non-fatal warning (does not affect [`CheckReport::is_clean`]).
+    pub fn warn(&mut self, detail: impl Into<String>) {
+        self.warnings.push(detail.into());
+    }
+
+    /// True when no invariant broke (warnings don't count).
     #[must_use]
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
@@ -197,6 +206,15 @@ impl CheckReport {
         }
         for (name, n) in self.counts() {
             let _ = writeln!(out, "  {name:<26} {n:>6}");
+        }
+        if !self.warnings.is_empty() {
+            let _ = writeln!(out, "  {} warning(s) (non-fatal):", self.warnings.len());
+            for w in self.warnings.iter().take(10) {
+                let _ = writeln!(out, "  ~ {w}");
+            }
+            if self.warnings.len() > 10 {
+                let _ = writeln!(out, "  ... and {} more", self.warnings.len() - 10);
+            }
         }
         for v in self.violations.iter().take(10) {
             let _ = writeln!(out, "  - [{}] {}", v.kind.name(), v.detail);
@@ -246,15 +264,23 @@ impl CheckReport {
             .map(|p| format!("\"{}\"", json_escape(p)))
             .collect::<Vec<_>>()
             .join(", ");
+        let warnings: String = self
+            .warnings
+            .iter()
+            .map(|w| format!("\"{}\"", json_escape(w)))
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
             "{{\n  \"subject\": \"{}\",\n  \"clean\": {},\n  \"passes\": [{}],\n  \
              \"events_checked\": {},\n  \"trace_truncated\": {},\n  \
+             \"warnings\": [{}],\n  \
              \"violation_counts\": {{{}}},\n  \"violations\": [\n{}\n  ]\n}}\n",
             json_escape(&self.subject),
             self.is_clean(),
             passes,
             self.events_checked,
             self.trace_truncated,
+            warnings,
             counts,
             violations,
         )

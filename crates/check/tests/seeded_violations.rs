@@ -236,6 +236,7 @@ fn truncated_traces_downgrade_absence_checks() {
             mk(14, 350, delivered(8)), // still a hard duplicate
         ],
         dropped: 3,
+        ..Default::default()
     };
     let mut r = CheckReport::new("seeded");
     check_trace(&trace, &mut r);

@@ -1,4 +1,5 @@
-//! Conservative time-window parallel executor for the simulated machine.
+//! Barrier-elision conservative parallel executor for the simulated
+//! machine.
 //!
 //! The sequential reference in [`crate::machine`] advances the globally
 //! earliest action one at a time. This module runs the same simulation
@@ -8,25 +9,87 @@
 //! host threads, each shard can execute every action with `t < end` of a
 //! window `[m·L, (m+1)·L)` without ever seeing a packet another shard
 //! produced inside the same window — those arrive at `≥ end` by
-//! construction. Cross-shard sends are therefore *staged* during the
-//! window and replayed against the shared [`LinkState`] at the barrier,
-//! in the canonical order the sequential executor would have admitted
-//! them. For a fixed seed the resulting [`crate::machine::SimReport`] is
-//! bit-identical for every shard count, and `K = 1` is the reference.
+//! construction. Cross-shard sends are *staged* during the window and
+//! replayed against the shared [`LinkState`] in the canonical order the
+//! sequential executor would have admitted them. For a fixed seed the
+//! resulting [`crate::machine::SimReport`] is bit-identical for every
+//! shard count, and `K = 1` is the reference.
 //!
-//! Determinism rests on three facts:
+//! # Fused windows and watermark channels
+//!
+//! The first generation of this executor (PR 2) ran a full coordinator
+//! round-trip per window: every shard sent a summary over an mpsc
+//! channel to a coordinator thread, which replayed staged sends and
+//! mailed back the next `WindowCmd` — two channel hops and a thread
+//! wake-up per shard per window, even when nothing was staged. The
+//! host-time profiler (PR 6) measured the result: 91–99 % of shard wall
+//! time was window-barrier stall on an oversubscribed host.
+//!
+//! This generation elides that coordination wherever the lookahead
+//! proves it cannot matter:
+//!
+//! * **Watermark channels.** Each shard owns a published *slot* (a
+//!   cache-line of atomics, double-buffered by boundary parity): its
+//!   **watermark** — a lower bound on the earliest virtual time at which
+//!   any of its *parked* (staged but not yet replayed) operations can
+//!   arrive (`u64::MAX` when nothing is parked; a send staged at `now`
+//!   cannot arrive before `now + L`, a chaos timer fires exactly at
+//!   `fire_at`) — plus its local frontier (earliest queue head / ready
+//!   kernel clock), its earliest idle-node poll candidate, and
+//!   ready/stopped bits.
+//! * **Fused multi-window scheduling.** At each window boundary the
+//!   shards meet at a lightweight spin-then-block barrier, read every
+//!   slot, and evaluate one pure decision function. When the global
+//!   watermark `W = min over shards` satisfies `W ≥ end` of the next
+//!   planned window, *no* parked injection can land inside that window —
+//!   an arrival exactly at `end` belongs to the following window, since
+//!   windows are half-open `[start, end)` — so every shard proceeds
+//!   directly into it. Runs of such windows execute back to back with a
+//!   single barrier wait between them and **zero** coordinator
+//!   involvement: no replay, no planning message, no channel hop.
+//! * **Elected coordination.** When the watermark does bite (or a
+//!   kernel stopped, or the event valve is armed), the shards fall back
+//!   to a *coordinated* boundary: each deposits its staged buffer into a
+//!   shared pool, shard 0 — on its own thread, there is no separate
+//!   coordinator thread any more — sorts the pool by [`ActionKey`],
+//!   replays it against the shared [`LinkState`] (global sequence
+//!   numbers, chaos draws, resource arithmetic), routes admitted packets
+//!   into per-shard inbox buffers, plans the next window, and the
+//!   barrier releases everyone to merge their own inboxes. Receivers
+//!   merge injections themselves; the canonical `(VirtualTime, seq)`
+//!   event-queue order makes the merge order irrelevant.
+//! * **Buffer reuse.** The staged buffers, per-shard inboxes, arrival
+//!   scratch, poll lists and idle-poll candidate lists are all recycled
+//!   across windows — the steady state allocates nothing per window.
+//!
+//! # Why determinism survives
 //!
 //! 1. Every executed action has a globally unique [`ActionKey`] (time,
 //!    rank, tie-breaker) except back-to-back zero-cost steps of one
-//!    node, which live on one shard and are kept adjacent by a stable
-//!    sort — so sorting the staged injections by producing-action key
-//!    reconstructs the exact sequential admission order.
-//! 2. Window planning uses only barrier-aggregated global state
-//!    (earliest queue head, earliest ready clock, poll candidates), so
-//!    every shard count computes the same window sequence.
-//! 3. All mutable per-node state (kernel, RNG, recorder) stays on its
+//!    node, which live on one shard, are deposited contiguously, and
+//!    are kept adjacent by a stable sort — so sorting the staged pool
+//!    reconstructs the exact sequential admission order no matter how
+//!    many fused windows the operations were parked across, and no
+//!    matter in which order shards deposited their buffers (cross-shard
+//!    keys never tie: step/poll ties are node ids, delivery ties are
+//!    globally unique sequence numbers).
+//! 2. Parking staged operations across fused windows never reorders
+//!    admission: coordinated boundaries drain the *entire* pool, so
+//!    replay batches are ordered by window, and [`LinkState::admit`]
+//!    outcomes depend only on the total admission order — which is the
+//!    same canonical order whether the pool is drained every window or
+//!    once per fused batch.
+//! 3. The fused/coordinate decision and the window plan are pure
+//!    functions of barrier-aggregated deterministic simulation state
+//!    (the published slots), so every shard count takes the same
+//!    decisions and runs the same window sequence. Fusing never changes
+//!    that sequence either: a window is only fused when every parked
+//!    arrival lands at or beyond its end, so the parked arrivals could
+//!    not have lowered the plan's `t_next` anyway.
+//! 4. All mutable per-node state (kernel, RNG, recorder) stays on its
 //!    owning shard; the only shared state — the link resource model —
-//!    is touched exclusively at barriers.
+//!    is touched exclusively by the elected replayer at coordinated
+//!    boundaries.
 
 use crate::error::MachineError;
 use crate::kernel::{Kernel, NetOut};
@@ -35,7 +98,8 @@ use crate::timeline::SpanKind;
 use crate::wire::KMsg;
 use hal_am::{AmEnvelope, Fate, LinkModel, LinkState, NodeId, Packet};
 use hal_des::{EventQueue, VirtualTime};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// Lookahead of a link model in nanoseconds: no injection at `now` can
@@ -62,16 +126,20 @@ const RANK_NET: u8 = 0;
 const RANK_STEP: u8 = 1;
 const RANK_POLL: u8 = 2;
 
+/// Published-slot sentinel: "nothing pending" / "nothing parked".
+const NONE_NS: u64 = u64::MAX;
+
 /// One network operation a kernel performed inside a window, parked
-/// until the barrier replays it against the shared [`LinkState`].
+/// until a coordinated boundary replays it against the shared
+/// [`LinkState`].
 pub(crate) struct Staged {
     key: ActionKey,
     op: StagedOp,
 }
 
 /// What was staged: an ordinary injection (admitted — with fault fate —
-/// at the barrier) or a chaos timer (which takes a tie-break sequence
-/// number from the shared counter but no resources or faults).
+/// at replay) or a chaos timer (which takes a tie-break sequence number
+/// from the shared counter but no resources or faults).
 enum StagedOp {
     Send {
         now: VirtualTime,
@@ -89,11 +157,40 @@ enum StagedOp {
 
 /// The [`NetOut`] a shard hands its kernels: sends are recorded, not
 /// admitted. Kernels never observe network resource state, so deferring
-/// admission to the barrier is invisible to them.
+/// admission to a coordinated boundary is invisible to them.
+///
+/// The buffer persists across fused windows (operations *park* here
+/// until the next coordinated boundary); `wm`/`scanned` incrementally
+/// maintain the shard's watermark — the earliest virtual time at which
+/// any parked operation could arrive — so each boundary only scans the
+/// entries staged since the last one.
 #[derive(Default)]
 struct StageNet {
     cur: Option<ActionKey>,
     buf: Vec<Staged>,
+    /// Earliest possible arrival over everything in `buf`
+    /// ([`NONE_NS`] when empty).
+    wm: u64,
+    /// Entries of `buf` already folded into `wm`.
+    scanned: usize,
+}
+
+impl StageNet {
+    fn new() -> Self {
+        StageNet {
+            wm: NONE_NS,
+            ..StageNet::default()
+        }
+    }
+
+    /// Forget the (now replayed) buffer's watermark. The buffer itself
+    /// is drained by the replayer via `Vec::append`, which keeps its
+    /// capacity here for reuse.
+    fn reset(&mut self) {
+        debug_assert!(self.buf.is_empty(), "reset with staged ops parked");
+        self.wm = NONE_NS;
+        self.scanned = 0;
+    }
 }
 
 impl NetOut for StageNet {
@@ -129,31 +226,27 @@ impl NetOut for StageNet {
 /// so shard-local spans merge back into canonical order.
 type KeyedSpan = (ActionKey, NodeId, VirtualTime, VirtualTime, SpanKind);
 
-/// What a shard reports at a window barrier.
-pub(crate) struct Summary {
-    staged: Vec<Staged>,
-    events: u64,
+/// What a shard's boundary probe found (the data it publishes to its
+/// watermark slot).
+struct Probe {
+    /// Earliest possible arrival of this shard's parked staged ops
+    /// ([`NONE_NS`] when none are parked).
+    watermark: u64,
+    /// Earliest pending local action: queue head or ready kernel clock.
+    frontier: u64,
+    /// Earliest idle-node poll candidate (`max(next_poll_at, clock)`).
+    poll_min: u64,
+    /// Some kernel has ready work.
+    has_ready: bool,
+    /// Some kernel stopped the machine.
     stopped: bool,
-    queue_head: Option<(VirtualTime, u64)>,
-    ready_min_clock: Option<VirtualTime>,
-    /// `(node, max(next_poll_at, clock))` for every idle node that could
-    /// send a load-balance poll.
-    idle_polls: Vec<(NodeId, VirtualTime)>,
-}
-
-/// A window assignment from the coordinator.
-pub(crate) struct WindowCmd {
-    end: VirtualTime,
-    arrivals: Vec<(VirtualTime, u64, Packet<KMsg>)>,
-    /// Poll fire times for this shard's idle nodes, sorted by
-    /// `(time, node)`.
-    polls: Vec<(VirtualTime, NodeId)>,
-    /// Remaining global event budget (u64::MAX when the valve is off).
-    budget: u64,
+    /// Operations staged since the previous boundary (profiling).
+    staged_new: u64,
 }
 
 /// One shard: the kernels of every node `n` with `n % stride == id`,
-/// plus their slice of the pending-packet queue.
+/// plus their slice of the pending-packet queue and its reusable
+/// per-window scratch buffers.
 pub(crate) struct Shard {
     id: usize,
     stride: usize,
@@ -162,6 +255,19 @@ pub(crate) struct Shard {
     stage: StageNet,
     spans: Vec<KeyedSpan>,
     record_timeline: bool,
+    /// Arrivals taken from this shard's inbox at the last coordinated
+    /// boundary, merged into `queue` at window start. Swapped (not
+    /// reallocated) with the shared inbox so both sides keep capacity.
+    arrivals: Vec<(VirtualTime, u64, Packet<KMsg>)>,
+    /// Poll fire times planned for the current window, sorted by
+    /// `(time, node)`. Reused across windows.
+    polls: Vec<(VirtualTime, NodeId)>,
+    /// `(node, max(next_poll_at, clock))` for every idle node that could
+    /// send a load-balance poll, from the latest boundary probe. Reused.
+    idle_polls: Vec<(NodeId, VirtualTime)>,
+    /// Events executed by the last window (drained into the shared
+    /// counter at the next boundary).
+    win_events: u64,
 }
 
 impl Shard {
@@ -169,50 +275,86 @@ impl Shard {
         (self.id + local * self.stride) as NodeId
     }
 
-    /// Describe the shard's current frontier without executing anything.
-    fn summarize(&mut self) -> Summary {
-        let mut ready_min_clock: Option<VirtualTime> = None;
-        let mut idle_polls = Vec::new();
+    /// Probe the shard's frontier without executing anything: refresh
+    /// the idle-poll candidates and the parked-op watermark, and report
+    /// what the boundary decision needs. `window_ns` is the lookahead
+    /// `L` (a send staged at `now` cannot arrive before `now + L`).
+    fn probe(&mut self, window_ns: u64) -> Probe {
+        let mut ready_min: u64 = NONE_NS;
+        let mut poll_min: u64 = NONE_NS;
+        self.idle_polls.clear();
         for (i, k) in self.kernels.iter().enumerate() {
             if k.has_work() {
-                let c = k.clock;
-                if ready_min_clock.is_none_or(|m| c < m) {
-                    ready_min_clock = Some(c);
-                }
+                ready_min = ready_min.min(k.clock.as_nanos());
             } else if let Some(t0) = k.balancer.poll_ready_at() {
-                idle_polls.push((self.node_of(i), t0.max(k.clock)));
+                let cand = t0.max(k.clock);
+                poll_min = poll_min.min(cand.as_nanos());
+                self.idle_polls.push((self.node_of(i), cand));
             }
         }
-        Summary {
-            staged: std::mem::take(&mut self.stage.buf),
-            events: 0,
+        let mut frontier = ready_min;
+        if let Some((t, _)) = self.queue.peek() {
+            frontier = frontier.min(t.as_nanos());
+        }
+        let staged_new = (self.stage.buf.len() - self.stage.scanned) as u64;
+        for s in &self.stage.buf[self.stage.scanned..] {
+            let bound = match &s.op {
+                StagedOp::Send { now, .. } => now.as_nanos().saturating_add(window_ns),
+                StagedOp::Timer { fire_at, .. } => fire_at.as_nanos(),
+            };
+            self.stage.wm = self.stage.wm.min(bound);
+        }
+        self.stage.scanned = self.stage.buf.len();
+        Probe {
+            watermark: self.stage.wm,
+            frontier,
+            poll_min,
+            has_ready: ready_min != NONE_NS,
             stopped: self.kernels.iter().any(|k| k.stopped),
-            queue_head: self.queue.peek(),
-            ready_min_clock,
-            idle_polls,
+            staged_new,
         }
     }
 
-    /// Execute every action of this shard with `t < cmd.end`, staging
-    /// all sends, then summarize the new frontier. When profiling, the
-    /// window's host time is attributed phase by phase into `clock`.
-    fn run_window(&mut self, cmd: WindowCmd, clock: &mut Option<ShardClock>) -> Summary {
-        let arrivals = cmd.arrivals.len() as u64;
-        for (t, seq, pkt) in cmd.arrivals {
+    /// Plan this shard's load-balance polls for window `[start, end)`
+    /// from the latest boundary probe's idle candidates. `active` is the
+    /// global gate (`lb && ready work exists somewhere`), evaluated the
+    /// same way on every shard.
+    fn plan_polls(&mut self, start: VirtualTime, end: VirtualTime, active: bool) {
+        self.polls.clear();
+        if !active {
+            return;
+        }
+        for i in 0..self.idle_polls.len() {
+            let (node, cand) = self.idle_polls[i];
+            let tf = cand.max(start);
+            if tf < end {
+                self.polls.push((tf, node));
+            }
+        }
+        self.polls.sort_unstable();
+    }
+
+    /// Execute every action of this shard with `t < end`, staging all
+    /// sends. Arrivals merged at the last coordinated boundary are
+    /// drained into the local queue first. When profiling, the window's
+    /// host time is attributed phase by phase into `clock`.
+    fn run_window(&mut self, end: VirtualTime, budget: u64, clock: &mut Option<ShardClock>) {
+        let arrivals = self.arrivals.len() as u64;
+        for (t, seq, pkt) in self.arrivals.drain(..) {
             self.queue.push_at(t, seq, pkt);
         }
         if let Some(c) = clock.as_mut() {
             c.inject(arrivals, self.queue.len() as u64);
         }
-        let end = cmd.end;
         let mut events = 0u64;
         let mut poll_idx = 0usize;
         loop {
-            if events >= cmd.budget {
+            if events >= budget {
                 // Out of global event budget: abort the window quietly —
-                // the coordinator detects the exhausted valve at the
-                // barrier and records the typed MaxEvents error there
-                // (a shard thread must not fail with its own message).
+                // the replayer detects the exhausted valve at the next
+                // coordinated boundary and records the typed MaxEvents
+                // error there (a shard thread must not fail with its own
+                // message).
                 break;
             }
             // Globally minimal candidate with t < end.
@@ -246,7 +388,7 @@ impl Shard {
                     );
                 }
             }
-            if let Some(&(tf, node)) = cmd.polls.get(poll_idx) {
+            if let Some(&(tf, node)) = self.polls.get(poll_idx) {
                 consider(
                     ActionKey {
                         t: tf,
@@ -269,7 +411,7 @@ impl Shard {
                     // and no in-window send can arrive before `end`, so
                     // the scan above cannot change the verdict.
                     while self.queue.peek_time() == Some(t) {
-                        if events >= cmd.budget {
+                        if events >= budget {
                             break;
                         }
                         let (_, seq, pkt) = self.queue.pop_seq().expect("peeked");
@@ -300,7 +442,7 @@ impl Shard {
                     poll_idx += 1;
                     let i = (node as usize) / self.stride;
                     let k = &mut self.kernels[i];
-                    // The poll was scheduled at the previous barrier; the
+                    // The poll was planned at the previous boundary; the
                     // node's state may have moved since (a delivered
                     // packet gave it work, a steal reply rescheduled the
                     // backoff). Fire only if the poll is still live.
@@ -319,16 +461,10 @@ impl Shard {
                 }
             }
         }
+        self.win_events = events;
         if let Some(c) = clock.as_mut() {
             c.execute(events);
         }
-        let mut s = self.summarize();
-        s.events = events;
-        if let Some(c) = clock.as_mut() {
-            c.queue(s.staged.len() as u64);
-            c.window();
-        }
-        s
     }
 
     fn exec_net(&mut self, key: ActionKey, t: VirtualTime, pkt: Packet<KMsg>) {
@@ -353,6 +489,512 @@ enum Cand {
     Poll(NodeId, VirtualTime),
 }
 
+/// One shard's published watermark slot: a cache line of atomics,
+/// written by its owner before each barrier and read by everyone after.
+/// Slots are double-buffered by boundary parity so a shard racing ahead
+/// to boundary `b + 1` never clobbers values a slower shard is still
+/// reading for boundary `b` (the barrier bounds the skew to one
+/// boundary).
+#[repr(align(64))]
+struct Slot {
+    watermark: AtomicU64,
+    frontier: AtomicU64,
+    poll_min: AtomicU64,
+    flags: AtomicU8,
+}
+
+const FLAG_READY: u8 = 1;
+const FLAG_STOPPED: u8 = 2;
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            watermark: AtomicU64::new(NONE_NS),
+            frontier: AtomicU64::new(NONE_NS),
+            poll_min: AtomicU64::new(NONE_NS),
+            flags: AtomicU8::new(0),
+        }
+    }
+}
+
+/// Reusable spin-then-block barrier for the shard threads. Shards on a
+/// host with enough cores spin briefly before parking on the condvar;
+/// oversubscribed runs go straight to blocking. Poisoned when a shard
+/// thread panics, so the survivors fail fast instead of deadlocking.
+struct SpinBarrier {
+    n: usize,
+    spin: bool,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+    poisoned: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+const SPIN_ROUNDS: u32 = 4096;
+
+impl SpinBarrier {
+    fn new(n: usize, spin: bool) -> Self {
+        SpinBarrier {
+            n,
+            spin,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn check(&self) {
+        assert!(
+            !self.poisoned.load(Ordering::Acquire),
+            "a shard thread panicked mid-window"
+        );
+    }
+
+    /// Mark the barrier dead and wake every parked waiter (called from a
+    /// panicking shard's drop guard).
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let _guard = self.lock.lock();
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) {
+        if self.n == 1 {
+            return;
+        }
+        self.check();
+        let g = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            // Last arriver releases the generation. The count is reset
+            // *before* the generation bump: no thread can re-enter for
+            // the next generation until the bump is visible.
+            self.arrived.store(0, Ordering::Release);
+            {
+                let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+                self.generation.store(g.wrapping_add(1), Ordering::Release);
+            }
+            self.cv.notify_all();
+            return;
+        }
+        if self.spin {
+            for _ in 0..SPIN_ROUNDS {
+                if self.generation.load(Ordering::Acquire) != g {
+                    return;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        let mut guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
+        while self.generation.load(Ordering::Acquire) == g {
+            self.check();
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Sets the poison flag if the owning shard thread unwinds, so peers
+/// blocked at the barrier fail fast instead of hanging.
+struct PanicGuard<'a>(&'a SpinBarrier);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poison();
+        }
+    }
+}
+
+/// The plan the elected replayer publishes at a coordinated boundary.
+#[derive(Clone, Copy)]
+enum Plan {
+    /// End the run (drained, a kernel stopped, or the event valve blew).
+    Exit,
+    /// Run window `index` with the given remaining event budget.
+    Window {
+        index: u64,
+        budget: u64,
+        work_exists: bool,
+    },
+}
+
+/// The globally shared state guarded by one mutex: the link resource
+/// model, the staged-op pool, the per-shard inboxes and the current
+/// plan. Touched only at coordinated boundaries, where the barrier
+/// already serializes access.
+struct CoordShared {
+    link: LinkState,
+    /// Deposited staged operations, sorted and drained by the replayer.
+    /// Reused across boundaries.
+    staged: Vec<Staged>,
+    /// Admitted packets routed per destination shard, swapped out by
+    /// each shard after the plan barrier. Reused across boundaries.
+    inboxes: Vec<Vec<(VirtualTime, u64, Packet<KMsg>)>>,
+    plan: Plan,
+    /// Set when the event valve blows; surfaced as
+    /// [`MachineError::MaxEvents`].
+    error: Option<MachineError>,
+}
+
+/// What a boundary decision sees: the aggregated published slots.
+struct View {
+    watermark: u64,
+    t_next: u64,
+    work_exists: bool,
+    stopped: bool,
+}
+
+/// What the shards agreed to do at a boundary.
+enum Boundary {
+    /// Run is over (fully drained, nothing parked anywhere).
+    Exit,
+    /// Run `window` back to back — no replay, no planning, no
+    /// coordinator: nothing parked anywhere can arrive before its end.
+    Fused { window: u64 },
+    /// Fall back to a coordinated boundary: deposit staged ops, let
+    /// shard 0 replay and plan.
+    Coordinate,
+}
+
+/// Everything the shard threads share.
+struct SharedSync {
+    k: usize,
+    window_ns: u64,
+    lb: bool,
+    max_events: u64,
+    /// Total events executed (seeded with the carry-in count).
+    events: AtomicU64,
+    /// Double-buffered watermark slots: `slots[boundary & 1][shard]`.
+    slots: [Vec<Slot>; 2],
+    barrier: SpinBarrier,
+    coord: Mutex<CoordShared>,
+}
+
+impl SharedSync {
+    fn new(k: usize, window_ns: u64, lb: bool, max_events: u64, events0: u64, link: LinkState) -> Self {
+        let mk = |_| (0..k).map(|_| Slot::new()).collect::<Vec<_>>();
+        SharedSync {
+            k,
+            window_ns,
+            lb,
+            max_events,
+            events: AtomicU64::new(events0),
+            slots: [mk(0), mk(1)],
+            barrier: SpinBarrier::new(k, k <= host_cores()),
+            coord: Mutex::new(CoordShared {
+                link,
+                staged: Vec::new(),
+                inboxes: (0..k).map(|_| Vec::new()).collect(),
+                plan: Plan::Exit,
+                error: None,
+            }),
+        }
+    }
+
+    fn publish(&self, parity: usize, shard: usize, p: &Probe) {
+        let s = &self.slots[parity][shard];
+        s.watermark.store(p.watermark, Ordering::Release);
+        s.frontier.store(p.frontier, Ordering::Release);
+        s.poll_min.store(p.poll_min, Ordering::Release);
+        let mut flags = 0u8;
+        if p.has_ready {
+            flags |= FLAG_READY;
+        }
+        if p.stopped {
+            flags |= FLAG_STOPPED;
+        }
+        s.flags.store(flags, Ordering::Release);
+    }
+
+    /// Aggregate the published slots of boundary `parity`. Idle nodes
+    /// may poll only while ready work exists somewhere — the same gate
+    /// as the sequential executor, evaluated identically on every shard.
+    fn gather(&self, parity: usize) -> View {
+        let mut watermark = NONE_NS;
+        let mut frontier = NONE_NS;
+        let mut poll_min = NONE_NS;
+        let mut work_exists = false;
+        let mut stopped = false;
+        for s in &self.slots[parity] {
+            watermark = watermark.min(s.watermark.load(Ordering::Acquire));
+            frontier = frontier.min(s.frontier.load(Ordering::Acquire));
+            poll_min = poll_min.min(s.poll_min.load(Ordering::Acquire));
+            let flags = s.flags.load(Ordering::Acquire);
+            work_exists |= flags & FLAG_READY != 0;
+            stopped |= flags & FLAG_STOPPED != 0;
+        }
+        let t_next = if self.lb && work_exists {
+            frontier.min(poll_min)
+        } else {
+            frontier
+        };
+        View {
+            watermark,
+            t_next,
+            work_exists,
+            stopped,
+        }
+    }
+
+    /// The boundary decision — a pure function of the published slots
+    /// and the (identically replicated) window floor, so every shard
+    /// computes the same answer without communicating.
+    fn decide(&self, v: &View, next_window: u64) -> Boundary {
+        if v.stopped {
+            // A coordinated boundary replays parked ops before exiting,
+            // so stop-mid-run leaves nothing staged.
+            return Boundary::Coordinate;
+        }
+        if v.t_next == NONE_NS {
+            return if v.watermark == NONE_NS {
+                Boundary::Exit // fully drained
+            } else {
+                Boundary::Coordinate // only parked ops remain: replay reveals the frontier
+            };
+        }
+        if self.max_events > 0 {
+            // The event valve needs a global count check per window;
+            // coordinated boundaries preserve the exact legacy
+            // semantics.
+            return Boundary::Coordinate;
+        }
+        let window = (v.t_next / self.window_ns).max(next_window);
+        let end = (window + 1).saturating_mul(self.window_ns);
+        // `>=` is deliberate: windows are half-open `[start, end)`, so a
+        // parked arrival at exactly `end` belongs to the *next* window
+        // and cannot be missed by fusing this one.
+        if v.watermark >= end {
+            Boundary::Fused { window }
+        } else {
+            Boundary::Coordinate
+        }
+    }
+
+    /// The elected replayer's half of a coordinated boundary: replay the
+    /// deposited pool in canonical order against the shared link state,
+    /// route admitted packets to the destination shards' inboxes, and
+    /// plan the next window (or the exit).
+    fn replay_and_plan(
+        &self,
+        g: &mut CoordShared,
+        parity: usize,
+        next_window: u64,
+        clock: &mut Option<CoordClock>,
+    ) {
+        if let Some(c) = clock.as_mut() {
+            c.enter();
+        }
+        let CoordShared {
+            link,
+            staged,
+            inboxes,
+            plan,
+            error,
+        } = g;
+        // Replay staged injections in the order the sequential executor
+        // would have admitted them: actions sort by unique ActionKey;
+        // equal keys (repeated zero-cost steps of one node) come from
+        // one shard in one contiguous deposit, which the stable sort
+        // preserves.
+        staged.sort_by_key(|s| s.key);
+        let replayed = staged.len() as u64;
+        for st in staged.drain(..) {
+            match st.op {
+                StagedOp::Send {
+                    now,
+                    src,
+                    dst,
+                    env,
+                    wire,
+                } => {
+                    // Mirror `SimNetwork::inject` exactly: the fault
+                    // fate decided at admission governs what (if
+                    // anything) reaches the destination's inbox.
+                    let adm = link.admit(now, src, dst, wire);
+                    let ib = &mut inboxes[(dst as usize) % self.k];
+                    match adm.fate {
+                        Fate::Dropped => {}
+                        Fate::Deliver => {
+                            ib.push((adm.arrival, adm.seq, Packet { src, dst, body: env }));
+                        }
+                        Fate::Duplicated { arrival, seq } => {
+                            // A duplicate of an unclonable payload cannot
+                            // be materialized; count it instead of
+                            // dropping it silently (hal-check and the
+                            // metrics artifact surface the counter).
+                            match env.try_clone() {
+                                Some(copy) => {
+                                    ib.push((arrival, seq, Packet { src, dst, body: copy }));
+                                }
+                                None => link.note_dup_clone_failed(arrival, src, dst),
+                            }
+                            ib.push((adm.arrival, adm.seq, Packet { src, dst, body: env }));
+                        }
+                    }
+                }
+                StagedOp::Timer { fire_at, node, env } => {
+                    // Mirror `SimNetwork::schedule`: same counter, no
+                    // resources, no faults.
+                    let seq = link.next_event_seq();
+                    inboxes[(node as usize) % self.k].push((
+                        fire_at,
+                        seq,
+                        Packet {
+                            src: node,
+                            dst: node,
+                            body: env,
+                        },
+                    ));
+                }
+            }
+        }
+        if let Some(c) = clock.as_mut() {
+            c.replay(replayed);
+        }
+        let finish = |plan: &mut Plan, p: Plan, clock: &mut Option<CoordClock>| {
+            *plan = p;
+            if let Some(c) = clock.as_mut() {
+                c.plan();
+            }
+        };
+        let view = self.gather(parity);
+        if view.stopped {
+            return finish(plan, Plan::Exit, clock);
+        }
+        let events = self.events.load(Ordering::Relaxed);
+        if self.max_events > 0 && events >= self.max_events {
+            *error = Some(MachineError::MaxEvents {
+                limit: self.max_events,
+            });
+            return finish(plan, Plan::Exit, clock);
+        }
+        // Earliest pending action anywhere — published frontiers, gated
+        // poll candidates, and the arrivals just replayed — decides the
+        // next window.
+        let mut t_next = view.t_next;
+        for ib in inboxes {
+            for &(t, _, _) in &*ib {
+                t_next = t_next.min(t.as_nanos());
+            }
+        }
+        if t_next == NONE_NS {
+            // Nothing pending anywhere: the run has drained.
+            return finish(plan, Plan::Exit, clock);
+        }
+        let index = (t_next / self.window_ns).max(next_window);
+        let budget = if self.max_events > 0 {
+            self.max_events - events
+        } else {
+            u64::MAX
+        };
+        finish(
+            plan,
+            Plan::Window {
+                index,
+                budget,
+                work_exists: view.work_exists,
+            },
+            clock,
+        );
+    }
+}
+
+/// One shard thread's run loop, from the initial frontier probe to the
+/// agreed exit. Shard 0 doubles as the elected replayer at coordinated
+/// boundaries (and owns the coordinator ledger when profiling).
+fn drive(
+    shard: &mut Shard,
+    sync: &SharedSync,
+    record_prof: bool,
+    anchor: Instant,
+    coord_clock: &mut Option<CoordClock>,
+) -> Option<ShardProf> {
+    let _guard = PanicGuard(&sync.barrier);
+    let me = shard.id;
+    let mut clock = record_prof.then(|| ShardClock::new(me, anchor));
+    let mut next_window: u64 = 0;
+    let mut parity = 0usize;
+    let mut first = true;
+    loop {
+        let probe = shard.probe(sync.window_ns);
+        if let Some(c) = clock.as_mut() {
+            c.queue(probe.staged_new);
+            if !first {
+                c.window();
+            }
+        }
+        first = false;
+        sync.publish(parity, me, &probe);
+        let win_events = std::mem::take(&mut shard.win_events);
+        if win_events > 0 {
+            sync.events.fetch_add(win_events, Ordering::Relaxed);
+        }
+        sync.barrier.wait();
+        let view = sync.gather(parity);
+        let decision = sync.decide(&view, next_window);
+        if let Some(c) = clock.as_mut() {
+            c.sync();
+        }
+        let (index, budget, work_exists) = match decision {
+            Boundary::Exit => break,
+            Boundary::Fused { window } => {
+                if let Some(c) = clock.as_mut() {
+                    c.mark_fused();
+                }
+                (window, u64::MAX, view.work_exists)
+            }
+            Boundary::Coordinate => {
+                {
+                    let mut g = sync.coord.lock().expect("coordinator state poisoned");
+                    g.staged.append(&mut shard.stage.buf);
+                }
+                shard.stage.reset();
+                sync.barrier.wait();
+                if me == 0 {
+                    let mut g = sync.coord.lock().expect("coordinator state poisoned");
+                    sync.replay_and_plan(&mut g, parity, next_window, coord_clock);
+                }
+                sync.barrier.wait();
+                let plan = {
+                    let mut g = sync.coord.lock().expect("coordinator state poisoned");
+                    debug_assert!(shard.arrivals.is_empty(), "arrivals not drained");
+                    std::mem::swap(&mut g.inboxes[me], &mut shard.arrivals);
+                    g.plan
+                };
+                if let Some(c) = clock.as_mut() {
+                    c.stall();
+                }
+                match plan {
+                    Plan::Exit => {
+                        // Arrivals replayed at the final boundary but
+                        // never delivered (the run stopped) go back into
+                        // the local queue; `assemble` returns them to
+                        // the machine's pending set.
+                        for (t, seq, pkt) in shard.arrivals.drain(..) {
+                            shard.queue.push_at(t, seq, pkt);
+                        }
+                        break;
+                    }
+                    Plan::Window {
+                        index,
+                        budget,
+                        work_exists,
+                    } => (index, budget, work_exists),
+                }
+            }
+        };
+        next_window = index + 1;
+        parity ^= 1;
+        let start = VirtualTime::from_nanos(index * sync.window_ns);
+        let end = VirtualTime::from_nanos((index + 1) * sync.window_ns);
+        shard.plan_polls(start, end, sync.lb && work_exists);
+        shard.run_window(end, budget, &mut clock);
+    }
+    clock.map(ShardClock::finish)
+}
+
 /// Everything the windowed run hands back to [`crate::machine::SimMachine`].
 pub(crate) struct EngineOut {
     /// Kernels in node order.
@@ -372,188 +1014,6 @@ pub(crate) struct EngineOut {
     pub prof: Option<ProfReport>,
 }
 
-/// Barrier-side state: the shared link resources plus window planning.
-struct Coordinator {
-    link: LinkState,
-    window_ns: u64,
-    shards: usize,
-    lb: bool,
-    max_events: u64,
-    events: u64,
-    /// Lower bound on the next window index — windows strictly increase.
-    next_window: u64,
-    /// Per-shard arrivals replayed at the last barrier, awaiting the
-    /// next window command.
-    inbox: Vec<Vec<(VirtualTime, u64, Packet<KMsg>)>>,
-    /// Set when the event valve blows; ends the run and surfaces as
-    /// [`MachineError::MaxEvents`].
-    error: Option<MachineError>,
-}
-
-impl Coordinator {
-    /// Merge the shard summaries, replay staged sends in canonical
-    /// order, and plan the next window. `None` means the run is over
-    /// (drained, a kernel stopped the machine, or the event valve blew
-    /// — see [`Coordinator::error`]).
-    fn barrier(
-        &mut self,
-        summaries: &mut [Summary],
-        clock: &mut Option<CoordClock>,
-    ) -> Option<Vec<WindowCmd>> {
-        if let Some(c) = clock.as_mut() {
-            c.enter();
-        }
-        for s in summaries.iter() {
-            self.events += s.events;
-        }
-        // Replay staged injections in the order the sequential executor
-        // would have admitted them: actions sort by unique ActionKey;
-        // equal keys (repeated zero-cost steps of one node) come from
-        // one shard in execution order, which the stable sort preserves.
-        let mut staged: Vec<Staged> = Vec::new();
-        for s in summaries.iter_mut() {
-            staged.append(&mut s.staged);
-        }
-        staged.sort_by_key(|s| s.key);
-        let staged_count = staged.len() as u64;
-        for st in staged {
-            match st.op {
-                StagedOp::Send {
-                    now,
-                    src,
-                    dst,
-                    env,
-                    wire,
-                } => {
-                    // Mirror `SimNetwork::inject` exactly: the fault
-                    // fate decided at admission governs what (if
-                    // anything) reaches the destination's queue.
-                    let adm = self.link.admit(now, src, dst, wire);
-                    let ib = &mut self.inbox[(dst as usize) % self.shards];
-                    match adm.fate {
-                        Fate::Dropped => {}
-                        Fate::Deliver => {
-                            ib.push((adm.arrival, adm.seq, Packet { src, dst, body: env }));
-                        }
-                        Fate::Duplicated { arrival, seq } => {
-                            if let Some(copy) = env.try_clone() {
-                                ib.push((arrival, seq, Packet { src, dst, body: copy }));
-                            }
-                            ib.push((adm.arrival, adm.seq, Packet { src, dst, body: env }));
-                        }
-                    }
-                }
-                StagedOp::Timer { fire_at, node, env } => {
-                    // Mirror `SimNetwork::schedule`: same counter, no
-                    // resources, no faults.
-                    let seq = self.link.next_event_seq();
-                    self.inbox[(node as usize) % self.shards].push((
-                        fire_at,
-                        seq,
-                        Packet {
-                            src: node,
-                            dst: node,
-                            body: env,
-                        },
-                    ));
-                }
-            }
-        }
-        if let Some(c) = clock.as_mut() {
-            c.replay(staged_count);
-        }
-        if summaries.iter().any(|s| s.stopped) {
-            if let Some(c) = clock.as_mut() {
-                c.plan();
-            }
-            return None;
-        }
-        if self.max_events > 0 && self.events >= self.max_events {
-            self.error = Some(MachineError::MaxEvents {
-                limit: self.max_events,
-            });
-            if let Some(c) = clock.as_mut() {
-                c.plan();
-            }
-            return None;
-        }
-        // Earliest pending action anywhere decides the next window.
-        let mut t_next: Option<VirtualTime> = None;
-        let mut consider = |t: VirtualTime| {
-            if t_next.is_none_or(|m| t < m) {
-                t_next = Some(t);
-            }
-        };
-        for s in summaries.iter() {
-            if let Some((t, _)) = s.queue_head {
-                consider(t);
-            }
-            if let Some(t) = s.ready_min_clock {
-                consider(t);
-            }
-        }
-        for ib in &self.inbox {
-            for &(t, _, _) in ib {
-                consider(t);
-            }
-        }
-        // Idle nodes may poll only while ready work exists somewhere —
-        // the same gate as the sequential executor, evaluated at the
-        // barrier.
-        let work_exists = summaries.iter().any(|s| s.ready_min_clock.is_some());
-        if self.lb && work_exists {
-            for s in summaries.iter() {
-                for &(_, cand) in &s.idle_polls {
-                    consider(cand);
-                }
-            }
-        }
-        let Some(t_next) = t_next else {
-            // Nothing pending anywhere: the run has drained.
-            if let Some(c) = clock.as_mut() {
-                c.plan();
-            }
-            return None;
-        };
-        let m = (t_next.as_nanos() / self.window_ns).max(self.next_window);
-        self.next_window = m + 1;
-        let start = VirtualTime::from_nanos(m * self.window_ns);
-        let end = VirtualTime::from_nanos((m + 1) * self.window_ns);
-        let budget = if self.max_events > 0 {
-            self.max_events - self.events
-        } else {
-            u64::MAX
-        };
-        let mut cmds: Vec<WindowCmd> = self
-            .inbox
-            .iter_mut()
-            .map(|ib| WindowCmd {
-                end,
-                arrivals: std::mem::take(ib),
-                polls: Vec::new(),
-                budget,
-            })
-            .collect();
-        if self.lb && work_exists {
-            for s in summaries.iter() {
-                for &(node, cand) in &s.idle_polls {
-                    let tf = cand.max(start);
-                    if tf < end {
-                        cmds[(node as usize) % self.shards].polls.push((tf, node));
-                    }
-                }
-            }
-            for c in &mut cmds {
-                c.polls.sort_unstable();
-            }
-        }
-        if let Some(c) = clock.as_mut() {
-            c.plan();
-        }
-        Some(cmds)
-    }
-}
-
 /// Split `kernels` (node order) round-robin into `k` shards and
 /// distribute the pending packets by destination.
 fn make_shards(
@@ -569,9 +1029,13 @@ fn make_shards(
             stride: k,
             kernels: Vec::with_capacity(nodes.div_ceil(k)),
             queue: EventQueue::with_capacity((nodes * 64 / k).max(64)),
-            stage: StageNet::default(),
+            stage: StageNet::new(),
             spans: Vec::new(),
             record_timeline,
+            arrivals: Vec::new(),
+            polls: Vec::new(),
+            idle_polls: Vec::new(),
+            win_events: 0,
         })
         .collect();
     for (n, kernel) in kernels.into_iter().enumerate() {
@@ -642,111 +1106,55 @@ pub(crate) fn run(
     // tracks line up.
     let anchor = Instant::now();
     let mut coord_clock = record_prof.then(|| CoordClock::new(anchor));
-    let mut coord = Coordinator {
-        link,
-        window_ns,
-        shards: k,
-        lb,
-        max_events,
-        events: events0,
-        next_window: 0,
-        inbox: (0..k).map(|_| Vec::new()).collect(),
-        error: None,
-    };
     let mut shards = make_shards(kernels, pending, k, record_timeline);
-    if k == 1 {
-        // Inline driver — this is the reference the threaded path must
-        // match bit for bit. Everything runs on one thread, so from the
-        // shard ledger's perspective the coordinator's barrier work is
-        // the window-barrier stall, exactly like a worker blocked on
-        // its command channel.
-        let mut clock = record_prof.then(|| ShardClock::new(0, anchor));
-        let mut summaries = vec![shards[0].summarize()];
-        if let Some(c) = clock.as_mut() {
-            c.queue(0); // initial frontier probe
-        }
-        loop {
-            let Some(mut cmds) = coord.barrier(&mut summaries, &mut coord_clock) else {
-                break;
-            };
-            if let Some(c) = clock.as_mut() {
-                c.stall();
-            }
-            summaries = vec![shards[0].run_window(cmds.pop().expect("one shard"), &mut clock)];
-        }
-        let events = coord.events;
-        let mut out = assemble(shards, coord.link, events);
-        out.pending.extend(drain_inbox(&mut coord.inbox));
-        out.error = coord.error;
-        out.prof = clock.map(|c| ProfReport {
-            mode: "windowed",
-            k: 1,
-            host_cores: host_cores(),
-            wall_ns: anchor.elapsed().as_nanos() as u64,
-            coordinator: coord_clock.map(CoordClock::finish),
-            shards: vec![c.finish()],
-        });
-        return out;
-    }
-
-    let (shards, shard_profs): (Vec<Shard>, Vec<Option<ShardProf>>) =
+    let sync = SharedSync::new(k, window_ns, lb, max_events, events0, link);
+    let shard_profs: Vec<Option<ShardProf>> = if k == 1 {
+        // Everything inline on the calling thread: the barrier is a
+        // no-op and coordinated boundaries are plain function calls —
+        // this is the reference the threaded path must match bit for
+        // bit.
+        vec![drive(
+            &mut shards[0],
+            &sync,
+            record_prof,
+            anchor,
+            &mut coord_clock,
+        )]
+    } else {
         std::thread::scope(|scope| {
-            let mut cmd_txs = Vec::with_capacity(k);
-            let (sum_tx, sum_rx) = mpsc::channel::<(usize, Summary)>();
-            let mut handles = Vec::with_capacity(k);
-            for (id, mut shard) in shards.into_iter().enumerate() {
-                let (cmd_tx, cmd_rx) = mpsc::channel::<WindowCmd>();
-                cmd_txs.push(cmd_tx);
-                let sum_tx = sum_tx.clone();
-                handles.push(scope.spawn(move || {
-                    let mut clock = record_prof.then(|| ShardClock::new(id, anchor));
-                    // Initial probe so the coordinator can plan window 0.
-                    let s0 = shard.summarize();
-                    if let Some(c) = clock.as_mut() {
-                        c.queue(0);
-                    }
-                    if sum_tx.send((id, s0)).is_err() {
-                        return (shard, clock.map(ShardClock::finish));
-                    }
-                    while let Ok(cmd) = cmd_rx.recv() {
-                        if let Some(c) = clock.as_mut() {
-                            c.stall();
-                        }
-                        let s = shard.run_window(cmd, &mut clock);
-                        if sum_tx.send((id, s)).is_err() {
-                            break;
-                        }
-                    }
-                    (shard, clock.map(ShardClock::finish))
-                }));
+            let sync_ref = &sync;
+            let mut iter = shards.iter_mut();
+            let shard0 = iter.next().expect("k >= 1");
+            let handles: Vec<_> = iter
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut no_coord: Option<CoordClock> = None;
+                        drive(shard, sync_ref, record_prof, anchor, &mut no_coord)
+                    })
+                })
+                .collect();
+            // Shard 0 runs on the calling thread — there is no separate
+            // coordinator thread, so K shards occupy exactly K threads.
+            let p0 = drive(shard0, sync_ref, record_prof, anchor, &mut coord_clock);
+            let mut profs = vec![p0];
+            for h in handles {
+                profs.push(h.join().expect("shard panicked"));
             }
-            drop(sum_tx);
-            let collect = |rx: &mpsc::Receiver<(usize, Summary)>| -> Vec<Summary> {
-                let mut slots: Vec<Option<Summary>> = (0..k).map(|_| None).collect();
-                for _ in 0..k {
-                    let (id, s) = rx.recv().expect("shard died mid-window");
-                    slots[id] = Some(s);
-                }
-                slots.into_iter().map(|s| s.expect("summary")).collect()
-            };
-            let mut summaries = collect(&sum_rx);
-            while let Some(cmds) = coord.barrier(&mut summaries, &mut coord_clock) {
-                for (tx, cmd) in cmd_txs.iter().zip(cmds) {
-                    tx.send(cmd).expect("shard hung up");
-                }
-                summaries = collect(&sum_rx);
-            }
-            // Closing the command channels tells the workers to exit with
-            // their shard state.
-            drop(cmd_txs);
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard panicked"))
-                .unzip()
-        });
-    let events = coord.events;
+            profs
+        })
+    };
+    let events = sync.events.load(Ordering::Relaxed);
+    let coord = sync
+        .coord
+        .into_inner()
+        .expect("coordinator state poisoned");
     let mut out = assemble(shards, coord.link, events);
-    out.pending.extend(drain_inbox(&mut coord.inbox));
+    // Belt and braces: every exit path drains the inboxes through the
+    // shards, so these are empty — but a leftover packet must never be
+    // silently dropped.
+    for mut ib in coord.inboxes {
+        out.pending.append(&mut ib);
+    }
     out.error = coord.error;
     if record_prof {
         out.prof = Some(ProfReport {
@@ -764,16 +1172,4 @@ pub(crate) fn run(
 /// Host cores visible to this process (affinity/cgroup aware).
 pub(crate) fn host_cores() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
-}
-
-/// Arrivals replayed at the final barrier but never delivered (the run
-/// stopped): they go back into the machine's network queue.
-fn drain_inbox(
-    inbox: &mut [Vec<(VirtualTime, u64, Packet<KMsg>)>],
-) -> Vec<(VirtualTime, u64, Packet<KMsg>)> {
-    let mut out = Vec::new();
-    for ib in inbox {
-        out.append(ib);
-    }
-    out
 }

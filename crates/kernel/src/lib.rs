@@ -76,5 +76,5 @@ pub use hist::TraceHists;
 pub use metrics::{Metrics, MetricsReport};
 pub use prof::{CoordProf, ProfReport, ProfTotals, ShardProf, WindowRec};
 pub use span::{AliasSpan, ChaseSpan, MsgSpan, SpanReport};
-pub use trace::{DeliveryPath, KernelEvent, TraceEvent, TraceReport};
+pub use trace::{DeliveryPath, KernelEvent, TraceEvent, TraceReport, TraceWarning, WarningKind};
 pub use wire::{ActorImage, KMsg};

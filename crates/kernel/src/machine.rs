@@ -662,8 +662,22 @@ impl SimMachine {
             .copied()
             .max()
             .unwrap_or(VirtualTime::ZERO);
+        // Chaos duplications whose copy could not be cloned: recorded
+        // by the link state in canonical admission order (deterministic
+        // across parallel K), surfaced as typed trace warnings and a
+        // metrics counter — never silently dropped.
+        let dup_failures = self.net.link().dup_clone_failures();
         let trace = self.cfg.record_trace.then(|| {
-            crate::trace::TraceReport::merge(self.kernels.iter().filter_map(|k| k.recorder()))
+            let mut t = crate::trace::TraceReport::merge(
+                self.kernels.iter().filter_map(|k| k.recorder()),
+            );
+            t.warnings.extend(dup_failures.iter().map(|d| crate::trace::TraceWarning {
+                kind: crate::trace::WarningKind::DupCloneFailed,
+                t: d.t,
+                src: d.src,
+                dst: d.dst,
+            }));
+            t
         });
         let metrics = self.cfg.record_metrics.then(|| {
             let mut report = crate::metrics::MetricsReport::merge(
@@ -680,6 +694,11 @@ impl SimMachine {
             let dropped: u64 = report.nodes.iter().map(|n| n.samples_dropped).sum();
             if dropped > 0 {
                 report.set_counter("metrics.dropped_samples", dropped);
+            }
+            // Only set when nonzero so clean runs keep their exact bytes.
+            let unclonable = stats.get("net.fault_dup_unclonable");
+            if unclonable > 0 {
+                report.set_counter("net.fault_dup_unclonable", unclonable);
             }
             report
         });

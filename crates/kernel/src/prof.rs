@@ -8,26 +8,31 @@
 //! is set, every shard thread of the windowed executor (and the
 //! sequential instant-network loop, as a single track) keeps a
 //! monotonic-clock ledger of where its wall time went, split into the
-//! executor's four structural phases:
+//! executor's five structural phases:
 //!
-//! * **stall** — blocked at the window barrier waiting for the
-//!   coordinator's next `WindowCmd` (for the inline
-//!   `K = 1` driver: the time spent inside the barrier itself);
-//! * **inject** — staging cross-shard arrivals into the local event
+//! * **sync** — the cheap boundary handshake of a *fused* window: the
+//!   spin-barrier wait plus the shared decision function, with no
+//!   staged-send replay and no coordination (for `K = 1` both barriers
+//!   are no-ops, so this is just the decision itself);
+//! * **stall** — a *coordinated* window boundary: depositing staged
+//!   sends, waiting while the elected replayer (shard 0) replays them
+//!   against the shared link state and plans the next window, and
+//!   collecting the inbox. Shard 0's own replay/plan work is charged
+//!   here too (it stands where the old coordinator thread stood);
+//! * **inject** — merging cross-shard arrivals into the local event
 //!   queue at window start;
 //! * **execute** — running handler/dispatcher/poll events;
-//! * **queue** — queue and frontier maintenance (the end-of-window
-//!   `summarize` scan, and for the sequential loop the per-event
-//!   candidate scan).
+//! * **queue** — queue and frontier maintenance (the boundary `probe`
+//!   scan, and for the sequential loop the per-event candidate scan).
 //!
 //! The ledger's phases are contiguous by construction (each phase is
 //! closed by a single clock read that also opens the next), so per shard
-//! `stall + inject + execute + queue + other == wall` exactly, where
-//! *other* is the unattributed remainder (thread spawn/teardown, channel
-//! sends). Per-window records additionally capture events/window,
-//! staged-injection counts and the maximum local queue depth, bounded by
-//! [`MAX_WINDOW_RECS`] so pathological runs cannot allocate without
-//! limit.
+//! `sync + stall + inject + execute + queue + other == wall` exactly,
+//! where *other* is the unattributed remainder (thread spawn/teardown).
+//! Per-window records additionally capture events/window,
+//! staged-injection counts, whether the window was fused, and the
+//! maximum local queue depth, bounded by [`MAX_WINDOW_RECS`] so
+//! pathological runs cannot allocate without limit.
 //!
 //! Host-time facts are deliberately kept **out** of the deterministic
 //! report surface: [`ProfReport`] lives in
@@ -55,9 +60,11 @@ pub const SEQ_CHUNK_EVENTS: u64 = 4096;
 /// shard threads line up on one timeline.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WindowRec {
-    /// Host ns (anchor-relative) when this window's stall phase began.
+    /// Host ns (anchor-relative) when this window's boundary began.
     pub start_ns: u64,
-    /// Blocked waiting for the window command (the barrier).
+    /// Fused-boundary handshake (barrier + shared decision, no replay).
+    pub sync_ns: u64,
+    /// Coordinated-boundary cost (deposit, replay wait, inbox collect).
     pub stall_ns: u64,
     /// Staging cross-shard arrivals into the local queue.
     pub inject_ns: u64,
@@ -71,11 +78,13 @@ pub struct WindowRec {
     pub injections: u64,
     /// Maximum local event-queue depth (right after arrival staging).
     pub queue_depth: u64,
+    /// This window ran fused: its boundary skipped replay/coordination.
+    pub fused: bool,
 }
 
 impl WindowRec {
     fn active_ns(&self) -> u64 {
-        self.stall_ns + self.inject_ns + self.execute_ns + self.queue_ns
+        self.sync_ns + self.stall_ns + self.inject_ns + self.execute_ns + self.queue_ns
     }
 }
 
@@ -87,7 +96,9 @@ pub struct ShardProf {
     pub shard: usize,
     /// Total thread wall time, from ledger start to finish.
     pub wall_ns: u64,
-    /// Total barrier-stall time.
+    /// Total fused-boundary handshake time.
+    pub sync_ns: u64,
+    /// Total coordinated-boundary time.
     pub stall_ns: u64,
     /// Total cross-shard arrival staging time.
     pub inject_ns: u64,
@@ -97,6 +108,8 @@ pub struct ShardProf {
     pub queue_ns: u64,
     /// Windows this shard ran.
     pub windows: u64,
+    /// Windows that ran fused (no replay, no coordination at entry).
+    pub fused_windows: u64,
     /// Events this shard executed.
     pub events: u64,
     /// Sends/timers this shard staged for the barrier.
@@ -112,12 +125,13 @@ pub struct ShardProf {
 }
 
 impl ShardProf {
-    /// Wall time not attributed to any phase (thread spawn/teardown,
-    /// summary channel sends). By construction
-    /// `stall + inject + execute + queue + other == wall`.
+    /// Wall time not attributed to any phase (thread spawn/teardown).
+    /// By construction
+    /// `sync + stall + inject + execute + queue + other == wall`.
     pub fn other_ns(&self) -> u64 {
-        self.wall_ns
-            .saturating_sub(self.stall_ns + self.inject_ns + self.execute_ns + self.queue_ns)
+        self.wall_ns.saturating_sub(
+            self.sync_ns + self.stall_ns + self.inject_ns + self.execute_ns + self.queue_ns,
+        )
     }
 
     /// Mean events per window (0 when no window ran).
@@ -169,7 +183,19 @@ impl ShardClock {
         dt
     }
 
-    /// Close a barrier-stall phase.
+    /// Close a fused-boundary handshake phase (barrier + decision).
+    pub(crate) fn sync(&mut self) {
+        let dt = self.phase();
+        self.win.sync_ns += dt;
+    }
+
+    /// Mark the window under assembly as fused (its boundary skipped
+    /// replay and coordination entirely).
+    pub(crate) fn mark_fused(&mut self) {
+        self.win.fused = true;
+    }
+
+    /// Close a coordinated-boundary phase.
     pub(crate) fn stall(&mut self) {
         let dt = self.phase();
         self.win.stall_ns += dt;
@@ -217,6 +243,10 @@ impl ShardClock {
             },
         );
         self.rec.windows += 1;
+        if win.fused {
+            self.rec.fused_windows += 1;
+        }
+        self.rec.sync_ns += win.sync_ns;
         self.rec.stall_ns += win.stall_ns;
         self.rec.inject_ns += win.inject_ns;
         self.rec.execute_ns += win.execute_ns;
@@ -335,7 +365,9 @@ pub struct ProfReport {
 pub struct ProfTotals {
     /// Summed shard wall time (denominator of every fraction).
     pub wall_ns: u64,
-    /// Summed barrier-stall time.
+    /// Summed fused-boundary handshake time.
+    pub sync_ns: u64,
+    /// Summed coordinated-boundary time.
     pub stall_ns: u64,
     /// Summed arrival-staging time.
     pub inject_ns: u64,
@@ -363,6 +395,7 @@ impl ProfReport {
         let mut t = ProfTotals::default();
         for s in &self.shards {
             t.wall_ns += s.wall_ns;
+            t.sync_ns += s.sync_ns;
             t.stall_ns += s.stall_ns;
             t.inject_ns += s.inject_ns;
             t.execute_ns += s.execute_ns;
@@ -378,6 +411,7 @@ impl ProfReport {
         let t = self.totals();
         let cands = [
             ("stall", t.stall_ns),
+            ("sync", t.sync_ns),
             ("inject", t.inject_ns),
             ("queue", t.queue_ns),
             ("other", t.other_ns),
@@ -393,9 +427,12 @@ impl ProfReport {
     /// `hal-perf summarize` print.
     pub fn summary(&self) -> String {
         let t = self.totals();
+        let fused: u64 = self.shards.iter().map(|s| s.fused_windows).sum();
+        let windows: u64 = self.shards.iter().map(|s| s.windows).sum();
         let mut out = format!(
-            "host-time profile: mode={} k={} cores={} wall={:.3} ms\n\
+            "host-time profile: mode={} k={} cores={} wall={:.3} ms fused={}/{} windows\n\
              phase      time(ms)   share\n\
+             sync     {:>10.3}  {:>5.1}%\n\
              stall    {:>10.3}  {:>5.1}%\n\
              inject   {:>10.3}  {:>5.1}%\n\
              execute  {:>10.3}  {:>5.1}%\n\
@@ -405,6 +442,10 @@ impl ProfReport {
             self.k,
             self.host_cores,
             self.wall_ns as f64 / 1e6,
+            fused,
+            windows,
+            t.sync_ns as f64 / 1e6,
+            100.0 * t.frac(t.sync_ns),
             t.stall_ns as f64 / 1e6,
             100.0 * t.frac(t.stall_ns),
             t.inject_ns as f64 / 1e6,
@@ -424,20 +465,22 @@ impl ProfReport {
         );
         let _ = writeln!(
             out,
-            "shard  wall(ms)  stall%  inject%  exec%  queue%  windows  events  ev/win  inj  maxq"
+            "shard  wall(ms)  sync%  stall%  inject%  exec%  queue%  windows  fused  events  ev/win  inj  maxq"
         );
         for s in &self.shards {
             let w = s.wall_ns.max(1) as f64;
             let _ = writeln!(
                 out,
-                "{:<5} {:>9.3} {:>7.1} {:>8.1} {:>6.1} {:>7.1} {:>8} {:>7} {:>7.1} {:>4} {:>5}",
+                "{:<5} {:>9.3} {:>6.1} {:>7.1} {:>8.1} {:>6.1} {:>7.1} {:>8} {:>6} {:>7} {:>7.1} {:>4} {:>5}",
                 s.shard,
                 s.wall_ns as f64 / 1e6,
+                100.0 * s.sync_ns as f64 / w,
                 100.0 * s.stall_ns as f64 / w,
                 100.0 * s.inject_ns as f64 / w,
                 100.0 * s.execute_ns as f64 / w,
                 100.0 * s.queue_ns as f64 / w,
                 s.windows,
+                s.fused_windows,
                 s.events,
                 s.events_per_window(),
                 s.injections,
@@ -447,7 +490,7 @@ impl ProfReport {
         if let Some(c) = &self.coordinator {
             let _ = writeln!(
                 out,
-                "coordinator: replay {:.3} ms, plan {:.3} ms over {} window(s), {} injection(s)",
+                "replayer: replay {:.3} ms, plan {:.3} ms over {} coordinated boundary(ies), {} injection(s)",
                 c.replay_ns as f64 / 1e6,
                 c.plan_ns as f64 / 1e6,
                 c.windows,
@@ -470,18 +513,22 @@ impl ProfReport {
             }
             let _ = write!(
                 shards,
-                "      {{\"shard\": {}, \"wall_ns\": {}, \"stall_ns\": {}, \"inject_ns\": {}, \
+                "      {{\"shard\": {}, \"wall_ns\": {}, \"sync_ns\": {}, \"stall_ns\": {}, \
+                 \"inject_ns\": {}, \
                  \"execute_ns\": {}, \"queue_ns\": {}, \"other_ns\": {}, \"windows\": {}, \
+                 \"fused_windows\": {}, \
                  \"events\": {}, \"events_per_window\": {:.3}, \"injections\": {}, \
                  \"max_queue_depth\": {}, \"max_window_events\": {}, \"windows_truncated\": {}}}",
                 s.shard,
                 s.wall_ns,
+                s.sync_ns,
                 s.stall_ns,
                 s.inject_ns,
                 s.execute_ns,
                 s.queue_ns,
                 s.other_ns(),
                 s.windows,
+                s.fused_windows,
                 s.events,
                 s.events_per_window(),
                 s.injections,
@@ -497,9 +544,12 @@ impl ProfReport {
                 c.replay_ns, c.plan_ns, c.windows, c.injections
             ),
         };
+        let fused: u64 = self.shards.iter().map(|s| s.fused_windows).sum();
         format!(
-            "{{\n      \"mode\": \"{}\", \"k\": {}, \"host_cores\": {}, \"wall_ns\": {},\n      \
-             \"totals\": {{\"wall_ns\": {}, \"stall_frac\": {:.6}, \"inject_frac\": {:.6}, \
+            "{{\n      \"mode\": \"{}\", \"k\": {}, \"host_cores\": {}, \"wall_ns\": {}, \
+             \"fused_windows\": {},\n      \
+             \"totals\": {{\"wall_ns\": {}, \"sync_frac\": {:.6}, \"stall_frac\": {:.6}, \
+             \"inject_frac\": {:.6}, \
              \"execute_frac\": {:.6}, \"queue_frac\": {:.6}, \"other_frac\": {:.6}, \
              \"top_overhead\": \"{}\", \"top_overhead_frac\": {:.6}}},\n      \
              \"coordinator\": {},\n      \"shards\": [\n{}\n      ]\n    }}",
@@ -507,7 +557,9 @@ impl ProfReport {
             self.k,
             self.host_cores,
             self.wall_ns,
+            fused,
             t.wall_ns,
+            t.frac(t.sync_ns),
             t.frac(t.stall_ns),
             t.frac(t.inject_ns),
             t.frac(t.execute_ns),
@@ -542,6 +594,7 @@ impl ProfReport {
             for w in &s.recs {
                 let mut ts = w.start_ns;
                 for (name, dur) in [
+                    ("sync", w.sync_ns),
                     ("stall", w.stall_ns),
                     ("inject", w.inject_ns),
                     ("execute", w.execute_ns),
@@ -584,19 +637,22 @@ mod tests {
         c.execute(10);
         c.queue(4);
         c.window();
-        c.stall();
+        c.sync();
+        c.mark_fused();
         c.execute(5);
         c.queue(0);
         c.window();
         let p = c.finish();
         assert_eq!(p.shard, 3);
         assert_eq!(p.windows, 2);
+        assert_eq!(p.fused_windows, 1);
+        assert!(p.recs[1].fused && !p.recs[0].fused);
         assert_eq!(p.events, 15);
         assert_eq!(p.injections, 4);
         assert_eq!(p.max_queue_depth, 7);
         assert_eq!(p.max_window_events, 10);
         assert_eq!(p.recs.len(), 2);
-        let sum = p.stall_ns + p.inject_ns + p.execute_ns + p.queue_ns + p.other_ns();
+        let sum = p.sync_ns + p.stall_ns + p.inject_ns + p.execute_ns + p.queue_ns + p.other_ns();
         assert_eq!(sum, p.wall_ns, "attribution must telescope to wall");
         assert!(p.execute_ns >= 2_000_000, "sleep charged to execute");
     }
@@ -639,6 +695,8 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
         assert!(json.contains("\"top_overhead\""), "{json}");
         assert!(json.contains("\"stall_frac\""), "{json}");
+        assert!(json.contains("\"sync_frac\""), "{json}");
+        assert!(json.contains("\"fused_windows\""), "{json}");
         let chrome = format!("[{}]", rep.chrome_events(0, "test \"run\""));
         assert_eq!(chrome.matches('{').count(), chrome.matches('}').count());
         assert!(chrome.contains("thread_name"), "{chrome}");

@@ -366,7 +366,10 @@ mod tests {
     }
 
     fn build(events: Vec<TraceEvent>) -> SpanReport {
-        SpanReport::build(&TraceReport { events, dropped: 0 })
+        SpanReport::build(&TraceReport {
+            events,
+            ..TraceReport::default()
+        })
     }
 
     #[test]

@@ -442,6 +442,43 @@ impl Recorder {
     }
 }
 
+/// A typed, non-fatal anomaly of a run — carried alongside the event
+/// stream (never ring-buffered, never dropped) so downstream consumers
+/// (hal-check, metrics) can see conditions that have no per-node event
+/// of their own. Warnings derive from canonical admission order, so
+/// they are deterministic across `--parallel K` like everything else in
+/// the report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceWarning {
+    /// What happened.
+    pub kind: WarningKind,
+    /// Virtual time of the anomaly.
+    pub t: VirtualTime,
+    /// Source node involved.
+    pub src: NodeId,
+    /// Destination node involved.
+    pub dst: NodeId,
+}
+
+/// Warning taxonomy (see [`TraceWarning`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarningKind {
+    /// Chaos duplicated a packet whose envelope is a one-shot payload
+    /// with no clonable representation: the duplicate could not be
+    /// materialized and was counted (`net.fault_dup_unclonable`) and
+    /// discarded instead of silently lost.
+    DupCloneFailed,
+}
+
+impl WarningKind {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WarningKind::DupCloneFailed => "dup_clone_failed",
+        }
+    }
+}
+
 /// The merged, time-ordered trace of a whole run.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TraceReport {
@@ -449,6 +486,8 @@ pub struct TraceReport {
     pub events: Vec<TraceEvent>,
     /// Events lost to ring wraparound, summed over nodes.
     pub dropped: u64,
+    /// Typed non-fatal anomalies (bounded at the source), time-ordered.
+    pub warnings: Vec<TraceWarning>,
 }
 
 impl TraceReport {
@@ -461,7 +500,11 @@ impl TraceReport {
             dropped += r.ring.dropped();
         }
         events.sort_by_key(|e| (e.time, e.node, e.seq));
-        TraceReport { events, dropped }
+        TraceReport {
+            events,
+            dropped,
+            warnings: Vec::new(),
+        }
     }
 
     /// Count of events with the given stable name.

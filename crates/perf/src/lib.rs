@@ -5,8 +5,9 @@
 //! * `BENCH_<bin>.json` — per-run virtual time, event counts, and host
 //!   throughput (`events_per_sec`);
 //! * `PROF_<bin>.json` — the host-time executor profile (where the wall
-//!   milliseconds went: barrier stall, injection staging, execution,
-//!   queue maintenance), written under `--prof`/`HAL_PROF`.
+//!   milliseconds went: coordinated-boundary stall, fused-boundary sync,
+//!   injection staging, execution, queue maintenance), written under
+//!   `--prof`/`HAL_PROF`.
 //!
 //! This crate reads both (with its own dependency-free JSON parser — the
 //! workspace has no serde) and provides the two operations the `hal-perf`
@@ -300,10 +301,15 @@ pub struct Thresholds {
     /// Maximum tolerated fractional drop in `events_per_sec` versus the
     /// baseline (`0.75` = fail only below 25% of baseline throughput).
     pub max_drop: f64,
-    /// Maximum tolerated absolute rise in a `PROF_` run's stall or
-    /// other fraction (e.g. `0.30` = stall may grow by 30 percentage
+    /// Maximum tolerated absolute rise in a `PROF_` run's stall, sync,
+    /// or other fraction (e.g. `0.30` = stall may grow by 30 percentage
     /// points of shard wall time before failing).
     pub max_stall_rise: f64,
+    /// Maximum tolerated fractional drop in a `BENCH_repro_all.json`
+    /// bin's sequential-vs-parallel speedup versus baseline (`0.20` =
+    /// fail when a bin's fresh speedup falls below 80% of its baseline
+    /// speedup).
+    pub max_speedup_drop: f64,
     /// Compare the deterministic virtual facts (`events`, `virtual_ns`)
     /// exactly. Drift there is a simulation-semantics change, not noise.
     pub sim_exact: bool,
@@ -314,6 +320,7 @@ impl Default for Thresholds {
         Thresholds {
             max_drop: 0.75,
             max_stall_rise: 0.30,
+            max_speedup_drop: 0.20,
             sim_exact: true,
         }
     }
@@ -474,7 +481,10 @@ pub fn diff_prof(artifact: &str, baseline: &Json, fresh: &Json, thr: &Thresholds
         let (Some(bt), Some(ft)) = (totals(b), totals(f)) else {
             continue;
         };
-        for metric in ["stall_frac", "other_frac"] {
+        // `sync_frac` is absent from profiles written before fused
+        // windows existed — the `if let` skips the comparison gracefully
+        // for such baselines instead of failing the gate.
+        for metric in ["stall_frac", "sync_frac", "other_frac"] {
             if let (Some(bv), Some(fv)) = (num(&bt, metric), num(&ft, metric)) {
                 if fv > bv + thr.max_stall_rise {
                     out.push(Regression {
@@ -493,6 +503,151 @@ pub fn diff_prof(artifact: &str, baseline: &Json, fresh: &Json, thr: &Thresholds
         }
     }
     out
+}
+
+/// Wall-clock floor below which per-bin speedup comparisons are
+/// skipped. A leg that finishes in a few milliseconds is dominated by
+/// process start-up and timer noise on the CI container, and its
+/// sequential/parallel ratio carries no signal.
+pub const SPEEDUP_MIN_WALL_MS: f64 = 20.0;
+
+/// Compare the sequential-vs-parallel speedup table
+/// (`BENCH_repro_all.json`, per-bin rows under `bins`): a bin whose
+/// fresh speedup falls more than [`Thresholds::max_speedup_drop`]
+/// below its baseline speedup regressed the parallel executor, even if
+/// raw throughput still clears the generous `max_drop` budget. Rows
+/// where either side's sequential wall is under [`SPEEDUP_MIN_WALL_MS`]
+/// are skipped (dead band for timer noise).
+pub fn diff_speedup(
+    artifact: &str,
+    baseline: &Json,
+    fresh: &Json,
+    thr: &Thresholds,
+) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let rows = |doc: &Json| -> BTreeMap<String, Json> {
+        let mut m = BTreeMap::new();
+        if let Some(bins) = doc.get("bins").and_then(Json::as_arr) {
+            for b in bins {
+                if let Some(name) = b.get("bin").and_then(Json::as_str) {
+                    m.insert(name.to_string(), b.clone());
+                }
+            }
+        }
+        m
+    };
+    let fresh_rows = rows(fresh);
+    for (bin, b) in rows(baseline) {
+        let Some(f) = fresh_rows.get(&bin) else {
+            out.push(Regression {
+                artifact: artifact.to_string(),
+                run: bin.clone(),
+                metric: "bin".to_string(),
+                baseline: "present".to_string(),
+                fresh: "missing".to_string(),
+                detail: "baseline bin disappeared from the fresh speedup table".to_string(),
+            });
+            continue;
+        };
+        let walls = [
+            num(&b, "seq_wall_ms"),
+            num(&b, "par_wall_ms"),
+            num(f, "seq_wall_ms"),
+            num(f, "par_wall_ms"),
+        ];
+        if walls.iter().any(|w| w.unwrap_or(0.0) < SPEEDUP_MIN_WALL_MS) {
+            continue;
+        }
+        if let (Some(bv), Some(fv)) = (num(&b, "speedup"), num(f, "speedup")) {
+            if bv > 0.0 && fv < bv * (1.0 - thr.max_speedup_drop) {
+                out.push(Regression {
+                    artifact: artifact.to_string(),
+                    run: bin,
+                    metric: "speedup".to_string(),
+                    baseline: format!("{bv:.3}"),
+                    fresh: format!("{fv:.3}"),
+                    detail: format!(
+                        "parallel speedup fell below {:.0}% of baseline",
+                        100.0 * (1.0 - thr.max_speedup_drop)
+                    ),
+                });
+            }
+        }
+    }
+    if let (Some(bv), Some(fv)) = (num(baseline, "total_speedup"), num(fresh, "total_speedup")) {
+        let big_enough = num(baseline, "total_seq_wall_ms").unwrap_or(0.0) >= SPEEDUP_MIN_WALL_MS
+            && num(fresh, "total_seq_wall_ms").unwrap_or(0.0) >= SPEEDUP_MIN_WALL_MS;
+        if big_enough && bv > 0.0 && fv < bv * (1.0 - thr.max_speedup_drop) {
+            out.push(Regression {
+                artifact: artifact.to_string(),
+                run: "<total>".to_string(),
+                metric: "total_speedup".to_string(),
+                baseline: format!("{bv:.3}"),
+                fresh: format!("{fv:.3}"),
+                detail: format!(
+                    "total parallel speedup fell below {:.0}% of baseline",
+                    100.0 * (1.0 - thr.max_speedup_drop)
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Mean `stall_frac` across every profiled run in one `PROF_` document
+/// (unweighted — every run is one data point). `None` when the file has
+/// no run with a stall fraction.
+fn mean_stall_frac(doc: &Json) -> Option<f64> {
+    let runs = doc.get("runs").and_then(Json::as_arr)?;
+    let vals: Vec<f64> = runs
+        .iter()
+        .filter_map(|r| r.get("prof").and_then(|p| p.get("totals")))
+        .filter_map(|t| num(t, "stall_frac"))
+        .collect();
+    if vals.is_empty() {
+        return None;
+    }
+    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+/// The mean stall fraction across every `PROF_*.json` present in
+/// *both* directories: `(baseline mean, fresh mean)`. The perf gate
+/// prints the delta on its PASS line so stall movement stays visible
+/// even when nothing trips a threshold. `None` when no comparable
+/// profile pair exists.
+pub fn stall_frac_means(baseline_dir: &Path, fresh_dir: &Path) -> Option<(f64, f64)> {
+    let entries = std::fs::read_dir(baseline_dir).ok()?;
+    let (mut bsum, mut fsum, mut n) = (0.0f64, 0.0f64, 0u32);
+    for name in entries
+        .flatten()
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| {
+            n.starts_with("PROF_")
+                && std::path::Path::new(n)
+                    .extension()
+                    .is_some_and(|ext| ext.eq_ignore_ascii_case("json"))
+                && !n.ends_with("_hosttrace.json")
+        })
+    {
+        let parse = |p: &Path| {
+            std::fs::read_to_string(p)
+                .ok()
+                .and_then(|s| Json::parse(&s).ok())
+        };
+        let (Some(b), Some(f)) = (parse(&baseline_dir.join(&name)), parse(&fresh_dir.join(&name)))
+        else {
+            continue;
+        };
+        if let (Some(bm), Some(fm)) = (mean_stall_frac(&b), mean_stall_frac(&f)) {
+            bsum += bm;
+            fsum += fm;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return None;
+    }
+    Some((bsum / f64::from(n), fsum / f64::from(n)))
 }
 
 /// Diff every `BENCH_*.json` / `PROF_*.json` baseline in `baseline_dir`
@@ -557,7 +712,14 @@ pub fn diff_dirs(baseline_dir: &Path, fresh_dir: &Path, thr: &Thresholds) -> Vec
             }
         };
         if name.starts_with("BENCH_") {
-            out.extend(diff_bench(&name, &baseline, &fresh, thr));
+            // The repro_all sweep writes a speedup table (`bins` rows)
+            // instead of per-run throughput — route it to the speedup
+            // check. Plain bench records keep the throughput diff.
+            if baseline.get("bins").is_some() {
+                out.extend(diff_speedup(&name, &baseline, &fresh, thr));
+            } else {
+                out.extend(diff_bench(&name, &baseline, &fresh, thr));
+            }
         } else {
             out.extend(diff_prof(&name, &baseline, &fresh, thr));
         }
@@ -581,8 +743,8 @@ pub fn summarize_prof(doc: &Json) -> Result<String, String> {
     let mut out = format!("{bench}: {} profiled run(s), host_cores={cores:.0}\n", runs.len());
     let _ = writeln!(
         out,
-        "{:<44} {:>4} {:>9} {:>7} {:>7} {:>7} {:>7} {:>7}  top",
-        "run", "k", "wall(ms)", "stall%", "inject%", "exec%", "queue%", "other%"
+        "{:<44} {:>4} {:>9} {:>7} {:>6} {:>7} {:>7} {:>7} {:>7}  top",
+        "run", "k", "wall(ms)", "stall%", "sync%", "inject%", "exec%", "queue%", "other%"
     );
     for r in runs {
         let label = r.get("label").and_then(Json::as_str).unwrap_or("?");
@@ -599,8 +761,9 @@ pub fn summarize_prof(doc: &Json) -> Result<String, String> {
         }
         let _ = writeln!(
             out,
-            "{l:<44} {k:>4.0} {wall:>9.3} {:>7.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}  {top} ({top_frac:.1}%)",
+            "{l:<44} {k:>4.0} {wall:>9.3} {:>7.1} {:>6.1} {:>7.1} {:>7.1} {:>7.1} {:>7.1}  {top} ({top_frac:.1}%)",
             pct("stall_frac"),
+            pct("sync_frac"),
             pct("inject_frac"),
             pct("execute_frac"),
             pct("queue_frac"),
@@ -617,7 +780,7 @@ pub fn summarize_prof(doc: &Json) -> Result<String, String> {
         };
         let w = num(t, "wall_ns").unwrap_or(0.0);
         wall_total += w;
-        for m in ["stall_frac", "inject_frac", "queue_frac", "other_frac"] {
+        for m in ["stall_frac", "sync_frac", "inject_frac", "queue_frac", "other_frac"] {
             *sums.entry(m).or_default() += w * num(t, m).unwrap_or(0.0);
         }
     }
@@ -743,6 +906,90 @@ mod tests {
         // Falling stall is never a regression.
         let down = patched(PROF, "\"stall_frac\": 0.60", "\"stall_frac\": 0.01");
         assert!(diff_prof("PROF_t.json", &base, &down, &thr).is_empty());
+    }
+
+    const REPRO: &str = r#"{
+      "bench": "repro_all", "host_cores": 1, "seq_parallelism": 1, "par_parallelism": 2,
+      "quick": false,
+      "bins": [
+        {"bin": "big", "seq_wall_ms": 500.0, "par_wall_ms": 250.0, "speedup": 2.0, "runs": []},
+        {"bin": "tiny", "seq_wall_ms": 3.0, "par_wall_ms": 1.0, "speedup": 3.0, "runs": []}
+      ],
+      "total_seq_wall_ms": 503.0, "total_par_wall_ms": 251.0, "total_speedup": 2.004
+    }"#;
+
+    #[test]
+    fn speedup_regression_is_flagged_with_dead_band() {
+        let base = Json::parse(REPRO).unwrap();
+        let thr = Thresholds::default();
+        assert!(diff_speedup("BENCH_repro_all.json", &base, &base, &thr).is_empty());
+        // big bin: 2.0 -> 1.5 is a 25% drop, past the 20% budget.
+        let slow = patched(
+            REPRO,
+            "\"par_wall_ms\": 250.0, \"speedup\": 2.0",
+            "\"par_wall_ms\": 333.0, \"speedup\": 1.5",
+        );
+        let regs = diff_speedup("BENCH_repro_all.json", &base, &slow, &thr);
+        assert!(regs.iter().any(|r| r.run == "big" && r.metric == "speedup"), "{regs:?}");
+        // tiny bin: sub-dead-band walls never trip, however wild the ratio.
+        let tiny = patched(REPRO, "\"speedup\": 3.0", "\"speedup\": 0.1");
+        assert!(diff_speedup("BENCH_repro_all.json", &base, &tiny, &thr).is_empty());
+        // A bin disappearing from the table is itself a regression.
+        let gone = patched(REPRO, "\"bin\": \"big\"", "\"bin\": \"renamed\"");
+        let regs = diff_speedup("BENCH_repro_all.json", &base, &gone, &thr);
+        assert!(regs.iter().any(|r| r.run == "big" && r.metric == "bin"), "{regs:?}");
+        // Faster than baseline is never a regression.
+        let fast = patched(
+            REPRO,
+            "\"par_wall_ms\": 250.0, \"speedup\": 2.0",
+            "\"par_wall_ms\": 100.0, \"speedup\": 5.0",
+        );
+        assert!(diff_speedup("BENCH_repro_all.json", &base, &fast, &thr).is_empty());
+    }
+
+    #[test]
+    fn sync_frac_rise_flagged_but_absent_baseline_is_graceful() {
+        let thr = Thresholds::default();
+        // Fresh profile carries sync_frac; this old-style baseline does
+        // not — the comparison must skip, not fail.
+        let base = Json::parse(PROF).unwrap();
+        let fresh = patched(PROF, "\"stall_frac\": 0.60,", "\"stall_frac\": 0.60, \"sync_frac\": 0.90,");
+        assert!(diff_prof("PROF_t.json", &base, &fresh, &thr).is_empty());
+        // Both sides carrying it: a big rise trips the gate.
+        let base2 = patched(PROF, "\"stall_frac\": 0.60,", "\"stall_frac\": 0.10, \"sync_frac\": 0.05,");
+        let fresh2 = patched(PROF, "\"stall_frac\": 0.60,", "\"stall_frac\": 0.10, \"sync_frac\": 0.70,");
+        let regs = diff_prof("PROF_t.json", &base2, &fresh2, &thr);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "sync_frac");
+    }
+
+    #[test]
+    fn diff_dirs_routes_speedup_tables_and_reports_stall_means() {
+        let dir = std::env::temp_dir().join(format!("hal-perf-spd-{}", std::process::id()));
+        let bdir = dir.join("baselines");
+        let fdir = dir.join("fresh");
+        std::fs::create_dir_all(&bdir).unwrap();
+        std::fs::create_dir_all(&fdir).unwrap();
+        std::fs::write(bdir.join("BENCH_repro_all.json"), REPRO).unwrap();
+        std::fs::write(
+            fdir.join("BENCH_repro_all.json"),
+            REPRO.replace("\"par_wall_ms\": 250.0, \"speedup\": 2.0", "\"par_wall_ms\": 500.0, \"speedup\": 1.0"),
+        )
+        .unwrap();
+        std::fs::write(bdir.join("PROF_t.json"), PROF).unwrap();
+        std::fs::write(
+            fdir.join("PROF_t.json"),
+            PROF.replace("\"stall_frac\": 0.60", "\"stall_frac\": 0.20"),
+        )
+        .unwrap();
+        let regs = diff_dirs(&bdir, &fdir, &Thresholds::default());
+        assert!(
+            regs.iter().any(|r| r.artifact == "BENCH_repro_all.json" && r.metric == "speedup"),
+            "speedup table must route through diff_speedup: {regs:?}"
+        );
+        let (bm, fm) = stall_frac_means(&bdir, &fdir).unwrap();
+        assert!((bm - 0.60).abs() < 1e-9 && (fm - 0.20).abs() < 1e-9, "{bm} {fm}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

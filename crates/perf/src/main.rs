@@ -9,13 +9,14 @@
 //! `diff` exits nonzero when any regression is found — `ci.sh`'s
 //! `perf-gate` step is built on that.
 
-use hal_perf::{diff_dirs, summarize_prof, Json, Thresholds};
+use hal_perf::{diff_dirs, stall_frac_means, summarize_prof, Json, Thresholds};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage:
   hal-perf summarize <PROF_file.json>...
-  hal-perf diff --baselines <dir> --fresh <dir> [--max-drop X] [--max-stall-rise X] [--no-sim-exact]";
+  hal-perf diff --baselines <dir> --fresh <dir> [--max-drop X] [--max-stall-rise X] \
+[--max-speedup-drop X] [--no-sim-exact]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -80,6 +81,11 @@ fn diff(args: &[String]) -> ExitCode {
                     .parse()
                     .expect("--max-stall-rise: a fraction in [0,1)")
             }
+            "--max-speedup-drop" => {
+                thr.max_speedup_drop = val("--max-speedup-drop")
+                    .parse()
+                    .expect("--max-speedup-drop: a fraction in [0,1)")
+            }
             "--no-sim-exact" => thr.sim_exact = false,
             other => {
                 eprintln!("hal-perf: unknown flag {other}\n{USAGE}");
@@ -93,12 +99,20 @@ fn diff(args: &[String]) -> ExitCode {
     };
     let regs = diff_dirs(&baselines, &fresh, &thr);
     if regs.is_empty() {
+        // Stall movement is the ROADMAP's headline number — show where
+        // it went even when nothing trips a threshold.
+        let stall = match stall_frac_means(&baselines, &fresh) {
+            Some((b, f)) => format!(", stall_frac mean {b:.3} -> {f:.3} ({:+.3})", f - b),
+            None => String::new(),
+        };
         println!(
-            "perf gate: OK — {} vs {} (max_drop={:.2}, max_stall_rise={:.2}, sim_exact={})",
+            "perf gate: OK — {} vs {} (max_drop={:.2}, max_stall_rise={:.2}, \
+             max_speedup_drop={:.2}, sim_exact={}){stall}",
             fresh.display(),
             baselines.display(),
             thr.max_drop,
             thr.max_stall_rise,
+            thr.max_speedup_drop,
             thr.sim_exact
         );
         ExitCode::SUCCESS

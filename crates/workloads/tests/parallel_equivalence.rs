@@ -177,3 +177,182 @@ fn migration_chase_is_identical() {
         });
     }
 }
+
+// ---- fused/watermark executor paths ----
+
+#[test]
+fn fib_under_chaos_is_identical_on_fused_paths() {
+    // Compute-heavy fib is where window fusion fires (long stretches
+    // with no cross-shard injection in flight), and 10% chaos makes the
+    // replayed fault draws part of the equality: a fused boundary that
+    // skipped a replay it needed, or consumed a chaos draw out of
+    // order, diverges here.
+    for seed in SEEDS {
+        assert_equivalent(&format!("fib-chaos seed={seed}"), |k| {
+            let cfg = fib::FibConfig {
+                n: 13,
+                grain: 3,
+                placement: fib::Placement::RoundRobin,
+            };
+            let machine = MachineConfig::builder(8)
+                .seed(seed)
+                .faults(FaultPlan::chaos(0.10))
+                .parallelism(k)
+                .build()
+                .unwrap();
+            let (v, report) = fib::run_sim(machine, cfg);
+            assert_eq!(v, 233, "fib(13) wrong under chaos");
+            assert!(
+                report.stats.get("net.fault_dropped") > 0,
+                "chaos at 10% dropped nothing — the plan is not live (seed {seed})"
+            );
+            report
+        });
+    }
+}
+
+// ---- directed test: an injection whose arrival lands exactly on a
+// fused-batch boundary ----
+//
+// With every kernel cost zero except `method_invoke` = 1000 ns, and a
+// link of `inject_overhead` 400 ns + `latency` 600 ns (+ 0 ns/byte),
+// the lookahead is L = 1000 ns and *every* actor step lands on an
+// exact multiple of L. A cross-shard send issued at step time `m·L`
+// therefore arrives at exactly `(m+1)·L` — the closed boundary of the
+// window that staged it. That is the fusion edge case: the watermark
+// equals the window end, the window is still fusable (windows are
+// half-open), and the arrival must be parked into the *next* window,
+// never executed a window early or dropped at the boundary.
+
+struct BoundaryTicker {
+    remaining: u32,
+}
+impl Behavior for BoundaryTicker {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            let me = ctx.me();
+            ctx.send(me, 0, vec![]);
+        } else {
+            ctx.report("ticker_done", Value::Int(1));
+        }
+    }
+}
+
+struct BoundaryCounter {
+    seen: i64,
+}
+impl Behavior for BoundaryCounter {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        self.seen += 1;
+        ctx.report("boundary_probe", Value::Int(self.seen));
+    }
+}
+
+struct BoundarySpray {
+    target: MailAddr,
+    remaining: i64,
+}
+impl Behavior for BoundarySpray {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            // One cross-shard probe per 1000 ns step: each arrival is
+            // staged with a timestamp exactly on the next window
+            // boundary.
+            ctx.send(self.target, 0, vec![]);
+            let me = ctx.me();
+            ctx.send(me, 0, vec![]);
+        }
+    }
+}
+
+fn run_boundary(k: usize) -> SimReport {
+    use hal_am::LinkModel;
+    use hal_des::VirtualDuration;
+    use hal_kernel::CostModel;
+
+    const TICKS: u32 = 50;
+    const PROBES: i64 = 10;
+    let cost = CostModel {
+        method_invoke: VirtualDuration::from_nanos(1_000),
+        ..CostModel::zero()
+    };
+    let link = LinkModel {
+        latency: VirtualDuration::from_nanos(600),
+        per_byte: VirtualDuration::ZERO,
+        inject_overhead: VirtualDuration::from_nanos(400),
+        backpressure_window: VirtualDuration::from_millis(1),
+    };
+    let mut program = Program::new();
+    let counter = program.behavior("counter", |_: &[Value]| {
+        Box::new(BoundaryCounter { seen: 0 }) as Box<dyn Behavior>
+    });
+    let spray = program.behavior("spray", |args: &[Value]| {
+        Box::new(BoundarySpray {
+            target: args[0].as_addr(),
+            remaining: args[1].as_int(),
+        }) as Box<dyn Behavior>
+    });
+    let mut m = SimMachine::new(
+        MachineConfig::builder(8)
+            .seed(7)
+            .cost(cost)
+            .link(link)
+            .parallelism(k)
+            .prof()
+            .build()
+            .unwrap(),
+        program.build(),
+    );
+    m.with_ctx(0, |ctx| {
+        // Pure-local work on shard 0 keeps windows busy and fusable
+        // while the probes race across shards.
+        let ticker = ctx.create_local(Box::new(BoundaryTicker { remaining: TICKS }));
+        ctx.send(ticker, 0, vec![]);
+        // Receiver on node 2, sender on node 1: with K ∈ {2, 7} they
+        // live on different shards, so every probe is a cross-shard
+        // staged send.
+        let c = ctx.create_on(2, counter, vec![]);
+        let s = ctx.create_on(1, spray, vec![Value::Addr(c), Value::Int(PROBES)]);
+        ctx.send(s, 0, vec![]);
+    });
+    let report = m.run().unwrap();
+    assert_eq!(
+        report.values("boundary_probe").len(),
+        PROBES as usize,
+        "a boundary-timestamped probe was lost or duplicated at K={k}"
+    );
+    assert_eq!(report.values("ticker_done").len(), 1, "ticker never finished at K={k}");
+    // Everything in this system happens on exact multiples of the
+    // 1000 ns lookahead, so the makespan must sit on the grid too.
+    assert_eq!(
+        report.makespan.as_nanos() % 1_000,
+        0,
+        "K={k}: makespan {} ns is off the 1000 ns boundary grid",
+        report.makespan.as_nanos()
+    );
+    report
+}
+
+#[test]
+fn injection_exactly_on_fused_batch_boundary_is_identical() {
+    let reference = run_boundary(1);
+    assert!(reference.events > 0);
+    for k in PARALLELISMS {
+        let parallel = run_boundary(k);
+        assert_eq!(
+            reference, parallel,
+            "boundary-timestamped injections diverged at K={k}"
+        );
+        // The directed point: the ticker's long local-only stretches
+        // must actually exercise the fused path while boundary-exact
+        // arrivals are in flight.
+        let prof = parallel.prof.as_ref().expect("prof requested");
+        let fused: u64 = prof.shards.iter().map(|s| s.fused_windows).sum();
+        assert!(
+            fused >= 1,
+            "K={k}: no window fused — the directed scenario no longer covers the fusion edge"
+        );
+    }
+}

@@ -4,8 +4,9 @@
 //!   span exports, and metrics exports are identical with the profiler
 //!   on or off, at K = 1 and K = 7;
 //! * with profiling on, every shard's ledger telescopes exactly:
-//!   `stall + inject + execute + queue + other == wall` (well inside the
-//!   5% acceptance bound — the ledger is contiguous by construction);
+//!   `sync + stall + inject + execute + queue + other == wall` (the
+//!   ledger is contiguous by construction, `sync` being the fused-window
+//!   boundary handshake added with the barrier-elision executor);
 //! * the sequential instant-network loop produces the same profile
 //!   shape as a single shard, so seq/par attribution is comparable.
 
@@ -64,7 +65,7 @@ fn profiling_does_not_perturb_the_deterministic_surface() {
 fn assert_ledger_telescopes(p: &ProfReport, what: &str) {
     assert!(!p.shards.is_empty(), "{what}: no shard ledgers");
     for s in &p.shards {
-        let attributed = s.stall_ns + s.inject_ns + s.execute_ns + s.queue_ns;
+        let attributed = s.sync_ns + s.stall_ns + s.inject_ns + s.execute_ns + s.queue_ns;
         assert!(
             attributed <= s.wall_ns,
             "{what} shard {}: phases ({attributed} ns) exceed wall ({} ns)",
@@ -78,17 +79,30 @@ fn assert_ledger_telescopes(p: &ProfReport, what: &str) {
             s.shard
         );
         assert!(s.windows > 0, "{what} shard {}: no windows recorded", s.shard);
+        assert!(
+            s.fused_windows <= s.windows,
+            "{what} shard {}: fused count exceeds window count",
+            s.shard
+        );
         assert_eq!(
             s.recs.len() as u64 + s.windows_truncated,
             s.windows,
             "{what} shard {}: window records inconsistent",
             s.shard
         );
+        if s.windows_truncated == 0 {
+            assert_eq!(
+                s.recs.iter().filter(|w| w.fused).count() as u64,
+                s.fused_windows,
+                "{what} shard {}: per-window fused flags disagree with the total",
+                s.shard
+            );
+        }
     }
     let events: u64 = p.shards.iter().map(|s| s.events).sum();
     assert!(events > 0, "{what}: profiled run executed no events");
     let t = p.totals();
-    let parts = t.stall_ns + t.inject_ns + t.execute_ns + t.queue_ns + t.other_ns;
+    let parts = t.sync_ns + t.stall_ns + t.inject_ns + t.execute_ns + t.queue_ns + t.other_ns;
     assert_eq!(parts, t.wall_ns, "{what}: totals must telescope too");
 }
 
@@ -108,6 +122,13 @@ fn windowed_shard_ledgers_sum_to_wall_time() {
             let c = p.coordinator.as_ref().expect("windowed runs have a coordinator ledger");
             assert!(c.windows > 0, "K={k}: coordinator saw no barriers");
         }
+        // The fused/watermark surface must reach the artifact layer:
+        // the JSON carries the per-run sync fraction and fused-window
+        // counts the perf gate and summarizer read.
+        let json = p.to_json();
+        assert!(json.contains("\"sync_frac\""), "K={k}: sync_frac missing from prof JSON");
+        assert!(json.contains("\"fused_windows\""), "K={k}: fused_windows missing from prof JSON");
+        assert!(p.summary().contains("fused="), "K={k}: summary lost the fused-window count");
     }
 }
 
