@@ -156,6 +156,21 @@ else
   echo "   perf gate: committed baselines pass, synthetic regression caught"
 fi
 
+echo "== live-serve smoke (hal-serve --backend=live) =="
+# The live backend under open-loop load: ~1s of wall at a modest rate
+# through a 3-stage pipeline on 2 real kernel threads, with the flight
+# recorder + hal-check on (--check exits nonzero on any protocol
+# violation) and the SLO gate armed. `--verify` then re-parses the
+# SERVE_ artifact and asserts the percentile ladder is sane
+# (p50 <= p99 <= p999 <= max, completed <= offered).
+(cd "$smoke_dir" && "$repo_root/target/release/hal-serve" \
+   --backend=live --scenario=ci_smoke --nodes=2 --stages=3 \
+   --rate=400 --requests=400 --stage-cost-us=20 --check >/dev/null) \
+  || { echo "ci: live hal-serve run failed (SLO miss or checker violation)"; exit 1; }
+"$repo_root/target/release/hal-serve" --verify "$smoke_dir/results/SERVE_ci_smoke.json" \
+  || { echo "ci: SERVE_ci_smoke.json failed artifact verification"; exit 1; }
+echo "   hal-serve: live pipeline sustained load, artifact verified, checker CLEAN"
+
 echo "== cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 

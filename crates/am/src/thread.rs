@@ -2,15 +2,27 @@
 //!
 //! This substrate exercises the same kernel code as [`crate::sim`] but
 //! with genuine concurrency: each simulated node is an OS thread and
-//! packets travel over mpsc channels. It is used by the examples and
-//! by integration tests that check the runtime is actually `Send`-correct
-//! and free of shared-memory shortcuts between "nodes" — faithful to the
-//! paper's distributed-memory setting, where nodes communicate only
-//! through the network interface.
+//! packets travel over mpsc channels. It is used by the examples, by the
+//! live backend (`hal-kernel`'s `Machine::live`), and by integration
+//! tests that check the runtime is actually `Send`-correct and free of
+//! shared-memory shortcuts between "nodes" — faithful to the paper's
+//! distributed-memory setting, where nodes communicate only through the
+//! network interface.
+//!
+//! Links come in two flavors:
+//!
+//! * **unbounded** ([`thread_network`]) — sends never block; fine for
+//!   tests and short examples;
+//! * **bounded** ([`thread_network_bounded`]) — each node's receive
+//!   queue holds at most `capacity` packets. A send finding the queue
+//!   full *blocks* until the receiver drains (a real NI's injection
+//!   stall) and the stall is counted in
+//!   [`ThreadNetStats::backpressure_hits`], so an overloaded live run
+//!   degrades measurably instead of growing the heap without bound.
 
 use crate::packet::{AmEnvelope, NodeId, Packet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 
 /// Shared counters for the threaded network.
@@ -20,17 +32,38 @@ pub struct ThreadNetStats {
     pub packets: AtomicU64,
     /// Envelope payload bytes sent across all nodes.
     pub bytes: AtomicU64,
+    /// Sends that found a bounded receive queue full and had to block
+    /// until the receiver drained (0 on unbounded networks).
+    pub backpressure_hits: AtomicU64,
+    /// Packets dropped because the destination endpoint was already
+    /// torn down (normal during shutdown; anything else is a bug).
+    pub dropped_on_close: AtomicU64,
+}
+
+/// A sender to one node's receive queue — unbounded or bounded.
+enum Tx<P> {
+    Unbounded(Sender<Packet<P>>),
+    Bounded(SyncSender<Packet<P>>),
+}
+
+impl<P> Clone for Tx<P> {
+    fn clone(&self) -> Self {
+        match self {
+            Tx::Unbounded(t) => Tx::Unbounded(t.clone()),
+            Tx::Bounded(t) => Tx::Bounded(t.clone()),
+        }
+    }
 }
 
 /// One node's attachment point to the threaded network.
 ///
 /// Owns the node's receive queue and senders to every peer. Endpoints are
-/// created together by [`thread_network`] and then moved into their node
-/// threads.
+/// created together by [`thread_network`] / [`thread_network_bounded`]
+/// and then moved into their node threads.
 pub struct ThreadEndpoint<P> {
     me: NodeId,
     rx: Receiver<Packet<P>>,
-    peers: Vec<Sender<Packet<P>>>,
+    peers: Vec<Tx<P>>,
     stats: Arc<ThreadNetStats>,
 }
 
@@ -50,6 +83,12 @@ impl<P: Send + 'static> ThreadEndpoint<P> {
     ///
     /// Sending to self is allowed — the packet loops back through the
     /// receive queue, exactly as a self-addressed active message would.
+    ///
+    /// On a bounded network a full destination queue blocks the sender
+    /// until space frees up, bumping
+    /// [`ThreadNetStats::backpressure_hits`] once per stalled send. A
+    /// send to a node that already shut down is dropped and counted in
+    /// [`ThreadNetStats::dropped_on_close`].
     pub fn send(&self, dst: NodeId, body: AmEnvelope<P>, wire_bytes: usize) {
         self.stats.packets.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(wire_bytes as u64, Ordering::Relaxed);
@@ -58,9 +97,33 @@ impl<P: Send + 'static> ThreadEndpoint<P> {
             dst,
             body,
         };
-        // Unbounded channel: send only fails if the receiver hung up,
-        // which in our machines means the partition is shutting down.
-        let _ = self.peers[dst as usize].send(pkt);
+        match &self.peers[dst as usize] {
+            // Unbounded channel: send only fails if the receiver hung
+            // up, which in our machines means the partition is shutting
+            // down.
+            Tx::Unbounded(tx) => {
+                if tx.send(pkt).is_err() {
+                    self.stats.dropped_on_close.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Tx::Bounded(tx) => match tx.try_send(pkt) {
+                Ok(()) => {}
+                Err(TrySendError::Full(pkt)) => {
+                    // Injection stall: the receiver's queue is at
+                    // capacity. Count it, then block — backpressure, not
+                    // loss (the reliable layer above would retransmit a
+                    // drop anyway; blocking is both cheaper and honest
+                    // about the overload).
+                    self.stats.backpressure_hits.fetch_add(1, Ordering::Relaxed);
+                    if tx.send(pkt).is_err() {
+                        self.stats.dropped_on_close.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.stats.dropped_on_close.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        }
     }
 
     /// Non-blocking receive.
@@ -88,18 +151,46 @@ impl<P: Send + 'static> ThreadEndpoint<P> {
     }
 }
 
-/// Build a fully connected threaded network of `nodes` nodes.
+/// Build a fully connected threaded network of `nodes` nodes with
+/// unbounded links.
 ///
 /// Returns one endpoint per node; move each into its node thread.
 pub fn thread_network<P: Send + 'static>(nodes: usize) -> Vec<ThreadEndpoint<P>> {
+    build_network(nodes, None)
+}
+
+/// Build a fully connected threaded network whose receive queues hold at
+/// most `capacity` packets each — see [`ThreadEndpoint::send`] for the
+/// blocking-backpressure semantics. `capacity` must be positive.
+pub fn thread_network_bounded<P: Send + 'static>(
+    nodes: usize,
+    capacity: usize,
+) -> Vec<ThreadEndpoint<P>> {
+    assert!(capacity > 0, "bounded network needs a positive capacity");
+    build_network(nodes, Some(capacity))
+}
+
+fn build_network<P: Send + 'static>(
+    nodes: usize,
+    capacity: Option<usize>,
+) -> Vec<ThreadEndpoint<P>> {
     assert!(nodes > 0 && nodes <= u16::MAX as usize + 1, "node count out of range");
     let stats = Arc::new(ThreadNetStats::default());
     let mut txs = Vec::with_capacity(nodes);
     let mut rxs = Vec::with_capacity(nodes);
     for _ in 0..nodes {
-        let (tx, rx) = channel();
-        txs.push(tx);
-        rxs.push(rx);
+        match capacity {
+            None => {
+                let (tx, rx) = channel();
+                txs.push(Tx::Unbounded(tx));
+                rxs.push(rx);
+            }
+            Some(cap) => {
+                let (tx, rx) = sync_channel(cap);
+                txs.push(Tx::Bounded(tx));
+                rxs.push(rx);
+            }
+        }
     }
     rxs.into_iter()
         .enumerate()
@@ -190,11 +281,57 @@ mod tests {
         eps[2].send(1, AmEnvelope::Small(2), 5);
         assert_eq!(eps[1].stats().packets.load(Ordering::Relaxed), 2);
         assert_eq!(eps[1].stats().bytes.load(Ordering::Relaxed), 15);
+        assert_eq!(eps[1].stats().backpressure_hits.load(Ordering::Relaxed), 0);
     }
 
     #[test]
     fn try_recv_empty_is_none() {
         let eps = thread_network::<u32>(2);
         assert!(eps[0].try_recv().is_none());
+    }
+
+    #[test]
+    fn bounded_network_delivers_and_counts_backpressure() {
+        let mut eps = thread_network_bounded::<u32>(2, 4);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        // Fill the queue, then overflow it from another thread while the
+        // receiver drains slowly: the sender must block (not drop) and
+        // the stall must be counted.
+        let sender = std::thread::spawn(move || {
+            for i in 0..32 {
+                a.send(1, AmEnvelope::Small(i), 4);
+            }
+            a
+        });
+        let mut got = Vec::new();
+        while got.len() < 32 {
+            if let Some(pkt) = b.recv_timeout(Duration::from_secs(5)) {
+                if let AmEnvelope::Small(v) = pkt.body {
+                    got.push(v);
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            } else {
+                panic!("bounded delivery timed out");
+            }
+        }
+        let a = sender.join().unwrap();
+        assert_eq!(got, (0..32).collect::<Vec<_>>(), "FIFO order preserved");
+        assert!(
+            a.stats().backpressure_hits.load(Ordering::Relaxed) > 0,
+            "a 4-deep queue fed 32 packets against a slow reader must stall"
+        );
+    }
+
+    #[test]
+    fn bounded_send_to_closed_endpoint_is_dropped_not_deadlocked() {
+        let mut eps = thread_network_bounded::<u32>(2, 1);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        drop(b); // node 1 shut down
+        for i in 0..8 {
+            a.send(1, AmEnvelope::Small(i), 4); // must not block forever
+        }
+        assert!(a.stats().dropped_on_close.load(Ordering::Relaxed) >= 7);
     }
 }

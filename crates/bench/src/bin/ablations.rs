@@ -15,6 +15,7 @@
 //!   injection, on pipelined Cholesky (also in Table 1).
 
 use hal::prelude::*;
+use hal_kernel::SimMachine;
 use hal::OptFlags;
 use hal_bench::{banner, header, out, row};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -55,7 +56,7 @@ static RUN_NO: AtomicUsize = AtomicUsize::new(0);
 
 fn run(opt: OptFlags, f: impl FnOnce(&mut Ctx<'_>, &Ids)) -> hal::SimReport {
     run_cfg(
-        MachineConfig::builder(8).opt(opt).seed(2).trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled()),
+        MachineConfig::builder(8).opt(opt).seed(2).observe(out::observe_opts()),
         f,
     )
 }
@@ -275,7 +276,7 @@ fn main() {
     // Flight-recorder view of the FIR chase ablation's paper-side run:
     // chain-length and delivery-path histograms for the same workload.
     let traced = run_cfg(
-        MachineConfig::builder(8).opt(on).seed(2).trace().metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled()),
+        MachineConfig::builder(8).opt(on).seed(2).observe(out::observe_opts().trace(true)),
         chase,
     );
     let trace = traced.trace.expect("tracing was enabled");

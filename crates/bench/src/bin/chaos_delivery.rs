@@ -15,6 +15,7 @@
 //! `--parallel` levels — `ci.sh` diffs sequential vs parallel stdout.
 
 use hal::prelude::*;
+use hal_kernel::SimMachine;
 use hal_bench::{banner, cell, header, out, row};
 
 struct Nomad {
@@ -75,7 +76,7 @@ fn run(rate: f64, chain: usize, probes: i64) -> ChaosRun {
     let cfg = MachineConfig::builder(p)
         .seed(5)
         .faults(FaultPlan::chaos(rate))
-        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+        .observe(out::observe_opts())
         .parallelism(out::parallelism())
         .build()
         .unwrap();

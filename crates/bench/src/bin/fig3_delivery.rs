@@ -10,6 +10,7 @@
 //! effect of the birthplace cache once gossip settles.
 
 use hal::prelude::*;
+use hal_kernel::{SimMachine, TraceReport};
 use hal_bench::{banner, cell, header, out, row};
 
 struct Nomad {
@@ -61,7 +62,7 @@ fn run(chain: usize, probes: i64) -> (u64, u64, u64, u64, u64, Option<TraceRepor
     let mut m = SimMachine::new(
         MachineConfig::builder(p)
             .seed(5)
-            .trace().metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+            .observe(out::observe_opts().trace(true))
             .parallelism(out::parallelism()).build().unwrap(),
         program.build(),
     );

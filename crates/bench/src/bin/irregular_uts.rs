@@ -31,7 +31,8 @@ fn main() {
                 run_sim(
                     MachineConfig::builder(p)
                         .seed(1)
-                        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+                        .observe(out::observe_opts())
+                        .backend(out::backend())
                         .parallelism(out::parallelism()).build().unwrap(),
                     cfg,
                 )
@@ -44,7 +45,8 @@ fn main() {
                         MachineConfig::builder(p)
                             .seed(1)
                             .load_balancing(true)
-                            .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+                            .observe(out::observe_opts())
+                            .backend(out::backend())
                             .parallelism(out::parallelism()).build().unwrap(),
                         cfg,
                     )

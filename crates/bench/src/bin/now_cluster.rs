@@ -19,7 +19,8 @@ use hal_workloads::matmul::{self, MatmulConfig};
 fn chol(link: LinkModel, name: &str, variant: Variant) -> f64 {
     let mut m = MachineConfig::builder(8)
         .seed(4)
-        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+        .observe(out::observe_opts())
+        .backend(out::backend())
         .parallelism(out::parallelism()).build().unwrap();
     let label = format!("cholesky n=96 {variant:?} {name}");
     m.link = link;
@@ -41,7 +42,8 @@ fn chol(link: LinkModel, name: &str, variant: Variant) -> f64 {
 fn mm(link: LinkModel, name: &str) -> f64 {
     let mut m = MachineConfig::builder(16)
         .seed(4)
-        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+        .observe(out::observe_opts())
+        .backend(out::backend())
         .parallelism(out::parallelism()).build().unwrap();
     let label = format!("matmul 256 p=16 {name}");
     m.link = link;

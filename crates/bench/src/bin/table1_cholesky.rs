@@ -27,7 +27,8 @@ fn run(n: usize, p: usize, variant: Variant, flow: bool) -> f64 {
     let machine = MachineConfig::builder(p)
         .flow_control(flow)
         .seed(7)
-        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+        .observe(out::observe_opts())
+        .backend(out::backend())
         .parallelism(out::parallelism()).build().unwrap();
     let label = format!("cholesky n={n} p={p} {variant:?} fc={flow}");
     let (_, report) = out::timed(label, || run_sim(machine, cfg, false));

@@ -11,6 +11,7 @@
 //! the cost-model table, so protocol changes show up here.
 
 use hal::prelude::*;
+use hal_kernel::SimMachine;
 use hal_bench::{banner, header, out, row, us};
 use hal_workloads::synth::{self, SynthMsg};
 
@@ -35,7 +36,7 @@ fn main() {
     let fresh = || {
         SimMachine::new(
             MachineConfig::builder(4)
-                .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+                .observe(out::observe_opts())
                 .parallelism(out::parallelism()).build().unwrap(),
             registry.clone(),
         )

@@ -16,6 +16,7 @@
 //! Reported in simulated CM-5 µs *and* measured host nanoseconds.
 
 use hal::prelude::*;
+use hal_kernel::SimMachine;
 use hal_bench::{banner, header, out, row, us};
 use hal_workloads::synth::{self, SynthMsg};
 use std::time::Instant;
@@ -136,7 +137,7 @@ fn main() {
     let mut program = Program::new();
     let _probe = synth::register(&mut program);
     let mut m = SimMachine::new(
-        MachineConfig::builder(1).trace().metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled()).build().unwrap(),
+        MachineConfig::builder(1).observe(out::observe_opts().trace(true)).build().unwrap(),
         program.build(),
     );
     let sink = m.with_ctx(0, |ctx| ctx.create_local(Box::new(Sink { hits: 0 })));

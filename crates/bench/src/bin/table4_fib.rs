@@ -22,7 +22,8 @@ fn sim(n: u64, grain: u64, p: usize, lb: bool, placement: Placement) -> (u64, f6
     let machine = MachineConfig::builder(p)
         .load_balancing(lb)
         .seed(1234)
-        .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+        .observe(out::observe_opts())
+        .backend(out::backend())
         .parallelism(out::parallelism()).build().unwrap();
     let cfg = FibConfig { n, grain, placement };
     let label = format!("fib n={n} p={p} lb={lb} {placement:?}");

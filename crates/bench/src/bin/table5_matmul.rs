@@ -39,7 +39,8 @@ fn main() {
             };
             let machine = MachineConfig::builder(p)
                 .seed(99)
-                .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+                .observe(out::observe_opts())
+                .backend(out::backend())
                 .parallelism(out::parallelism()).build().unwrap();
             let label = format!("matmul n={n} p={p}");
             let (_fro, report) = out::timed(label, || run_sim(machine, cfg, false));

@@ -6,6 +6,7 @@
 //! staircase of idle nodes waiting for each iteration's barrier.
 
 use hal::prelude::*;
+use hal_kernel::SimMachine;
 use hal_bench::{banner, out};
 use hal_kernel::timeline::render_ascii;
 use hal_workloads::cholesky::{self, CholeskyConfig, Variant};
@@ -24,7 +25,7 @@ fn show(variant: Variant) {
         MachineConfig::builder(p)
             .seed(9)
             .timeline()
-            .trace_if(out::trace_wanted()).metrics_if(out::metrics_enabled()).prof_if(out::prof_enabled())
+            .observe(out::observe_opts())
             .parallelism(out::parallelism()).build().unwrap(),
         program.build(),
     );

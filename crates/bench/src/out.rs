@@ -13,9 +13,14 @@
 //!   bit-identical across K, so stdout does not change — only wall time.
 //! * `--quick` / `HAL_QUICK=1` — shrink problem sizes so the bin
 //!   finishes in seconds (CI smoke).
+//! * `--backend=sim|live` / `HAL_BACKEND` — which [`hal_kernel::Backend`]
+//!   the bin's machines run on ([`backend`]). The deterministic
+//!   simulator is the default; `live` runs one real kernel per host
+//!   thread, so virtual-time facts become host-time facts and the
+//!   artifacts carry a `"backend": "live"` tag for the perf gate.
 //! * `--check` / `HAL_CHECK=1` — run the `hal-check` protocol invariant
 //!   checker over every recorded run. Bins opt their machines into the
-//!   flight recorder with `.trace_if(out::trace_wanted())`; [`finish`]
+//!   flight recorder via `.observe(out::observe_opts())`; [`finish`]
 //!   then writes `results/CHECK_<bin>.json` and **exits nonzero** on any
 //!   violation.
 //! * `--spans` / `HAL_SPANS=1` — reconstruct message-lifecycle spans
@@ -24,10 +29,10 @@
 //!   makespan, and write `results/SPANS_<bin>.json`. Implies tracing
 //!   via [`trace_wanted`].
 //! * `--metrics` / `HAL_METRICS=1` — enable the live metrics registry
-//!   ([`hal_kernel::metrics`], via `.metrics_if(out::metrics_enabled())`)
-//!   and write `results/METRICS_<bin>.json`.
+//!   ([`hal_kernel::metrics`], folded into [`observe_opts`]) and write
+//!   `results/METRICS_<bin>.json`.
 //! * `--prof` / `HAL_PROF=1` — enable the host-time executor profiler
-//!   ([`hal_kernel::prof`], via `.prof_if(out::prof_enabled())`) and
+//!   ([`hal_kernel::prof`], folded into [`observe_opts`]) and
 //!   write `results/PROF_<bin>.json` plus a Chrome-trace host timeline
 //!   `results/PROF_<bin>_hosttrace.json` (one track per shard thread).
 //!   Host-time facts live only in these two artifacts — unlike every
@@ -42,7 +47,7 @@
 
 use hal_check::CheckReport;
 use hal_kernel::span::SpanReport;
-use hal_kernel::{Selector, SimReport};
+use hal_kernel::{BackendKind, ObserveOpts, Selector, SimReport};
 use hal_profile::critical_paths;
 use std::io::Write;
 use std::sync::Mutex;
@@ -130,6 +135,36 @@ fn parse_parallelism(v: &str) -> usize {
         .unwrap_or_else(|_| panic!("bad parallelism {v:?}: expected a thread count or \"auto\""))
 }
 
+/// Which backend this process's machines run on: `--backend=sim|live`
+/// on the command line, else the `HAL_BACKEND` environment variable,
+/// else the deterministic simulator. Bins pass this to
+/// [`hal_kernel::MachineConfigBuilder::backend`]; under `live` the
+/// virtual-time facts in every artifact are host-time facts and carry a
+/// `"backend": "live"` tag so downstream tooling (the perf gate) knows
+/// not to expect determinism.
+pub fn backend() -> BackendKind {
+    for arg in std::env::args().skip(1) {
+        if let Some(v) = arg.strip_prefix("--backend=") {
+            return v.parse().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+    match std::env::var("HAL_BACKEND") {
+        Ok(v) => v.parse().unwrap_or_else(|e| panic!("{e}")),
+        Err(_) => BackendKind::Sim,
+    }
+}
+
+/// The observability options implied by this process's switches — what
+/// bins feed to [`hal_kernel::MachineConfigBuilder::observe`]: flight
+/// recording when the checker or span pass needs it, metrics under
+/// `--metrics`, host profiling under `--prof`.
+pub fn observe_opts() -> ObserveOpts {
+    ObserveOpts::none()
+        .trace(trace_wanted())
+        .metrics(metrics_enabled())
+        .prof(prof_enabled())
+}
+
 /// True when the bin should shrink its problem sizes to finish in
 /// seconds: `--quick` on the command line or `HAL_QUICK` set.
 pub fn quick() -> bool {
@@ -137,9 +172,9 @@ pub fn quick() -> bool {
 }
 
 /// True when the protocol checker should run over every recorded run:
-/// `--check` on the command line or `HAL_CHECK` set. Bins pass this to
-/// [`hal_kernel::MachineConfigBuilder::trace_if`] so the trace pass has
-/// events to look at; the audit pass works either way.
+/// `--check` on the command line or `HAL_CHECK` set. Folded into
+/// [`observe_opts`] (via [`trace_wanted`]) so the trace pass has events
+/// to look at; the audit pass works either way.
 pub fn check_enabled() -> bool {
     std::env::args().skip(1).any(|a| a == "--check") || std::env::var("HAL_CHECK").is_ok()
 }
@@ -152,21 +187,21 @@ pub fn spans_enabled() -> bool {
 }
 
 /// True when the live metrics registry should be enabled: `--metrics`
-/// on the command line or `HAL_METRICS` set. Bins pass this to
-/// [`hal_kernel::MachineConfigBuilder::metrics_if`].
+/// on the command line or `HAL_METRICS` set. Folded into
+/// [`observe_opts`].
 pub fn metrics_enabled() -> bool {
     std::env::args().skip(1).any(|a| a == "--metrics") || std::env::var("HAL_METRICS").is_ok()
 }
 
 /// True when the host-time executor profiler should be enabled:
-/// `--prof` on the command line or `HAL_PROF` set. Bins pass this to
-/// [`hal_kernel::MachineConfigBuilder::prof_if`].
+/// `--prof` on the command line or `HAL_PROF` set. Folded into
+/// [`observe_opts`].
 pub fn prof_enabled() -> bool {
     std::env::args().skip(1).any(|a| a == "--prof") || std::env::var("HAL_PROF").is_ok()
 }
 
-/// True when the flight recorder is needed by any enabled pass — what
-/// bins feed to [`hal_kernel::MachineConfigBuilder::trace_if`].
+/// True when the flight recorder is needed by any enabled pass — folded
+/// into [`observe_opts`].
 pub fn trace_wanted() -> bool {
     check_enabled() || spans_enabled()
 }
@@ -352,8 +387,9 @@ pub fn finish(bin: &str) {
         ));
     }
     let json = format!(
-        "{{\n  \"bench\": \"{}\",\n  \"parallelism\": {},\n  \"runs\": [\n{}\n  ],\n  \"total_events\": {},\n  \"total_wall_ns\": {},\n  \"total_events_per_sec\": {:.0}\n}}\n",
+        "{{\n  \"bench\": \"{}\",\n  \"backend\": \"{}\",\n  \"parallelism\": {},\n  \"runs\": [\n{}\n  ],\n  \"total_events\": {},\n  \"total_wall_ns\": {},\n  \"total_events_per_sec\": {:.0}\n}}\n",
         json_escape(bin),
+        backend(),
         parallelism(),
         body,
         total_events,

@@ -7,6 +7,7 @@
 //! parallel executor.
 
 use hal::prelude::*;
+use hal_kernel::{KernelEvent, LinkOutage, SimMachine};
 use hal_check::{CheckReport, ViolationKind};
 use hal_des::VirtualTime;
 use hal_kernel::kernel::Ctx;

@@ -7,6 +7,7 @@
 //! help
 //! nodes <P>                      configure the partition size
 //! seed <S>                       configure the machine seed
+//! backend sim|live               pick the execution backend
 //! lb on|off                      toggle dynamic load balancing
 //! programs                       list loadable programs
 //! run <prog> [k=v ...] [& <prog> [k=v ...] ...]
@@ -22,6 +23,7 @@
 //! quit
 //! ```
 
+use hal_kernel::BackendKind;
 use std::collections::BTreeMap;
 
 /// One program invocation: name plus `key=value` arguments.
@@ -62,6 +64,8 @@ pub enum Command {
     Nodes(usize),
     /// Set the machine seed.
     Seed(u64),
+    /// Pick the execution backend for subsequent runs.
+    Backend(BackendKind),
     /// Toggle load balancing.
     LoadBalancing(bool),
     /// List the program catalog.
@@ -140,6 +144,13 @@ pub fn parse(line: &str) -> Result<Command, String> {
                 .map_err(|_| "seed takes an integer".to_string())?;
             Ok(Command::Seed(s))
         }
+        "backend" => match words.next() {
+            Some(kind) => kind
+                .parse()
+                .map(Command::Backend)
+                .map_err(|_| "usage: backend sim|live".to_string()),
+            None => Err("usage: backend sim|live".into()),
+        },
         "lb" => match words.next() {
             Some("on") => Ok(Command::LoadBalancing(true)),
             Some("off") => Ok(Command::LoadBalancing(false)),
@@ -186,6 +197,8 @@ mod tests {
         assert_eq!(parse("nodes 16").unwrap(), Command::Nodes(16));
         assert_eq!(parse("gc").unwrap(), Command::Gc);
         assert_eq!(parse("seed 42").unwrap(), Command::Seed(42));
+        assert_eq!(parse("backend live").unwrap(), Command::Backend(BackendKind::Live));
+        assert_eq!(parse("backend sim").unwrap(), Command::Backend(BackendKind::Sim));
         assert_eq!(parse("lb on").unwrap(), Command::LoadBalancing(true));
         assert_eq!(parse("trace on").unwrap(), Command::Trace(true));
         assert_eq!(parse("trace off").unwrap(), Command::Trace(false));
@@ -235,6 +248,8 @@ mod tests {
         assert!(parse("nodes 0").is_err());
         assert!(parse("run fib n").is_err());
         assert!(parse("lb maybe").is_err());
+        assert!(parse("backend warp").is_err());
+        assert!(parse("backend").is_err());
         assert!(parse("trace maybe").is_err());
         assert!(parse("metrics maybe").is_err());
         assert!(parse("prof maybe").is_err());

@@ -2,6 +2,7 @@
 
 use crate::command::{parse, Command, ProgramSpec};
 use hal::prelude::*;
+use hal_kernel::SimMachine;
 use hal_workloads::{cholesky, fib, matmul, uts};
 use std::fmt::Write as _;
 
@@ -10,6 +11,7 @@ use std::fmt::Write as _;
 pub struct Console {
     nodes: usize,
     seed: u64,
+    backend: BackendKind,
     lb: bool,
     trace: bool,
     metrics: bool,
@@ -24,6 +26,7 @@ impl Default for Console {
         Console {
             nodes: 8,
             seed: 0x5EED,
+            backend: BackendKind::Sim,
             lb: false,
             trace: false,
             metrics: false,
@@ -98,6 +101,10 @@ impl Console {
             Command::Seed(s) => {
                 self.seed = s;
                 format!("seed = {s}")
+            }
+            Command::Backend(kind) => {
+                self.backend = kind;
+                format!("backend = {kind}")
             }
             Command::LoadBalancing(on) => {
                 self.lb = on;
@@ -282,40 +289,63 @@ impl Console {
             boots.push(boot);
         }
 
-        let mut builder = MachineConfig::builder(self.nodes)
+        let machine = match MachineConfig::builder(self.nodes)
             .seed(self.seed)
-            .load_balancing(self.lb);
-        if self.trace {
-            builder = builder.trace();
-        }
-        if self.metrics {
-            builder = builder.metrics();
-        }
-        if self.prof {
-            builder = builder.prof();
-        }
-        let machine = match builder.build() {
+            .load_balancing(self.lb)
+            .backend(self.backend)
+            .observe(
+                ObserveOpts::none()
+                    .trace(self.trace)
+                    .metrics(self.metrics)
+                    .prof(self.prof),
+            )
+            .build()
+        {
             Ok(cfg) => cfg,
             Err(e) => return format!("error: {e}"),
         };
-        let mut m = SimMachine::new(machine, program.build());
-        m.with_ctx(0, |ctx| {
-            // Concurrent programs must not stop the machine: it drains
-            // naturally once all of them are done.
-            for boot in &boots {
-                match boot {
-                    Boot::Fib(cfg) => fib::bootstrap_opts(ctx, fib_id, *cfg, false),
-                    Boot::Uts(cfg) => uts::bootstrap_opts(ctx, uts_id, *cfg, false),
-                    Boot::Mm(cfg) => matmul::bootstrap_opts(ctx, mm_id, *cfg, false, false),
-                    Boot::Ch(cfg) => cholesky::bootstrap_opts(ctx, ch_id, *cfg, false, false),
-                }
+        let report = if self.backend == BackendKind::Live {
+            // The live runtime has no global quiescence detection — it
+            // stops when a program says stop — so the console runs one
+            // program at a time on it, with a stopping bootstrap.
+            if boots.len() > 1 {
+                return "error: the live backend runs one program per `run` \
+                        (the simulator multiplexes; try `backend sim`)"
+                    .into();
             }
-        });
-        let report = match m.run() {
-            Ok(r) => r,
-            Err(e) => return format!("error: {e}"),
+            let mut m = Machine::live(machine, program.build());
+            m.with_ctx(0, |ctx| match &boots[0] {
+                Boot::Fib(cfg) => fib::bootstrap_opts(ctx, fib_id, *cfg, true),
+                Boot::Uts(cfg) => uts::bootstrap_opts(ctx, uts_id, *cfg, true),
+                Boot::Mm(cfg) => matmul::bootstrap_opts(ctx, mm_id, *cfg, false, true),
+                Boot::Ch(cfg) => cholesky::bootstrap_opts(ctx, ch_id, *cfg, false, true),
+            });
+            self.machine = None;
+            match m.run() {
+                Ok(r) => r,
+                Err(e) => return format!("error: {e}"),
+            }
+        } else {
+            let mut m = SimMachine::new(machine, program.build());
+            m.with_ctx(0, |ctx| {
+                // Concurrent programs must not stop the machine: it
+                // drains naturally once all of them are done.
+                for boot in &boots {
+                    match boot {
+                        Boot::Fib(cfg) => fib::bootstrap_opts(ctx, fib_id, *cfg, false),
+                        Boot::Uts(cfg) => uts::bootstrap_opts(ctx, uts_id, *cfg, false),
+                        Boot::Mm(cfg) => matmul::bootstrap_opts(ctx, mm_id, *cfg, false, false),
+                        Boot::Ch(cfg) => cholesky::bootstrap_opts(ctx, ch_id, *cfg, false, false),
+                    }
+                }
+            });
+            let report = match m.run() {
+                Ok(r) => r,
+                Err(e) => return format!("error: {e}"),
+            };
+            self.machine = Some(m);
+            report
         };
-        self.machine = Some(m);
 
         // "The front-end processes all I/O requests from the kernels":
         // print every reported value.
@@ -347,6 +377,7 @@ commands:
   help                      this text
   nodes <P>                 set partition size (default 8)
   seed <S>                  set machine seed
+  backend sim|live          execution backend (default sim)
   lb on|off                 dynamic load balancing (default off)
   programs                  list loadable programs
   run <prog> [k=v ...]      run a program on a fresh partition
@@ -392,6 +423,23 @@ mod tests {
         let out = c.execute("run fib n=12 grain=4 & uts seed=3");
         assert!(out.contains("fib = 144"), "{out}");
         assert!(out.contains("uts_size = "), "{out}");
+    }
+
+    #[test]
+    fn live_backend_runs_one_program() {
+        let mut c = Console::new();
+        c.execute("nodes 2");
+        assert!(c.execute("backend live").contains("live"));
+        let out = c.execute("run fib n=12 grain=4");
+        assert!(out.contains("fib = 144"), "{out}");
+        // Concurrent programs need the simulator's quiescence drain.
+        let out = c.execute("run fib n=10 grain=3 & uts seed=3");
+        assert!(out.starts_with("error:"), "{out}");
+        // gc needs the simulated machine.
+        assert!(c.execute("gc").contains("no partition"));
+        assert!(c.execute("backend sim").contains("sim"));
+        let out = c.execute("run fib n=10 grain=3 & uts seed=3");
+        assert!(out.contains("fib = 55"), "{out}");
     }
 
     #[test]

@@ -16,11 +16,19 @@
 //! kernels' "I/O requests"). `hal-console` is the interactive binary;
 //! [`Console::execute`] drives the same interpreter from scripts and
 //! tests.
+//!
+//! [`serve`] is the front-end's other face: an open-loop load generator
+//! (`hal-serve`) that offers requests to a multi-node actor pipeline at
+//! a configured rate — on the deterministic simulator or on the live
+//! thread backend — and reports p50/p99/p999 latency against a declared
+//! SLO in `results/SERVE_<scenario>.json`.
 
 #![warn(missing_docs)]
 
 pub mod command;
 pub mod console;
+pub mod serve;
 
 pub use command::{Command, ProgramSpec};
 pub use console::Console;
+pub use serve::{LatencyHist, ServeConfig, ServeOutcome, Slo};

@@ -1,0 +1,722 @@
+//! The open-loop load generator: `hal-serve`'s engine.
+//!
+//! The paper's front-end "processes all I/O requests from the kernels";
+//! this module turns that front-end into a *server harness*: requests
+//! arrive at a configured rate (open loop — arrivals never wait for
+//! completions, so queueing delay is measured, not hidden), flow down a
+//! multi-node actor pipeline, and the sink records each request's
+//! end-to-end latency in an HDR-style histogram. The harness then
+//! reports p50/p99/p999 against a declared SLO in
+//! `results/SERVE_<scenario>.json`.
+//!
+//! Both [`hal_kernel::Backend`]s are supported and measure the same
+//! pipeline:
+//!
+//! * **simulated** — a `LoadGen` actor paces arrivals on the virtual
+//!   clock (`charge(period)` between sends), so the whole run is
+//!   deterministic and the "latencies" are virtual nanoseconds;
+//! * **live** — the harness thread submits one [`hal_kernel::Job`] per
+//!   request at its scheduled host instant. A request's latency is
+//!   charged from its *scheduled* arrival time, not from when the job
+//!   actually ran, so a backed-up runtime cannot hide queueing delay
+//!   (no coordinated omission).
+//!
+//! Termination uses the pipeline's own FIFO ordering: after the last
+//! request the generator sends `Flush` down the same links; each link
+//! delivers in order, so `Flush` reaches the sink after every request,
+//! and the sink reports its histogram and stops the machine.
+
+use hal::messages;
+use hal::prelude::*;
+use hal_des::VirtualDuration;
+use hal_kernel::{Bytes, NodeId};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+messages! {
+    /// The serve pipeline protocol.
+    pub enum ServeMsg {
+        /// One request: opaque id plus its (scheduled) send time.
+        Req { id: i64, sent_at_ns: i64 } = 0,
+        /// End-of-load marker; follows every `Req` on each link.
+        Flush {} = 1,
+        /// Simulated backend only: the `LoadGen` actor's pacing tick.
+        Tick {} = 2,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+// ---------------------------------------------------------------------------
+
+/// Sub-bucket resolution: each power-of-two major bucket is split into
+/// `2^MINOR_BITS` linear minor buckets, bounding the relative
+/// quantization error at `2^-MINOR_BITS` (6.25%).
+const MINOR_BITS: u32 = 4;
+const MINORS: usize = 1 << MINOR_BITS;
+const BUCKETS: usize = (64 - MINOR_BITS as usize + 1) * MINORS;
+
+/// An HDR-style log2-major × linear-minor latency histogram.
+///
+/// Values are nanoseconds; memory is a flat `u64` array (~8 KiB), so
+/// recording is one index computation and one increment — cheap enough
+/// for the sink actor's hot path on the live backend.
+pub struct LatencyHist {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHist {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(ns: u64) -> usize {
+        if ns < MINORS as u64 {
+            return ns as usize;
+        }
+        let exp = 63 - u64::from(ns.leading_zeros());
+        let minor = ((ns >> (exp - u64::from(MINOR_BITS))) as usize) - MINORS;
+        ((exp - u64::from(MINOR_BITS) + 1) as usize) * MINORS + minor
+    }
+
+    /// Upper bound (exclusive) of bucket `i` — the conservative value a
+    /// percentile falling in this bucket reports.
+    fn bucket_upper(i: usize) -> u64 {
+        if i < MINORS {
+            return i as u64 + 1;
+        }
+        let exp = (i / MINORS) as u32 + MINOR_BITS - 1;
+        let minor = (i % MINORS) as u64;
+        (MINORS as u64 + minor + 1) << (exp - MINOR_BITS)
+    }
+
+    /// Record one latency sample.
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::index(ns)] += 1;
+        self.count += 1;
+        self.sum += u128::from(ns);
+        self.min = self.min.min(ns);
+        self.max = self.max.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded samples (exact, from the running sum).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the upper
+    /// bound of the bucket containing that rank (so the estimate never
+    /// understates the true percentile by more than the bucket width).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serialize the nonzero buckets as little-endian
+    /// `(u32 index, u64 count)` pairs — the sink actor ships this
+    /// through a single `Value::Bytes` report.
+    pub fn to_pairs(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c > 0 {
+                out.extend_from_slice(&(i as u32).to_le_bytes());
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Rebuild a histogram from [`Self::to_pairs`] bytes plus the
+    /// summary stats the buckets alone cannot carry exactly.
+    pub fn from_pairs(pairs: &[u8], sum: u128, min: u64, max: u64) -> Self {
+        let mut h = LatencyHist::new();
+        for chunk in pairs.chunks_exact(12) {
+            let i = u32::from_le_bytes(chunk[..4].try_into().expect("u32")) as usize;
+            let c = u64::from_le_bytes(chunk[4..].try_into().expect("u64"));
+            h.buckets[i] += c;
+            h.count += c;
+        }
+        h.sum = sum;
+        h.min = min;
+        h.max = max;
+        h
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline actors
+// ---------------------------------------------------------------------------
+
+struct StageActor {
+    next: MailAddr,
+    cost_ns: u64,
+}
+
+impl Behavior for StageActor {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match ServeMsg::take(msg) {
+            ServeMsg::Req { id, sent_at_ns } => {
+                ctx.charge(VirtualDuration::from_nanos(self.cost_ns));
+                let (sel, args) = ServeMsg::Req { id, sent_at_ns }.encode();
+                ctx.send(self.next, sel, args);
+            }
+            ServeMsg::Flush {} => {
+                let (sel, args) = ServeMsg::Flush {}.encode();
+                ctx.send(self.next, sel, args);
+            }
+            ServeMsg::Tick {} => unreachable!("stages never receive Tick"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "serve_stage"
+    }
+}
+
+fn make_stage(args: &[Value]) -> Box<dyn Behavior> {
+    Box::new(StageActor {
+        next: args[0].as_addr(),
+        cost_ns: args[1].as_int() as u64,
+    })
+}
+
+struct SinkActor {
+    hist: LatencyHist,
+}
+
+impl Behavior for SinkActor {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match ServeMsg::take(msg) {
+            ServeMsg::Req { id: _, sent_at_ns } => {
+                let now = ctx.now().as_nanos() as i64;
+                self.hist.record(now.saturating_sub(sent_at_ns).max(0) as u64);
+            }
+            ServeMsg::Flush {} => {
+                ctx.report("serve_count", Value::Int(self.hist.count() as i64));
+                ctx.report("serve_sum_ns", Value::Int(self.hist.sum as i64));
+                ctx.report("serve_min_ns", Value::Int(self.hist.min() as i64));
+                ctx.report("serve_max_ns", Value::Int(self.hist.max() as i64));
+                ctx.report("serve_hist", Value::Bytes(Bytes::from(self.hist.to_pairs())));
+                ctx.stop();
+            }
+            ServeMsg::Tick {} => unreachable!("the sink never receives Tick"),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "serve_sink"
+    }
+}
+
+fn make_sink(_args: &[Value]) -> Box<dyn Behavior> {
+    Box::new(SinkActor {
+        hist: LatencyHist::new(),
+    })
+}
+
+/// Simulated backend only: paces the open-loop arrival process on the
+/// virtual clock. Each tick sends one request stamped with the actual
+/// virtual send time, charges one inter-arrival period, and re-arms
+/// itself; arrivals therefore never wait on the pipeline.
+struct LoadGen {
+    next: MailAddr,
+    total: u64,
+    period_ns: u64,
+    sent: u64,
+}
+
+impl Behavior for LoadGen {
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let ServeMsg::Tick {} = ServeMsg::take(msg) else {
+            unreachable!("LoadGen only receives Tick");
+        };
+        if self.sent < self.total {
+            let (sel, args) = ServeMsg::Req {
+                id: self.sent as i64,
+                sent_at_ns: ctx.now().as_nanos() as i64,
+            }
+            .encode();
+            ctx.send(self.next, sel, args);
+            self.sent += 1;
+            ctx.charge(VirtualDuration::from_nanos(self.period_ns));
+            let me = ctx.me();
+            let (sel, args) = ServeMsg::Tick {}.encode();
+            ctx.send(me, sel, args);
+        } else {
+            let (sel, args) = ServeMsg::Flush {}.encode();
+            ctx.send(self.next, sel, args);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "serve_loadgen"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario + harness
+// ---------------------------------------------------------------------------
+
+/// Latency SLO: the declared bound each reported percentile is gated
+/// against (milliseconds).
+#[derive(Clone, Copy, Debug)]
+pub struct Slo {
+    /// Median bound.
+    pub p50_ms: f64,
+    /// 99th-percentile bound.
+    pub p99_ms: f64,
+    /// 99.9th-percentile bound.
+    pub p999_ms: f64,
+}
+
+impl Default for Slo {
+    fn default() -> Self {
+        Slo {
+            p50_ms: 20.0,
+            p99_ms: 50.0,
+            p999_ms: 100.0,
+        }
+    }
+}
+
+/// One load-generation scenario.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Name — becomes `results/SERVE_<scenario>.json`.
+    pub scenario: String,
+    /// Which backend runs the pipeline.
+    pub backend: BackendKind,
+    /// Partition size.
+    pub nodes: usize,
+    /// Pipeline depth (stage actors between generator and sink); stage
+    /// `i` lives on node `i % nodes`, the sink on node 0, so any
+    /// `stages >= 1` on `nodes >= 2` exercises remote links.
+    pub stages: usize,
+    /// Offered load, requests per second.
+    pub rate_rps: f64,
+    /// Total requests to offer.
+    pub requests: u64,
+    /// Virtual compute charged per stage per request.
+    pub stage_cost_ns: u64,
+    /// Machine seed.
+    pub seed: u64,
+    /// Declared latency SLO.
+    pub slo: Slo,
+    /// Record a flight-recorder trace and run the protocol checker on
+    /// the report.
+    pub check: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            scenario: "pipeline".into(),
+            backend: BackendKind::Sim,
+            nodes: 4,
+            stages: 3,
+            rate_rps: 500.0,
+            requests: 1000,
+            stage_cost_ns: 50_000,
+            seed: 0x5EED,
+            slo: Slo::default(),
+            check: false,
+        }
+    }
+}
+
+/// The harvested outcome of one scenario run.
+pub struct ServeOutcome {
+    /// The scenario that ran.
+    pub cfg: ServeConfig,
+    /// Requests that reached the sink.
+    pub completed: u64,
+    /// End-to-end latency distribution.
+    pub hist: LatencyHist,
+    /// Makespan: virtual ns (simulated) or host ns (live).
+    pub wall_ns: u64,
+    /// Live backend: sends that hit a full bounded channel.
+    pub backpressure_hits: u64,
+    /// Protocol checker verdict, when [`ServeConfig::check`] was set.
+    pub check_clean: Option<bool>,
+    /// The machine's full report.
+    pub report: SimReport,
+}
+
+impl ServeOutcome {
+    /// True when every reported percentile is within the declared SLO.
+    pub fn slo_pass(&self) -> bool {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        ms(self.hist.quantile(0.50)) <= self.cfg.slo.p50_ms
+            && ms(self.hist.quantile(0.99)) <= self.cfg.slo.p99_ms
+            && ms(self.hist.quantile(0.999)) <= self.cfg.slo.p999_ms
+    }
+
+    /// Throughput actually sustained (completions over makespan).
+    pub fn achieved_rps(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.completed as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+
+    /// Render the `SERVE_<scenario>.json` document.
+    pub fn to_json(&self) -> String {
+        let q = |p: f64| self.hist.quantile(p);
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"scenario\": \"{}\",", self.cfg.scenario);
+        let _ = writeln!(s, "  \"backend\": \"{}\",", self.cfg.backend);
+        let _ = writeln!(s, "  \"nodes\": {},", self.cfg.nodes);
+        let _ = writeln!(s, "  \"stages\": {},", self.cfg.stages);
+        let _ = writeln!(s, "  \"requests\": {},", self.cfg.requests);
+        let _ = writeln!(s, "  \"completed\": {},", self.completed);
+        let _ = writeln!(s, "  \"offered_rps\": {:.1},", self.cfg.rate_rps);
+        let _ = writeln!(s, "  \"achieved_rps\": {:.1},", self.achieved_rps());
+        let _ = writeln!(s, "  \"wall_ns\": {},", self.wall_ns);
+        let _ = writeln!(s, "  \"latency_ns\": {{");
+        let _ = writeln!(s, "    \"min\": {},", self.hist.min());
+        let _ = writeln!(s, "    \"mean\": {:.0},", self.hist.mean());
+        let _ = writeln!(s, "    \"p50\": {},", q(0.50));
+        let _ = writeln!(s, "    \"p90\": {},", q(0.90));
+        let _ = writeln!(s, "    \"p99\": {},", q(0.99));
+        let _ = writeln!(s, "    \"p999\": {},", q(0.999));
+        let _ = writeln!(s, "    \"max\": {}", self.hist.max());
+        let _ = writeln!(s, "  }},");
+        let _ = writeln!(
+            s,
+            "  \"slo_ms\": {{ \"p50\": {}, \"p99\": {}, \"p999\": {} }},",
+            self.cfg.slo.p50_ms, self.cfg.slo.p99_ms, self.cfg.slo.p999_ms
+        );
+        let _ = writeln!(s, "  \"slo_pass\": {},", self.slo_pass());
+        let _ = writeln!(s, "  \"backpressure_hits\": {},", self.backpressure_hits);
+        let _ = writeln!(
+            s,
+            "  \"check\": {}",
+            match self.check_clean {
+                None => "null".into(),
+                Some(c) => format!("\"{}\"", if c { "CLEAN" } else { "VIOLATIONS" }),
+            }
+        );
+        s.push_str("}\n");
+        s
+    }
+
+    /// One-line human summary for the console.
+    pub fn summary(&self) -> String {
+        let ms = |p: f64| self.hist.quantile(p) as f64 / 1e6;
+        format!(
+            "{} [{}] {}/{} req @ {:.0}/s offered, {:.0}/s achieved | \
+             p50 {:.2} ms p99 {:.2} ms p999 {:.2} ms | SLO {}",
+            self.cfg.scenario,
+            self.cfg.backend,
+            self.completed,
+            self.cfg.requests,
+            self.cfg.rate_rps,
+            self.achieved_rps(),
+            ms(0.50),
+            ms(0.99),
+            ms(0.999),
+            if self.slo_pass() { "PASS" } else { "FAIL" },
+        )
+    }
+}
+
+/// Run one scenario to completion and harvest its latency distribution.
+///
+/// # Panics
+/// Panics on invalid configuration (zero rate, zero requests) — the
+/// `hal-serve` bin validates its flags first.
+pub fn run(cfg: ServeConfig) -> Result<ServeOutcome, MachineError> {
+    assert!(cfg.rate_rps > 0.0, "rate must be positive");
+    assert!(cfg.requests > 0, "need at least one request");
+    assert!(cfg.stages >= 1, "need at least one stage");
+    let period_ns = (1e9 / cfg.rate_rps) as u64;
+
+    let mut program = Program::new();
+    let stage_id = program.behavior("serve_stage", make_stage);
+    let sink_id = program.behavior("serve_sink", make_sink);
+
+    let machine_cfg = MachineConfig::builder(cfg.nodes)
+        .seed(cfg.seed)
+        .backend(cfg.backend)
+        .observe(ObserveOpts::none().trace(cfg.check))
+        .build()
+        .expect("serve config is sim/live-valid");
+    let mut m = Machine::from_config(machine_cfg, program.build());
+
+    // Build the pipeline back to front so every stage knows its
+    // successor's address at creation time. Stage i sits on node
+    // i % nodes; the sink reports and stops from node 0.
+    let backend = cfg.backend;
+    let (total, rate_period) = (cfg.requests, period_ns);
+    let first = m.with_ctx(0, |ctx| {
+        let mut next = ctx.create_on(0, sink_id, vec![]);
+        for s in (1..=cfg.stages).rev() {
+            let node = (s % cfg.nodes) as NodeId;
+            next = ctx.create_on(
+                node,
+                stage_id,
+                vec![Value::Addr(next), Value::Int(cfg.stage_cost_ns as i64)],
+            );
+        }
+        if backend == BackendKind::Sim {
+            let lg = ctx.create_local(Box::new(LoadGen {
+                next,
+                total,
+                period_ns: rate_period,
+                sent: 0,
+            }));
+            let (sel, args) = ServeMsg::Tick {}.encode();
+            ctx.send(lg, sel, args);
+        }
+        next
+    });
+
+    let report = match backend {
+        BackendKind::Sim => m.run()?,
+        BackendKind::Live => {
+            m.init()?;
+            let start = Instant::now();
+            for i in 0..cfg.requests {
+                let target = start + Duration::from_nanos(i * period_ns);
+                let now = Instant::now();
+                if target > now {
+                    std::thread::sleep(target - now);
+                }
+                m.submit(
+                    0,
+                    Box::new(move |ctx: &mut Ctx<'_>| {
+                        // Charge latency from the *scheduled* arrival:
+                        // job-queue wait counts against the runtime.
+                        let late = target.elapsed().as_nanos() as u64;
+                        let sent_at = ctx.now().as_nanos().saturating_sub(late);
+                        let (sel, args) = ServeMsg::Req {
+                            id: i as i64,
+                            sent_at_ns: sent_at as i64,
+                        }
+                        .encode();
+                        ctx.send(first, sel, args);
+                    }),
+                )?;
+            }
+            m.submit(
+                0,
+                Box::new(move |ctx: &mut Ctx<'_>| {
+                    let (sel, args) = ServeMsg::Flush {}.encode();
+                    ctx.send(first, sel, args);
+                }),
+            )?;
+            // Generous wall budget: the load itself took requests/rate
+            // seconds; allow that again plus slack for the drain.
+            let load_secs = cfg.requests as f64 / cfg.rate_rps;
+            m.drain(Duration::from_secs_f64(load_secs + 30.0))?
+        }
+    };
+
+    let completed = report.value("serve_count").map(|v| v.as_int() as u64).unwrap_or(0);
+    let hist = match report.value("serve_hist") {
+        Some(v) => LatencyHist::from_pairs(
+            v.as_bytes().as_slice(),
+            report.value("serve_sum_ns").map(|v| v.as_int() as u128).unwrap_or(0),
+            report.value("serve_min_ns").map(|v| v.as_int() as u64).unwrap_or(0),
+            report.value("serve_max_ns").map(|v| v.as_int() as u64).unwrap_or(0),
+        ),
+        None => LatencyHist::new(),
+    };
+    let check_clean = cfg.check.then(|| {
+        let mut cr = hal_check::CheckReport::new("serve");
+        hal_check::check_sim_report(&cfg.scenario, &report, &mut cr);
+        eprintln!("{}", cr.summary().trim_end());
+        cr.is_clean()
+    });
+
+    Ok(ServeOutcome {
+        completed,
+        hist,
+        wall_ns: report.makespan.as_nanos(),
+        backpressure_hits: report.stats.get("threadnet.backpressure_hits"),
+        check_clean,
+        report,
+        cfg,
+    })
+}
+
+/// Sanity-check a written `SERVE_*.json`: parses, carries the full
+/// percentile ladder, and the ladder is monotone (p50 ≤ p99 ≤ p999 ≤
+/// max). Returns a human-readable error otherwise.
+pub fn verify_artifact(body: &str) -> Result<(), String> {
+    let doc = hal_perf::Json::parse(body)?;
+    let lat = doc.get("latency_ns").ok_or("missing latency_ns object")?;
+    let field = |k: &str| -> Result<f64, String> {
+        lat.get(k)
+            .and_then(|v| v.as_f64())
+            .ok_or_else(|| format!("missing latency_ns.{k}"))
+    };
+    let (p50, p99, p999, max) = (field("p50")?, field("p99")?, field("p999")?, field("max")?);
+    if !(p50 <= p99 && p99 <= p999 && p999 <= max) {
+        return Err(format!(
+            "percentiles not monotone: p50={p50} p99={p99} p999={p999} max={max}"
+        ));
+    }
+    let completed = doc
+        .get("completed")
+        .and_then(|v| v.as_f64())
+        .ok_or("missing completed")?;
+    let requests = doc
+        .get("requests")
+        .and_then(|v| v.as_f64())
+        .ok_or("missing requests")?;
+    if completed > requests {
+        return Err(format!("completed {completed} exceeds offered {requests}"));
+    }
+    if doc.get("slo_pass").is_none() {
+        return Err("missing slo_pass".into());
+    }
+    Ok(())
+}
+
+/// Convenience: the artifact path for a scenario.
+pub fn artifact_path(scenario: &str) -> std::path::PathBuf {
+    std::path::Path::new("results").join(format!("SERVE_{scenario}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_index_roundtrips_monotonically() {
+        let mut last = 0;
+        for ns in [0u64, 1, 7, 8, 15, 16, 17, 100, 1_000, 65_535, 1 << 20, u64::MAX >> 1] {
+            let i = LatencyHist::index(ns);
+            assert!(i >= last || ns < MINORS as u64, "index must not regress");
+            assert!(LatencyHist::bucket_upper(i) > ns, "upper bound covers {ns}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn hist_quantiles_are_ordered_and_bounded() {
+        let mut h = LatencyHist::new();
+        for i in 1..=1000u64 {
+            h.record(i * 1000);
+        }
+        let (p50, p99, p999) = (h.quantile(0.5), h.quantile(0.99), h.quantile(0.999));
+        assert!(p50 <= p99 && p99 <= p999, "{p50} {p99} {p999}");
+        assert!(p999 <= h.max());
+        // 6.25% bucket resolution around the true medians.
+        assert!((450_000..=560_000).contains(&p50), "{p50}");
+    }
+
+    #[test]
+    fn hist_pairs_roundtrip() {
+        let mut h = LatencyHist::new();
+        for ns in [3u64, 900, 65_000, 12_000_000] {
+            h.record(ns);
+        }
+        let r = LatencyHist::from_pairs(&h.to_pairs(), h.sum, h.min(), h.max());
+        assert_eq!(r.count(), 4);
+        assert_eq!(r.quantile(0.5), h.quantile(0.5));
+        assert_eq!(r.max(), 12_000_000);
+    }
+
+    #[test]
+    fn sim_serve_completes_all_requests_deterministically() {
+        let cfg = ServeConfig {
+            requests: 200,
+            rate_rps: 100_000.0,
+            check: true,
+            ..ServeConfig::default()
+        };
+        let a = run(cfg.clone()).expect("serve runs");
+        let b = run(cfg).expect("serve runs");
+        assert_eq!(a.completed, 200);
+        assert_eq!(a.check_clean, Some(true));
+        assert_eq!(a.wall_ns, b.wall_ns, "simulated serve is deterministic");
+        assert_eq!(a.hist.quantile(0.99), b.hist.quantile(0.99));
+        // Latency includes at least the pipeline's compute.
+        assert!(a.hist.min() >= u64::from(3u32) * 50_000 / 2);
+    }
+
+    #[test]
+    fn live_serve_completes_under_light_load() {
+        let cfg = ServeConfig {
+            backend: BackendKind::Live,
+            nodes: 2,
+            stages: 2,
+            requests: 50,
+            rate_rps: 2_000.0,
+            stage_cost_ns: 1_000,
+            check: true,
+            ..ServeConfig::default()
+        };
+        let out = run(cfg).expect("live serve runs");
+        assert_eq!(out.completed, 50, "reliable layer delivers every request");
+        assert_eq!(out.check_clean, Some(true));
+        assert!(out.hist.max() > 0, "live latencies are real host time");
+    }
+
+    #[test]
+    fn artifact_verifies_and_rejects_nonsense() {
+        let cfg = ServeConfig {
+            requests: 64,
+            rate_rps: 100_000.0,
+            ..ServeConfig::default()
+        };
+        let out = run(cfg).expect("serve runs");
+        let body = out.to_json();
+        verify_artifact(&body).expect("fresh artifact verifies");
+        assert!(verify_artifact("{}").is_err());
+        assert!(verify_artifact(&body.replace("\"p50\"", "\"p5x\"")).is_err());
+    }
+}

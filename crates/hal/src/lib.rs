@@ -46,30 +46,33 @@ pub mod sync;
 pub mod value;
 
 pub use callret::{call_then, maybe_reply, JoinBuilder, SavedCustomer};
-pub use program::{sim_run, thread_run, try_sim_run, Program};
+pub use program::{run, sim_run, thread_run, try_run, try_sim_run, Program};
 
-// Re-export the kernel surface the facade builds on, so workloads need
-// only one `use hal::prelude::*`.
+// The handful of kernel names harness code reaches for at the crate
+// root (`hal::MachineConfig`, `hal::Machine`, ...). Everything a
+// *workload* needs lives in [`prelude`]; kernel internals beyond this
+// list are imported from `hal_kernel` explicitly.
 pub use hal_kernel::{
-    Behavior, BehaviorId, BehaviorRegistry, ConfigError, ContRef, CostModel, DeliveryPath,
-    FaultPlan, GroupId, JcId, KernelEvent, LinkOutage, MachineConfig, MachineConfigBuilder,
-    MachineError, MailAddr,
-    Mapping, Msg, NodePause, OptFlags, Selector, SimMachine, SimReport, ThreadReport, TraceEvent,
-    TraceHists, TraceReport, Value,
+    Backend, BackendKind, Job, Machine, MachineConfig, MachineConfigBuilder, MachineError,
+    ObserveOpts, OptFlags, SimMachine, SimReport,
 };
+// `Msg`/`Selector`/`Value` must stay at the root: the `messages!` macro
+// expands `$crate::Msg` etc. in downstream crates.
+pub use hal_kernel::{Msg, Selector, Value};
 
-/// Everything a workload module typically needs.
+/// The single documented entry point: everything a workload module
+/// needs, and nothing that is really a kernel internal. Diagnostics
+/// types (trace events, chaos fault windows, the concrete machines)
+/// are imported from `hal_kernel` by the harnesses that poke at them.
 pub mod prelude {
     pub use crate::callret::{call_then, maybe_reply, JoinBuilder, SavedCustomer};
-    pub use crate::program::{sim_run, thread_run, try_sim_run, Program};
+    pub use crate::program::{run, sim_run, thread_run, try_run, try_sim_run, Program};
     pub use crate::sync::{BoundedCounter, Gates};
     pub use crate::value::{FromValue, IntoValue};
     pub use hal_kernel::kernel::Ctx;
     pub use hal_kernel::{
-        Behavior, BehaviorId, BehaviorRegistry, ConfigError, ContRef, CostModel, DeliveryPath,
-        FaultPlan, GroupId, KernelEvent, LinkOutage, MachineConfig, MachineConfigBuilder,
-        MachineError, MailAddr,
-        Mapping, Msg, NodePause, OptFlags, Selector, SimMachine, SimReport, TraceEvent,
-        TraceReport, Value,
+        Backend, BackendKind, Behavior, BehaviorId, BehaviorRegistry, ConfigError, CostModel,
+        FaultPlan, GroupId, Job, Machine, MachineConfig, MachineConfigBuilder, MachineError,
+        MailAddr, Mapping, Msg, ObserveOpts, OptFlags, Selector, SimReport, Value,
     };
 }

@@ -7,8 +7,8 @@
 
 use hal_kernel::kernel::Ctx;
 use hal_kernel::{
-    run_threaded, BehaviorId, BehaviorRegistry, FactoryFn, MachineConfig, MachineError,
-    SimMachine, SimReport, ThreadReport,
+    run_threaded, BackendKind, BehaviorId, BehaviorRegistry, FactoryFn, Machine, MachineConfig,
+    MachineError, SimMachine, SimReport, ThreadReport,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,6 +49,43 @@ impl Program {
     /// Freeze into a shareable registry.
     pub fn build(self) -> Arc<BehaviorRegistry> {
         Arc::new(self.registry)
+    }
+}
+
+/// Build a machine for `cfg.backend`, bootstrap it on node 0, and run
+/// it to completion — the backend-dispatching entry point every harness
+/// should use. `BackendKind::Sim` takes exactly the [`try_sim_run`]
+/// path (same construction sequence, byte-identical reports);
+/// `BackendKind::Live` stages a [`hal_kernel::LiveMachine`], bootstraps
+/// it before its node threads spawn, and drains with the default wall
+/// budget.
+///
+/// # Panics
+/// Panics on a [`MachineError`]; use [`try_run`] for the typed error.
+pub fn run(
+    cfg: MachineConfig,
+    program: Program,
+    bootstrap: impl FnOnce(&mut Ctx<'_>),
+) -> SimReport {
+    match try_run(cfg, program, bootstrap) {
+        Ok(r) => r,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Backend-dispatching run with typed errors — see [`run`].
+pub fn try_run(
+    cfg: MachineConfig,
+    program: Program,
+    bootstrap: impl FnOnce(&mut Ctx<'_>),
+) -> Result<SimReport, MachineError> {
+    match cfg.backend {
+        BackendKind::Sim => try_sim_run(cfg, program, bootstrap),
+        BackendKind::Live => {
+            let mut m = Machine::live(cfg, program.build());
+            m.with_ctx(0, bootstrap);
+            m.run()
+        }
     }
 }
 

@@ -49,6 +49,19 @@ pub enum MachineError {
     },
     /// The machine was built from an invalid configuration.
     Config(ConfigError),
+    /// A backend operation was invoked in a state that cannot serve it
+    /// (e.g. a bootstrap closure handed to a live machine whose node
+    /// threads already started, or a job submitted after completion).
+    BackendState {
+        /// What was attempted, for the error message.
+        what: &'static str,
+    },
+    /// The live backend's wall-clock budget elapsed before every node
+    /// stopped — the live analog of the `max_events` livelock valve.
+    WallTimeout {
+        /// How long the machine waited, in milliseconds.
+        waited_ms: u64,
+    },
 }
 
 impl fmt::Display for MachineError {
@@ -70,6 +83,15 @@ impl fmt::Display for MachineError {
                 write!(f, "garbage collection did not converge: {missing}")
             }
             MachineError::Config(e) => write!(f, "invalid configuration: {e}"),
+            MachineError::BackendState { what } => {
+                write!(f, "backend cannot {what} in its current state")
+            }
+            MachineError::WallTimeout { waited_ms } => {
+                write!(
+                    f,
+                    "live machine did not stop within its {waited_ms} ms wall budget"
+                )
+            }
         }
     }
 }
@@ -100,6 +122,10 @@ pub enum ConfigError {
         /// Which probability field was rejected.
         which: &'static str,
     },
+    /// A live-backend configuration carried a chaos fault plan — fault
+    /// injection lives in the simulated link layer, so a live run would
+    /// silently ignore it.
+    LiveFaultsUnsupported,
     /// A chaos timeout is shorter than the executor lookahead — timers
     /// would fire inside the window they were scheduled in.
     TimeoutTooShort {
@@ -120,6 +146,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroQuantum => write!(f, "the scheduling quantum must be positive"),
             ConfigError::BadFaultRate { which } => {
                 write!(f, "fault probability `{which}` must be in [0, 1]")
+            }
+            ConfigError::LiveFaultsUnsupported => {
+                write!(f, "the live backend cannot inject link faults (simulation-only)")
             }
             ConfigError::TimeoutTooShort { which, min_ns } => {
                 write!(f, "`{which}` must be at least {min_ns} ns (the link lookahead)")

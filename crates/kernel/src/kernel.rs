@@ -167,6 +167,13 @@ pub struct KernelConfig {
     /// Seeded fault plan (chaos subsystem). [`FaultPlan::none`] runs the
     /// byte-identical fault-free fast path.
     pub faults: FaultPlan,
+    /// Always wrap outbound envelopes in the reliable (seq + ack +
+    /// retransmit) protocol and arm FIR watchdogs, even with no fault
+    /// plan. The live backend sets this: real transports have no
+    /// deterministic delivery oracle, so the PR 3 reliable layer *is*
+    /// its wire protocol. Simulated machines leave it off — there the
+    /// reliable layer engages only under a chaos plan.
+    pub force_reliable: bool,
 }
 
 impl KernelConfig {
@@ -185,6 +192,7 @@ impl KernelConfig {
             trace: false,
             metrics: false,
             faults: FaultPlan::none(),
+            force_reliable: false,
         }
     }
 }
@@ -554,10 +562,11 @@ impl Kernel {
     }
 
     /// True when outbound envelopes must travel under the reliable
-    /// (seq + ack + retransmit) protocol.
+    /// (seq + ack + retransmit) protocol: either a chaos plan that can
+    /// corrupt the link, or a live transport that demands it outright.
     #[inline]
     fn rel_on(&self) -> bool {
-        self.chaos_on() && self.cfg.faults.reliable
+        self.cfg.force_reliable || (self.chaos_on() && self.cfg.faults.reliable)
     }
 
     /// Record a typed failure and stop the machine. Only the first
@@ -1317,7 +1326,7 @@ impl Kernel {
     /// link; arm a watchdog so the chase is re-issued instead of wedging
     /// the buffered messages forever.
     fn arm_fir_watchdog(&mut self, net: &mut dyn NetOut, key: AddrKey) {
-        if self.chaos_on() {
+        if self.chaos_on() || self.cfg.force_reliable {
             net.schedule(
                 self.clock + self.cfg.faults.fir_timeout,
                 self.cfg.me,

@@ -27,13 +27,18 @@
 //! | node manager (§3) | [`kernel`] (`handle_*`) |
 //! | program load module (§3) | [`registry`] |
 //! | CM-5 cost calibration | [`cost`] |
-//! | the partition itself | [`machine`] (simulated), [`thread_machine`] (threads) |
+//! | the partition itself | [`machine`] (simulated), [`live`] (live threads) |
+//!
+//! The [`backend`] module is the seam above all of it: one [`Backend`]
+//! trait with a simulated and a live implementation, driven through the
+//! [`Machine`] facade.
 
 #![warn(missing_docs)]
 
 pub mod actor;
 pub mod addr;
 pub mod audit;
+pub mod backend;
 pub mod balance;
 pub mod cost;
 pub mod descriptor;
@@ -46,6 +51,7 @@ pub mod group;
 pub mod hist;
 pub mod join;
 pub mod kernel;
+pub mod live;
 pub mod machine;
 pub mod message;
 pub mod metrics;
@@ -60,14 +66,16 @@ pub mod wire;
 
 pub use actor::{ActorRecord, Behavior};
 pub use audit::{MachineAudit, NodeAudit};
+pub use backend::{Backend, BackendKind, Job, Machine};
 pub use addr::{
     ActorId, AddrKey, BehaviorId, DescriptorId, GroupId, JcId, MailAddr, Mapping, Selector,
 };
 pub use cost::CostModel;
 pub use error::{ConfigError, MachineError};
 pub use kernel::{Ctx, Kernel, KernelConfig, NetOut, OptFlags};
-pub use machine::{MachineConfig, MachineConfigBuilder, SimMachine, SimReport};
-pub use hal_am::{FaultPlan, LinkOutage, NodePause};
+pub use live::LiveMachine;
+pub use machine::{MachineConfig, MachineConfigBuilder, ObserveOpts, SimMachine, SimReport};
+pub use hal_am::{Bytes, FaultPlan, LinkOutage, NodeId, NodePause};
 pub use message::{ContRef, Msg, Target, Value};
 pub use registry::{BehaviorRegistry, FactoryFn};
 pub use thread_machine::{run_threaded, ThreadReport};

@@ -6,6 +6,7 @@
 //! benchmark harnesses read the resulting virtual makespans — their shape
 //! reproduces the paper's tables.
 
+use crate::backend::BackendKind;
 use crate::cost::CostModel;
 use crate::error::{ConfigError, MachineError};
 use crate::gc::GcReport;
@@ -18,11 +19,86 @@ use hal_am::{FaultPlan, LinkModel, NodeId, SimNetwork};
 use hal_des::{StatSet, VirtualTime};
 use std::sync::Arc;
 
+/// What a machine records while it runs — the one knob behind the
+/// [`MachineConfigBuilder::observe`] entry point. Each flag maps to one
+/// observability subsystem; all default to off (the zero-overhead path).
+///
+/// ```
+/// use hal_kernel::{MachineConfig, ObserveOpts};
+/// let cfg = MachineConfig::builder(4)
+///     .observe(ObserveOpts::none().trace(true).prof(true))
+///     .build()
+///     .unwrap();
+/// assert!(cfg.record_trace && cfg.record_prof && !cfg.record_metrics);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ObserveOpts {
+    /// Flight-recorder events on every kernel ([`crate::trace`]).
+    pub trace: bool,
+    /// Live metrics timeseries on every kernel ([`crate::metrics`]).
+    pub metrics: bool,
+    /// Host-time executor profile ([`crate::prof`]).
+    pub prof: bool,
+    /// Per-node busy spans for timeline rendering ([`crate::timeline`]).
+    pub timeline: bool,
+}
+
+impl ObserveOpts {
+    /// Record nothing (the default).
+    pub const fn none() -> Self {
+        ObserveOpts {
+            trace: false,
+            metrics: false,
+            prof: false,
+            timeline: false,
+        }
+    }
+
+    /// Record everything (debug sessions).
+    pub const fn all() -> Self {
+        ObserveOpts {
+            trace: true,
+            metrics: true,
+            prof: true,
+            timeline: true,
+        }
+    }
+
+    /// Set flight-recorder tracing.
+    pub const fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Set metrics-timeseries recording.
+    pub const fn metrics(mut self, on: bool) -> Self {
+        self.metrics = on;
+        self
+    }
+
+    /// Set host-time executor profiling.
+    pub const fn prof(mut self, on: bool) -> Self {
+        self.prof = on;
+        self
+    }
+
+    /// Set timeline-span recording.
+    pub const fn timeline(mut self, on: bool) -> Self {
+        self.timeline = on;
+        self
+    }
+}
+
 /// Machine-wide configuration.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Partition size (number of nodes).
     pub nodes: usize,
+    /// Which execution backend [`crate::backend::Machine::from_config`]
+    /// selects: the deterministic DES executor
+    /// ([`BackendKind::Sim`], the default) or the multi-threaded live
+    /// runtime ([`BackendKind::Live`]).
+    pub backend: BackendKind,
     /// Master seed: every per-node RNG stream derives from it.
     pub seed: u64,
     /// Cost model charged by every kernel.
@@ -64,6 +140,11 @@ pub struct MachineConfig {
     /// [`FaultPlan::none`] (the default) is the byte-identical
     /// fault-free fast path.
     pub faults: FaultPlan,
+    /// Live backend only: per-node receive-queue capacity in packets.
+    /// A send finding the queue full blocks until the receiver drains
+    /// (counted in `ThreadNetStats::backpressure_hits`). `0` =
+    /// unbounded. Ignored by the sim backend.
+    pub live_queue_capacity: usize,
 }
 
 impl MachineConfig {
@@ -71,6 +152,7 @@ impl MachineConfig {
     pub fn new(nodes: usize) -> Self {
         MachineConfig {
             nodes,
+            backend: BackendKind::Sim,
             seed: 0x5EED,
             cost: CostModel::cm5(),
             link: LinkModel::cm5(),
@@ -86,6 +168,7 @@ impl MachineConfig {
             record_prof: false,
             parallelism: 1,
             faults: FaultPlan::none(),
+            live_queue_capacity: 4096,
         }
     }
 
@@ -120,6 +203,12 @@ impl MachineConfig {
                 return Err(ConfigError::BadFaultRate { which });
             }
         }
+        if self.backend == BackendKind::Live && self.faults.link_faults() {
+            // The chaos fault injector lives in the simulated link
+            // layer; a live run would silently ignore the plan, which
+            // is worse than refusing it.
+            return Err(ConfigError::LiveFaultsUnsupported);
+        }
         if self.faults.link_faults() {
             let min_ns = crate::executor::lookahead_ns(&self.link).max(1);
             for (which, d) in [
@@ -144,6 +233,25 @@ pub struct MachineConfigBuilder {
 }
 
 impl MachineConfigBuilder {
+    /// Select the execution backend ([`BackendKind::Sim`] is the
+    /// default).
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.cfg.backend = kind;
+        self
+    }
+
+    /// Enable observability subsystems in one call — the single entry
+    /// point that replaced the scattered `trace_if`/`metrics_if`/
+    /// `prof_if` trio. Flags accumulate (OR) with whatever earlier
+    /// calls enabled, so conditional harness code can layer opts.
+    pub fn observe(mut self, opts: ObserveOpts) -> Self {
+        self.cfg.record_trace |= opts.trace;
+        self.cfg.record_metrics |= opts.metrics;
+        self.cfg.record_prof |= opts.prof;
+        self.cfg.record_timeline |= opts.timeline;
+        self
+    }
+
     /// Set the master seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -198,49 +306,46 @@ impl MachineConfigBuilder {
         self
     }
 
-    /// Record per-node busy spans for timeline rendering.
-    pub fn timeline(mut self) -> Self {
-        self.cfg.record_timeline = true;
-        self
+    /// Record per-node busy spans for timeline rendering — shorthand
+    /// for `observe(ObserveOpts::none().timeline(true))`.
+    pub fn timeline(self) -> Self {
+        self.observe(ObserveOpts::none().timeline(true))
     }
 
-    /// Record flight-recorder events on every kernel.
-    pub fn trace(mut self) -> Self {
-        self.cfg.record_trace = true;
-        self
+    /// Record flight-recorder events on every kernel — shorthand for
+    /// `observe(ObserveOpts::none().trace(true))`.
+    pub fn trace(self) -> Self {
+        self.observe(ObserveOpts::none().trace(true))
     }
 
-    /// Record flight-recorder events when `on` — the conditional form
-    /// bench bins use to enable tracing only under `--check`.
-    pub fn trace_if(mut self, on: bool) -> Self {
-        self.cfg.record_trace |= on;
-        self
+    /// Record flight-recorder events when `on`.
+    #[deprecated(since = "0.8.0", note = "use observe(ObserveOpts::none().trace(on)) — shim kept for one PR")]
+    pub fn trace_if(self, on: bool) -> Self {
+        self.observe(ObserveOpts::none().trace(on))
     }
 
-    /// Record live metrics timeseries on every kernel.
-    pub fn metrics(mut self) -> Self {
-        self.cfg.record_metrics = true;
-        self
+    /// Record live metrics timeseries on every kernel — shorthand for
+    /// `observe(ObserveOpts::none().metrics(true))`.
+    pub fn metrics(self) -> Self {
+        self.observe(ObserveOpts::none().metrics(true))
     }
 
-    /// Record metrics when `on` — the conditional form bench bins use
-    /// to enable the registry only under `--metrics`.
-    pub fn metrics_if(mut self, on: bool) -> Self {
-        self.cfg.record_metrics |= on;
-        self
+    /// Record metrics when `on`.
+    #[deprecated(since = "0.8.0", note = "use observe(ObserveOpts::none().metrics(on)) — shim kept for one PR")]
+    pub fn metrics_if(self, on: bool) -> Self {
+        self.observe(ObserveOpts::none().metrics(on))
     }
 
-    /// Record the host-time executor profile ([`crate::prof`]).
-    pub fn prof(mut self) -> Self {
-        self.cfg.record_prof = true;
-        self
+    /// Record the host-time executor profile ([`crate::prof`]) —
+    /// shorthand for `observe(ObserveOpts::none().prof(true))`.
+    pub fn prof(self) -> Self {
+        self.observe(ObserveOpts::none().prof(true))
     }
 
-    /// Record the host-time profile when `on` — the conditional form
-    /// bench bins use under `--prof`/`HAL_PROF`.
-    pub fn prof_if(mut self, on: bool) -> Self {
-        self.cfg.record_prof |= on;
-        self
+    /// Record the host-time profile when `on`.
+    #[deprecated(since = "0.8.0", note = "use observe(ObserveOpts::none().prof(on)) — shim kept for one PR")]
+    pub fn prof_if(self, on: bool) -> Self {
+        self.observe(ObserveOpts::none().prof(on))
     }
 
     /// Host parallelism of the windowed executor (`0` = all cores).
@@ -252,6 +357,12 @@ impl MachineConfigBuilder {
     /// Install a seeded fault plan (chaos subsystem).
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.cfg.faults = plan;
+        self
+    }
+
+    /// Live-backend receive-queue capacity in packets (`0` = unbounded).
+    pub fn live_queue_capacity(mut self, cap: usize) -> Self {
+        self.cfg.live_queue_capacity = cap;
         self
     }
 
@@ -268,7 +379,7 @@ impl MachineConfigBuilder {
 /// parallel-equivalence tests assert bit-identical reports across
 /// executor parallelism levels, and host-time facts are by design not
 /// part of that deterministic surface.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Maximum node clock at completion — the parallel execution time.
     pub makespan: VirtualTime,
@@ -374,6 +485,7 @@ impl SimMachine {
                     trace: cfg.record_trace,
                     metrics: cfg.record_metrics,
                     faults: cfg.faults.clone(),
+                    force_reliable: false,
                 };
                 Kernel::new(kcfg, Arc::clone(&registry))
             })

@@ -78,6 +78,7 @@ pub fn run_threaded(
                 // fault injection are simulation-only.
                 metrics: false,
                 faults: hal_am::FaultPlan::none(),
+                force_reliable: false,
             };
             Kernel::new(kcfg, Arc::clone(&registry))
         })

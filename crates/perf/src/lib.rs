@@ -312,6 +312,8 @@ pub struct Thresholds {
     pub max_speedup_drop: f64,
     /// Compare the deterministic virtual facts (`events`, `virtual_ns`)
     /// exactly. Drift there is a simulation-semantics change, not noise.
+    /// Documents or runs tagged `"backend": "live"` are exempt — their
+    /// `virtual_ns` is host time and never reproduces exactly.
     pub sim_exact: bool,
 }
 
@@ -387,9 +389,18 @@ fn num(v: &Json, key: &str) -> Option<f64> {
     v.get(key).and_then(Json::as_f64)
 }
 
+/// True when a `BENCH_` document (or one run inside it) came from the
+/// live backend. Live runs carry host-time facts in `virtual_ns`, so
+/// exact comparison against a (simulated) baseline is meaningless and
+/// the gate falls back to the throughput thresholds only.
+fn is_live(doc: &Json) -> bool {
+    doc.get("backend").and_then(Json::as_str) == Some("live")
+}
+
 /// Compare one fresh `BENCH_` document against its baseline.
 pub fn diff_bench(artifact: &str, baseline: &Json, fresh: &Json, thr: &Thresholds) -> Vec<Regression> {
     let mut out = Vec::new();
+    let sim_exact = thr.sim_exact && !is_live(baseline) && !is_live(fresh);
     let base_runs = runs_by_label(baseline);
     let fresh_runs = runs_by_label(fresh);
     for (label, b) in &base_runs {
@@ -404,7 +415,7 @@ pub fn diff_bench(artifact: &str, baseline: &Json, fresh: &Json, thr: &Threshold
             });
             continue;
         };
-        if thr.sim_exact {
+        if sim_exact && !is_live(b) && !is_live(f) {
             for metric in ["events", "virtual_ns"] {
                 let (bv, fv) = (num(b, metric), num(f, metric));
                 if bv != fv {
@@ -881,6 +892,34 @@ mod tests {
         // With sim_exact off it passes.
         let lax = Thresholds { sim_exact: false, ..thr };
         assert!(diff_bench("BENCH_t.json", &base, &drifted, &lax).is_empty());
+    }
+
+    #[test]
+    fn live_artifacts_skip_exact_virtual_facts() {
+        let thr = Thresholds::default();
+        let live = |src: &str| src.replace("\"bench\": \"t\",", "\"bench\": \"t\", \"backend\": \"live\",");
+        // Live-tagged artifacts carry host time in virtual_ns, so
+        // run-to-run drift there must not trip the exact gate…
+        let live_base = Json::parse(&live(BENCH)).unwrap();
+        let drifted = Json::parse(&live(
+            &BENCH
+                .replace("\"virtual_ns\": 100, \"events\": 50,", "\"virtual_ns\": 117, \"events\": 55,"),
+        ))
+        .unwrap();
+        assert!(
+            diff_bench("BENCH_t.json", &live_base, &drifted, &thr).is_empty(),
+            "live runs compare by throughput only"
+        );
+        // …but a throughput collapse still trips it.
+        let dead =
+            Json::parse(&live(&BENCH.replace("\"events_per_sec\": 50000", "\"events_per_sec\": 500"))).unwrap();
+        let regs = diff_bench("BENCH_t.json", &live_base, &dead, &thr);
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].metric, "events_per_sec");
+        // A sim-tagged pair stays exact.
+        let sim_base = Json::parse(BENCH).unwrap();
+        let sim_drift = patched(BENCH, "\"events\": 50", "\"events\": 51");
+        assert_eq!(diff_bench("BENCH_t.json", &sim_base, &sim_drift, &thr).len(), 1);
     }
 
     #[test]

@@ -442,12 +442,13 @@ pub fn bootstrap_opts(
     }
 }
 
-/// Run on a fresh simulated machine; returns `(frobenius_norm_of_L,
+/// Run on a fresh machine for `machine.backend` (simulated by default,
+/// live under `BackendKind::Live`); returns `(frobenius_norm_of_L,
 /// report)`.
 pub fn run_sim(machine: MachineConfig, cfg: CholeskyConfig, publish: bool) -> (f64, SimReport) {
     let mut program = Program::new();
     let id = register(&mut program);
-    let report = hal::sim_run(machine, program, |ctx| bootstrap(ctx, id, cfg, publish));
+    let report = hal::run(machine, program, |ctx| bootstrap(ctx, id, cfg, publish));
     let fro = report
         .value("chol_fro")
         .expect("cholesky did not complete")

@@ -184,11 +184,13 @@ pub fn bootstrap_opts(ctx: &mut Ctx<'_>, behavior: BehaviorId, cfg: FibConfig, s
     });
 }
 
-/// Run fib on a fresh simulated machine; returns `(value, report)`.
+/// Run fib on a fresh machine for `machine.backend` (the deterministic
+/// simulator by default, the live thread runtime under
+/// `BackendKind::Live`); returns `(value, report)`.
 pub fn run_sim(machine: MachineConfig, cfg: FibConfig) -> (u64, SimReport) {
     let mut program = Program::new();
     let id = register(&mut program);
-    let report = hal::sim_run(machine, program, |ctx| bootstrap(ctx, id, cfg));
+    let report = hal::run(machine, program, |ctx| bootstrap(ctx, id, cfg));
     let v = report
         .value("fib")
         .unwrap_or_else(|| panic!("fib did not complete"))

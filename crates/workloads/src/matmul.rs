@@ -332,11 +332,12 @@ pub fn bootstrap_opts(
     ctx.broadcast(group, sel, args);
 }
 
-/// Run on a fresh simulated machine; returns `(frobenius_norm, report)`.
+/// Run on a fresh machine for `machine.backend`; returns
+/// `(frobenius_norm, report)`.
 pub fn run_sim(machine: MachineConfig, cfg: MatmulConfig, publish: bool) -> (f64, SimReport) {
     let mut program = Program::new();
     let id = register(&mut program);
-    let report = hal::sim_run(machine, program, |ctx| bootstrap(ctx, id, cfg, publish));
+    let report = hal::run(machine, program, |ctx| bootstrap(ctx, id, cfg, publish));
     let fro = report
         .value("matmul_fro")
         .expect("matmul did not complete")

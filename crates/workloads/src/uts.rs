@@ -200,11 +200,12 @@ pub fn bootstrap_opts(ctx: &mut Ctx<'_>, behavior: BehaviorId, cfg: UtsConfig, s
     });
 }
 
-/// Run on a fresh simulated machine; returns `(tree_size, report)`.
+/// Run on a fresh machine for `machine.backend`; returns
+/// `(tree_size, report)`.
 pub fn run_sim(machine: MachineConfig, cfg: UtsConfig) -> (u64, SimReport) {
     let mut program = Program::new();
     let id = register(&mut program);
-    let report = hal::sim_run(machine, program, |ctx| bootstrap(ctx, id, cfg));
+    let report = hal::run(machine, program, |ctx| bootstrap(ctx, id, cfg));
     let size = report
         .value("uts_size")
         .expect("uts did not complete")

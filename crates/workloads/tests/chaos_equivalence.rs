@@ -6,7 +6,7 @@
 //! windowed executor replays them deterministically.
 
 use hal::prelude::*;
-use hal_kernel::SimReport;
+use hal_kernel::{SimMachine, SimReport};
 
 const PARALLELISMS: [usize; 2] = [2, 7];
 const SEEDS: [u64; 3] = [1, 0x5EED, 42];

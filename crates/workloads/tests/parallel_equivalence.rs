@@ -9,7 +9,7 @@
 //! chains + racing probes).
 
 use hal::prelude::*;
-use hal_kernel::SimReport;
+use hal_kernel::{SimMachine, SimReport};
 use hal_workloads::{cholesky, fib};
 
 const PARALLELISMS: [usize; 2] = [2, 7];

@@ -8,7 +8,7 @@
 
 use hal::prelude::*;
 use hal_kernel::span::SpanReport;
-use hal_kernel::SimReport;
+use hal_kernel::{SimMachine, SimReport};
 use hal_profile::critical_paths;
 use hal_workloads::fib;
 

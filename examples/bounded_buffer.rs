@@ -11,6 +11,7 @@
 //! Run with: `cargo run --release --example bounded_buffer`
 
 use hal::prelude::*;
+use hal_kernel::ContRef;
 use std::collections::VecDeque;
 
 const PUT: Selector = 0;

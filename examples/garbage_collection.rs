@@ -12,6 +12,7 @@
 //! Run with: `cargo run --release --example garbage_collection`
 
 use hal::prelude::*;
+use hal_kernel::SimMachine;
 
 /// Holds acquaintances and can adopt more; declares them for tracing
 /// (the hook the HAL compiler generated automatically).

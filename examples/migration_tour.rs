@@ -12,6 +12,7 @@
 //! Run with: `cargo run --release --example migration_tour`
 
 use hal::prelude::*;
+use hal_kernel::ContRef;
 
 /// Wanders the partition: on each `hop` message it migrates to the next
 /// node; `probe` messages must find it wherever it currently lives.

@@ -4,6 +4,7 @@
 //! the meaning.)
 
 use hal::prelude::*;
+use hal_kernel::SimMachine;
 use hal::OptFlags;
 use hal_workloads::cholesky::{self, CholeskyConfig, Variant};
 use hal_workloads::fib::{self, FibConfig, Placement};

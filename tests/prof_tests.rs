@@ -27,9 +27,7 @@ fn machine(k: usize, prof: bool) -> MachineConfig {
     MachineConfig::builder(8)
         .seed(7)
         .parallelism(k)
-        .trace()
-        .metrics()
-        .prof_if(prof)
+        .observe(ObserveOpts::none().trace(true).metrics(true).prof(prof))
         .build()
         .unwrap()
 }

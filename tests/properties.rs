@@ -9,6 +9,7 @@
 //! reproduce from the printed case number.
 
 use hal::prelude::*;
+use hal_kernel::SimMachine;
 use hal_des::SplitMix64;
 use hal_kernel::Mapping;
 
